@@ -1,0 +1,86 @@
+// Experiment E8 — the Section-5.1 binary-string machinery, quantified.
+//
+//  * Lemma 5.9:     E[max_0(b)] <= 2 log2 n for uniform n-bit strings
+//                   (exact DP, Monte-Carlo, and the bound, side by side);
+//  * Corollary 5.10: sum_{t < mu} max_0(binary(t)) <= 2 mu log log mu
+//                   (exhaustive for mu up to 2^22);
+//  * Corollary 5.8:  CDFF(sigma_mu) = mu + sum_t max_0(binary(t)) —
+//                   the packing cost equals the combinatorial sum exactly.
+#include <iostream>
+#include <random>
+
+#include "algos/cdff.h"
+#include "bench_common.h"
+#include "binstr/binstr.h"
+#include "core/simulator.h"
+#include "report/ascii_chart.h"
+#include "workloads/binary_input.h"
+
+namespace {
+using namespace cdbp;
+}
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+
+  std::cout << "E8a / Lemma 5.9: E[max_0] of uniform n-bit strings\n\n";
+  {
+    report::Table table({"n", "exact E[max_0]", "monte-carlo", "2*log2(n)",
+                         "bound holds"});
+    std::mt19937_64 rng(1);
+    for (int n : {2, 4, 8, 16, 24, 32, 48, 63}) {
+      const double exact = binstr::exact_expected_max_zero_run(n);
+      const double mc = binstr::mc_expected_max_zero_run(
+          n, opts.quick ? 2000 : 20000, rng);
+      const double bound = 2.0 * std::log2(static_cast<double>(n));
+      table.add_row({std::to_string(n), report::Table::num(exact, 4),
+                     report::Table::num(mc, 4),
+                     report::Table::num(bound, 4),
+                     exact <= bound + 1e-9 ? "yes" : "NO"});
+    }
+    std::cout << table.to_string() << "\n";
+  }
+
+  std::cout << "E8b / Corollary 5.10: sum_t max_0(binary(t)) vs "
+               "2 mu log log mu (exhaustive)\n\n";
+  {
+    report::Table table(
+        {"n", "mu", "sum max_0", "2 mu log2(n)", "sum/(mu)", "bound holds"});
+    const int max_n = opts.quick ? 16 : 22;
+    for (int n = 2; n <= max_n; n += 2) {
+      const double mu = pow2(n);
+      const auto sum = static_cast<double>(binstr::total_max_zero_run(n));
+      const double bound = 2.0 * mu * std::log2(static_cast<double>(n));
+      table.add_row({std::to_string(n), report::Table::num(mu, 0),
+                     report::Table::num(sum, 0),
+                     report::Table::num(bound, 0),
+                     report::Table::num(sum / mu, 3),
+                     sum <= bound + 1e-6 ? "yes" : "NO"});
+    }
+    std::cout << table.to_string();
+    std::cout << "(sum/mu is the average extra-bins term of Prop. 5.3 — it "
+                 "grows like log log mu)\n\n";
+  }
+
+  std::cout << "E8c / Corollary 5.8: CDFF(sigma_mu) == mu + sum_t max_0\n\n";
+  {
+    report::Table table({"n", "CDFF cost", "mu + sum max_0", "equal",
+                         "ratio vs LB(=mu)"});
+    const int max_n = opts.quick ? 10 : 14;
+    for (int n = 2; n <= max_n; n += 2) {
+      const Instance in = workloads::make_binary_input(n);
+      algos::Cdff cdff;
+      const Cost cost = run_cost(in, cdff);
+      const double predicted =
+          pow2(n) + static_cast<double>(binstr::total_max_zero_run(n));
+      table.add_row({std::to_string(n), report::Table::num(cost, 1),
+                     report::Table::num(predicted, 1),
+                     approx_equal(cost, predicted, 1e-6) ? "yes" : "NO",
+                     report::Table::num(cost / pow2(n), 3)});
+    }
+    std::cout << table.to_string();
+    std::cout << "Expected (paper): exact equality for every n, and the "
+                 "last column ~ 1 + 2 log log mu (Prop. 5.3).\n";
+  }
+  return 0;
+}

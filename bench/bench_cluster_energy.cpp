@@ -1,0 +1,88 @@
+// Experiment E14 — operational costing (beyond the paper): what the
+// algorithms' packings cost a real fleet once server boots have a price
+// and emptied servers can be kept warm. MinUsageTime is the active-energy
+// column; the paper's w.l.o.g. "bins close when empty" is exactly the
+// warm_window = 0 row. The interesting question: does the ranking of
+// algorithms change once churn is priced in? (Classify-style algorithms
+// open many short-lived bins; First-Fit few long-lived ones.)
+#include <iostream>
+#include <memory>
+
+#include "algos/any_fit.h"
+#include "algos/classify.h"
+#include "algos/duration_aware.h"
+#include "algos/hybrid.h"
+#include "bench_common.h"
+#include "cluster/cluster.h"
+#include "core/simulator.h"
+#include "workloads/cloud_gaming.h"
+
+namespace {
+using namespace cdbp;
+}
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  std::cout << "E14: fleet energy under boot costs and warm windows\n"
+            << "(cloud-gaming trace; boot = 5 active-minutes, idle power = "
+               "0.4x active)\n";
+
+  std::mt19937_64 rng = parallel::task_rng(0xE14, 1);
+  workloads::CloudGamingConfig cfg;
+  cfg.days = opts.quick ? 0.5 : 1.0;
+  cfg.peak_sessions_per_min = 2.5;
+  const Instance trace = workloads::make_cloud_gaming(cfg, rng);
+  std::cout << "\ntrace: " << trace.summary() << "\n";
+
+  struct Candidate {
+    std::string name;
+    AlgorithmPtr algo;
+  };
+  std::vector<Candidate> candidates;
+  candidates.push_back({"HA", std::make_unique<algos::Hybrid>()});
+  candidates.push_back({"FirstFit", std::make_unique<algos::FirstFit>()});
+  candidates.push_back({"BestFit", std::make_unique<algos::BestFit>()});
+  candidates.push_back(
+      {"CBD(2)", std::make_unique<algos::ClassifyByDuration>(2.0)});
+  candidates.push_back(
+      {"DurationAware(NoExtFirst)",
+       std::make_unique<algos::DurationAwareFit>(
+           algos::DurationPolicy::kNoExtensionFirst)});
+
+  for (const double window : {0.0, 15.0, 60.0}) {
+    std::cout << "\n== warm window = " << window << " min ==\n";
+    report::Table table({"algorithm", "active time", "bins", "boots",
+                         "reuses", "idle time", "total energy",
+                         "energy vs best"});
+    struct Row {
+      std::string name;
+      cluster::ClusterReport rep;
+    };
+    std::vector<Row> rows;
+    double best = 1e300;
+    for (const Candidate& c : candidates) {
+      const RunResult r = Simulator{}.run(trace, *c.algo);
+      cluster::ClusterModel model;
+      model.warm_window = window;
+      model.boot_energy = 5.0;
+      model.idle_power = 0.4;
+      const auto rep = cluster::evaluate_cluster(r, model);
+      best = std::min(best, rep.total_energy);
+      rows.push_back(Row{c.name, rep});
+    }
+    for (const Row& row : rows)
+      table.add_row({row.name, report::Table::num(row.rep.active_time, 0),
+                     std::to_string(row.rep.logical_bins),
+                     std::to_string(row.rep.servers_booted),
+                     std::to_string(row.rep.reuses),
+                     report::Table::num(row.rep.idle_time, 0),
+                     report::Table::num(row.rep.total_energy, 0),
+                     report::Table::num(row.rep.total_energy / best, 3)});
+    std::cout << table.to_string();
+  }
+  std::cout << "\nReading: at warm window 0 the ranking is the pure "
+               "MinUsageTime ranking plus a churn penalty — bin-frugal "
+               "algorithms gain; generous warm windows wash the churn out "
+               "again (boots collapse, idle grows).\n";
+  return 0;
+}

@@ -1,0 +1,140 @@
+// Shared scaffolding for the experiment binaries: seed-sweep execution on
+// the thread pool, ratio-series aggregation, and uniform printing of
+// tables, growth-law fits, and charts.
+//
+// Every experiment binary accepts:
+//   --quick          smaller sweeps (used by CI smoke checks)
+//   --seeds N        override the seed count
+//   --csv PATH       also dump the per-point measurements as CSV
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <iostream>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "analysis/ratio.h"
+#include "analysis/stats.h"
+#include "analysis/sweep.h"
+#include "parallel/rng.h"
+#include "parallel/thread_pool.h"
+#include "report/csv.h"
+#include "report/table.h"
+
+namespace cdbp::bench {
+
+struct BenchOptions {
+  bool quick = false;
+  int seeds = 8;
+  std::optional<std::string> csv_path;
+};
+
+inline BenchOptions parse_options(int argc, char** argv) {
+  BenchOptions opts;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") {
+      opts.quick = true;
+      opts.seeds = 3;
+    } else if (arg == "--seeds" && i + 1 < argc) {
+      opts.seeds = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--csv" && i + 1 < argc) {
+      opts.csv_path = argv[++i];
+    } else if (arg == "--help") {
+      std::cout << "options: --quick  --seeds N  --csv PATH\n";
+      std::exit(0);
+    }
+  }
+  return opts;
+}
+
+using analysis::SweepPoint;
+
+/// Runs `measure(n, seed)` for every n in `exponents` x seed in
+/// [0, seeds), in parallel, and aggregates per (algorithm, mu) via
+/// analysis::aggregate_sweep.
+using MeasureFn =
+    std::function<std::vector<analysis::RatioMeasurement>(int, std::uint64_t)>;
+
+inline std::vector<SweepPoint> run_sweep(const std::vector<int>& exponents,
+                                         int seeds, const MeasureFn& measure) {
+  parallel::ThreadPool pool;
+  struct Task {
+    int n;
+    std::uint64_t seed;
+  };
+  std::vector<Task> tasks;
+  for (int n : exponents)
+    for (int s = 0; s < seeds; ++s)
+      tasks.push_back(Task{n, static_cast<std::uint64_t>(s)});
+
+  const auto raw = parallel::parallel_map<std::vector<analysis::RatioMeasurement>>(
+      pool, tasks.size(),
+      [&](std::size_t i) { return measure(tasks[i].n, tasks[i].seed); });
+
+  std::vector<analysis::SweepObservation> observations;
+  for (std::size_t ti = 0; ti < tasks.size(); ++ti)
+    for (const auto& m : raw[ti])
+      observations.push_back(
+          analysis::SweepObservation{std::ldexp(1.0, tasks[ti].n), m});
+  return analysis::aggregate_sweep(observations);
+}
+
+/// Prints one ratio table (rows: mu x algorithm) plus growth-law fits per
+/// algorithm, and optionally appends to a CSV.
+inline void print_sweep(const std::string& title,
+                        const std::vector<SweepPoint>& points,
+                        const BenchOptions& opts) {
+  std::cout << "\n== " << title << " ==\n";
+  report::Table table(
+      {"algorithm", "mu", "ratio/LB mean", "ratio/LB max", "ratio/UB mean",
+       "cost mean"});
+  for (const SweepPoint& pt : points)
+    table.add_row({pt.algorithm, report::Table::num(pt.mu, 0),
+                   report::Table::num(pt.ratio_vs_lower.mean),
+                   report::Table::num(pt.ratio_vs_lower.max),
+                   report::Table::num(pt.ratio_vs_upper.mean),
+                   report::Table::num(pt.cost.mean, 1)});
+  std::cout << table.to_string();
+
+  // Growth fits per algorithm (on ratio vs LB).
+  std::vector<std::string> algos;
+  for (const SweepPoint& pt : points)
+    if (std::find(algos.begin(), algos.end(), pt.algorithm) == algos.end())
+      algos.push_back(pt.algorithm);
+  std::cout << "\nbest-fit growth law of ratio(mu), by R^2:\n";
+  for (const std::string& name : algos) {
+    std::vector<analysis::Point> series;
+    for (const SweepPoint& pt : points)
+      if (pt.algorithm == name)
+        series.push_back(analysis::Point{pt.mu, pt.ratio_vs_lower.mean});
+    const auto fits = analysis::rank_growth_laws(series);
+    std::cout << "  " << name << ": ";
+    for (std::size_t k = 0; k < std::min<std::size_t>(3, fits.size()); ++k) {
+      if (k) std::cout << "  |  ";
+      std::cout << analysis::to_string(fits[k].law)
+                << " (R2=" << report::Table::num(fits[k].r2) << ", a="
+                << report::Table::num(fits[k].a) << ")";
+    }
+    std::cout << "\n";
+  }
+
+  if (opts.csv_path) {
+    report::CsvWriter csv(*opts.csv_path,
+                          {"experiment", "algorithm", "mu", "ratio_lb_mean",
+                           "ratio_lb_max", "ratio_ub_mean", "cost_mean"});
+    for (const SweepPoint& pt : points)
+      csv.add_row({title, pt.algorithm, report::Table::num(pt.mu, 0),
+                   report::Table::num(pt.ratio_vs_lower.mean, 6),
+                   report::Table::num(pt.ratio_vs_lower.max, 6),
+                   report::Table::num(pt.ratio_vs_upper.mean, 6),
+                   report::Table::num(pt.cost.mean, 6)});
+  }
+}
+
+}  // namespace cdbp::bench

@@ -1,0 +1,132 @@
+// Experiment E13 — practical guidance: worst-case-optimal HA vs greedy
+// duration-aware heuristics on application-flavoured workloads (cloud
+// gaming sessions, heavy-tailed batch queues). The paper proves HA's
+// worst-case guarantee; this bench quantifies the average-case price of
+// that guarantee and when the clairvoyant greedy heuristics (which share
+// HA's information model but not its guarantee) win. Ratios carry 95%
+// bootstrap confidence intervals.
+#include <iostream>
+#include <memory>
+
+#include "algos/any_fit.h"
+#include "algos/classify.h"
+#include "algos/duration_aware.h"
+#include "algos/harmonic.h"
+#include "algos/hybrid.h"
+#include "analysis/bootstrap.h"
+#include "bench_common.h"
+#include "core/simulator.h"
+#include "opt/bounds.h"
+#include "workloads/batch.h"
+#include "workloads/cloud_gaming.h"
+
+namespace {
+
+using namespace cdbp;
+
+struct Candidate {
+  std::string name;
+  std::function<AlgorithmPtr()> make;
+};
+
+std::vector<Candidate> candidates() {
+  return {
+      {"HA", [] { return std::make_unique<algos::Hybrid>(); }},
+      {"FirstFit", [] { return std::make_unique<algos::FirstFit>(); }},
+      {"BestFit", [] { return std::make_unique<algos::BestFit>(); }},
+      {"DurationAware(MinExt)",
+       [] {
+         return std::make_unique<algos::DurationAwareFit>(
+             algos::DurationPolicy::kMinExtension);
+       }},
+      {"DurationAware(NoExtFirst)",
+       [] {
+         return std::make_unique<algos::DurationAwareFit>(
+             algos::DurationPolicy::kNoExtensionFirst);
+       }},
+      {"CBD(2)",
+       [] { return std::make_unique<algos::ClassifyByDuration>(2.0); }},
+      {"Harmonic(8)", [] { return std::make_unique<algos::HarmonicFit>(8); }},
+  };
+}
+
+void study(const std::string& title, int seeds,
+           const std::function<Instance(std::uint64_t)>& make_workload) {
+  std::cout << "\n== " << title << " ==\n";
+  parallel::ThreadPool pool;
+
+  const auto cands = candidates();
+  // ratios[c][s] = ratio of candidate c on seed s.
+  std::vector<std::vector<double>> ratios(cands.size());
+  std::vector<std::vector<double>> costs(cands.size());
+  for (auto& v : ratios) v.resize(static_cast<std::size_t>(seeds));
+  for (auto& v : costs) v.resize(static_cast<std::size_t>(seeds));
+
+  parallel::parallel_for(
+      pool, 0, static_cast<std::size_t>(seeds), [&](std::size_t s) {
+        const Instance in = make_workload(s);
+        const double lb = opt::compute_bounds(in).lower();
+        for (std::size_t c = 0; c < cands.size(); ++c) {
+          auto algo = cands[c].make();
+          const Cost cost = run_cost(in, *algo);
+          costs[c][s] = cost;
+          ratios[c][s] = lb > 0.0 ? cost / lb : 1.0;
+        }
+      });
+
+  report::Table table({"algorithm", "ratio vs LB (mean)", "95% CI",
+                       "worst seed", "mean cost"});
+  for (std::size_t c = 0; c < cands.size(); ++c) {
+    const auto ci = analysis::bootstrap_mean_ci(ratios[c]);
+    const auto summary = analysis::summarize(ratios[c]);
+    table.add_row(
+        {cands[c].name, report::Table::num(ci.point),
+         "[" + report::Table::num(ci.lo) + ", " + report::Table::num(ci.hi) +
+             "]",
+         report::Table::num(summary.max),
+         report::Table::num(analysis::summarize(costs[c]).mean, 1)});
+  }
+  std::cout << table.to_string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  std::cout << "E13: worst-case-optimal vs greedy clairvoyant heuristics\n";
+  const int seeds = opts.quick ? 4 : std::max(8, opts.seeds);
+
+  study("cloud gaming sessions (2 synthetic days)", seeds,
+        [](std::uint64_t seed) {
+          std::mt19937_64 rng = parallel::task_rng(0xE13A, seed);
+          workloads::CloudGamingConfig cfg;
+          cfg.days = 1.0;
+          cfg.peak_sessions_per_min = 2.0;
+          return workloads::make_cloud_gaming(cfg, rng);
+        });
+
+  study("batch queues (Zipf sizes, size-correlated durations)", seeds,
+        [](std::uint64_t seed) {
+          std::mt19937_64 rng = parallel::task_rng(0xE13B, seed);
+          workloads::BatchConfig cfg;
+          cfg.waves = 24;
+          cfg.jobs_per_wave = 32;
+          return workloads::make_batch_queue(cfg, rng);
+        });
+
+  study("batch queues, uncorrelated durations", seeds,
+        [](std::uint64_t seed) {
+          std::mt19937_64 rng = parallel::task_rng(0xE13C, seed);
+          workloads::BatchConfig cfg;
+          cfg.waves = 24;
+          cfg.jobs_per_wave = 32;
+          cfg.duration_size_corr = 0.0;
+          return workloads::make_batch_queue(cfg, rng);
+        });
+
+  std::cout << "\nReading: greedy duration-aware fits usually edge out HA "
+               "on benign traces (no adversary), while HA alone carries the "
+               "O(sqrt(log mu)) worst-case guarantee (E2 shows every "
+               "algorithm here can be forced to Omega(sqrt(log mu))).\n";
+  return 0;
+}

@@ -1,0 +1,128 @@
+// Experiment E11 — engineering microbenchmarks (google-benchmark): items/s
+// of each online algorithm through the simulator, step-function calculus,
+// and the OPT machinery. Not a paper artifact; tracks the library's own
+// performance so regressions are visible.
+#include <benchmark/benchmark.h>
+
+#include <random>
+#include <string>
+#include <vector>
+
+#include "algos/any_fit.h"
+#include "algos/cdff.h"
+#include "algos/classify.h"
+#include "algos/hybrid.h"
+#include "binstr/binstr.h"
+#include "core/simulator.h"
+#include "opt/bounds.h"
+#include "opt/repack.h"
+#include "workloads/aligned_random.h"
+#include "workloads/binary_input.h"
+#include "workloads/general_random.h"
+
+namespace {
+
+using namespace cdbp;
+
+Instance general_instance(int items) {
+  std::mt19937_64 rng(42);
+  workloads::GeneralConfig cfg;
+  cfg.target_items = items;
+  cfg.log2_mu = 10;
+  cfg.horizon = static_cast<double>(items) / 4.0;
+  return workloads::make_general_random(cfg, rng);
+}
+
+template <typename Algo>
+void run_algo_bench(benchmark::State& state) {
+  const Instance in = general_instance(static_cast<int>(state.range(0)));
+  Simulator sim{SimulatorOptions{.keep_history = false}};
+  for (auto _ : state) {
+    Algo algo;
+    benchmark::DoNotOptimize(sim.run(in, algo).cost);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+
+void BM_FirstFit(benchmark::State& state) {
+  run_algo_bench<algos::FirstFit>(state);
+}
+void BM_BestFit(benchmark::State& state) {
+  run_algo_bench<algos::BestFit>(state);
+}
+void BM_Hybrid(benchmark::State& state) {
+  run_algo_bench<algos::Hybrid>(state);
+}
+void BM_Classify(benchmark::State& state) {
+  run_algo_bench<algos::ClassifyByDuration>(state);
+}
+
+void BM_CdffBinaryInput(benchmark::State& state) {
+  const Instance in =
+      workloads::make_binary_input(static_cast<int>(state.range(0)));
+  Simulator sim{SimulatorOptions{.keep_history = false}};
+  for (auto _ : state) {
+    algos::Cdff cdff;
+    benchmark::DoNotOptimize(sim.run(in, cdff).cost);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+
+void BM_ComputeBounds(benchmark::State& state) {
+  const Instance in = general_instance(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(opt::compute_bounds(in).lower());
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+
+void BM_RepackWitness(benchmark::State& state) {
+  const Instance in = general_instance(static_cast<int>(state.range(0)));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(opt::repack_witness(in).cost);
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(in.size()));
+}
+
+void BM_MaxZeroRunExhaustive(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  for (auto _ : state)
+    benchmark::DoNotOptimize(binstr::total_max_zero_run(n));
+}
+
+BENCHMARK(BM_FirstFit)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_BestFit)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_Hybrid)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_Classify)->Arg(1000)->Arg(10000);
+BENCHMARK(BM_CdffBinaryInput)->Arg(10)->Arg(14);
+BENCHMARK(BM_ComputeBounds)->Arg(10000);
+BENCHMARK(BM_RepackWitness)->Arg(2000);
+BENCHMARK(BM_MaxZeroRunExhaustive)->Arg(16)->Arg(20);
+
+}  // namespace
+
+// Custom main: tolerate the harness-wide flags (--quick, --seeds N,
+// --csv PATH) that the other experiment binaries accept, instead of
+// letting google-benchmark abort on them.
+int main(int argc, char** argv) {
+  std::vector<char*> kept;
+  kept.push_back(argv[0]);
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--quick") continue;
+    if ((arg == "--seeds" || arg == "--csv") && i + 1 < argc) {
+      ++i;
+      continue;
+    }
+    kept.push_back(argv[i]);
+  }
+  int kept_argc = static_cast<int>(kept.size());
+  benchmark::Initialize(&kept_argc, kept.data());
+  if (benchmark::ReportUnrecognizedArguments(kept_argc, kept.data()))
+    return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

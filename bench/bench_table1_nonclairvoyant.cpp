@@ -1,0 +1,70 @@
+// Experiment E4 — Table 1, row "Non-Clairvoyant / General inputs"
+// (context results: First-Fit is (mu + 4)-competitive [13] and no
+// deterministic non-clairvoyant algorithm beats mu [7]).
+//
+// Reproduces the Theta(mu) behaviour: the adaptive survivor family drives
+// First-Fit (and the whole Any-Fit family — they are departure-oblivious)
+// to a certified ratio that grows LINEARLY in mu, while the clairvoyant HA
+// on the very same final instances stays flat. This is the quantitative
+// gap between the two halves of Table 1.
+#include <iostream>
+#include <memory>
+
+#include "algos/any_fit.h"
+#include "algos/hybrid.h"
+#include "bench_common.h"
+#include "opt/bounds.h"
+#include "report/ascii_chart.h"
+#include "workloads/ff_bad.h"
+
+namespace {
+using namespace cdbp;
+}
+
+int main(int argc, char** argv) {
+  const bench::BenchOptions opts = bench::parse_options(argc, argv);
+  std::cout << "E4: Table 1 (non-clairvoyant) — Theta(mu) family\n"
+            << "(B = mu survivor bins; ratios certified vs UB(OPT))\n";
+
+  const std::vector<int> exponents =
+      opts.quick ? std::vector<int>{3, 5, 7} :
+                   std::vector<int>{3, 4, 5, 6, 7, 8, 9};
+
+  report::Table table({"mu", "items", "probe bins", "FF ratio", "BF ratio",
+                       "HA(clairvoyant) ratio", "FF ratio / mu"});
+  report::Series ff_series{"FirstFit", {}};
+  report::Series ha_series{"HA", {}};
+
+  for (int n : exponents) {
+    const int bins = static_cast<int>(pow2(n));  // B = mu
+    const auto built = workloads::build_nonclairvoyant_bad(
+        n, bins, [] { return std::make_unique<algos::FirstFit>(); });
+    const Instance& in = built.instance;
+    const double ub = std::min(opt::compute_bounds(in).upper_ceil(),
+                               2.0 * (in.total_demand() + in.span()));
+
+    algos::FirstFit ff;
+    algos::BestFit bf;
+    algos::Hybrid ha;
+    const double r_ff = run_cost(in, ff) / ub;
+    const double r_bf = run_cost(in, bf) / ub;
+    const double r_ha = run_cost(in, ha) / ub;
+
+    table.add_row({report::Table::num(pow2(n), 0),
+                   std::to_string(in.size()),
+                   std::to_string(built.probe_bins),
+                   report::Table::num(r_ff), report::Table::num(r_bf),
+                   report::Table::num(r_ha),
+                   report::Table::num(r_ff / pow2(n), 4)});
+    ff_series.points.emplace_back(pow2(n), r_ff);
+    ha_series.points.emplace_back(pow2(n), r_ha);
+  }
+  std::cout << table.to_string();
+  std::cout << "\ncertified ratio vs mu (log2 x):\n"
+            << report::line_chart({ff_series, ha_series});
+  std::cout << "Expected (paper, Table 1): FF ratio grows ~ mu/4 (the "
+               "\"FF ratio / mu\" column is roughly constant); clairvoyant "
+               "HA stays near 1 on the same instances — clairvoyance is an "
+               "exponential advantage here.\n";
+  return 0;
+}

@@ -1,0 +1,15 @@
+# Helper for declaring libcdbp modules with relocatable usage requirements
+# (build tree: src/; install tree: include/cdbp/) so the whole library set
+# can be exported as the cdbp:: package.
+
+include(GNUInstallDirs)
+
+function(cdbp_module name)
+  add_library(${name} STATIC ${ARGN})
+  target_include_directories(${name} PUBLIC
+    $<BUILD_INTERFACE:${CMAKE_SOURCE_DIR}/src>
+    $<INSTALL_INTERFACE:${CMAKE_INSTALL_INCLUDEDIR}/cdbp>)
+  target_compile_features(${name} PUBLIC cxx_std_20)
+  target_link_libraries(${name} PRIVATE cdbp_warnings)
+  set_property(GLOBAL APPEND PROPERTY CDBP_MODULES ${name})
+endfunction()

@@ -1,0 +1,6 @@
+# CMake package config for libcdbp. Consumers:
+#   find_package(cdbp REQUIRED)
+#   target_link_libraries(app PRIVATE cdbp::cdbp_algos cdbp::cdbp_core ...)
+include(CMakeFindDependencyMacro)
+find_dependency(Threads)
+include("${CMAKE_CURRENT_LIST_DIR}/cdbpTargets.cmake")

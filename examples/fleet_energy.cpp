@@ -1,0 +1,77 @@
+// Fleet-energy what-if: how much would each scheduler cost to operate,
+// across boot prices and warm-keep policies? Uses the cluster costing
+// layer on top of a synthetic cloud-gaming day.
+//
+//   $ ./examples/fleet_energy [seed] [boot_energy] [idle_power]
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <random>
+
+#include "algos/any_fit.h"
+#include "algos/duration_aware.h"
+#include "algos/hybrid.h"
+#include "cluster/cluster.h"
+#include "core/metrics.h"
+#include "core/simulator.h"
+#include "report/table.h"
+#include "workloads/cloud_gaming.h"
+
+int main(int argc, char** argv) {
+  using namespace cdbp;
+  const std::uint64_t seed =
+      argc > 1 ? static_cast<std::uint64_t>(std::atoll(argv[1])) : 7;
+  const double boot = argc > 2 ? std::atof(argv[2]) : 5.0;
+  const double idle = argc > 3 ? std::atof(argv[3]) : 0.4;
+
+  std::mt19937_64 rng(seed);
+  workloads::CloudGamingConfig cfg;
+  cfg.days = 1.0;
+  const Instance trace = workloads::make_cloud_gaming(cfg, rng);
+  std::cout << "one synthetic day: " << trace.size() << " sessions, mu = "
+            << trace.mu() << "\n"
+            << "model: boot = " << boot << " active-minutes, idle power = "
+            << idle << "x active\n\n";
+
+  struct Candidate {
+    const char* label;
+    AlgorithmPtr algo;
+  };
+  std::vector<Candidate> fleet;
+  fleet.push_back({"HA (worst-case guarantee)",
+                   std::make_unique<algos::Hybrid>()});
+  fleet.push_back({"BestFit", std::make_unique<algos::BestFit>()});
+  fleet.push_back({"DurationAware(NoExtFirst)",
+                   std::make_unique<algos::DurationAwareFit>(
+                       algos::DurationPolicy::kNoExtensionFirst)});
+
+  for (const Candidate& c : fleet) {
+    const RunResult r = Simulator{}.run(trace, *c.algo);
+    const RunMetrics m = compute_metrics(trace, r);
+    std::cout << "== " << c.label << " ==\n"
+              << "  MinUsageTime: " << r.cost << " server-minutes, "
+              << "utilization " << report::Table::num(m.utilization, 3)
+              << ", mean items/bin " << report::Table::num(m.mean_items_per_bin, 1)
+              << "\n";
+    report::Table table({"warm window", "boots", "reuses", "idle min",
+                         "total energy"});
+    for (double window : {0.0, 10.0, 30.0, 120.0}) {
+      cluster::ClusterModel model;
+      model.boot_energy = boot;
+      model.idle_power = idle;
+      model.warm_window = window;
+      const auto rep = cluster::evaluate_cluster(r, model);
+      table.add_row({report::Table::num(window, 0),
+                     std::to_string(rep.servers_booted),
+                     std::to_string(rep.reuses),
+                     report::Table::num(rep.idle_time, 0),
+                     report::Table::num(rep.total_energy, 0)});
+    }
+    std::cout << table.to_string() << "\n";
+  }
+  std::cout << "The warm-window sweep shows the operational lever the "
+               "theory abstracts away: with free reuse (large windows) the "
+               "MinUsageTime ranking dominates; with costly boots and no "
+               "warm pool, bin-churny algorithms pay extra.\n";
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Quickstart: build an instance, run the paper's Hybrid Algorithm through
+// the simulator, compare against First-Fit and the OPT bounds, and render
+// the packing.
+//
+//   $ ./examples/quickstart
+#include <iostream>
+
+#include "algos/any_fit.h"
+#include "algos/hybrid.h"
+#include "analysis/ratio.h"
+#include "core/instance.h"
+#include "core/simulator.h"
+#include "core/validation.h"
+#include "opt/bounds.h"
+#include "report/ascii_chart.h"
+
+int main() {
+  using namespace cdbp;
+
+  // 1. Describe the workload: (arrival, departure, size) per item. Sizes
+  //    are server-capacity fractions; departures are known at arrival
+  //    (the clairvoyant setting).
+  Instance jobs;
+  jobs.add(/*arrival=*/0.0, /*departure=*/8.0, /*size=*/0.30);  // long job
+  jobs.add(0.0, 1.0, 0.60);   // short heavy job
+  jobs.add(1.0, 3.0, 0.50);
+  jobs.add(2.0, 10.0, 0.25);  // another long one
+  jobs.add(2.0, 4.0, 0.45);
+  jobs.add(5.0, 7.0, 0.70);
+  jobs.finalize();
+  std::cout << jobs.summary() << "\n\n";
+
+  // 2. Run the paper's O(sqrt(log mu))-competitive Hybrid Algorithm.
+  algos::Hybrid ha;
+  const RunResult result = Simulator{}.run(jobs, ha);
+  std::cout << "HA cost (MinUsageTime) = " << result.cost
+            << ", bins opened = " << result.bins_opened
+            << ", peak open = " << result.max_open << "\n";
+
+  // 3. Sanity: validate the run against first principles.
+  std::cout << "validation: " << validate_run(jobs, result).to_string()
+            << "\n\n";
+
+  // 4. How good is that? Compare against the OPT bounds and First-Fit.
+  const opt::Bounds bounds = opt::compute_bounds(jobs);
+  std::cout << bounds.to_string() << "\n";
+  algos::FirstFit ff;
+  const auto m_ha = analysis::measure_ratio(jobs, ha);
+  const auto m_ff = analysis::measure_ratio(jobs, ff);
+  std::cout << "HA:        cost " << m_ha.cost << "  ratio vs LB(OPT) "
+            << m_ha.ratio_vs_lower() << "\n"
+            << "FirstFit:  cost " << m_ff.cost << "  ratio vs LB(OPT) "
+            << m_ff.ratio_vs_lower() << "\n\n";
+
+  // 5. Look at the packing (groups: 1 = GN pool, 2 = CD bins).
+  std::cout << "HA packing ('#' marks stacked items):\n"
+            << report::packing_gantt(jobs, result, 6.0);
+  return 0;
+}

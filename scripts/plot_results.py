@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Plot ratio-vs-mu sweeps emitted by the experiment binaries' --csv flag.
+
+Usage:
+    build/bench/bench_table1_general --csv /tmp/e1.csv
+    python3 scripts/plot_results.py /tmp/e1.csv -o e1.png
+
+The CSV schema is the one written by bench_common.h:
+    experiment,algorithm,mu,ratio_lb_mean,ratio_lb_max,ratio_ub_mean,cost_mean
+
+Requires matplotlib (only this script does; the C++ library has no Python
+dependency and prints the same data as ASCII charts).
+"""
+from __future__ import annotations
+
+import argparse
+import csv
+import math
+import sys
+from collections import defaultdict
+
+
+def load(path: str):
+    """-> {experiment: {algorithm: [(mu, ratio_lb_mean), ...]}}"""
+    data: dict = defaultdict(lambda: defaultdict(list))
+    with open(path, newline="") as fh:
+        for row in csv.DictReader(fh):
+            data[row["experiment"]][row["algorithm"]].append(
+                (float(row["mu"]), float(row["ratio_lb_mean"]))
+            )
+    for experiment in data.values():
+        for series in experiment.values():
+            series.sort()
+    return data
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("csv_path")
+    parser.add_argument("-o", "--output", default="ratios.png")
+    parser.add_argument(
+        "--reference",
+        choices=["sqrtlog", "loglog", "log", "none"],
+        default="sqrtlog",
+        help="overlay a scaled reference growth curve",
+    )
+    args = parser.parse_args()
+
+    try:
+        import matplotlib
+
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib not available; install it or use the ASCII charts",
+              file=sys.stderr)
+        return 1
+
+    data = load(args.csv_path)
+    if not data:
+        print("no rows in", args.csv_path, file=sys.stderr)
+        return 1
+
+    fig, axes = plt.subplots(
+        1, len(data), figsize=(6 * len(data), 4.5), squeeze=False
+    )
+    for ax, (experiment, by_algo) in zip(axes[0], sorted(data.items())):
+        for algorithm, series in sorted(by_algo.items()):
+            mus = [mu for mu, _ in series]
+            ratios = [r for _, r in series]
+            ax.plot(mus, ratios, marker="o", label=algorithm)
+        if args.reference != "none" and series:
+            mus = sorted({mu for s in by_algo.values() for mu, _ in s})
+            ref = {
+                "sqrtlog": lambda m: math.sqrt(max(1.0, math.log2(m))),
+                "loglog": lambda m: math.log2(max(2.0, math.log2(max(2.0, m)))),
+                "log": lambda m: math.log2(max(2.0, m)),
+            }[args.reference]
+            scale = max(r for s in by_algo.values() for _, r in s) / ref(mus[-1])
+            ax.plot(
+                mus,
+                [scale * ref(m) for m in mus],
+                linestyle="--",
+                color="gray",
+                label=f"~{args.reference}(mu)",
+            )
+        ax.set_xscale("log", base=2)
+        ax.set_xlabel("mu")
+        ax.set_ylabel("ratio vs LB(OPT)")
+        ax.set_title(experiment)
+        ax.legend(fontsize=8)
+        ax.grid(True, alpha=0.3)
+    fig.tight_layout()
+    fig.savefig(args.output, dpi=150)
+    print("wrote", args.output)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,38 @@
+// The Theorem-4.3 adaptive adversary: for each t_i = i (i = 0..mu-1) it
+// releases a prefix of sigma*_{t_i} — shortest to longest — and stops the
+// burst as soon as the online algorithm holds ceil(sqrt(log mu)) open bins.
+// Any deterministic online algorithm is forced to that many bins because
+// the full ladder carries total load ~ sqrt(log mu).
+//
+// The run reports ON's cost on the constructed sigma together with
+// certified OPT upper bounds, so  ON / UB(OPT)  is a sound empirical lower
+// bound on the algorithm's competitive ratio.
+#pragma once
+
+#include <cstddef>
+
+#include "core/algorithm.h"
+#include "core/instance.h"
+
+namespace cdbp::adversary {
+
+struct AdversaryOutcome {
+  Instance instance;          ///< what the adversary released
+  Cost online_cost = 0.0;     ///< ON(sigma)
+  std::size_t items = 0;      ///< items released
+  std::size_t bursts = 0;     ///< time steps with at least one release
+  std::size_t target_bins = 0;  ///< ceil(sqrt(n)) bin goal per burst
+  std::size_t bursts_reaching_target = 0;
+};
+
+struct AdversaryConfig {
+  int n = 8;          ///< mu = 2^n
+  int rounds = -1;    ///< bursts at t = 0..rounds-1; -1 => mu rounds
+                      ///< (the paper's full construction; cap it for big n)
+};
+
+/// Runs the adversary against `algo` (reset() is called first).
+[[nodiscard]] AdversaryOutcome run_lower_bound_adversary(
+    const AdversaryConfig& config, Algorithm& algo);
+
+}  // namespace cdbp::adversary

@@ -1,0 +1,20 @@
+#include "adversary/sigma_star.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cdbp::adversary {
+
+std::vector<Release> sigma_star_ladder(int n) {
+  if (n < 1 || n > 30)
+    throw std::invalid_argument("sigma_star_ladder: n out of range");
+  const Load load =
+      std::min(1.0, 1.0 / std::sqrt(static_cast<double>(n)));
+  std::vector<Release> out;
+  out.reserve(static_cast<std::size_t>(n) + 1);
+  for (int i = 0; i <= n; ++i) out.push_back(Release{pow2(i), load});
+  return out;
+}
+
+}  // namespace cdbp::adversary

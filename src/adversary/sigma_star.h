@@ -1,0 +1,23 @@
+// sigma*_t (Definition 4.1): at time t, one item of each length in
+// {1, 2, 4, ..., 2^{log mu}}, released sequentially shortest-to-longest,
+// every item of load 1/sqrt(log mu). The building block of the
+// Omega(sqrt(log mu)) lower-bound adversary (Theorem 4.3).
+#pragma once
+
+#include <vector>
+
+#include "core/item.h"
+
+namespace cdbp::adversary {
+
+/// A pending release: length and load (arrival filled in by the adversary).
+struct Release {
+  Time length;
+  Load load;
+};
+
+/// The full ladder of sigma*_t for mu = 2^n: lengths 2^0 .. 2^n, loads
+/// 1/sqrt(n). (n >= 1; for n == 1 the load is 1.)
+[[nodiscard]] std::vector<Release> sigma_star_ladder(int n);
+
+}  // namespace cdbp::adversary

@@ -1,0 +1,64 @@
+#include "algos/any_fit.h"
+
+#include <stdexcept>
+
+namespace cdbp::algos {
+
+std::string to_string(FitRule rule) {
+  switch (rule) {
+    case FitRule::kFirst:
+      return "First";
+    case FitRule::kBest:
+      return "Best";
+    case FitRule::kWorst:
+      return "Worst";
+    case FitRule::kNext:
+      return "Next";
+  }
+  throw std::invalid_argument("unknown FitRule");
+}
+
+BinId pick_bin(const Ledger& ledger, const std::vector<BinId>& candidates,
+               Load size, FitRule rule) {
+  BinId chosen = kNoBin;
+  switch (rule) {
+    case FitRule::kFirst:
+      for (BinId b : candidates)
+        if (ledger.fits(b, size)) return b;
+      return kNoBin;
+    case FitRule::kNext:
+      if (!candidates.empty() && ledger.fits(candidates.back(), size))
+        return candidates.back();
+      return kNoBin;
+    case FitRule::kBest: {
+      Load best_load = -1.0;
+      for (BinId b : candidates)
+        if (ledger.fits(b, size) && ledger.load(b) > best_load) {
+          best_load = ledger.load(b);
+          chosen = b;
+        }
+      return chosen;
+    }
+    case FitRule::kWorst: {
+      Load best_load = 2.0;
+      for (BinId b : candidates)
+        if (ledger.fits(b, size) && ledger.load(b) < best_load) {
+          best_load = ledger.load(b);
+          chosen = b;
+        }
+      return chosen;
+    }
+  }
+  throw std::invalid_argument("unknown FitRule");
+}
+
+BinId AnyFit::on_arrival(const Item& item, Ledger& ledger) {
+  const std::vector<BinId> open(ledger.open_bins().begin(),
+                                ledger.open_bins().end());
+  BinId bin = pick_bin(ledger, open, item.size, rule_);
+  if (bin == kNoBin) bin = ledger.open_bin(item.arrival);
+  ledger.place(item.id, item.size, bin, item.arrival);
+  return bin;
+}
+
+}  // namespace cdbp::algos

@@ -1,0 +1,67 @@
+// The Any-Fit family of online packing heuristics: First-Fit, Best-Fit,
+// Next-Fit, Worst-Fit. These ignore departure times entirely, so they are
+// valid non-clairvoyant algorithms; First-Fit is the (mu + 4)-competitive
+// non-clairvoyant baseline of Table 1 (Tang et al. [13]).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/algorithm.h"
+
+namespace cdbp::algos {
+
+enum class FitRule {
+  kFirst,  ///< earliest-opened bin that fits
+  kBest,   ///< fitting bin with the highest load (ties: earliest)
+  kWorst,  ///< fitting bin with the lowest load (ties: earliest)
+  kNext,   ///< most recently opened bin only; otherwise open a new bin
+};
+
+[[nodiscard]] std::string to_string(FitRule rule);
+
+/// Generic Any-Fit algorithm over a single pool of bins.
+class AnyFit : public Algorithm {
+ public:
+  explicit AnyFit(FitRule rule) : rule_(rule) {}
+
+  [[nodiscard]] std::string name() const override {
+    return to_string(rule_) + "Fit";
+  }
+
+  BinId on_arrival(const Item& item, Ledger& ledger) override;
+
+  [[nodiscard]] FitRule rule() const noexcept { return rule_; }
+
+ private:
+  FitRule rule_;
+};
+
+/// Picks a bin from `candidates` (opening order) according to `rule`, or
+/// kNoBin when none fits. Shared by every classify-style algorithm.
+[[nodiscard]] BinId pick_bin(const Ledger& ledger,
+                             const std::vector<BinId>& candidates, Load size,
+                             FitRule rule);
+
+/// Convenience concrete types.
+class FirstFit final : public AnyFit {
+ public:
+  FirstFit() : AnyFit(FitRule::kFirst) {}
+};
+
+class BestFit final : public AnyFit {
+ public:
+  BestFit() : AnyFit(FitRule::kBest) {}
+};
+
+class NextFit final : public AnyFit {
+ public:
+  NextFit() : AnyFit(FitRule::kNext) {}
+};
+
+class WorstFit final : public AnyFit {
+ public:
+  WorstFit() : AnyFit(FitRule::kWorst) {}
+};
+
+}  // namespace cdbp::algos

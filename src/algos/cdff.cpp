@@ -1,0 +1,114 @@
+#include "algos/cdff.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "core/instance.h"  // aligned_bucket
+
+namespace cdbp::algos {
+
+namespace {
+
+const std::vector<BinId> kEmptyRow;
+
+std::int64_t to_integer_time(Time t, const char* what) {
+  if (t < 0.0 || t != std::floor(t))
+    throw std::invalid_argument(std::string("CDFF: ") + what +
+                                " is not a non-negative integer — input is "
+                                "not aligned");
+  return static_cast<std::int64_t>(t);
+}
+
+}  // namespace
+
+Cdff::Cdff(FitRule rule) : rule_(rule) {}
+
+int Cdff::m_of(Time t) const {
+  if (t == seg_start_) return seg_n_;
+  const std::int64_t rel =
+      to_integer_time(t, "arrival") - to_integer_time(seg_start_, "segment");
+  return trailing_zeros(static_cast<std::uint64_t>(rel));
+}
+
+BinId Cdff::on_arrival(const Item& item, Ledger& ledger) {
+  const std::int64_t t = to_integer_time(item.arrival, "arrival");
+  const int bucket = aligned_bucket(item.length());
+  if (!is_multiple_of_pow2(item.arrival, bucket))
+    throw std::invalid_argument(
+        "CDFF: arrival not a multiple of 2^bucket — input is not aligned");
+
+  // --- Segmentation -------------------------------------------------------
+  if (!in_segment_ ||
+      item.arrival >= seg_start_ + pow2(seg_n_)) {  // new segment
+    if (in_segment_ && !rows_.empty())
+      throw std::logic_error(
+          "CDFF: previous segment still has open bins at a new segment "
+          "boundary — input violates Definition 2.1");
+    in_segment_ = true;
+    seg_start_ = item.arrival;
+    seg_n_ = bucket;
+    ++segments_;
+  } else if (item.arrival == seg_start_) {
+    // Still inside the opening instant: the horizon may grow.
+    seg_n_ = std::max(seg_n_, bucket);
+  }
+  (void)t;
+
+  const int m = m_of(item.arrival);
+  if (bucket > m)
+    throw std::invalid_argument(
+        "CDFF: bucket exceeds m_t — input is not aligned within segment");
+
+  // Row key (see header): delta = i + (n - m_t); equals i at segment start.
+  const int delta = bucket + (seg_n_ - m);
+
+  std::vector<BinId>& row = rows_[delta];
+  BinId bin = pick_bin(ledger, row, item.size, rule_);
+  if (bin == kNoBin) {
+    bin = ledger.open_bin(item.arrival, /*group=*/delta);
+    row.push_back(bin);
+    bin_row_.emplace(bin, delta);
+  }
+  ledger.place(item.id, item.size, bin, item.arrival);
+  return bin;
+}
+
+void Cdff::on_departure(const Item& item, BinId bin, bool bin_closed,
+                        Ledger& ledger) {
+  (void)item;
+  (void)ledger;
+  if (!bin_closed) return;
+  const auto it = bin_row_.find(bin);
+  if (it == bin_row_.end()) return;
+  std::vector<BinId>& row = rows_[it->second];
+  row.erase(std::remove(row.begin(), row.end(), bin), row.end());
+  if (row.empty()) rows_.erase(it->second);
+  bin_row_.erase(it);
+}
+
+void Cdff::reset() {
+  in_segment_ = false;
+  seg_start_ = 0.0;
+  seg_n_ = -1;
+  segments_ = 0;
+  rows_.clear();
+  bin_row_.clear();
+}
+
+int Cdff::row_of(BinId bin) const {
+  const auto it = bin_row_.find(bin);
+  return it == bin_row_.end() ? -1 : it->second;
+}
+
+int Cdff::paper_row_of(BinId bin) const {
+  const int delta = row_of(bin);
+  return delta < 0 ? -1 : seg_n_ - delta;
+}
+
+const std::vector<BinId>& Cdff::row_bins(int delta) const {
+  const auto it = rows_.find(delta);
+  return it == rows_.end() ? kEmptyRow : it->second;
+}
+
+}  // namespace cdbp::algos

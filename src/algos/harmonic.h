@@ -1,0 +1,46 @@
+// Harmonic-style SIZE classification — the classical online bin packing
+// strategy (Lee & Lee's Harmonic_k), adapted to the dynamic setting: items
+// with size in (1/(k+1), 1/k] share bins k to a bin, First-Fit within the
+// class; sizes below 1/K pool into a catch-all class.
+//
+// Included as a conceptual foil: the paper classifies by *duration*
+// because MinUsageTime is a time objective — classifying by *size*
+// (optimal thinking for the classical bin-count objective) has no defense
+// against duration mixing, and the benches show it inheriting First-Fit's
+// failure modes. It is also a reasonable practical baseline on dense
+// workloads.
+#pragma once
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "algos/any_fit.h"
+#include "core/algorithm.h"
+
+namespace cdbp::algos {
+
+class HarmonicFit : public Algorithm {
+ public:
+  /// `classes` = K >= 1: size classes (1/2,1], (1/3,1/2], ..., plus the
+  /// catch-all (0, 1/K].
+  explicit HarmonicFit(int classes = 8);
+
+  [[nodiscard]] std::string name() const override;
+
+  BinId on_arrival(const Item& item, Ledger& ledger) override;
+  void on_departure(const Item& item, BinId bin, bool bin_closed,
+                    Ledger& ledger) override;
+  void reset() override;
+
+  /// Size class of a load: k for size in (1/(k+1), 1/k] with k < K, else K
+  /// (catch-all).
+  [[nodiscard]] int class_of(Load size) const;
+
+ private:
+  int classes_;
+  std::unordered_map<int, std::vector<BinId>> class_bins_;
+  std::unordered_map<BinId, int> bin_class_;
+};
+
+}  // namespace cdbp::algos

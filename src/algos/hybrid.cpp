@@ -1,0 +1,89 @@
+#include "algos/hybrid.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cdbp::algos {
+
+Hybrid::Hybrid(Threshold threshold, std::string label, FitRule rule)
+    : threshold_(std::move(threshold)),
+      label_(std::move(label)),
+      rule_(rule) {
+  if (!threshold_) throw std::invalid_argument("Hybrid: null threshold");
+}
+
+double Hybrid::active_load(const DurationType& t) const {
+  const auto it = active_load_.find(t);
+  return it == active_load_.end() ? 0.0 : it->second;
+}
+
+BinId Hybrid::on_arrival(const Item& item, Ledger& ledger) {
+  const DurationType type = duration_type(item);
+  double& d = active_load_[type];
+  d += item.size;
+
+  // Step 1: an open CD bin for this type captures the item.
+  if (auto it = cd_bins_.find(type);
+      it != cd_bins_.end() && !it->second.empty()) {
+    BinId bin = pick_bin(ledger, it->second, item.size, rule_);
+    if (bin == kNoBin) {
+      bin = ledger.open_bin(item.arrival, kHybridGroupCD);
+      it->second.push_back(bin);
+      cd_bin_type_.emplace(bin, type);
+      ++cd_open_total_;
+    }
+    ledger.place(item.id, item.size, bin, item.arrival);
+    return bin;
+  }
+
+  // Step 2: heavy type -> dedicate a CD bin to it.
+  if (definitely_greater(d, threshold_(type.i))) {
+    const BinId bin = ledger.open_bin(item.arrival, kHybridGroupCD);
+    cd_bins_[type].push_back(bin);
+    cd_bin_type_.emplace(bin, type);
+    ++cd_open_total_;
+    ledger.place(item.id, item.size, bin, item.arrival);
+    return bin;
+  }
+
+  // Step 3: light type -> shared GN pool.
+  BinId bin = pick_bin(ledger, gn_bins_, item.size, rule_);
+  if (bin == kNoBin) {
+    bin = ledger.open_bin(item.arrival, kHybridGroupGN);
+    gn_bins_.push_back(bin);
+  }
+  ledger.place(item.id, item.size, bin, item.arrival);
+  return bin;
+}
+
+void Hybrid::on_departure(const Item& item, BinId bin, bool bin_closed,
+                          Ledger& ledger) {
+  (void)ledger;
+  const DurationType type = duration_type(item);
+  if (auto it = active_load_.find(type); it != active_load_.end()) {
+    it->second -= item.size;
+    if (it->second <= kLoadEps) active_load_.erase(it);
+  }
+  if (!bin_closed) return;
+
+  if (auto it = cd_bin_type_.find(bin); it != cd_bin_type_.end()) {
+    std::vector<BinId>& bins = cd_bins_[it->second];
+    bins.erase(std::remove(bins.begin(), bins.end(), bin), bins.end());
+    if (bins.empty()) cd_bins_.erase(it->second);
+    cd_bin_type_.erase(it);
+    --cd_open_total_;
+  } else {
+    gn_bins_.erase(std::remove(gn_bins_.begin(), gn_bins_.end(), bin),
+                   gn_bins_.end());
+  }
+}
+
+void Hybrid::reset() {
+  active_load_.clear();
+  cd_bins_.clear();
+  cd_bin_type_.clear();
+  gn_bins_.clear();
+  cd_open_total_ = 0;
+}
+
+}  // namespace cdbp::algos

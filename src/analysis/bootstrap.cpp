@@ -1,0 +1,48 @@
+#include "analysis/bootstrap.h"
+
+#include <algorithm>
+#include <random>
+#include <stdexcept>
+
+namespace cdbp::analysis {
+
+ConfidenceInterval bootstrap_mean_ci(const std::vector<double>& values,
+                                     double level, int resamples,
+                                     std::uint64_t seed) {
+  if (values.empty())
+    throw std::invalid_argument("bootstrap_mean_ci: empty sample");
+  if (!(level > 0.0) || !(level < 1.0))
+    throw std::invalid_argument("bootstrap_mean_ci: level outside (0, 1)");
+  if (resamples < 2)
+    throw std::invalid_argument("bootstrap_mean_ci: resamples < 2");
+
+  const auto n = values.size();
+  double sum = 0.0;
+  for (double v : values) sum += v;
+
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<std::size_t> pick(0, n - 1);
+  std::vector<double> means;
+  means.reserve(static_cast<std::size_t>(resamples));
+  for (int r = 0; r < resamples; ++r) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < n; ++k) acc += values[pick(rng)];
+    means.push_back(acc / static_cast<double>(n));
+  }
+  std::sort(means.begin(), means.end());
+
+  const double alpha = (1.0 - level) / 2.0;
+  const auto idx = [&](double q) {
+    const auto i = static_cast<std::size_t>(
+        q * static_cast<double>(means.size() - 1));
+    return means[std::min(i, means.size() - 1)];
+  };
+  ConfidenceInterval ci;
+  ci.point = sum / static_cast<double>(n);
+  ci.lo = idx(alpha);
+  ci.hi = idx(1.0 - alpha);
+  ci.level = level;
+  return ci;
+}
+
+}  // namespace cdbp::analysis

@@ -1,0 +1,26 @@
+// Bootstrap confidence intervals for the sweep statistics the benches
+// report. Ratio estimates over a handful of seeds are noisy; a percentile
+// bootstrap makes the uncertainty visible without distributional
+// assumptions.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace cdbp::analysis {
+
+struct ConfidenceInterval {
+  double point = 0.0;  ///< the sample mean
+  double lo = 0.0;     ///< lower percentile bound
+  double hi = 0.0;     ///< upper percentile bound
+  double level = 0.95;
+};
+
+/// Percentile-bootstrap CI of the mean. `resamples` draws with
+/// replacement; deterministic for a fixed seed. Throws on empty input or
+/// level outside (0, 1).
+[[nodiscard]] ConfidenceInterval bootstrap_mean_ci(
+    const std::vector<double>& values, double level = 0.95,
+    int resamples = 2000, std::uint64_t seed = 1);
+
+}  // namespace cdbp::analysis

@@ -1,0 +1,56 @@
+#include "analysis/instance_stats.h"
+
+#include <sstream>
+#include <vector>
+
+namespace cdbp::analysis {
+
+InstanceStats compute_instance_stats(const Instance& instance) {
+  InstanceStats s;
+  s.items = instance.size();
+  if (instance.empty()) return s;
+  s.mu = instance.mu();
+  s.span = instance.span();
+  s.demand = instance.total_demand();
+  s.horizon = instance.horizon_end() - instance.horizon_start();
+  s.max_concurrency = instance.max_concurrency();
+  s.peak_load = instance.load_profile().max_value();
+  s.mean_load = s.span > 0.0 ? s.demand / s.span : 0.0;
+  s.aligned = instance.is_aligned();
+  s.contiguous = instance.is_contiguous();
+
+  std::vector<double> sizes, lengths;
+  sizes.reserve(instance.size());
+  lengths.reserve(instance.size());
+  for (const Item& r : instance.items()) {
+    sizes.push_back(r.size);
+    lengths.push_back(r.length());
+    s.duration_class_histogram[aligned_bucket(r.length())] += 1;
+  }
+  s.sizes = summarize(std::move(sizes));
+  s.lengths = summarize(std::move(lengths));
+  return s;
+}
+
+std::string to_string(const InstanceStats& s) {
+  std::ostringstream os;
+  os << "items:            " << s.items << "\n"
+     << "mu:               " << s.mu << "\n"
+     << "span / horizon:   " << s.span << " / " << s.horizon << "\n"
+     << "demand d(sigma):  " << s.demand << "\n"
+     << "peak / mean load: " << s.peak_load << " / " << s.mean_load << "\n"
+     << "max concurrency:  " << s.max_concurrency << "\n"
+     << "aligned:          " << (s.aligned ? "yes" : "no") << "\n"
+     << "contiguous:       " << (s.contiguous ? "yes" : "no") << "\n"
+     << "sizes:            mean " << s.sizes.mean << ", median "
+     << s.sizes.median << ", max " << s.sizes.max << "\n"
+     << "lengths:          mean " << s.lengths.mean << ", median "
+     << s.lengths.median << ", max " << s.lengths.max << "\n"
+     << "duration classes (2^{i-1}, 2^i]:\n";
+  for (const auto& [cls, count] : s.duration_class_histogram)
+    os << "  class " << cls << " (len <= " << pow2(cls) << "): " << count
+       << "\n";
+  return os.str();
+}
+
+}  // namespace cdbp::analysis

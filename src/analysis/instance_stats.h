@@ -1,0 +1,36 @@
+// Per-instance feature extraction: what does a workload look like before
+// any algorithm touches it? Drives the `cdbp stats` CLI command and the
+// workload sections of the example applications.
+#pragma once
+
+#include <map>
+#include <string>
+
+#include "analysis/stats.h"
+#include "core/instance.h"
+
+namespace cdbp::analysis {
+
+struct InstanceStats {
+  std::size_t items = 0;
+  double mu = 1.0;
+  double span = 0.0;
+  double demand = 0.0;
+  double horizon = 0.0;
+  std::size_t max_concurrency = 0;
+  double peak_load = 0.0;       ///< max S_t
+  double mean_load = 0.0;       ///< d / span (average load while busy)
+  bool aligned = false;
+  bool contiguous = false;
+  Summary sizes;                ///< distribution of item sizes
+  Summary lengths;              ///< distribution of interval lengths
+  /// item count per duration class (aligned_bucket of the length).
+  std::map<int, std::size_t> duration_class_histogram;
+};
+
+[[nodiscard]] InstanceStats compute_instance_stats(const Instance& instance);
+
+/// Multi-line human-readable rendering (used by `cdbp stats`).
+[[nodiscard]] std::string to_string(const InstanceStats& stats);
+
+}  // namespace cdbp::analysis

@@ -1,0 +1,49 @@
+#include "analysis/ratio.h"
+
+#include <algorithm>
+
+#include "core/simulator.h"
+#include "opt/bounds.h"
+#include "opt/exact_repacking.h"
+#include "opt/repack.h"
+
+namespace cdbp::analysis {
+
+RatioMeasurement measure_ratio_with_cost(const Instance& instance,
+                                         const std::string& algorithm,
+                                         Cost cost, bool tight_upper) {
+  RatioMeasurement m;
+  m.algorithm = algorithm;
+  m.cost = cost;
+  m.mu = instance.mu();
+  const opt::Bounds b = opt::compute_bounds(instance);
+  m.opt_lower = b.lower();
+  m.opt_upper = std::min(b.upper_ceil(), b.upper_linear());
+  if (tight_upper)
+    m.opt_upper = std::min(m.opt_upper, opt::repack_witness(instance).cost);
+  // OPT is sandwiched: guard against tolerance inversions.
+  m.opt_upper = std::max(m.opt_upper, m.opt_lower);
+  return m;
+}
+
+std::optional<RatioMeasurement> measure_ratio_exact(const Instance& instance,
+                                                    const std::string& algorithm,
+                                                    Cost cost) {
+  const auto exact = opt::exact_opt_repacking(instance);
+  if (!exact) return std::nullopt;
+  RatioMeasurement m;
+  m.algorithm = algorithm;
+  m.cost = cost;
+  m.mu = instance.mu();
+  m.opt_lower = exact->cost;
+  m.opt_upper = exact->cost;
+  return m;
+}
+
+RatioMeasurement measure_ratio(const Instance& instance, Algorithm& algo,
+                               bool tight_upper) {
+  const Cost cost = run_cost(instance, algo);
+  return measure_ratio_with_cost(instance, algo.name(), cost, tight_upper);
+}
+
+}  // namespace cdbp::analysis

@@ -1,0 +1,52 @@
+// Competitive-ratio measurement: run an algorithm on an instance and report
+// its cost against the certified OPT bounds.
+//
+//   ratio_vs_lower = cost / LB(OPT)   — an *upper* estimate of the true
+//                                       ratio (OPT may be larger than LB);
+//   ratio_vs_upper = cost / UB(OPT)   — a *lower* (certified) estimate.
+// The truth lies in [ratio_vs_upper, ratio_vs_lower].
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "core/algorithm.h"
+#include "core/instance.h"
+
+namespace cdbp::analysis {
+
+struct RatioMeasurement {
+  std::string algorithm;
+  double cost = 0.0;
+  double opt_lower = 0.0;
+  double opt_upper = 0.0;
+  double mu = 1.0;
+
+  [[nodiscard]] double ratio_vs_lower() const {
+    return opt_lower > 0.0 ? cost / opt_lower : 1.0;
+  }
+  [[nodiscard]] double ratio_vs_upper() const {
+    return opt_upper > 0.0 ? cost / opt_upper : 1.0;
+  }
+};
+
+/// Runs `algo` on `instance` and computes both OPT bounds.
+/// `tight_upper` additionally runs the (slower) repacking witness to
+/// tighten the upper bound; otherwise uses min(2*ceil-int, 2d+2span).
+[[nodiscard]] RatioMeasurement measure_ratio(const Instance& instance,
+                                             Algorithm& algo,
+                                             bool tight_upper = true);
+
+/// Same, with a precomputed cost (e.g. from an adversary session).
+[[nodiscard]] RatioMeasurement measure_ratio_with_cost(
+    const Instance& instance, const std::string& algorithm, Cost cost,
+    bool tight_upper = true);
+
+/// Pins the OPT interval to the *exact* repacking optimum when the
+/// instance's snapshots are small enough (opt/exact_repacking.h), so
+/// ratio_vs_lower() == ratio_vs_upper() == the true ratio vs OPT_R.
+/// Returns nullopt when the exact computation is infeasible.
+[[nodiscard]] std::optional<RatioMeasurement> measure_ratio_exact(
+    const Instance& instance, const std::string& algorithm, Cost cost);
+
+}  // namespace cdbp::analysis

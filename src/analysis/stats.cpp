@@ -1,0 +1,108 @@
+#include "analysis/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cdbp::analysis {
+
+Summary summarize(std::vector<double> values) {
+  Summary s;
+  s.count = values.size();
+  if (values.empty()) return s;
+  std::sort(values.begin(), values.end());
+  s.min = values.front();
+  s.max = values.back();
+  const std::size_t mid = values.size() / 2;
+  s.median = values.size() % 2 == 1
+                 ? values[mid]
+                 : 0.5 * (values[mid - 1] + values[mid]);
+  double acc = 0.0;
+  for (double v : values) acc += v;
+  s.mean = acc / static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - s.mean) * (v - s.mean);
+  s.stddev = values.size() > 1
+                 ? std::sqrt(var / static_cast<double>(values.size() - 1))
+                 : 0.0;
+  return s;
+}
+
+std::string to_string(GrowthLaw law) {
+  switch (law) {
+    case GrowthLaw::kConstant:
+      return "1";
+    case GrowthLaw::kLogLogMu:
+      return "loglog(mu)";
+    case GrowthLaw::kSqrtLogMu:
+      return "sqrt(log mu)";
+    case GrowthLaw::kLogMu:
+      return "log(mu)";
+    case GrowthLaw::kMu:
+      return "mu";
+  }
+  throw std::invalid_argument("unknown GrowthLaw");
+}
+
+double eval_growth(GrowthLaw law, double mu) {
+  const double lg = std::log2(std::max(2.0, mu));
+  switch (law) {
+    case GrowthLaw::kConstant:
+      return 1.0;
+    case GrowthLaw::kLogLogMu:
+      return std::log2(std::max(2.0, lg));
+    case GrowthLaw::kSqrtLogMu:
+      return std::sqrt(lg);
+    case GrowthLaw::kLogMu:
+      return lg;
+    case GrowthLaw::kMu:
+      return mu;
+  }
+  throw std::invalid_argument("unknown GrowthLaw");
+}
+
+Fit fit_growth(GrowthLaw law, const std::vector<Point>& pts) {
+  Fit fit;
+  fit.law = law;
+  const auto n = static_cast<double>(pts.size());
+  if (pts.size() < 2) return fit;
+  double sg = 0.0, sy = 0.0, sgg = 0.0, sgy = 0.0;
+  for (const Point& p : pts) {
+    const double g = eval_growth(law, p.x);
+    sg += g;
+    sy += p.y;
+    sgg += g * g;
+    sgy += g * p.y;
+  }
+  const double denom = n * sgg - sg * sg;
+  if (std::fabs(denom) < 1e-12) {
+    // Degenerate regressor (e.g. constant law): fit intercept only.
+    fit.a = 0.0;
+    fit.b = sy / n;
+  } else {
+    fit.a = (n * sgy - sg * sy) / denom;
+    fit.b = (sy - fit.a * sg) / n;
+  }
+  const double mean_y = sy / n;
+  double ss_res = 0.0, ss_tot = 0.0;
+  for (const Point& p : pts) {
+    const double pred = fit.a * eval_growth(law, p.x) + fit.b;
+    ss_res += (p.y - pred) * (p.y - pred);
+    ss_tot += (p.y - mean_y) * (p.y - mean_y);
+  }
+  fit.r2 = ss_tot < 1e-12 ? 1.0 : 1.0 - ss_res / ss_tot;
+  return fit;
+}
+
+std::vector<Fit> rank_growth_laws(const std::vector<Point>& pts) {
+  std::vector<Fit> fits;
+  for (GrowthLaw law :
+       {GrowthLaw::kConstant, GrowthLaw::kLogLogMu, GrowthLaw::kSqrtLogMu,
+        GrowthLaw::kLogMu, GrowthLaw::kMu})
+    fits.push_back(fit_growth(law, pts));
+  std::sort(fits.begin(), fits.end(),
+            [](const Fit& a, const Fit& b) { return a.r2 > b.r2; });
+  return fits;
+}
+
+}  // namespace cdbp::analysis

@@ -1,0 +1,55 @@
+// Summary statistics and growth-model fitting for the benchmark harness.
+// The fits answer the paper's central empirical question: does a measured
+// ratio curve grow like sqrt(log mu) (Theorem 3.2), log log mu
+// (Theorem 5.1), log mu (naive classify), or mu (non-clairvoyant FF)?
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cdbp::analysis {
+
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double median = 0.0;
+};
+
+[[nodiscard]] Summary summarize(std::vector<double> values);
+
+/// One (x, y) observation; x is mu for growth fits.
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// A candidate growth law y ~ a * g(mu) + b.
+enum class GrowthLaw {
+  kConstant,    ///< g = 1
+  kLogLogMu,    ///< g = log2(log2 mu)
+  kSqrtLogMu,   ///< g = sqrt(log2 mu)
+  kLogMu,       ///< g = log2 mu
+  kMu,          ///< g = mu
+};
+
+[[nodiscard]] std::string to_string(GrowthLaw law);
+[[nodiscard]] double eval_growth(GrowthLaw law, double mu);
+
+/// Least-squares fit of y = a * g(mu) + b; reports a, b and R^2.
+struct Fit {
+  GrowthLaw law{};
+  double a = 0.0;
+  double b = 0.0;
+  double r2 = 0.0;
+};
+
+[[nodiscard]] Fit fit_growth(GrowthLaw law, const std::vector<Point>& pts);
+
+/// Fits every law and returns them sorted by descending R^2.
+[[nodiscard]] std::vector<Fit> rank_growth_laws(const std::vector<Point>& pts);
+
+}  // namespace cdbp::analysis

@@ -1,0 +1,50 @@
+#include "analysis/sweep.h"
+
+#include <algorithm>
+
+namespace cdbp::analysis {
+
+std::vector<SweepPoint> aggregate_sweep(
+    const std::vector<SweepObservation>& observations) {
+  struct Accum {
+    std::string algorithm;
+    double mu;
+    std::vector<double> lows, highs, costs;
+  };
+  std::vector<Accum> accums;
+  for (const SweepObservation& obs : observations) {
+    Accum* acc = nullptr;
+    for (Accum& existing : accums)
+      if (existing.algorithm == obs.measurement.algorithm &&
+          existing.mu == obs.mu)
+        acc = &existing;
+    if (!acc) {
+      accums.push_back(Accum{obs.measurement.algorithm, obs.mu, {}, {}, {}});
+      acc = &accums.back();
+    }
+    acc->lows.push_back(obs.measurement.ratio_vs_lower());
+    acc->highs.push_back(obs.measurement.ratio_vs_upper());
+    acc->costs.push_back(obs.measurement.cost);
+  }
+  std::vector<SweepPoint> points;
+  points.reserve(accums.size());
+  for (Accum& acc : accums)
+    points.push_back(SweepPoint{acc.algorithm, acc.mu,
+                                summarize(std::move(acc.lows)),
+                                summarize(std::move(acc.highs)),
+                                summarize(std::move(acc.costs))});
+  return points;
+}
+
+std::vector<Point> ratio_series(const std::vector<SweepPoint>& points,
+                                const std::string& algorithm) {
+  std::vector<Point> series;
+  for (const SweepPoint& pt : points)
+    if (pt.algorithm == algorithm)
+      series.push_back(Point{pt.mu, pt.ratio_vs_lower.mean});
+  std::sort(series.begin(), series.end(),
+            [](const Point& a, const Point& b) { return a.x < b.x; });
+  return series;
+}
+
+}  // namespace cdbp::analysis

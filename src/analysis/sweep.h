@@ -1,0 +1,39 @@
+// Aggregation of (mu, seed)-sweep measurements into per-(algorithm, mu)
+// summary points — the data model behind every ratio-vs-mu table and chart
+// in bench/. Lives in the library (rather than the bench scaffolding) so
+// it is unit-tested and reusable from examples and external tools.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analysis/ratio.h"
+#include "analysis/stats.h"
+
+namespace cdbp::analysis {
+
+/// One aggregated point of a ratio-vs-mu sweep.
+struct SweepPoint {
+  std::string algorithm;
+  double mu = 0.0;
+  Summary ratio_vs_lower;  ///< over seeds
+  Summary ratio_vs_upper;  ///< over seeds
+  Summary cost;
+};
+
+/// A raw observation: which mu bucket it belongs to plus the measurement.
+struct SweepObservation {
+  double mu = 0.0;  ///< the sweep's nominal mu (not the instance's)
+  RatioMeasurement measurement;
+};
+
+/// Groups observations by (algorithm, mu) — first-seen order — and
+/// summarizes each group.
+[[nodiscard]] std::vector<SweepPoint> aggregate_sweep(
+    const std::vector<SweepObservation>& observations);
+
+/// Extracts one algorithm's (mu, ratio-vs-lower-mean) series, mu-sorted.
+[[nodiscard]] std::vector<Point> ratio_series(
+    const std::vector<SweepPoint>& points, const std::string& algorithm);
+
+}  // namespace cdbp::analysis

@@ -1,0 +1,125 @@
+#include "binstr/binstr.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace cdbp::binstr {
+
+namespace {
+
+int minimal_width(std::uint64_t t) {
+  if (t == 0) return 1;
+  return 64 - std::countl_zero(t);
+}
+
+void check_width(int width) {
+  if (width < 1 || width > 63)
+    throw std::invalid_argument("binstr: width must be in [1, 63]");
+}
+
+}  // namespace
+
+std::string binary(std::uint64_t t, int width) {
+  if (width == 0) width = minimal_width(t);
+  check_width(width);
+  std::string s(static_cast<std::size_t>(width), '0');
+  for (int k = 0; k < width; ++k)
+    if ((t >> k) & 1u) s[static_cast<std::size_t>(width - 1 - k)] = '1';
+  return s;
+}
+
+int max_zero_run(std::uint64_t t, int width) {
+  if (width == 0) width = minimal_width(t);
+  check_width(width);
+  int best = 0, run = 0;
+  for (int k = 0; k < width; ++k) {
+    if ((t >> k) & 1u) {
+      run = 0;
+    } else {
+      ++run;
+      best = std::max(best, run);
+    }
+  }
+  return best;
+}
+
+int lsb_zero_run(std::uint64_t t, int width) {
+  check_width(width);
+  if (t == 0) return width;
+  return std::min(width, std::countr_zero(t));
+}
+
+bool prefixed_bit(std::uint64_t t, int width, int bit) {
+  check_width(width);
+  if (bit < 0 || bit > width)
+    throw std::invalid_argument("binstr: bit out of range");
+  if (bit == width) return true;  // the prepended 1
+  return ((t >> bit) & 1u) != 0;
+}
+
+int zero_run_above(std::uint64_t t, int width, int bit) {
+  check_width(width);
+  if (bit < 0 || bit > width)
+    throw std::invalid_argument("binstr: bit out of range");
+  int run = 0;
+  for (int k = bit + 1; k <= width; ++k) {
+    if (prefixed_bit(t, width, k)) break;
+    ++run;
+  }
+  return run;
+}
+
+std::uint64_t total_max_zero_run(int n) {
+  check_width(n);
+  if (n > 26)
+    throw std::invalid_argument("total_max_zero_run: n too large for exhaustive sum");
+  std::uint64_t acc = 0;
+  const std::uint64_t limit = 1ULL << n;
+  for (std::uint64_t t = 0; t < limit; ++t)
+    acc += static_cast<std::uint64_t>(max_zero_run(t, n));
+  return acc;
+}
+
+double mc_expected_max_zero_run(int n, int samples, std::mt19937_64& rng) {
+  check_width(n);
+  if (samples <= 0) throw std::invalid_argument("samples must be positive");
+  const std::uint64_t mask = (n == 63) ? ((1ULL << 63) - 1) : ((1ULL << n) - 1);
+  double acc = 0.0;
+  for (int s = 0; s < samples; ++s)
+    acc += max_zero_run(rng() & mask, n);
+  return acc / samples;
+}
+
+double exact_expected_max_zero_run(int n) {
+  check_width(n);
+  // P[max_0 <= m] = (#n-bit strings with no zero-run longer than m) / 2^n.
+  // Count via DP over positions tracking current trailing zero-run length.
+  // E[max_0] = sum_{m >= 1} P[max_0 >= m] = sum_{m=0}^{n-1} (1 - P[<= m]).
+  auto prob_at_most = [n](int m) -> double {
+    if (m >= n) return 1.0;
+    // dp[r] = probability mass of strings (prefix) whose current run = r.
+    std::vector<double> dp(static_cast<std::size_t>(m) + 1, 0.0);
+    dp[0] = 1.0;
+    for (int pos = 0; pos < n; ++pos) {
+      std::vector<double> next(dp.size(), 0.0);
+      for (std::size_t r = 0; r < dp.size(); ++r) {
+        if (dp[r] == 0.0) continue;
+        next[0] += dp[r] * 0.5;  // bit = 1 resets the run
+        if (r + 1 <= static_cast<std::size_t>(m))
+          next[r + 1] += dp[r] * 0.5;  // bit = 0 extends; run must stay <= m
+      }
+      dp = std::move(next);
+    }
+    double acc = 0.0;
+    for (double v : dp) acc += v;
+    return acc;
+  };
+  double expectation = 0.0;
+  for (int m = 0; m < n; ++m) expectation += 1.0 - prob_at_most(m);
+  return expectation;
+}
+
+}  // namespace cdbp::binstr

@@ -1,0 +1,54 @@
+// Binary-string utilities behind the paper's Section 5.1 analysis:
+//   binary(t)      — the binary representation of t;
+//   max_0(b)       — longest run of consecutive zeros (Definition 5.7);
+//   lsb_zero_run   — zeros starting at the least-significant bit
+//                    (Observation 3: #arrivals at t in sigma_mu);
+//   zero_run_up(b, k) — zeros extending from bit k towards the MSB
+//                    (Lemma 5.5's bit -> row rule);
+// plus the Monte-Carlo / exhaustive machinery for Lemma 5.9 and
+// Corollary 5.10.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+namespace cdbp::binstr {
+
+/// t's binary representation as a string, MSB first, zero-padded to `width`
+/// bits (width 0 = minimal width; t = 0 gives "0").
+[[nodiscard]] std::string binary(std::uint64_t t, int width = 0);
+
+/// Definition 5.7: length of the longest run of consecutive 0 bits within
+/// the `width` least-significant bits of t. With width = 0, uses t's minimal
+/// width (and max_0(0) = 1 by convention on one bit).
+[[nodiscard]] int max_zero_run(std::uint64_t t, int width);
+
+/// Observation 3 helper: length of the run of zeros starting at the LSB of
+/// t's `width`-bit representation (t = 0 gives width).
+[[nodiscard]] int lsb_zero_run(std::uint64_t t, int width);
+
+/// Lemma 5.5 helper: in b = (1 || binary(t)) of width+1 bits, the number of
+/// consecutive zeros starting *strictly above* bit k and continuing towards
+/// the MSB (0 if bit k+1 is set or k is the MSB). Bit indices count from 0
+/// at the LSB.
+[[nodiscard]] int zero_run_above(std::uint64_t t, int width, int bit);
+
+/// Bit `k` of (1 || binary(t)) with `width`-bit binary(t); bit `width` is
+/// the prepended 1.
+[[nodiscard]] bool prefixed_bit(std::uint64_t t, int width, int bit);
+
+/// Sum over t in [0, 2^n) of max_zero_run(t, n) — the quantity bounded by
+/// Corollary 5.10 (<= 2 * 2^n * log2(n)). Exact, O(2^n * n).
+[[nodiscard]] std::uint64_t total_max_zero_run(int n);
+
+/// Empirical E[max_0(b)] over `samples` uniform n-bit strings.
+[[nodiscard]] double mc_expected_max_zero_run(int n, int samples,
+                                              std::mt19937_64& rng);
+
+/// Exact E[max_0(b)] for uniform n-bit strings, via the run-length DP
+/// P[max_0 <= m] (tribonacci-like recurrence). O(n^2).
+[[nodiscard]] double exact_expected_max_zero_run(int n);
+
+}  // namespace cdbp::binstr

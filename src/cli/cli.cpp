@@ -1,0 +1,411 @@
+#include "cli/cli.h"
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <ostream>
+#include <random>
+#include <stdexcept>
+
+#include "adversary/lower_bound.h"
+#include "algos/any_fit.h"
+#include "algos/cdff.h"
+#include "algos/classify.h"
+#include "algos/duration_aware.h"
+#include "algos/harmonic.h"
+#include "algos/hybrid.h"
+#include "analysis/instance_stats.h"
+#include "analysis/ratio.h"
+#include "cluster/cluster.h"
+#include "core/simulator.h"
+#include "core/transforms.h"
+#include "core/validation.h"
+#include "opt/bounds.h"
+#include "opt/exact.h"
+#include "opt/exact_repacking.h"
+#include "opt/local_search.h"
+#include "opt/offline_ffd.h"
+#include "opt/reduction.h"
+#include "opt/repack.h"
+#include "report/ascii_chart.h"
+#include "report/table.h"
+#include "trace/trace.h"
+#include "workloads/aligned_random.h"
+#include "workloads/binary_input.h"
+#include "workloads/cloud_gaming.h"
+#include "workloads/general_random.h"
+
+namespace cdbp::cli {
+
+namespace {
+
+/// Simple --flag value parser. Flags may appear once; `get` consumes.
+class Flags {
+ public:
+  Flags(std::vector<std::string>::const_iterator begin,
+        std::vector<std::string>::const_iterator end) {
+    for (auto it = begin; it != end; ++it) {
+      if (it->rfind("--", 0) != 0)
+        throw std::invalid_argument("expected --flag, got '" + *it + "'");
+      const std::string key = it->substr(2);
+      if (key == "gantt" || key == "validate") {
+        values_[key] = "true";
+      } else {
+        if (++it == end)
+          throw std::invalid_argument("--" + key + " needs a value");
+        values_[key] = *it;
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) {
+    const auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    std::string v = it->second;
+    values_.erase(it);
+    return v;
+  }
+
+  [[nodiscard]] std::string require(const std::string& key) {
+    auto v = get(key);
+    if (!v) throw std::invalid_argument("missing required --" + key);
+    return *v;
+  }
+
+  void finish() const {
+    if (!values_.empty())
+      throw std::invalid_argument("unknown flag --" + values_.begin()->first);
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+int to_int(const std::string& s, const std::string& what) {
+  try {
+    return std::stoi(s);
+  } catch (const std::exception&) {
+    throw std::invalid_argument("bad integer for " + what + ": " + s);
+  }
+}
+
+void print_usage(std::ostream& out) {
+  out << "usage: cdbp <command> [flags]\n"
+      << "  generate  --kind binary|aligned|general|cloud [--n N]\n"
+      << "            [--seed S] [--items K] [--shape NAME] --out FILE\n"
+      << "  run       --algo ALGO --in FILE [--gantt] [--validate]\n"
+      << "            [--timeline FILE]\n"
+      << "  bounds    --in FILE\n"
+      << "  compare   --in FILE\n"
+      << "  stats     --in FILE\n"
+      << "  reduce    --in FILE --out FILE      (sigma -> sigma', paper §3)\n"
+      << "  exact     --in FILE                 (exact OPT_R / OPT_NR)\n"
+      << "  cluster   --algo ALGO --in FILE [--boot E] [--idle P]\n"
+      << "  merge     --a FILE --b FILE --out FILE [--gap G]\n"
+      << "  adversary --algo ALGO --n N [--rounds R]\n"
+      << "algorithms:";
+  for (const std::string& name : algorithm_names()) out << " " << name;
+  out << "\n";
+}
+
+workloads::GeneralShape parse_shape(const std::string& s) {
+  if (s == "log-uniform") return workloads::GeneralShape::kLogUniform;
+  if (s == "exponential") return workloads::GeneralShape::kExponential;
+  if (s == "geometric-bursts")
+    return workloads::GeneralShape::kGeometricBursts;
+  if (s == "two-phase") return workloads::GeneralShape::kTwoPhase;
+  throw std::invalid_argument("unknown shape '" + s + "'");
+}
+
+int cmd_generate(Flags& flags, std::ostream& out) {
+  const std::string kind = flags.require("kind");
+  const std::string path = flags.require("out");
+  const int n = to_int(flags.get("n").value_or("8"), "--n");
+  const auto seed =
+      static_cast<std::uint64_t>(to_int(flags.get("seed").value_or("1"), "--seed"));
+  const int items = to_int(flags.get("items").value_or("300"), "--items");
+  const std::string shape = flags.get("shape").value_or("log-uniform");
+  flags.finish();
+
+  std::mt19937_64 rng(seed);
+  Instance instance;
+  if (kind == "binary") {
+    instance = workloads::make_binary_input(n);
+  } else if (kind == "aligned") {
+    workloads::AlignedConfig cfg;
+    cfg.n = n;
+    cfg.max_bucket = n;
+    instance = workloads::make_aligned_random(cfg, rng);
+  } else if (kind == "general") {
+    workloads::GeneralConfig cfg;
+    cfg.log2_mu = n;
+    cfg.target_items = items;
+    cfg.shape = parse_shape(shape);
+    instance = workloads::make_general_random(cfg, rng);
+  } else if (kind == "cloud") {
+    workloads::CloudGamingConfig cfg;
+    instance = workloads::make_cloud_gaming(cfg, rng);
+  } else {
+    throw std::invalid_argument("unknown kind '" + kind + "'");
+  }
+  trace::write_instance_csv(instance, path);
+  out << "wrote " << instance.size() << " items to " << path << "  ("
+      << instance.summary() << ")\n";
+  return 0;
+}
+
+int cmd_run(Flags& flags, std::ostream& out) {
+  const std::string algo_name = flags.require("algo");
+  const std::string path = flags.require("in");
+  const bool gantt = flags.get("gantt").has_value();
+  const bool validate = flags.get("validate").has_value();
+  const auto timeline = flags.get("timeline");
+  flags.finish();
+
+  const Instance instance = trace::read_instance_csv(path);
+  const AlgorithmPtr algo = make_algorithm(algo_name, instance.mu());
+  const RunResult result = Simulator{}.run(instance, *algo);
+  const opt::Bounds bounds = opt::compute_bounds(instance);
+
+  out << instance.summary() << "\n"
+      << algo->name() << ": cost=" << result.cost
+      << " bins=" << result.bins_opened << " peak=" << result.max_open
+      << "  ratio vs LB(OPT)=" << report::Table::num(
+             bounds.lower() > 0 ? result.cost / bounds.lower() : 1.0, 3)
+      << "\n";
+  if (validate)
+    out << "validation: " << validate_run(instance, result).to_string()
+        << "\n";
+  if (gantt) out << report::packing_gantt(instance, result, 1.0);
+  if (timeline) {
+    trace::write_timeline_csv(result, *timeline);
+    out << "timeline written to " << *timeline << "\n";
+  }
+  return 0;
+}
+
+int cmd_bounds(Flags& flags, std::ostream& out) {
+  const std::string path = flags.require("in");
+  flags.finish();
+  const Instance instance = trace::read_instance_csv(path);
+  const opt::Bounds b = opt::compute_bounds(instance);
+  const double repack = opt::repack_witness(instance).cost;
+  const auto ls = opt::local_search_opt_nr(instance);
+
+  report::Table table({"bound", "value", "kind"});
+  table.add_row({"demand d(sigma)", report::Table::num(b.demand, 3), "lower"});
+  table.add_row({"span(sigma)", report::Table::num(b.span, 3), "lower"});
+  table.add_row(
+      {"int ceil(S_t)", report::Table::num(b.ceil_integral, 3), "lower"});
+  table.add_row({"repack witness", report::Table::num(repack, 3),
+                 "upper (OPT_R)"});
+  table.add_row({"FFD + local search", report::Table::num(ls.cost, 3),
+                 "upper (OPT_NR)"});
+  table.add_row({"int 2*ceil(S_t)", report::Table::num(b.upper_ceil(), 3),
+                 "upper (OPT_R)"});
+  table.add_row({"2d + 2span", report::Table::num(b.upper_linear(), 3),
+                 "upper (OPT_R)"});
+  out << instance.summary() << "\n" << table.to_string();
+  return 0;
+}
+
+int cmd_compare(Flags& flags, std::ostream& out) {
+  const std::string path = flags.require("in");
+  flags.finish();
+  const Instance instance = trace::read_instance_csv(path);
+  const bool aligned = instance.is_aligned();
+  const opt::Bounds bounds = opt::compute_bounds(instance);
+
+  report::Table table({"algorithm", "cost", "bins", "peak", "ratio vs LB"});
+  for (const std::string& name : algorithm_names()) {
+    if (name == "cdff" && !aligned) continue;
+    const AlgorithmPtr algo = make_algorithm(name, instance.mu());
+    const RunResult r = Simulator{}.run(instance, *algo);
+    table.add_row({algo->name(), report::Table::num(r.cost, 1),
+                   std::to_string(r.bins_opened), std::to_string(r.max_open),
+                   report::Table::num(
+                       bounds.lower() > 0 ? r.cost / bounds.lower() : 1.0,
+                       3)});
+  }
+  out << instance.summary() << (aligned ? "  [aligned]" : "") << "\n"
+      << table.to_string()
+      << "LB(OPT) = " << report::Table::num(bounds.lower(), 1) << "\n";
+  return 0;
+}
+
+int cmd_stats(Flags& flags, std::ostream& out) {
+  const std::string path = flags.require("in");
+  flags.finish();
+  const Instance instance = trace::read_instance_csv(path);
+  out << analysis::to_string(analysis::compute_instance_stats(instance));
+  return 0;
+}
+
+int cmd_reduce(Flags& flags, std::ostream& out) {
+  const std::string in_path = flags.require("in");
+  const std::string out_path = flags.require("out");
+  flags.finish();
+  const Instance instance = trace::read_instance_csv(in_path);
+  const Instance reduced = opt::apply_reduction(instance);
+  trace::write_instance_csv(reduced, out_path);
+  out << "reduced " << instance.summary() << "\n"
+      << "     to " << reduced.summary() << "\n"
+      << "span x" << report::Table::num(reduced.span() / instance.span(), 3)
+      << "  d x"
+      << report::Table::num(reduced.total_demand() / instance.total_demand(),
+                            3)
+      << "  (paper bounds: <= 4 each)\n";
+  return 0;
+}
+
+int cmd_exact(Flags& flags, std::ostream& out) {
+  const std::string path = flags.require("in");
+  flags.finish();
+  const Instance instance = trace::read_instance_csv(path);
+  out << instance.summary() << "\n";
+  const opt::Bounds b = opt::compute_bounds(instance);
+  out << "LB(OPT)  = " << report::Table::num(b.lower(), 3) << "\n";
+  if (const auto opt_r = opt::exact_opt_repacking(instance)) {
+    out << "OPT_R    = " << report::Table::num(opt_r->cost, 3)
+        << "   (exact; " << opt_r->snapshots << " distinct snapshots, max "
+        << opt_r->max_active << " active)\n";
+  } else {
+    out << "OPT_R    : infeasible (snapshots too large; bounds only)\n";
+  }
+  if (const auto opt_nr = opt::exact_opt_nonrepacking(instance)) {
+    out << "OPT_NR   = " << report::Table::num(opt_nr->cost, 3)
+        << "   (exact; " << opt_nr->nodes_explored << " search nodes)\n";
+  } else {
+    out << "OPT_NR   : infeasible (> 13 items); FFD+local-search upper = "
+        << report::Table::num(opt::local_search_opt_nr(instance).cost, 3)
+        << "\n";
+  }
+  return 0;
+}
+
+int cmd_merge(Flags& flags, std::ostream& out) {
+  const std::string a_path = flags.require("a");
+  const std::string b_path = flags.require("b");
+  const std::string out_path = flags.require("out");
+  const double gap = std::stod(flags.get("gap").value_or("-1"));
+  flags.finish();
+  const Instance a = trace::read_instance_csv(a_path);
+  const Instance b = trace::read_instance_csv(b_path);
+  // gap < 0: superimpose; gap >= 0: concatenate with that idle gap.
+  const Instance combined = gap < 0.0 ? merge(a, b) : concat(a, b, gap);
+  trace::write_instance_csv(combined, out_path);
+  out << (gap < 0.0 ? "merged " : "concatenated ") << a.size() << " + "
+      << b.size() << " items -> " << combined.summary() << "\n";
+  return 0;
+}
+
+int cmd_cluster(Flags& flags, std::ostream& out) {
+  const std::string algo_name = flags.require("algo");
+  const std::string path = flags.require("in");
+  const double boot = std::stod(flags.get("boot").value_or("5.0"));
+  const double idle = std::stod(flags.get("idle").value_or("0.4"));
+  flags.finish();
+
+  const Instance instance = trace::read_instance_csv(path);
+  const AlgorithmPtr algo = make_algorithm(algo_name, instance.mu());
+  const RunResult result = Simulator{}.run(instance, *algo);
+  out << instance.summary() << "\n"
+      << algo->name() << ": MinUsageTime = " << result.cost << ", bins = "
+      << result.bins_opened << "\n"
+      << "model: boot=" << boot << ", idle power=" << idle << "x active\n";
+  report::Table table(
+      {"warm window", "boots", "reuses", "idle time", "total energy"});
+  for (double window : {0.0, 4.0, 16.0, 64.0}) {
+    cluster::ClusterModel model;
+    model.boot_energy = boot;
+    model.idle_power = idle;
+    model.warm_window = window;
+    const auto rep = cluster::evaluate_cluster(result, model);
+    table.add_row({report::Table::num(window, 0),
+                   std::to_string(rep.servers_booted),
+                   std::to_string(rep.reuses),
+                   report::Table::num(rep.idle_time, 1),
+                   report::Table::num(rep.total_energy, 1)});
+  }
+  out << table.to_string();
+  return 0;
+}
+
+int cmd_adversary(Flags& flags, std::ostream& out) {
+  const std::string algo_name = flags.require("algo");
+  const int n = to_int(flags.require("n"), "--n");
+  const int rounds = to_int(flags.get("rounds").value_or("-1"), "--rounds");
+  flags.finish();
+
+  const AlgorithmPtr algo = make_algorithm(algo_name, pow2(n));
+  adversary::AdversaryConfig cfg;
+  cfg.n = n;
+  cfg.rounds = rounds;
+  const auto result = adversary::run_lower_bound_adversary(cfg, *algo);
+  const auto m = analysis::measure_ratio_with_cost(
+      result.instance, algo->name(), result.online_cost, true);
+  out << algo->name() << " vs Theorem-4.3 adversary (mu=2^" << n << "):\n"
+      << "  items=" << result.items << " bursts=" << result.bursts
+      << " target-bins=" << result.target_bins << "\n"
+      << "  cost=" << result.online_cost << "  UB(OPT)=" << m.opt_upper
+      << "  certified ratio=" << report::Table::num(m.ratio_vs_upper(), 3)
+      << "\n";
+  return 0;
+}
+
+}  // namespace
+
+AlgorithmPtr make_algorithm(const std::string& name, double mu_hint) {
+  if (name == "ff") return std::make_unique<algos::FirstFit>();
+  if (name == "bf") return std::make_unique<algos::BestFit>();
+  if (name == "nf") return std::make_unique<algos::NextFit>();
+  if (name == "wf") return std::make_unique<algos::WorstFit>();
+  if (name == "cbd") return std::make_unique<algos::ClassifyByDuration>(2.0);
+  if (name == "cbd-ren")
+    return std::make_unique<algos::ClassifyByDuration>(
+        algos::ren_et_al_base(std::max(2.0, mu_hint)));
+  if (name == "ha") return std::make_unique<algos::Hybrid>();
+  if (name == "cdff") return std::make_unique<algos::Cdff>();
+  if (name == "dfit")
+    return std::make_unique<algos::DurationAwareFit>(
+        algos::DurationPolicy::kMinExtension);
+  if (name == "dfit-ne")
+    return std::make_unique<algos::DurationAwareFit>(
+        algos::DurationPolicy::kNoExtensionFirst);
+  if (name == "harmonic") return std::make_unique<algos::HarmonicFit>();
+  throw std::invalid_argument("unknown algorithm '" + name + "'");
+}
+
+std::vector<std::string> algorithm_names() {
+  return {"ff",   "bf",      "nf", "wf",   "cbd",     "cbd-ren",
+          "ha",   "cdff",    "dfit", "dfit-ne", "harmonic"};
+}
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  if (args.empty() || args[0] == "help" || args[0] == "--help") {
+    print_usage(out);
+    return args.empty() ? 2 : 0;
+  }
+  try {
+    Flags flags(args.begin() + 1, args.end());
+    if (args[0] == "generate") return cmd_generate(flags, out);
+    if (args[0] == "run") return cmd_run(flags, out);
+    if (args[0] == "bounds") return cmd_bounds(flags, out);
+    if (args[0] == "compare") return cmd_compare(flags, out);
+    if (args[0] == "stats") return cmd_stats(flags, out);
+    if (args[0] == "reduce") return cmd_reduce(flags, out);
+    if (args[0] == "exact") return cmd_exact(flags, out);
+    if (args[0] == "cluster") return cmd_cluster(flags, out);
+    if (args[0] == "merge") return cmd_merge(flags, out);
+    if (args[0] == "adversary") return cmd_adversary(flags, out);
+    err << "unknown command '" << args[0] << "'\n";
+    print_usage(err);
+    return 2;
+  } catch (const std::exception& e) {
+    err << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
+
+}  // namespace cdbp::cli

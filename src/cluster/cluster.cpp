@@ -1,0 +1,62 @@
+#include "cluster/cluster.h"
+
+#include <algorithm>
+#include <map>
+#include <stdexcept>
+#include <vector>
+
+namespace cdbp::cluster {
+
+ClusterReport evaluate_cluster(const RunResult& result,
+                               const ClusterModel& model) {
+  if (model.warm_window < 0.0 || model.boot_energy < 0.0 ||
+      model.active_power < 0.0 || model.idle_power < 0.0)
+    throw std::invalid_argument("evaluate_cluster: negative model parameter");
+
+  ClusterReport rep;
+  rep.logical_bins = result.bins.size();
+
+  // Bins sorted by open time; a warm pool keyed by the time the server
+  // became free. Reuse policy: most recently freed eligible server.
+  std::vector<const BinRecord*> bins;
+  bins.reserve(result.bins.size());
+  for (const BinRecord& b : result.bins) bins.push_back(&b);
+  std::sort(bins.begin(), bins.end(),
+            [](const BinRecord* a, const BinRecord* b) {
+              if (a->opened != b->opened) return a->opened < b->opened;
+              return a->id < b->id;
+            });
+
+  std::multimap<Time, int> warm;  // freed-at -> (unused payload)
+  for (const BinRecord* bin : bins) {
+    rep.active_time += bin->usage(bin->closed);
+
+    // Expire servers whose warm window passed before this open.
+    for (auto it = warm.begin(); it != warm.end();) {
+      if (it->first + model.warm_window < bin->opened - kTimeEps)
+        it = warm.erase(it);
+      else
+        break;  // multimap is ordered: the rest are still eligible later
+    }
+    // Most recently freed server that is already free at `opened`.
+    auto pick = warm.upper_bound(bin->opened + kTimeEps);
+    if (pick != warm.begin()) {
+      --pick;
+      // pick->first <= opened and within the warm window (else expired).
+      rep.reuses += 1;
+      rep.idle_time += bin->opened - pick->first;
+      warm.erase(pick);
+    } else {
+      rep.servers_booted += 1;
+    }
+    if (bin->closed != kInfTime) warm.emplace(bin->closed, 0);
+  }
+
+  rep.active_energy = rep.active_time * model.active_power;
+  rep.idle_energy = rep.idle_time * model.idle_power;
+  rep.boot_energy = static_cast<double>(rep.servers_booted) * model.boot_energy;
+  rep.total_energy = rep.active_energy + rep.idle_energy + rep.boot_energy;
+  return rep;
+}
+
+}  // namespace cdbp::cluster

@@ -1,0 +1,46 @@
+// Cluster-operations layer: turns a packing run into server-fleet numbers.
+//
+// The paper reads MinUsageTime as "total time servers are on" — an energy
+// proxy. Real fleets add two effects the pure model ignores:
+//   * booting a server costs energy (and implies churn);
+//   * an emptied server can be kept *warm* for a while and handed to the
+//     next bin instead of booting a fresh one, paying idle power instead
+//     of boot energy.
+// evaluate_cluster() post-processes a RunResult under such a model: bins
+// are logical servers; physical servers are formed by greedily chaining a
+// bin's close to the next bin open within the warm window (most-recently-
+// freed first, which minimizes idle time). The packing itself is not
+// changed — this is an operational costing of the algorithm's decisions,
+// which is exactly how a fleet operator would consume these algorithms.
+#pragma once
+
+#include <cstddef>
+
+#include "core/simulator.h"
+
+namespace cdbp::cluster {
+
+struct ClusterModel {
+  double boot_energy = 5.0;   ///< energy per server boot (unit: power x time)
+  double active_power = 1.0;  ///< power while a bin is open on the server
+  double idle_power = 0.4;    ///< power while warm but empty
+  double warm_window = 0.0;   ///< max time a server stays warm after close
+};
+
+struct ClusterReport {
+  std::size_t logical_bins = 0;    ///< bins the algorithm opened
+  std::size_t servers_booted = 0;  ///< physical boots after warm reuse
+  std::size_t reuses = 0;          ///< boots saved by the warm pool
+  double active_time = 0.0;        ///< sum of bin spans (the paper's cost)
+  double idle_time = 0.0;          ///< warm-gap time actually bridged
+  double active_energy = 0.0;
+  double idle_energy = 0.0;
+  double boot_energy = 0.0;
+  double total_energy = 0.0;
+};
+
+/// Requires a RunResult produced with keep_history = true.
+[[nodiscard]] ClusterReport evaluate_cluster(const RunResult& result,
+                                             const ClusterModel& model);
+
+}  // namespace cdbp::cluster

@@ -1,0 +1,114 @@
+#include "core/ledger.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace cdbp {
+
+void Ledger::advance_clock(Time now) {
+  if (now < clock_) throw std::logic_error("Ledger: time moved backwards");
+  clock_ = now;
+}
+
+BinRecord& Ledger::mutable_record(BinId bin) {
+  if (bin < 0 || static_cast<std::size_t>(bin) >= bins_.size())
+    throw std::out_of_range("Ledger: unknown bin id");
+  return bins_[static_cast<std::size_t>(bin)];
+}
+
+const BinRecord& Ledger::record(BinId bin) const {
+  if (bin < 0 || static_cast<std::size_t>(bin) >= bins_.size())
+    throw std::out_of_range("Ledger: unknown bin id");
+  return bins_[static_cast<std::size_t>(bin)];
+}
+
+BinId Ledger::open_bin(Time now, BinGroup group) {
+  advance_clock(now);
+  const BinId id = static_cast<BinId>(bins_.size());
+  BinRecord rec;
+  rec.id = id;
+  rec.group = group;
+  rec.opened = now;
+  bins_.push_back(std::move(rec));
+  open_.insert(id);
+  max_open_ = std::max(max_open_, open_.size());
+  return id;
+}
+
+void Ledger::place(ItemId id, Load size, BinId bin, Time now) {
+  advance_clock(now);
+  BinRecord& rec = mutable_record(bin);
+  if (!rec.is_open()) throw std::logic_error("Ledger: place into closed bin");
+  if (!fits_in_bin(rec.load, size))
+    throw std::logic_error("Ledger: bin capacity exceeded");
+  if (active_.contains(id)) throw std::logic_error("Ledger: item placed twice");
+  rec.load += size;
+  rec.active_items += 1;
+  rec.all_items.push_back(id);
+  active_.emplace(id, ActivePlacement{bin, size});
+}
+
+BinId Ledger::remove(ItemId id, Time now) {
+  advance_clock(now);
+  const auto it = active_.find(id);
+  if (it == active_.end())
+    throw std::logic_error("Ledger: removing item that is not placed");
+  const auto [bin, size] = it->second;
+  active_.erase(it);
+
+  BinRecord& rec = mutable_record(bin);
+  rec.active_items -= 1;
+  rec.load -= size;
+  if (rec.active_items == 0) {
+    rec.load = 0.0;  // clear any floating-point residue
+    rec.closed = now;
+    closed_usage_ += rec.closed - rec.opened;
+    open_.erase(bin);
+  }
+  return bin;
+}
+
+bool Ledger::fits(BinId bin, Load size) const {
+  const BinRecord& rec = record(bin);
+  return rec.is_open() && fits_in_bin(rec.load, size);
+}
+
+Load Ledger::load(BinId bin) const { return record(bin).load; }
+
+BinGroup Ledger::group_of(BinId bin) const { return record(bin).group; }
+
+bool Ledger::is_open(BinId bin) const { return record(bin).is_open(); }
+
+BinId Ledger::bin_of(ItemId id) const {
+  const auto it = active_.find(id);
+  return it == active_.end() ? kNoBin : it->second.bin;
+}
+
+std::vector<BinId> Ledger::open_bins_in_group(BinGroup g) const {
+  std::vector<BinId> out;
+  for (BinId b : open_)
+    if (record(b).group == g) out.push_back(b);
+  return out;
+}
+
+std::size_t Ledger::open_count_in_group(BinGroup g) const {
+  std::size_t n = 0;
+  for (BinId b : open_)
+    if (record(b).group == g) ++n;
+  return n;
+}
+
+Cost Ledger::total_usage(Time now) const {
+  Cost acc = closed_usage_;
+  for (BinId b : open_) acc += now - record(b).opened;
+  return acc;
+}
+
+StepFunction Ledger::open_bins_profile(Time now) const {
+  StepFunction f;
+  for (const BinRecord& rec : bins_)
+    f.add(rec.opened, rec.is_open() ? now : rec.closed, 1.0);
+  return f;
+}
+
+}  // namespace cdbp

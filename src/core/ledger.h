@@ -1,0 +1,123 @@
+// The bin ledger: ground truth for every packing run. Algorithms open bins
+// and place items through it; it enforces the capacity invariant, tracks
+// open/close times, and accumulates the MinUsageTime cost
+//   sum over bins of (close_time - open_time).
+// Bins close automatically when their last item departs and are never
+// reused (w.l.o.g. per paper §2).
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "core/item.h"
+#include "core/step_function.h"
+#include "core/time_types.h"
+
+namespace cdbp {
+
+/// Algorithm-defined bin grouping (e.g. HA's GN vs CD bins, CDFF's rows).
+/// Group 0 is the default; the ledger only stores it for queries/reporting.
+using BinGroup = std::int64_t;
+
+/// Immutable record of one bin's life, available after (or during) a run.
+struct BinRecord {
+  BinId id = kNoBin;
+  BinGroup group = 0;
+  Time opened = 0.0;
+  Time closed = kInfTime;  ///< +inf while still open
+  Load load = 0.0;         ///< current load (last load before closing)
+  std::size_t active_items = 0;
+  std::vector<ItemId> all_items;  ///< every item ever placed here
+
+  [[nodiscard]] bool is_open() const noexcept { return closed == kInfTime; }
+  [[nodiscard]] Cost usage(Time now) const noexcept {
+    return (is_open() ? now : closed) - opened;
+  }
+};
+
+/// See file comment. All mutators take the current simulation time, which
+/// must be non-decreasing across calls (enforced).
+class Ledger {
+ public:
+  /// Opens a new bin; returns its id (ids are dense and increase with time,
+  /// so ascending id order == opening order, as First-Fit requires).
+  BinId open_bin(Time now, BinGroup group = 0);
+
+  /// Places item `id` of size `size` into `bin`.
+  /// Throws std::logic_error on overflow, closed bin, or double placement.
+  void place(ItemId id, Load size, BinId bin, Time now);
+
+  /// Removes item `id` (at its departure); closes its bin if now empty.
+  /// Returns the bin the item was in.
+  BinId remove(ItemId id, Time now);
+
+  /// True when `bin` is open and `size` fits (capacity 1, tolerance policy
+  /// in time_types.h).
+  [[nodiscard]] bool fits(BinId bin, Load size) const;
+
+  [[nodiscard]] Load load(BinId bin) const;
+  [[nodiscard]] BinGroup group_of(BinId bin) const;
+  [[nodiscard]] bool is_open(BinId bin) const;
+  [[nodiscard]] BinId bin_of(ItemId id) const;  ///< kNoBin if not active
+
+  /// Open bins in opening order.
+  [[nodiscard]] const std::set<BinId>& open_bins() const noexcept {
+    return open_;
+  }
+  [[nodiscard]] std::size_t open_count() const noexcept {
+    return open_.size();
+  }
+  /// Open bins of one group, in opening order.
+  [[nodiscard]] std::vector<BinId> open_bins_in_group(BinGroup g) const;
+  [[nodiscard]] std::size_t open_count_in_group(BinGroup g) const;
+
+  /// Total MinUsageTime cost accumulated so far (open bins counted up to
+  /// `now`).
+  [[nodiscard]] Cost total_usage(Time now) const;
+
+  /// Number of bins ever opened.
+  [[nodiscard]] std::size_t bins_opened() const noexcept {
+    return bins_.size();
+  }
+
+  /// Peak number of simultaneously open bins.
+  [[nodiscard]] std::size_t max_open() const noexcept { return max_open_; }
+
+  /// Number of currently placed (active) items.
+  [[nodiscard]] std::size_t active_items() const noexcept {
+    return active_.size();
+  }
+
+  /// Full record of bin `bin` (any bin ever opened).
+  [[nodiscard]] const BinRecord& record(BinId bin) const;
+  [[nodiscard]] const std::vector<BinRecord>& records() const noexcept {
+    return bins_;
+  }
+
+  /// Step function: number of open bins over time (derived from the open/
+  /// close log; still-open bins are cut off at `now`).
+  [[nodiscard]] StepFunction open_bins_profile(Time now) const;
+
+  /// Latest time passed to any mutator.
+  [[nodiscard]] Time clock() const noexcept { return clock_; }
+
+ private:
+  void advance_clock(Time now);
+  BinRecord& mutable_record(BinId bin);
+
+  struct ActivePlacement {
+    BinId bin;
+    Load size;
+  };
+
+  std::vector<BinRecord> bins_;
+  std::set<BinId> open_;
+  std::unordered_map<ItemId, ActivePlacement> active_;
+  Cost closed_usage_ = 0.0;
+  std::size_t max_open_ = 0;
+  Time clock_ = -kInfTime;
+};
+
+}  // namespace cdbp

@@ -1,0 +1,31 @@
+#include "core/metrics.h"
+
+#include <algorithm>
+
+namespace cdbp {
+
+RunMetrics compute_metrics(const Instance& instance,
+                           const RunResult& result) {
+  RunMetrics m;
+  m.cost = result.cost;
+  if (result.bins.empty()) return m;
+
+  double span_sum = 0.0;
+  std::size_t items_sum = 0;
+  for (const BinRecord& bin : result.bins) {
+    const double span = bin.usage(bin.closed);
+    span_sum += span;
+    items_sum += bin.all_items.size();
+    m.max_bin_span = std::max(m.max_bin_span, span);
+    m.cost_by_group[bin.group] += span;
+  }
+  const auto n = static_cast<double>(result.bins.size());
+  m.mean_bin_span = span_sum / n;
+  m.mean_items_per_bin = static_cast<double>(items_sum) / n;
+  m.utilization = result.cost > 0.0
+                      ? instance.total_demand() / result.cost
+                      : 0.0;
+  return m;
+}
+
+}  // namespace cdbp

@@ -1,0 +1,33 @@
+// Derived per-run metrics beyond the raw MinUsageTime cost: utilization,
+// bin lifetime statistics, and the cost decomposition by bin group — the
+// quantities the example applications report to operators.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/simulator.h"
+
+namespace cdbp {
+
+struct RunMetrics {
+  double cost = 0.0;
+  /// d(sigma) / cost: fraction of paid bin-time actually used (<= 1).
+  double utilization = 0.0;
+  /// Mean / max lifetime of a bin.
+  double mean_bin_span = 0.0;
+  double max_bin_span = 0.0;
+  /// Mean items per bin.
+  double mean_items_per_bin = 0.0;
+  /// Usage time accumulated per bin group (e.g. HA's GN vs CD).
+  std::map<BinGroup, Cost> cost_by_group;
+};
+
+/// Computes metrics from a run with history enabled. An empty run yields
+/// all-zero metrics.
+[[nodiscard]] RunMetrics compute_metrics(const Instance& instance,
+                                         const RunResult& result);
+
+}  // namespace cdbp

@@ -1,0 +1,60 @@
+#include "core/session.h"
+
+#include <stdexcept>
+
+namespace cdbp {
+
+void InteractiveSession::drain_until(Time t_inclusive) {
+  while (!dq_.empty() && dq_.top().time <= t_inclusive) {
+    const Departure d = dq_.top();
+    dq_.pop();
+    clock_ = std::max(clock_, d.time);
+    const BinId bin = ledger_.remove(d.item, d.time);
+    const bool closed = !ledger_.is_open(bin);
+    algo_->on_departure(offered_[static_cast<std::size_t>(d.item)], bin,
+                        closed, ledger_);
+  }
+}
+
+BinId InteractiveSession::offer(Time arrival, Time departure, Load size) {
+  if (arrival < clock_)
+    throw std::logic_error("InteractiveSession: arrival in the past");
+  if (!(departure > arrival))
+    throw std::logic_error("InteractiveSession: departure <= arrival");
+  drain_until(arrival);
+  clock_ = arrival;
+
+  Item item;
+  item.id = static_cast<ItemId>(offered_.size());
+  item.arrival = arrival;
+  item.departure = departure;
+  item.size = size;
+  offered_.push_back(item);
+
+  const BinId bin = algo_->on_arrival(item, ledger_);
+  if (ledger_.bin_of(item.id) != bin)
+    throw std::logic_error(
+        "InteractiveSession: algorithm did not place the item in the bin it "
+        "returned");
+  dq_.push(Departure{departure, item.id});
+  return bin;
+}
+
+void InteractiveSession::advance_to(Time t) {
+  if (t < clock_)
+    throw std::logic_error("InteractiveSession: advancing backwards");
+  drain_until(t);
+  clock_ = t;
+}
+
+Cost InteractiveSession::finish() {
+  drain_until(kInfTime);
+  if (!offered_.empty()) clock_ = std::max(clock_, ledger_.clock());
+  return ledger_.total_usage(clock_);
+}
+
+Instance InteractiveSession::to_instance() const {
+  return Instance{offered_};
+}
+
+}  // namespace cdbp

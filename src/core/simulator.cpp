@@ -1,0 +1,85 @@
+#include "core/simulator.h"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace cdbp {
+
+namespace {
+
+/// Departure queue entry: (time, item id). Orders by time, then by id for
+/// determinism.
+struct Departure {
+  Time time;
+  ItemId item;
+  friend bool operator>(const Departure& a, const Departure& b) {
+    if (a.time != b.time) return a.time > b.time;
+    return a.item > b.item;
+  }
+};
+
+}  // namespace
+
+RunResult Simulator::run(const Instance& instance, Algorithm& algo) const {
+  algo.reset();
+  Ledger ledger;
+
+  std::priority_queue<Departure, std::vector<Departure>, std::greater<>> dq;
+
+  const std::vector<Item>& items = instance.items();
+
+  auto drain_departures_until = [&](Time t_inclusive) {
+    while (!dq.empty() && dq.top().time <= t_inclusive) {
+      const Departure d = dq.top();
+      dq.pop();
+      const BinId bin = ledger.remove(d.item, d.time);
+      const bool closed = !ledger.is_open(bin);
+      algo.on_departure(items[static_cast<std::size_t>(d.item)], bin, closed,
+                        ledger);
+    }
+  };
+
+  for (const Item& r : items) {
+    // Process all departures at times <= this arrival first (t^- before t^+).
+    drain_departures_until(r.arrival);
+
+    const BinId bin = algo.on_arrival(r, ledger);
+    if (ledger.bin_of(r.id) != bin)
+      throw std::logic_error(
+          "Simulator: algorithm did not place the item in the bin it "
+          "returned");
+    dq.push(Departure{r.departure, r.id});
+  }
+  drain_departures_until(kInfTime);
+
+  if (ledger.active_items() != 0)
+    throw std::logic_error("Simulator: items left active after drain");
+  if (ledger.open_count() != 0)
+    throw std::logic_error("Simulator: bins left open after drain");
+
+  RunResult result;
+  result.cost = ledger.total_usage(ledger.clock());
+  result.bins_opened = ledger.bins_opened();
+  result.max_open = ledger.max_open();
+  if (opts_.keep_history) {
+    result.open_bins = ledger.open_bins_profile(ledger.clock());
+    result.bins = ledger.records();
+    result.placements.reserve(items.size());
+    for (const BinRecord& rec : ledger.records())
+      for (ItemId id : rec.all_items)
+        result.placements.push_back(PlacementRecord{id, rec.id});
+    std::sort(result.placements.begin(), result.placements.end(),
+              [](const PlacementRecord& a, const PlacementRecord& b) {
+                return a.item < b.item;
+              });
+  }
+  return result;
+}
+
+Cost run_cost(const Instance& instance, Algorithm& algo) {
+  Simulator sim{SimulatorOptions{.keep_history = false}};
+  return sim.run(instance, algo).cost;
+}
+
+}  // namespace cdbp

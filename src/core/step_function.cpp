@@ -1,0 +1,98 @@
+#include "core/step_function.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdbp {
+
+void StepFunction::add(Time from, Time to, double value) {
+  if (!(from < to) || value == 0.0) return;
+  deltas_[from] += value;
+  deltas_[to] -= value;
+}
+
+double StepFunction::at(Time t) const {
+  double acc = 0.0;
+  for (const auto& [time, delta] : deltas_) {
+    if (time > t) break;
+    acc += delta;
+  }
+  return acc;
+}
+
+double StepFunction::integral() const {
+  double acc = 0.0, value = 0.0;
+  Time prev = 0.0;
+  bool first = true;
+  for (const auto& [time, delta] : deltas_) {
+    if (!first) acc += value * (time - prev);
+    value += delta;
+    prev = time;
+    first = false;
+  }
+  return acc;
+}
+
+double StepFunction::ceil_integral() const {
+  double acc = 0.0, value = 0.0;
+  Time prev = 0.0;
+  bool first = true;
+  for (const auto& [time, delta] : deltas_) {
+    if (!first && value > kLoadEps)
+      acc += std::ceil(value - kLoadEps) * (time - prev);
+    value += delta;
+    prev = time;
+    first = false;
+  }
+  return acc;
+}
+
+double StepFunction::max_value() const {
+  double best = 0.0, value = 0.0;
+  for (const auto& [time, delta] : deltas_) {
+    (void)time;
+    value += delta;
+    best = std::max(best, value);
+  }
+  return best;
+}
+
+double StepFunction::support_measure(double eps) const {
+  double acc = 0.0, value = 0.0;
+  Time prev = 0.0;
+  bool first = true;
+  for (const auto& [time, delta] : deltas_) {
+    if (!first && value > eps) acc += time - prev;
+    value += delta;
+    prev = time;
+    first = false;
+  }
+  return acc;
+}
+
+Time StepFunction::min_breakpoint() const {
+  return deltas_.empty() ? 0.0 : deltas_.begin()->first;
+}
+
+Time StepFunction::max_breakpoint() const {
+  return deltas_.empty() ? 0.0 : deltas_.rbegin()->first;
+}
+
+std::vector<StepFunction::Sample> StepFunction::samples() const {
+  std::vector<Sample> out;
+  out.reserve(deltas_.size());
+  double value = 0.0;
+  for (const auto& [time, delta] : deltas_) {
+    value += delta;
+    out.push_back(Sample{time, value});
+  }
+  return out;
+}
+
+StepFunction StepFunction::operator+(const StepFunction& o) const {
+  StepFunction out = *this;
+  for (const auto& [time, delta] : o.deltas_) out.deltas_[time] += delta;
+  return out;
+}
+
+}  // namespace cdbp

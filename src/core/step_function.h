@@ -1,0 +1,64 @@
+// Piecewise-constant ("step") functions of time, the calculus behind the
+// paper's load profile S_t(sigma) and the OPT bounds of Section 3:
+//   d(sigma)        = integral of S_t
+//   integral of ceil(S_t)  (repacking lower bound)
+//   span(sigma)     = measure of the support of S_t.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "core/time_types.h"
+
+namespace cdbp {
+
+/// A right-open piecewise-constant function R -> R built from interval
+/// increments. Value is 0 outside all added intervals.
+class StepFunction {
+ public:
+  StepFunction() = default;
+
+  /// Adds `value` over [from, to). No-op when from >= to.
+  void add(Time from, Time to, double value);
+
+  /// Point evaluation (right-continuous: value on [breakpoint, next)).
+  [[nodiscard]] double at(Time t) const;
+
+  /// Integral of the function over all time.
+  [[nodiscard]] double integral() const;
+
+  /// Integral of ceil(max(f, 0)) over all time; a tolerance is applied so
+  /// values within kLoadEps below an integer do not spill to the next one.
+  [[nodiscard]] double ceil_integral() const;
+
+  /// Maximum value attained (0 if empty).
+  [[nodiscard]] double max_value() const;
+
+  /// Measure of { t : f(t) > eps }.
+  [[nodiscard]] double support_measure(double eps = kLoadEps) const;
+
+  /// Earliest / latest breakpoints (0 if empty).
+  [[nodiscard]] Time min_breakpoint() const;
+  [[nodiscard]] Time max_breakpoint() const;
+
+  /// Number of breakpoints.
+  [[nodiscard]] std::size_t breakpoint_count() const { return deltas_.size(); }
+
+  /// Returns the function as (time, value) samples: the value on
+  /// [time_k, time_{k+1}). The last sample has value 0.
+  struct Sample {
+    Time time;
+    double value;
+  };
+  [[nodiscard]] std::vector<Sample> samples() const;
+
+  /// Pointwise sum.
+  [[nodiscard]] StepFunction operator+(const StepFunction& o) const;
+
+ private:
+  // time -> sum of increments starting at that time (delta encoding).
+  std::map<Time, double> deltas_;
+};
+
+}  // namespace cdbp

@@ -1,0 +1,46 @@
+#include "core/transforms.h"
+
+#include <stdexcept>
+
+namespace cdbp {
+
+Instance shift_time(const Instance& instance, Time delta) {
+  Instance out;
+  for (const Item& r : instance.items())
+    out.add(r.arrival + delta, r.departure + delta, r.size);
+  out.finalize();
+  return out;
+}
+
+Instance scale_time(const Instance& instance, double factor) {
+  if (!(factor > 0.0))
+    throw std::invalid_argument("scale_time: factor must be positive");
+  Instance out;
+  for (const Item& r : instance.items())
+    out.add(r.arrival * factor, r.departure * factor, r.size);
+  out.finalize();
+  return out;
+}
+
+Instance normalize_min_length(const Instance& instance) {
+  if (instance.empty()) return instance;
+  return scale_time(instance, 1.0 / instance.min_length());
+}
+
+Instance merge(const Instance& a, const Instance& b) {
+  Instance out;
+  for (const Item& r : a.items()) out.add(r.arrival, r.departure, r.size);
+  for (const Item& r : b.items()) out.add(r.arrival, r.departure, r.size);
+  out.finalize();
+  return out;
+}
+
+Instance concat(const Instance& a, const Instance& b, Time gap) {
+  if (gap < 0.0) throw std::invalid_argument("concat: negative gap");
+  if (a.empty()) return b;
+  if (b.empty()) return a;
+  const Time delta = a.horizon_end() + gap - b.horizon_start();
+  return merge(a, shift_time(b, delta));
+}
+
+}  // namespace cdbp

@@ -1,0 +1,32 @@
+// Instance combinators: the workload algebra used throughout the tests,
+// benches and CLI — time shifts and scalings (invariance checks, unit
+// normalization), concatenation with an offset (building multi-busy-period
+// inputs), and plain merging (superimposing workloads).
+#pragma once
+
+#include "core/instance.h"
+
+namespace cdbp {
+
+/// Every timestamp shifted by delta (sizes unchanged). delta may be
+/// negative as long as no arrival becomes negative... it may: the model
+/// allows negative times; callers that need non-negative times (aligned
+/// inputs) should check is_aligned() afterwards.
+[[nodiscard]] Instance shift_time(const Instance& instance, Time delta);
+
+/// Every timestamp multiplied by factor > 0. Powers of two are exact.
+[[nodiscard]] Instance scale_time(const Instance& instance, double factor);
+
+/// Normalizes so the shortest item has length exactly 1 (the paper's §3
+/// assumption): scale_time by 1/min_length. No-op on empty instances.
+[[nodiscard]] Instance normalize_min_length(const Instance& instance);
+
+/// Superimposes two workloads (items of both, original timestamps).
+[[nodiscard]] Instance merge(const Instance& a, const Instance& b);
+
+/// Appends `b` after `a`, shifting `b` so its horizon starts `gap` after
+/// a's horizon ends (gap >= 0; gap > 0 creates an idle period).
+[[nodiscard]] Instance concat(const Instance& a, const Instance& b,
+                              Time gap = 0.0);
+
+}  // namespace cdbp

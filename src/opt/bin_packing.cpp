@@ -1,0 +1,154 @@
+#include "opt/bin_packing.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace cdbp::opt {
+
+namespace {
+
+int ceil_with_tolerance(double x) {
+  return static_cast<int>(std::ceil(x - kLoadEps));
+}
+
+}  // namespace
+
+int bp_volume_lower_bound(const std::vector<Load>& sizes) {
+  double sum = 0.0;
+  for (Load s : sizes) sum += s;
+  return std::max(0, ceil_with_tolerance(sum));
+}
+
+int bp_l2_lower_bound(const std::vector<Load>& sizes) {
+  // Evaluate the L2 bound at every distinct candidate alpha = size value
+  // <= 1/2 (and alpha -> 0, which degenerates to the volume bound).
+  int best = bp_volume_lower_bound(sizes);
+  std::vector<Load> alphas;
+  for (Load s : sizes)
+    if (s <= 0.5 + kLoadEps) alphas.push_back(s);
+  alphas.push_back(0.5);
+  for (Load alpha : alphas) {
+    int big = 0;          // > 1 - alpha: each needs its own bin
+    double medium = 0.0;  // in [alpha, 1 - alpha]
+    double big_free = 0.0;
+    for (Load s : sizes) {
+      if (s > 1.0 - alpha + kLoadEps) {
+        ++big;
+        big_free += 1.0 - s;
+      } else if (s >= alpha - kLoadEps) {
+        medium += s;
+      }
+    }
+    const int extra = std::max(0, ceil_with_tolerance(medium - big_free));
+    best = std::max(best, big + extra);
+  }
+  return best;
+}
+
+int bp_lower_bound(const std::vector<Load>& sizes) {
+  return std::max(bp_volume_lower_bound(sizes), bp_l2_lower_bound(sizes));
+}
+
+int bp_first_fit_decreasing(const std::vector<Load>& sizes) {
+  std::vector<Load> sorted = sizes;
+  std::sort(sorted.begin(), sorted.end(), std::greater<>());
+  std::vector<Load> bins;
+  for (Load s : sorted) {
+    bool placed = false;
+    for (Load& load : bins)
+      if (fits_in_bin(load, s)) {
+        load += s;
+        placed = true;
+        break;
+      }
+    if (!placed) bins.push_back(s);
+  }
+  return static_cast<int>(bins.size());
+}
+
+namespace {
+
+/// Depth-first branch & bound over items in decreasing size order.
+class BpSearch {
+ public:
+  BpSearch(std::vector<Load> sizes, std::size_t node_limit)
+      : sizes_(std::move(sizes)), node_limit_(node_limit) {
+    std::sort(sizes_.begin(), sizes_.end(), std::greater<>());
+    suffix_sum_.assign(sizes_.size() + 1, 0.0);
+    for (std::size_t i = sizes_.size(); i-- > 0;)
+      suffix_sum_[i] = suffix_sum_[i + 1] + sizes_[i];
+  }
+
+  std::optional<int> run() {
+    best_ = bp_first_fit_decreasing(sizes_);
+    const int lb = bp_lower_bound(sizes_);
+    if (best_ == lb) return best_;
+    bins_.clear();
+    aborted_ = false;
+    nodes_ = 0;
+    dfs(0);
+    if (aborted_) return std::nullopt;
+    return best_;
+  }
+
+ private:
+  void dfs(std::size_t i) {
+    if (aborted_) return;
+    if (++nodes_ > node_limit_) {
+      aborted_ = true;
+      return;
+    }
+    const int used = static_cast<int>(bins_.size());
+    if (used >= best_) return;
+    if (i == sizes_.size()) {
+      best_ = used;  // strictly better by the check above
+      return;
+    }
+    // Lower bound on additional bins for the remaining volume given the
+    // free space in open bins.
+    double free = 0.0;
+    for (Load load : bins_) free += 1.0 - load;
+    const double overflow = suffix_sum_[i] - free;
+    const int need = std::max(0, ceil_with_tolerance(overflow));
+    if (used + need >= best_) return;
+
+    const Load s = sizes_[i];
+    // Try existing bins; skip any bin whose load duplicates an earlier
+    // bin's — placing the item into either is symmetric.
+    for (std::size_t b = 0; b < bins_.size(); ++b) {
+      if (!fits_in_bin(bins_[b], s)) continue;
+      bool duplicate = false;
+      for (std::size_t prev = 0; prev < b && !duplicate; ++prev)
+        duplicate = approx_equal(bins_[prev], bins_[b]);
+      if (duplicate) continue;
+      bins_[b] += s;
+      dfs(i + 1);
+      bins_[b] -= s;
+      if (aborted_) return;
+    }
+    // New bin — only if it can still beat the incumbent.
+    if (used + 1 < best_) {
+      bins_.push_back(s);
+      dfs(i + 1);
+      bins_.pop_back();
+    }
+  }
+
+  std::vector<Load> sizes_;
+  std::vector<double> suffix_sum_;
+  std::vector<Load> bins_;
+  std::size_t node_limit_;
+  std::size_t nodes_ = 0;
+  int best_ = 0;
+  bool aborted_ = false;
+};
+
+}  // namespace
+
+std::optional<int> bp_exact(const std::vector<Load>& sizes,
+                            const BinPackingOptions& options) {
+  if (sizes.empty()) return 0;
+  return BpSearch(sizes, options.node_limit).run();
+}
+
+}  // namespace cdbp::opt

@@ -1,0 +1,44 @@
+// Classical one-dimensional bin packing: the minimum number of unit-
+// capacity bins for a set of sizes in (0, 1]. This is the per-instant
+// subproblem of the *exact repacking optimum* (opt/exact_repacking.h):
+// because OPT_R may repack freely at any moment, its cost decomposes into
+// independent snapshots, each a classical bin-packing instance.
+//
+// Provided: the standard lower bounds (ceil-sum and Martello-Toth L2),
+// First-Fit-Decreasing as the upper bound / incumbent, and an exact
+// branch-and-bound with dominance/symmetry pruning for the ~25-item
+// snapshots the tests and benches use.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/time_types.h"
+
+namespace cdbp::opt {
+
+/// ceil(sum of sizes), the volume lower bound. Tolerates kLoadEps slack.
+[[nodiscard]] int bp_volume_lower_bound(const std::vector<Load>& sizes);
+
+/// Martello-Toth L2 lower bound: for each threshold alpha in (0, 1/2],
+/// count big items (> 1 - alpha), plus the volume excess of medium items
+/// (in [alpha, 1 - alpha]) over the big items' free space.
+[[nodiscard]] int bp_l2_lower_bound(const std::vector<Load>& sizes);
+
+/// Best available lower bound (max of the above).
+[[nodiscard]] int bp_lower_bound(const std::vector<Load>& sizes);
+
+/// First-Fit-Decreasing bin count (a feasible packing: upper bound).
+[[nodiscard]] int bp_first_fit_decreasing(const std::vector<Load>& sizes);
+
+struct BinPackingOptions {
+  std::size_t node_limit = 2'000'000;
+};
+
+/// Exact minimum bin count by branch & bound. Returns nullopt only when
+/// the node limit is exhausted (never an approximate answer).
+[[nodiscard]] std::optional<int> bp_exact(const std::vector<Load>& sizes,
+                                          const BinPackingOptions& options = {});
+
+}  // namespace cdbp::opt

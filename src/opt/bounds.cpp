@@ -1,0 +1,23 @@
+#include "opt/bounds.h"
+
+#include <sstream>
+
+namespace cdbp::opt {
+
+std::string Bounds::to_string() const {
+  std::ostringstream os;
+  os << "Bounds{d=" << demand << ", span=" << span
+     << ", int_ceil=" << ceil_integral << ", lower=" << lower()
+     << ", upper_ceil=" << upper_ceil() << "}";
+  return os.str();
+}
+
+Bounds compute_bounds(const Instance& instance) {
+  Bounds b;
+  b.demand = instance.total_demand();
+  b.span = instance.span();
+  b.ceil_integral = instance.load_profile().ceil_integral();
+  return b;
+}
+
+}  // namespace cdbp::opt

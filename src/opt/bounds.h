@@ -1,0 +1,39 @@
+// The Section-3 optimal-cost bounds:
+//   lower:  OPT_R >= max( d(sigma), span(sigma), integral of ceil(S_t) )
+//   upper:  OPT_R <= integral of 2*ceil(S_t) <= 2 d(sigma) + 2 span(sigma)
+// (Lemma 3.1; the constructive witness for the upper bound lives in
+// opt/repack.h). These are what the paper itself uses in place of the
+// unknown OPT_R, and what every bench reports ratios against.
+#pragma once
+
+#include <string>
+
+#include "core/instance.h"
+
+namespace cdbp::opt {
+
+/// All bound ingredients for one instance, computed in a single pass.
+struct Bounds {
+  double demand = 0.0;         ///< d(sigma)
+  double span = 0.0;           ///< span(sigma)
+  double ceil_integral = 0.0;  ///< integral of ceil(S_t)
+
+  /// Best lower bound on OPT_R (hence on OPT_NR too).
+  [[nodiscard]] double lower() const noexcept {
+    return std::max(std::max(demand, span), ceil_integral);
+  }
+  /// Lemma 3.1 upper bound on OPT_R: integral of 2*ceil(S_t).
+  [[nodiscard]] double upper_ceil() const noexcept {
+    return 2.0 * ceil_integral;
+  }
+  /// Lemma 3.1(2) upper bound: 2 d + 2 span.
+  [[nodiscard]] double upper_linear() const noexcept {
+    return 2.0 * (demand + span);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+[[nodiscard]] Bounds compute_bounds(const Instance& instance);
+
+}  // namespace cdbp::opt

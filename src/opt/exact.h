@@ -1,0 +1,34 @@
+// Exact OPT_NR (offline, non-repacking optimum) by branch-and-bound over
+// set partitions of the items into capacity-feasible bins, minimizing the
+// summed bin spans. Exponential (Bell-number) search — intended for the
+// <= ~13-item instances used to certify the bounds and every algorithm in
+// the test suite. Repacking OPT_R is not computed exactly anywhere in this
+// repo (the paper never does either); it is sandwiched by opt/bounds and
+// opt/repack.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "core/instance.h"
+
+namespace cdbp::opt {
+
+struct ExactResult {
+  Cost cost = 0.0;
+  std::vector<int> assignment;  ///< item index -> bin index (0-based)
+  std::size_t nodes_explored = 0;
+};
+
+struct ExactOptions {
+  std::size_t max_items = 13;        ///< refuse larger instances
+  std::size_t node_limit = 200'000'000;  ///< safety valve
+};
+
+/// Computes OPT_NR exactly. Returns nullopt if the instance exceeds
+/// max_items or the node limit is hit (never silently approximates).
+[[nodiscard]] std::optional<ExactResult> exact_opt_nonrepacking(
+    const Instance& instance, const ExactOptions& options = {});
+
+}  // namespace cdbp::opt

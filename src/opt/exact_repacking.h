@@ -1,0 +1,40 @@
+// Exact OPT_R — the repacking optimum. Because the model charges only bin
+// usage time and allows free repacking at any moment (paper §2), the
+// optimum decomposes: between consecutive events the active set is fixed,
+// and OPT_R keeps exactly the minimum number of bins that can hold it —
+// a classical bin-packing number. Hence
+//
+//   OPT_R(sigma) = sum over event intervals [t_k, t_{k+1})
+//                  of binpacking(active sizes) * (t_{k+1} - t_k),
+//
+// computable exactly whenever every snapshot is small enough for the
+// exact bin-packing solver. Snapshots repeat heavily, so results are
+// memoized by the sorted size multiset.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+
+#include "core/instance.h"
+#include "core/step_function.h"
+
+namespace cdbp::opt {
+
+struct ExactRepackingResult {
+  Cost cost = 0.0;
+  std::size_t snapshots = 0;        ///< distinct event intervals
+  std::size_t max_active = 0;       ///< largest snapshot solved
+  StepFunction bins_over_time;      ///< the optimal open-bin count
+};
+
+struct ExactRepackingOptions {
+  std::size_t max_active = 24;  ///< refuse bigger snapshots
+  std::size_t node_limit_per_snapshot = 2'000'000;
+};
+
+/// Computes OPT_R exactly, or nullopt if some snapshot exceeds max_active
+/// or its bin-packing search hits the node limit.
+[[nodiscard]] std::optional<ExactRepackingResult> exact_opt_repacking(
+    const Instance& instance, const ExactRepackingOptions& options = {});
+
+}  // namespace cdbp::opt

@@ -1,0 +1,18 @@
+#include "opt/reduction.h"
+
+namespace cdbp::opt {
+
+Time reduced_departure(const Item& r) {
+  const DurationType t = duration_type(r);
+  return static_cast<Time>(t.c + 1) * pow2(t.i);
+}
+
+Instance apply_reduction(const Instance& instance) {
+  Instance out;
+  for (const Item& r : instance.items())
+    out.add(r.arrival, reduced_departure(r), r.size);
+  out.finalize();
+  return out;
+}
+
+}  // namespace cdbp::opt

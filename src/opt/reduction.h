@@ -1,0 +1,21 @@
+// The Section-3 departure reduction sigma -> sigma': each item r of type
+// (i, c) — length in (2^{i-1}, 2^i], arrival in ((c-1) 2^i, c 2^i] — keeps
+// its arrival but departs at (c+1) * 2^i. After the reduction, items of the
+// same type either depart together or do not intersect; lengths grow by at
+// most 4x, hence (Obs. 1-2, Cor. 3.4):
+//   span(sigma') <= 4 span(sigma),  d(sigma') <= 4 d(sigma),
+//   OPT_R(sigma') <= 16 OPT_R(sigma)  (for contiguous sigma).
+#pragma once
+
+#include "core/instance.h"
+
+namespace cdbp::opt {
+
+/// The reduced departure time of one item (arrival unchanged).
+[[nodiscard]] Time reduced_departure(const Item& r);
+
+/// Applies the reduction to every item. Requires min length >= 1 (the
+/// paper's normalization; duration_class throws otherwise).
+[[nodiscard]] Instance apply_reduction(const Instance& instance);
+
+}  // namespace cdbp::opt

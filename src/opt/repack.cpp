@@ -1,0 +1,109 @@
+#include "opt/repack.h"
+
+#include <algorithm>
+#include <list>
+#include <stdexcept>
+#include <vector>
+
+namespace cdbp::opt {
+
+namespace {
+
+struct VirtualBin {
+  Load load = 0.0;
+  std::vector<ItemId> items;
+};
+
+}  // namespace
+
+RepackResult repack_witness(const Instance& instance) {
+  // Event list: (time, +arrival item / -departure item). Departures first at
+  // equal times, matching the simulator's t^- / t^+ convention.
+  struct Ev {
+    Time time;
+    bool arrival;
+    ItemId item;
+  };
+  std::vector<Ev> events;
+  events.reserve(instance.size() * 2);
+  for (const Item& r : instance.items()) {
+    events.push_back(Ev{r.arrival, true, r.id});
+    events.push_back(Ev{r.departure, false, r.id});
+  }
+  std::sort(events.begin(), events.end(), [](const Ev& a, const Ev& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.arrival != b.arrival) return !a.arrival;  // departures first
+    return a.item < b.item;
+  });
+
+  std::list<VirtualBin> bins;
+  RepackResult result;
+  Time prev = events.empty() ? 0.0 : events.front().time;
+
+  auto account = [&](Time now) {
+    if (now > prev && !bins.empty()) {
+      result.cost += static_cast<double>(bins.size()) * (now - prev);
+      result.open_bins.add(prev, now, static_cast<double>(bins.size()));
+    }
+    prev = std::max(prev, now);
+  };
+
+  auto consolidate = [&]() {
+    // Merge while the two least-loaded bins fit together. Each merge
+    // reduces the bin count by one, so this terminates quickly.
+    for (;;) {
+      if (bins.size() < 2) return;
+      auto lo1 = bins.end(), lo2 = bins.end();
+      for (auto it = bins.begin(); it != bins.end(); ++it) {
+        if (lo1 == bins.end() || it->load < lo1->load) {
+          lo2 = lo1;
+          lo1 = it;
+        } else if (lo2 == bins.end() || it->load < lo2->load) {
+          lo2 = it;
+        }
+      }
+      if (!fits_in_bin(lo1->load, lo2->load)) return;
+      lo1->load += lo2->load;
+      lo1->items.insert(lo1->items.end(), lo2->items.begin(),
+                        lo2->items.end());
+      bins.erase(lo2);
+    }
+  };
+
+  const std::vector<Item>& items = instance.items();
+  for (const Ev& ev : events) {
+    account(ev.time);
+    const Item& r = items[static_cast<std::size_t>(ev.item)];
+    if (ev.arrival) {
+      bool placed = false;
+      for (VirtualBin& b : bins)
+        if (fits_in_bin(b.load, r.size)) {
+          b.load += r.size;
+          b.items.push_back(r.id);
+          placed = true;
+          break;
+        }
+      if (!placed) bins.push_back(VirtualBin{r.size, {r.id}});
+    } else {
+      bool removed = false;
+      for (auto it = bins.begin(); it != bins.end(); ++it) {
+        auto pos = std::find(it->items.begin(), it->items.end(), r.id);
+        if (pos == it->items.end()) continue;
+        it->items.erase(pos);
+        it->load -= r.size;
+        if (it->items.empty()) bins.erase(it);
+        removed = true;
+        break;
+      }
+      if (!removed)
+        throw std::logic_error("repack_witness: departing item not found");
+      consolidate();
+    }
+    result.max_open = std::max(result.max_open, bins.size());
+  }
+  if (!bins.empty())
+    throw std::logic_error("repack_witness: bins left after all departures");
+  return result;
+}
+
+}  // namespace cdbp::opt

@@ -1,0 +1,28 @@
+// A constructive witness for Lemma 3.1: an offline *repacking* schedule
+// whose MinUsageTime cost is at most the integral of 2*ceil(S_t).
+//
+// The packer replays the instance event by event. Arrivals go First-Fit
+// into the currently-open virtual bins; after every departure it greedily
+// merges bins while some two bins have a combined load <= 1 (repacking is
+// allowed for OPT_R), restoring the invariant "any two open bins together
+// exceed capacity", which implies  #bins_t < 2 S_t + 1 <= 2 ceil(S_t)
+// whenever at least one item is active. The cost is the integral of the
+// open-bin count — a genuine upper bound on OPT_R.
+#pragma once
+
+#include "core/instance.h"
+#include "core/step_function.h"
+
+namespace cdbp::opt {
+
+struct RepackResult {
+  Cost cost = 0.0;           ///< usage time of the repacking schedule
+  std::size_t max_open = 0;  ///< peak open bins
+  StepFunction open_bins;    ///< open-bin count over time
+};
+
+/// Runs the greedy-consolidation repacking packer. O(E * B^2) with E events
+/// and B concurrent bins.
+[[nodiscard]] RepackResult repack_witness(const Instance& instance);
+
+}  // namespace cdbp::opt

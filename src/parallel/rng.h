@@ -1,0 +1,25 @@
+// Deterministic per-task random number generation. Every parallel task
+// derives its generator from (experiment seed, task index) via SplitMix64,
+// so results are bit-identical regardless of thread count or scheduling.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+namespace cdbp::parallel {
+
+/// SplitMix64 step — the standard 64-bit mixer, used only for seeding.
+[[nodiscard]] constexpr std::uint64_t splitmix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// A generator for task `index` of an experiment with master `seed`.
+[[nodiscard]] inline std::mt19937_64 task_rng(std::uint64_t seed,
+                                              std::uint64_t index) {
+  return std::mt19937_64{splitmix64(splitmix64(seed) ^ index)};
+}
+
+}  // namespace cdbp::parallel

@@ -1,0 +1,76 @@
+// A small fixed-size thread pool with a blocking task queue, plus
+// parallel_for / parallel_map helpers used by the benchmark harness to run
+// (mu, seed) sweeps across cores. Shared-memory parallelism in the spirit of
+// the HPC guides: explicit decomposition, no hidden global state, per-thread
+// RNGs (see rng.h) so results are reproducible regardless of thread count.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace cdbp::parallel {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (0 = hardware concurrency, at least 1).
+  explicit ThreadPool(std::size_t threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns a future for its completion/result.
+  template <typename F>
+  auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
+    using R = std::invoke_result_t<F>;
+    auto task =
+        std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
+    std::future<R> fut = task->get_future();
+    {
+      std::scoped_lock lock(mutex_);
+      if (stopping_) throw std::runtime_error("ThreadPool: stopped");
+      queue_.emplace_back([task]() { (*task)(); });
+    }
+    cv_.notify_one();
+    return fut;
+  }
+
+  [[nodiscard]] std::size_t thread_count() const noexcept {
+    return workers_.size();
+  }
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stopping_ = false;
+};
+
+/// Runs fn(i) for i in [begin, end) across the pool; rethrows the first
+/// exception. Static block decomposition (tasks are expected similar-cost).
+void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Maps fn over [0, n) into a vector<R>, preserving index order.
+template <typename R, typename F>
+std::vector<R> parallel_map(ThreadPool& pool, std::size_t n, F&& fn) {
+  std::vector<R> out(n);
+  std::vector<std::future<void>> futs;
+  futs.reserve(n);
+  for (std::size_t i = 0; i < n; ++i)
+    futs.push_back(pool.submit([&out, &fn, i]() { out[i] = fn(i); }));
+  for (auto& f : futs) f.get();
+  return out;
+}
+
+}  // namespace cdbp::parallel

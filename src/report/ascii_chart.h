@@ -1,0 +1,38 @@
+// Minimal ASCII rendering: line charts for ratio-vs-mu series and timeline
+// ("Gantt") views of instances and packings — the tooling behind the
+// Figure 1/2/3 reproductions.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/instance.h"
+#include "core/simulator.h"
+
+namespace cdbp::report {
+
+/// One named series of (x, y) points for a chart.
+struct Series {
+  std::string name;
+  std::vector<std::pair<double, double>> points;
+};
+
+/// Renders series on a height x width character grid; x mapped by log2
+/// when `log_x`. Each series uses its own glyph, listed in the legend.
+[[nodiscard]] std::string line_chart(const std::vector<Series>& series,
+                                     int width = 72, int height = 18,
+                                     bool log_x = true);
+
+/// Figure-2 style view: one text row per item, '=' over the active
+/// interval. Items sorted by (length desc, arrival). `time_scale` chars per
+/// time unit.
+[[nodiscard]] std::string instance_gantt(const Instance& instance,
+                                         double time_scale = 1.0);
+
+/// Figure-3 style view: one block per bin showing its items' intervals,
+/// grouped by the bin's group id (CDFF rows / HA GN-CD).
+[[nodiscard]] std::string packing_gantt(const Instance& instance,
+                                        const RunResult& result,
+                                        double time_scale = 1.0);
+
+}  // namespace cdbp::report

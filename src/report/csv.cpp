@@ -1,0 +1,35 @@
+#include "report/csv.h"
+
+#include <stdexcept>
+
+namespace cdbp::report {
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+CsvWriter::CsvWriter(const std::string& path,
+                     const std::vector<std::string>& header)
+    : out_(path), columns_(header.size()) {
+  if (!out_) throw std::runtime_error("CsvWriter: cannot open " + path);
+  add_row(header);
+}
+
+void CsvWriter::add_row(const std::vector<std::string>& row) {
+  if (row.size() != columns_)
+    throw std::invalid_argument("CsvWriter: wrong column count");
+  for (std::size_t i = 0; i < row.size(); ++i) {
+    if (i) out_ << ',';
+    out_ << csv_escape(row[i]);
+  }
+  out_ << '\n';
+}
+
+}  // namespace cdbp::report

@@ -1,0 +1,26 @@
+// CSV emission for bench results, so downstream plotting (gnuplot, pandas)
+// can consume the same numbers the ASCII tables show.
+#pragma once
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace cdbp::report {
+
+class CsvWriter {
+ public:
+  /// Opens `path` for writing and emits the header. Throws on failure.
+  CsvWriter(const std::string& path, const std::vector<std::string>& header);
+
+  void add_row(const std::vector<std::string>& row);
+
+ private:
+  std::ofstream out_;
+  std::size_t columns_;
+};
+
+/// Escapes a CSV field (quotes when needed).
+[[nodiscard]] std::string csv_escape(const std::string& field);
+
+}  // namespace cdbp::report

@@ -1,0 +1,46 @@
+#include "report/histogram.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdbp::report {
+
+std::string histogram(const std::vector<double>& values,
+                      const HistogramOptions& options) {
+  if (options.bins < 1 || options.width < 1)
+    throw std::invalid_argument("histogram: bins/width must be positive");
+  if (values.empty()) return "(no data)\n";
+
+  const auto [lo_it, hi_it] = std::minmax_element(values.begin(), values.end());
+  double lo = *lo_it, hi = *hi_it;
+  if (hi - lo < 1e-12) hi = lo + 1.0;
+
+  std::vector<std::size_t> counts(static_cast<std::size_t>(options.bins), 0);
+  for (double v : values) {
+    auto b = static_cast<std::size_t>((v - lo) / (hi - lo) *
+                                      static_cast<double>(options.bins));
+    b = std::min(b, counts.size() - 1);
+    counts[b] += 1;
+  }
+  const std::size_t peak = *std::max_element(counts.begin(), counts.end());
+
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(3);
+  for (std::size_t b = 0; b < counts.size(); ++b) {
+    const double from =
+        lo + (hi - lo) * static_cast<double>(b) / options.bins;
+    const double to =
+        lo + (hi - lo) * static_cast<double>(b + 1) / options.bins;
+    const auto bar = static_cast<std::size_t>(
+        std::llround(static_cast<double>(counts[b]) /
+                     static_cast<double>(peak) * options.width));
+    os << "[" << std::setw(8) << from << ", " << std::setw(8) << to << ") "
+       << std::setw(6) << counts[b] << " |" << std::string(bar, '#') << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace cdbp::report

@@ -1,0 +1,20 @@
+// ASCII histograms — used by the open-problem search bench to show the
+// distribution of ratios found, and available to examples.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace cdbp::report {
+
+struct HistogramOptions {
+  int bins = 12;
+  int width = 48;  ///< bar width of the fullest bin
+};
+
+/// Renders a horizontal-bar histogram of `values`. Empty input renders a
+/// placeholder line.
+[[nodiscard]] std::string histogram(const std::vector<double>& values,
+                                    const HistogramOptions& options = {});
+
+}  // namespace cdbp::report

@@ -1,0 +1,32 @@
+// Aligned ASCII tables for bench output — the benches print the same
+// rows/series a paper table would, so the shapes can be eyeballed straight
+// from the terminal or from bench_output.txt.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace cdbp::report {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Adds one row (padded/truncated to the header width).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+
+  /// Renders with column alignment and a header rule.
+  [[nodiscard]] std::string to_string() const;
+
+  [[nodiscard]] std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace cdbp::report

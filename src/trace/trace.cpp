@@ -1,0 +1,76 @@
+#include "trace/trace.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace cdbp::trace {
+
+namespace {
+
+std::ofstream open_out(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("trace: cannot open " + path);
+  return out;
+}
+
+}  // namespace
+
+void write_instance_csv(const Instance& instance, std::ostream& out) {
+  out << "arrival,departure,size\n";
+  out << std::setprecision(17);
+  for (const Item& r : instance.items())
+    out << r.arrival << ',' << r.departure << ',' << r.size << '\n';
+  if (!out) throw std::runtime_error("trace: write failed");
+}
+
+void write_instance_csv(const Instance& instance, const std::string& path) {
+  std::ofstream out = open_out(path);
+  write_instance_csv(instance, out);
+}
+
+Instance read_instance_csv(std::istream& in) {
+  std::string line;
+  if (!std::getline(in, line))
+    throw std::runtime_error("trace: empty instance file");
+  if (line.rfind("arrival", 0) != 0)
+    throw std::runtime_error("trace: missing header line");
+  Instance out;
+  std::size_t line_no = 1;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string a, d, s;
+    if (!std::getline(ls, a, ',') || !std::getline(ls, d, ',') ||
+        !std::getline(ls, s, ','))
+      throw std::runtime_error("trace: malformed line " +
+                               std::to_string(line_no));
+    try {
+      out.add(std::stod(a), std::stod(d), std::stod(s));
+    } catch (const std::exception&) {
+      throw std::runtime_error("trace: bad number on line " +
+                               std::to_string(line_no));
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+Instance read_instance_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("trace: cannot open " + path);
+  return read_instance_csv(in);
+}
+
+void write_timeline_csv(const RunResult& result, const std::string& path) {
+  std::ofstream out = open_out(path);
+  out << "time,open_bins\n";
+  out << std::setprecision(17);
+  for (const auto& s : result.open_bins.samples())
+    out << s.time << ',' << s.value << '\n';
+  if (!out) throw std::runtime_error("trace: write failed");
+}
+
+}  // namespace cdbp::trace

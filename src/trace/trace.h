@@ -1,0 +1,28 @@
+// Instance and run-timeline persistence as CSV, so examples and benches can
+// save workloads and reload them (and external tools can plot them).
+//
+// Instance format:  arrival,departure,size      (header line included)
+// Timeline format:  time,open_bins
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "core/instance.h"
+#include "core/simulator.h"
+
+namespace cdbp::trace {
+
+/// Writes the instance as CSV. Throws std::runtime_error on I/O failure.
+void write_instance_csv(const Instance& instance, const std::string& path);
+void write_instance_csv(const Instance& instance, std::ostream& out);
+
+/// Reads an instance from CSV (same format). Throws std::runtime_error on
+/// I/O or parse failure.
+[[nodiscard]] Instance read_instance_csv(const std::string& path);
+[[nodiscard]] Instance read_instance_csv(std::istream& in);
+
+/// Writes a run's open-bin step function as CSV samples.
+void write_timeline_csv(const RunResult& result, const std::string& path);
+
+}  // namespace cdbp::trace

@@ -1,0 +1,47 @@
+#include "workloads/aligned_random.h"
+
+#include <stdexcept>
+
+namespace cdbp::workloads {
+
+Instance make_aligned_random(const AlignedConfig& config,
+                             std::mt19937_64& rng) {
+  if (config.n < 1 || config.n > 30)
+    throw std::invalid_argument("make_aligned_random: n out of range");
+  if (config.max_bucket < 0 || config.max_bucket > config.n)
+    throw std::invalid_argument("make_aligned_random: max_bucket out of range");
+  if (!(config.size_min > 0.0) || config.size_max > 1.0 ||
+      config.size_min > config.size_max)
+    throw std::invalid_argument("make_aligned_random: bad size range");
+
+  std::uniform_real_distribution<double> size_dist(config.size_min,
+                                                   config.size_max);
+  std::poisson_distribution<int> count_dist(config.arrivals_per_slot);
+
+  Instance out;
+  const std::int64_t horizon = static_cast<std::int64_t>(pow2(config.n));
+  for (int i = 0; i <= config.max_bucket; ++i) {
+    const std::int64_t period = static_cast<std::int64_t>(pow2(i));
+    for (std::int64_t t = 0; t + period <= horizon; t += period) {
+      int count = count_dist(rng);
+      if (config.seed_full_length_item && t == 0 && i == config.max_bucket)
+        count = std::max(count, 1);
+      for (int k = 0; k < count; ++k) {
+        double len = pow2(i);
+        if (!config.pow2_lengths && i > 0) {
+          // Uniform in (2^{i-1}, 2^i]; keep strictly above the half so the
+          // bucket classification is unambiguous.
+          std::uniform_real_distribution<double> len_dist(pow2(i - 1),
+                                                          pow2(i));
+          len = std::max(std::nextafter(pow2(i - 1), pow2(i)), len_dist(rng));
+        }
+        out.add(static_cast<Time>(t), static_cast<Time>(t) + len,
+                size_dist(rng));
+      }
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace cdbp::workloads

@@ -1,0 +1,31 @@
+// Random *aligned* inputs (Definition 2.1): items of duration bucket i
+// (length in (2^{i-1}, 2^i]) arrive only at multiples of 2^i. Used by the
+// Table-1 aligned-inputs bench (E3) and the CDFF property suites.
+#pragma once
+
+#include <random>
+
+#include "core/instance.h"
+
+namespace cdbp::workloads {
+
+struct AlignedConfig {
+  int n = 8;               ///< horizon exponent: slots cover [0, 2^n)
+  int max_bucket = 8;      ///< largest duration bucket emitted (<= n)
+  double arrivals_per_slot = 1.0;  ///< Poisson mean, *per admissible bucket*
+                                   ///< slot (times 2^-i weighting below)
+  double size_min = 0.05;
+  double size_max = 0.5;
+  bool pow2_lengths = true;  ///< true: length exactly 2^i; false: uniform in
+                             ///< (2^{i-1}, 2^i] (still aligned)
+  bool seed_full_length_item = true;  ///< guarantee a bucket-max item at 0,
+                                      ///< the paper's segment normalization
+};
+
+/// Draws an aligned instance. Every bucket-i slot c*2^i in [0, 2^n - 2^i]
+/// receives Poisson(arrivals_per_slot) items, so each bucket contributes a
+/// comparable total demand (longer items are rarer in proportion).
+[[nodiscard]] Instance make_aligned_random(const AlignedConfig& config,
+                                           std::mt19937_64& rng);
+
+}  // namespace cdbp::workloads

@@ -1,0 +1,66 @@
+#include "workloads/batch.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cdbp::workloads {
+
+ZipfSampler::ZipfSampler(int ranks, double exponent) {
+  if (ranks < 1) throw std::invalid_argument("ZipfSampler: ranks < 1");
+  if (exponent < 0.0)
+    throw std::invalid_argument("ZipfSampler: negative exponent");
+  cdf_.reserve(static_cast<std::size_t>(ranks));
+  double acc = 0.0;
+  for (int r = 1; r <= ranks; ++r) {
+    acc += std::pow(static_cast<double>(r), -exponent);
+    cdf_.push_back(acc);
+  }
+  for (double& v : cdf_) v /= acc;
+}
+
+int ZipfSampler::operator()(std::mt19937_64& rng) const {
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  const double u = unit(rng);
+  const auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+  return static_cast<int>(it - cdf_.begin()) + 1;
+}
+
+Instance make_batch_queue(const BatchConfig& config, std::mt19937_64& rng) {
+  if (config.waves < 1 || config.jobs_per_wave < 1 ||
+      config.max_duration_class < 0 || !(config.wave_spacing >= 1.0))
+    throw std::invalid_argument("make_batch_queue: bad config");
+  if (!(config.max_size > 0.0) || config.max_size > 1.0)
+    throw std::invalid_argument("make_batch_queue: bad max_size");
+
+  const ZipfSampler zipf(config.size_ranks, config.zipf_s);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_int_distribution<int> any_class(0, config.max_duration_class);
+
+  Instance out;
+  for (int w = 0; w < config.waves; ++w) {
+    const Time t = std::floor(static_cast<double>(w) * config.wave_spacing);
+    for (int j = 0; j < config.jobs_per_wave; ++j) {
+      const int rank = zipf(rng);
+      const double size =
+          config.max_size / static_cast<double>(rank);
+      // Duration: with probability duration_size_corr, the class follows
+      // the size (rank 1 -> longest class); otherwise uniform.
+      int cls;
+      if (unit(rng) < config.duration_size_corr) {
+        const double frac = 1.0 - static_cast<double>(rank - 1) /
+                                      static_cast<double>(zipf.ranks());
+        cls = static_cast<int>(std::lround(
+            frac * static_cast<double>(config.max_duration_class)));
+      } else {
+        cls = any_class(rng);
+      }
+      cls = std::clamp(cls, 0, config.max_duration_class);
+      out.add(t, t + pow2(cls), std::max(0.01, size));
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace cdbp::workloads

@@ -1,0 +1,47 @@
+// Batch-queue workload: waves of analytics jobs submitted together (cron
+// ticks, pipeline stages), with Zipf-distributed resource shares and
+// duration classes correlated with size — the "big jobs are long" pattern
+// of cluster traces. Complements the smooth Poisson families as a bursty,
+// heavy-tailed stress case for the heuristics bench (E13).
+#pragma once
+
+#include <random>
+
+#include "core/instance.h"
+
+namespace cdbp::workloads {
+
+struct BatchConfig {
+  int waves = 16;              ///< number of submission instants
+  double wave_spacing = 16.0;  ///< time between waves
+  int jobs_per_wave = 24;
+  double zipf_s = 1.2;         ///< Zipf exponent for sizes
+  int size_ranks = 32;         ///< support of the Zipf size distribution
+  double max_size = 0.5;       ///< share of rank-1 jobs
+  int max_duration_class = 6;  ///< durations 2^0 .. 2^max
+  double duration_size_corr = 0.7;  ///< 1 = big jobs always long, 0 = iid
+};
+
+/// Draws one batch trace. All times are integers (>= 0), all durations are
+/// powers of two in [1, 2^max_duration_class].
+[[nodiscard]] Instance make_batch_queue(const BatchConfig& config,
+                                        std::mt19937_64& rng);
+
+/// A Zipf(s) sampler over ranks {1..n}: rank r with probability
+/// proportional to r^{-s}. Exposed for reuse and direct testing.
+class ZipfSampler {
+ public:
+  ZipfSampler(int ranks, double exponent);
+
+  /// Draws a rank in [1, ranks].
+  [[nodiscard]] int operator()(std::mt19937_64& rng) const;
+
+  [[nodiscard]] int ranks() const noexcept {
+    return static_cast<int>(cdf_.size());
+  }
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace cdbp::workloads

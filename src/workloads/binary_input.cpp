@@ -1,0 +1,35 @@
+#include "workloads/binary_input.h"
+
+#include <stdexcept>
+
+#include "binstr/binstr.h"
+
+namespace cdbp::workloads {
+
+Instance make_binary_input(int n) {
+  if (n < 1 || n > 30)
+    throw std::invalid_argument("make_binary_input: n must be in [1, 30]");
+  const double mu = pow2(n);
+  const Load load = 1.0 / static_cast<double>(n + 1);
+  Instance out;
+  // Emit per instant, shortest-first (matching "sequentially, shortest to
+  // longest" of the related sigma* construction; arbitrary per Def 5.2).
+  const auto horizon = static_cast<std::int64_t>(mu);
+  for (std::int64_t t = 0; t < horizon; ++t) {
+    for (int i = 0; i <= n; ++i) {
+      const double len = pow2(i);
+      const auto period = static_cast<std::int64_t>(len);
+      if (t % period != 0) break;  // larger powers cannot divide t either
+      out.add(static_cast<Time>(t), static_cast<Time>(t) + len, load);
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+int expected_cdff_bins(int n, std::uint64_t t) {
+  if (t == 0) return n + 1;  // binary(0) = n zeros; max_0 = n
+  return binstr::max_zero_run(t, n) + 1;
+}
+
+}  // namespace cdbp::workloads

@@ -1,0 +1,26 @@
+// The paper's binary input sigma_mu (Definition 5.2): for every
+// i in {0..log mu}, items of duration 2^i arrive at times c * 2^i for
+// c = 0 .. mu/2^i - 1. This is the worst-case aligned input against which
+// CDFF's O(log log mu) bound is proved, and the source of the exact identity
+//   CDFF_{t+}(sigma_mu) = max_0(binary(t)) + 1      (Corollary 5.8).
+//
+// Loads: the paper sets every load to 1/log mu, but log mu + 1 items are
+// simultaneously active (one per length), which would overload CDFF's top
+// bin at t = mu - 1; we use 1/(log mu + 1), preserving every claim
+// (DESIGN.md §2, deviation 1).
+#pragma once
+
+#include "core/instance.h"
+
+namespace cdbp::workloads {
+
+/// sigma_mu with mu = 2^n, n >= 1. Items arrive shortest-first within each
+/// instant (the order does not affect CDFF's row placement; a test checks
+/// order-independence). Contains 2*mu - 1 items.
+[[nodiscard]] Instance make_binary_input(int n);
+
+/// Expected number of open CDFF bins right after the arrivals of instant t
+/// (Corollary 5.8): max_0(binary(t) over n bits) + 1.
+[[nodiscard]] int expected_cdff_bins(int n, std::uint64_t t);
+
+}  // namespace cdbp::workloads

@@ -1,0 +1,51 @@
+#include "workloads/cloud_gaming.h"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace cdbp::workloads {
+
+Instance make_cloud_gaming(const CloudGamingConfig& config,
+                           std::mt19937_64& rng) {
+  if (!(config.days > 0.0) || config.game_profiles == 0 ||
+      !(config.max_share > 0.0) || config.max_share > 1.0)
+    throw std::invalid_argument("make_cloud_gaming: bad config");
+
+  const double minutes = config.days * 24.0 * 60.0 / config.minutes_per_unit;
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::exponential_distribution<double> gap(1.0);
+  std::exponential_distribution<double> dur(1.0 / config.mean_session_min);
+  std::uniform_int_distribution<unsigned> profile(1, config.game_profiles);
+
+  // Diurnal intensity: trough at 6:00, peak at 21:00 (arbitrary but fixed).
+  auto rate_at = [&](double t_min) {
+    const double day_frac =
+        std::fmod(t_min * config.minutes_per_unit, 24.0 * 60.0) / (24.0 * 60.0);
+    const double phase =
+        std::cos(2.0 * std::numbers::pi * (day_frac - 21.0 / 24.0));
+    const double lo = config.offpeak_fraction;
+    return config.peak_sessions_per_min * (lo + (1.0 - lo) * 0.5 *
+                                                    (1.0 + phase));
+  };
+
+  Instance out;
+  // Thinning (Lewis-Shedler) for the non-homogeneous Poisson process.
+  const double rate_max = config.peak_sessions_per_min;
+  double t = 0.0;
+  while (true) {
+    t += gap(rng) / rate_max;
+    if (t >= minutes) break;
+    if (unit(rng) * rate_max > rate_at(t)) continue;  // thinned out
+    const Time arrival = std::floor(t);  // whole-minute admission slots
+    double length = std::max(1.0, std::round(dur(rng)));
+    const double share = config.max_share *
+                         static_cast<double>(profile(rng)) /
+                         static_cast<double>(config.game_profiles);
+    out.add(arrival, arrival + length, share);
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace cdbp::workloads

@@ -1,0 +1,31 @@
+// Synthetic cloud-gaming sessions — the paper's motivating application
+// (§1, citing Li et al. [8]: "the users' server-time requests can be
+// accurately predicted upon their arrival", i.e. the clairvoyant setting).
+// No public trace exists, so this synthesizer exercises the same code path
+// (DESIGN.md §5): Poisson session arrivals with diurnal intensity, dyadic
+// session durations with a heavy-ish tail, and bandwidth shares drawn from
+// a small set of "game profiles".
+#pragma once
+
+#include <random>
+
+#include "core/instance.h"
+
+namespace cdbp::workloads {
+
+struct CloudGamingConfig {
+  double days = 2.0;             ///< horizon, in days
+  double minutes_per_unit = 1.0; ///< one simulation time unit = this many min
+  double peak_sessions_per_min = 4.0;  ///< arrival rate at the evening peak
+  double offpeak_fraction = 0.2;       ///< trough rate / peak rate
+  double mean_session_min = 45.0;      ///< mean session duration, minutes
+  unsigned game_profiles = 4;          ///< distinct bandwidth shares
+  double max_share = 0.45;             ///< biggest per-session server share
+};
+
+/// Draws one trace. Durations are snapped to whole minutes (>= 1) so the
+/// paper's min-length normalization holds; times are in minutes.
+[[nodiscard]] Instance make_cloud_gaming(const CloudGamingConfig& config,
+                                         std::mt19937_64& rng);
+
+}  // namespace cdbp::workloads

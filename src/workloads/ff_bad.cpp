@@ -1,0 +1,58 @@
+#include "workloads/ff_bad.h"
+
+#include <stdexcept>
+#include <unordered_set>
+#include <vector>
+
+#include "core/session.h"
+
+namespace cdbp::workloads {
+
+namespace {
+
+/// Feeds the time-0 burst with the given provisional departure and returns
+/// each item's bin.
+std::vector<BinId> probe(Algorithm& algo, std::size_t count, Load size,
+                         Time provisional_departure) {
+  InteractiveSession session(algo);
+  std::vector<BinId> bins;
+  bins.reserve(count);
+  for (std::size_t k = 0; k < count; ++k)
+    bins.push_back(session.offer(0.0, provisional_departure, size));
+  return bins;
+}
+
+}  // namespace
+
+FfBadResult build_nonclairvoyant_bad(
+    int n, int bins, const std::function<AlgorithmPtr()>& make_algo) {
+  if (n < 1 || n > 24 || bins < 1)
+    throw std::invalid_argument("build_nonclairvoyant_bad: bad parameters");
+  const double mu = pow2(n);
+  const auto per_bin = static_cast<std::size_t>(mu);
+  const std::size_t count = per_bin * static_cast<std::size_t>(bins);
+  const Load size = 1.0 / mu;
+
+  // Probe the packing twice with different provisional departures; a
+  // departure-oblivious algorithm must produce identical placements.
+  const AlgorithmPtr a1 = make_algo();
+  const AlgorithmPtr a2 = make_algo();
+  const std::vector<BinId> placement = probe(*a1, count, size, 1.0);
+  const std::vector<BinId> check = probe(*a2, count, size, mu);
+  if (placement != check)
+    throw std::invalid_argument(
+        "build_nonclairvoyant_bad: algorithm is not departure-oblivious — "
+        "the adaptive construction does not apply");
+
+  // Keep the first item of each distinct bin alive until mu.
+  std::unordered_set<BinId> seen;
+  Instance out;
+  for (std::size_t k = 0; k < count; ++k) {
+    const bool survivor = seen.insert(placement[k]).second;
+    out.add(0.0, survivor ? mu : 1.0, size);
+  }
+  out.finalize();
+  return FfBadResult{std::move(out), seen.size()};
+}
+
+}  // namespace cdbp::workloads

@@ -1,0 +1,36 @@
+// The non-clairvoyant Theta(mu) family (Table 1, bottom row). The mu lower
+// bound of Li et al. [7] is *adaptive*: the adversary chooses departures
+// after seeing the packing (legitimate in the non-clairvoyant setting,
+// where departures are revealed only when they happen).
+//
+// Construction: at time 0 release B * mu items of size 1/mu (departure
+// undetermined). A departure-oblivious algorithm packs them into >= B bins.
+// The adversary then keeps ONE item per opened bin alive until time mu and
+// departs the rest at time 1. The algorithm pays ~ (#bins) * mu while OPT
+// packs the survivors mu-to-a-bin, paying ~ mu + B.
+//
+// build_nonclairvoyant_bad() runs a probe pass against the given algorithm
+// (which must be departure-oblivious — checked by probing twice with
+// different provisional departures) and returns the finished instance.
+#pragma once
+
+#include <functional>
+
+#include "core/algorithm.h"
+#include "core/instance.h"
+
+namespace cdbp::workloads {
+
+struct FfBadResult {
+  Instance instance;       ///< the adversarially finished input
+  std::size_t probe_bins;  ///< bins the probed algorithm opened at time 0
+};
+
+/// `make_algo` must produce fresh instances of the departure-oblivious
+/// algorithm being attacked (e.g. FirstFit). B >= 1, n >= 1 (mu = 2^n).
+/// Throws std::invalid_argument if the algorithm's time-0 packing depends
+/// on the provisional departures (i.e. it is not departure-oblivious).
+[[nodiscard]] FfBadResult build_nonclairvoyant_bad(
+    int n, int bins, const std::function<AlgorithmPtr()>& make_algo);
+
+}  // namespace cdbp::workloads

@@ -1,0 +1,95 @@
+#include "workloads/general_random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace cdbp::workloads {
+
+std::string to_string(GeneralShape shape) {
+  switch (shape) {
+    case GeneralShape::kLogUniform:
+      return "log-uniform";
+    case GeneralShape::kExponential:
+      return "exponential";
+    case GeneralShape::kGeometricBursts:
+      return "geometric-bursts";
+    case GeneralShape::kTwoPhase:
+      return "two-phase";
+  }
+  throw std::invalid_argument("unknown GeneralShape");
+}
+
+namespace {
+
+Time snap(Time t, bool integer_times) {
+  if (!integer_times) return t;
+  // Snap to the 2^-10 dyadic grid (exact in double).
+  return std::round(t * 1024.0) / 1024.0;
+}
+
+}  // namespace
+
+Instance make_general_random(const GeneralConfig& config,
+                             std::mt19937_64& rng) {
+  if (config.log2_mu < 1 || config.log2_mu > 30)
+    throw std::invalid_argument("make_general_random: log2_mu out of range");
+  if (!(config.horizon > 0.0) || config.target_items < 1)
+    throw std::invalid_argument("make_general_random: bad horizon/items");
+
+  const double mu = pow2(config.log2_mu);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::uniform_real_distribution<double> size_dist(config.size_min,
+                                                   config.size_max);
+  std::uniform_real_distribution<double> arr_dist(0.0, config.horizon);
+
+  Instance out;
+  auto add = [&](Time arrival, double length, Load size) {
+    length = std::clamp(length, 1.0, mu);
+    arrival = std::max(0.0, snap(arrival, config.integer_times));
+    out.add(arrival, arrival + length, size);
+  };
+
+  switch (config.shape) {
+    case GeneralShape::kLogUniform: {
+      for (int k = 0; k < config.target_items; ++k) {
+        const double length =
+            std::exp2(unit(rng) * static_cast<double>(config.log2_mu));
+        add(arr_dist(rng), length, size_dist(rng));
+      }
+      break;
+    }
+    case GeneralShape::kExponential: {
+      std::exponential_distribution<double> dur(4.0 / mu);
+      for (int k = 0; k < config.target_items; ++k)
+        add(arr_dist(rng), 1.0 + dur(rng), size_dist(rng));
+      break;
+    }
+    case GeneralShape::kGeometricBursts: {
+      const int ladder = config.log2_mu + 1;
+      const int bursts = std::max(1, config.target_items / ladder);
+      const Load size =
+          1.0 / std::sqrt(static_cast<double>(std::max(2, config.log2_mu)));
+      for (int b = 0; b < bursts; ++b) {
+        const Time t = arr_dist(rng);
+        for (int i = 0; i < ladder; ++i) add(t, pow2(i), size);
+      }
+      break;
+    }
+    case GeneralShape::kTwoPhase: {
+      // Pairs: a heavy short item and, just after it, a light long item —
+      // the First-Fit trap (the long rider keeps the bin open).
+      const int pairs = config.target_items / 2;
+      for (int k = 0; k < pairs; ++k) {
+        const Time t = arr_dist(rng);
+        add(t, 1.0, 1.0 - 1.5 / mu);             // heavy short
+        add(t + 0.25, mu / 2.0, 1.0 / mu);        // light long rider
+      }
+      break;
+    }
+  }
+  out.finalize();
+  return out;
+}
+
+}  // namespace cdbp::workloads

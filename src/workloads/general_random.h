@@ -1,0 +1,49 @@
+// General (unaligned) random workloads for the clairvoyant general-inputs
+// experiments (E1) and the cross-algorithm property suites. Several shapes:
+//
+//  * kLogUniform   — arrivals Poisson over the horizon; durations
+//                    log-uniform in [1, mu_target]: every duration class
+//                    equally likely, the natural "mu-stressing" mix;
+//  * kExponential  — durations 1 + Exp(mean), sizes uniform: benign cloud
+//                    mix, mu emerges from the tail;
+//  * kGeometricBursts — at Poisson times, release a full geometric ladder
+//                    of durations (1, 2, 4, ..., mu) with small equal
+//                    sizes: a non-adaptive cousin of the Section-4
+//                    adversary, the family where classify/hybrid strategies
+//                    earn their keep;
+//  * kTwoPhase     — short heavy items + long light items overlapping:
+//                    the classic First-Fit trap shape.
+#pragma once
+
+#include <random>
+#include <string>
+
+#include "core/instance.h"
+
+namespace cdbp::workloads {
+
+enum class GeneralShape {
+  kLogUniform,
+  kExponential,
+  kGeometricBursts,
+  kTwoPhase,
+};
+
+[[nodiscard]] std::string to_string(GeneralShape shape);
+
+struct GeneralConfig {
+  GeneralShape shape = GeneralShape::kLogUniform;
+  int log2_mu = 8;          ///< target mu = 2^log2_mu (durations in [1, mu])
+  double horizon = 256.0;   ///< arrivals occur in [0, horizon)
+  int target_items = 400;   ///< expected item count
+  double size_min = 0.02;
+  double size_max = 0.6;
+  bool integer_times = false;  ///< snap arrivals to a dyadic grid (2^-10)
+};
+
+/// Draws a general instance; min duration is clamped to >= 1 so the paper's
+/// normalization (shortest interval >= 1) holds.
+[[nodiscard]] Instance make_general_random(const GeneralConfig& config,
+                                           std::mt19937_64& rng);
+
+}  // namespace cdbp::workloads

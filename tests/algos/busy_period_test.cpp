@@ -1,0 +1,105 @@
+#include "algos/busy_period.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "algos/any_fit.h"
+#include "algos/hybrid.h"
+#include "core/simulator.h"
+#include "core/validation.h"
+#include "test_util.h"
+#include "workloads/general_random.h"
+
+namespace cdbp {
+namespace {
+
+using algos::BusyPeriodReset;
+using testutil::make_instance;
+
+TEST(BusyPeriodReset, CountsPeriods) {
+  const Instance in = make_instance({
+      {0.0, 2.0, 0.5},
+      {1.0, 3.0, 0.5},   // same period
+      {10.0, 11.0, 0.5}, // gap -> new period
+      {20.0, 21.0, 0.5}, // gap -> new period
+  });
+  BusyPeriodReset wrapped(std::make_unique<algos::Hybrid>());
+  const RunResult r = Simulator{}.run(in, wrapped);
+  EXPECT_TRUE(validate_run(in, r).ok());
+  EXPECT_EQ(wrapped.periods(), 3u);
+  EXPECT_NE(wrapped.name().find("per-busy-period"), std::string::npos);
+}
+
+TEST(BusyPeriodReset, ResetsInnerTypeLoads) {
+  // Two same-type heavy bursts separated by a gap. Without the reset, HA's
+  // stale type load could mis-route the second burst; with it, behaviour
+  // is identical to running HA on each period separately.
+  Instance both = make_instance({
+      {0.0, 2.0, 0.4}, {0.0, 2.0, 0.4},      // period 1: switches to CD
+      {64.0, 66.0, 0.4}, {64.0, 66.0, 0.4},  // period 2
+  });
+  Instance alone = make_instance({{0.0, 2.0, 0.4}, {0.0, 2.0, 0.4}});
+
+  BusyPeriodReset wrapped(std::make_unique<algos::Hybrid>());
+  const RunResult r_both = Simulator{}.run(both, wrapped);
+  algos::Hybrid plain;
+  const RunResult r_alone = Simulator{}.run(alone, plain);
+  // Each period must look exactly like the standalone run (same bins/groups
+  // pattern, same per-period cost).
+  EXPECT_DOUBLE_EQ(r_both.cost, 2.0 * r_alone.cost);
+  EXPECT_EQ(r_both.bins_opened, 2 * r_alone.bins_opened);
+}
+
+TEST(BusyPeriodReset, NullInnerRejected) {
+  EXPECT_THROW(BusyPeriodReset{nullptr}, std::invalid_argument);
+}
+
+TEST(BusyPeriodReset, EquivalentOnContiguousInputs) {
+  // No gaps -> the wrapper never fires after the first arrival, so costs
+  // match the bare algorithm exactly.
+  std::mt19937_64 rng(3);
+  workloads::GeneralConfig cfg;
+  cfg.target_items = 150;
+  cfg.log2_mu = 6;
+  cfg.horizon = 16.0;  // dense: one busy period with high probability
+  const Instance in = workloads::make_general_random(cfg, rng);
+  BusyPeriodReset wrapped(std::make_unique<algos::FirstFit>());
+  algos::FirstFit plain;
+  const Cost cw = run_cost(in, wrapped);
+  const Cost cp = run_cost(in, plain);
+  if (wrapped.periods() <= 1) {
+    EXPECT_DOUBLE_EQ(cw, cp);
+  }
+}
+
+TEST(BusyPeriodReset, NestedResetWorks) {
+  const Instance in = make_instance({{0.0, 1.0, 0.5}, {5.0, 6.0, 0.5}});
+  BusyPeriodReset wrapped(std::make_unique<algos::NextFit>());
+  const RunResult r1 = Simulator{}.run(in, wrapped);
+  const RunResult r2 = Simulator{}.run(in, wrapped);  // reset() between runs
+  EXPECT_DOUBLE_EQ(r1.cost, r2.cost);
+}
+
+class BusyPeriodProperty : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BusyPeriodProperty, WrapperPreservesValidity) {
+  std::mt19937_64 rng(GetParam());
+  workloads::GeneralConfig cfg;
+  cfg.target_items = 100;
+  cfg.log2_mu = 5;
+  cfg.horizon = 400.0;  // sparse: many busy periods
+  const Instance in = workloads::make_general_random(cfg, rng);
+  for (const auto& f : testutil::online_factories()) {
+    BusyPeriodReset wrapped(f.make());
+    const RunResult r = Simulator{}.run(in, wrapped);
+    EXPECT_TRUE(validate_run(in, r).ok()) << f.name;
+    EXPECT_GE(wrapped.periods(), 1u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BusyPeriodProperty,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,169 @@
+// The paper's sharpest falsifiable claims, checked exactly:
+//   Corollary 5.8: CDFF_{t+}(sigma_mu) = max_0(binary(t)) + 1 for all t;
+//   Lemma 5.5: the bit -> row rule for every item of sigma_mu;
+//   Proposition 5.3: CDFF(sigma_mu) <= (2 log log mu + 1) OPT_R(sigma_mu).
+#include <gtest/gtest.h>
+
+#include "algos/cdff.h"
+#include "binstr/binstr.h"
+#include "core/session.h"
+#include "core/simulator.h"
+#include "core/validation.h"
+#include "opt/bounds.h"
+#include "workloads/binary_input.h"
+
+namespace cdbp {
+namespace {
+
+using algos::Cdff;
+using workloads::expected_cdff_bins;
+using workloads::make_binary_input;
+
+/// Replays sigma_mu interactively and returns CDFF's open-bin count right
+/// after each instant's arrivals (CDFF_{t+}).
+std::vector<std::size_t> bins_after_each_instant(int n) {
+  const Instance in = make_binary_input(n);
+  Cdff cdff;
+  InteractiveSession session(cdff);
+  std::vector<std::size_t> counts;
+  const auto mu = static_cast<std::int64_t>(pow2(n));
+  std::size_t next = 0;
+  for (std::int64_t t = 0; t < mu; ++t) {
+    while (next < in.size() && in[next].arrival == static_cast<Time>(t)) {
+      session.offer(in[next].arrival, in[next].departure, in[next].size);
+      ++next;
+    }
+    counts.push_back(session.open_bins());
+  }
+  EXPECT_EQ(next, in.size());
+  session.finish();
+  return counts;
+}
+
+TEST(CdffBinary, Corollary58ExactForMu8) {
+  // Hand-checked values for n = 3 (mu = 8):
+  //   t:        0  1  2  3  4  5  6  7
+  //   binary:  000 001 010 011 100 101 110 111
+  //   max_0:    3  2  1  1  2  1  1  0
+  const std::vector<std::size_t> expect = {4, 3, 2, 2, 3, 2, 2, 1};
+  EXPECT_EQ(bins_after_each_instant(3), expect);
+}
+
+class Corollary58Sweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(Corollary58Sweep, BinCountEqualsMaxZeroRunPlusOne) {
+  const int n = GetParam();
+  const std::vector<std::size_t> counts = bins_after_each_instant(n);
+  const auto mu = static_cast<std::int64_t>(pow2(n));
+  ASSERT_EQ(counts.size(), static_cast<std::size_t>(mu));
+  for (std::int64_t t = 0; t < mu; ++t) {
+    EXPECT_EQ(counts[static_cast<std::size_t>(t)],
+              static_cast<std::size_t>(
+                  expected_cdff_bins(n, static_cast<std::uint64_t>(t))))
+        << "n=" << n << " t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSmallMu, Corollary58Sweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8, 10, 12));
+
+TEST(CdffBinary, Lemma55RowRule) {
+  // For every t and every active item r: if bit log2(l(r)) of
+  // b_t = 1||binary(t) is 1 the item sits in paper row 0; if it is 0 and s
+  // zeros extend above it, the item sits in paper row s + 1.
+  const int n = 6;
+  const Instance in = make_binary_input(n);
+  Cdff cdff;
+  InteractiveSession session(cdff);
+  const auto mu = static_cast<std::int64_t>(pow2(n));
+  std::size_t next = 0;
+  std::vector<ItemId> active_by_bucket(static_cast<std::size_t>(n) + 1,
+                                       kNoBin);
+  for (std::int64_t t = 0; t < mu; ++t) {
+    while (next < in.size() && in[next].arrival == static_cast<Time>(t)) {
+      const Item& r = in[next];
+      session.offer(r.arrival, r.departure, r.size);
+      active_by_bucket[static_cast<std::size_t>(aligned_bucket(r.length()))] =
+          r.id;
+      ++next;
+    }
+    for (int bucket = 0; bucket <= n; ++bucket) {
+      const ItemId id = active_by_bucket[static_cast<std::size_t>(bucket)];
+      ASSERT_NE(id, kNoBin) << "every length active at every instant";
+      const BinId bin = session.ledger().bin_of(id);
+      ASSERT_NE(bin, kNoBin);
+      const int paper_row = cdff.paper_row_of(bin);
+      const auto ut = static_cast<std::uint64_t>(t);
+      if (binstr::prefixed_bit(ut, n, bucket)) {
+        EXPECT_EQ(paper_row, 0) << "t=" << t << " bucket=" << bucket;
+      } else {
+        const int s = binstr::zero_run_above(ut, n, bucket);
+        EXPECT_EQ(paper_row, s + 1) << "t=" << t << " bucket=" << bucket;
+      }
+    }
+  }
+  session.finish();
+}
+
+TEST(CdffBinary, NoRowEverNeedsASecondBin) {
+  // In sigma_mu every row's first bin suffices (Lemma 5.5's proof): the
+  // total count of bins ever opened equals the count of (row, episode)
+  // pairs, and no two bins of the same row are ever open together.
+  const int n = 7;
+  const Instance in = make_binary_input(n);
+  Cdff cdff;
+  const RunResult r = Simulator{}.run(in, cdff);
+  EXPECT_TRUE(validate_run(in, r).ok());
+  // No two bins with the same group (delta row) overlapping in time:
+  for (std::size_t a = 0; a < r.bins.size(); ++a)
+    for (std::size_t b = a + 1; b < r.bins.size(); ++b) {
+      if (r.bins[a].group != r.bins[b].group) continue;
+      const bool disjoint = r.bins[a].closed <= r.bins[b].opened ||
+                            r.bins[b].closed <= r.bins[a].opened;
+      EXPECT_TRUE(disjoint) << "bins " << a << "," << b;
+    }
+}
+
+TEST(CdffBinary, Proposition53CostBound) {
+  for (int n : {2, 3, 4, 6, 8, 10}) {
+    const Instance in = make_binary_input(n);
+    Cdff cdff;
+    const Cost cost = run_cost(in, cdff);
+    const double mu = pow2(n);
+    // OPT_R(sigma_mu) >= mu (span bound); the paper's bound:
+    const double bound =
+        (2.0 * std::log2(std::max(1.0, static_cast<double>(n))) + 1.0) * mu;
+    // Our lower bound on OPT_R:
+    const double lb = opt::compute_bounds(in).lower();
+    EXPECT_GE(lb, mu - kTimeEps);
+    EXPECT_LE(cost, bound * 1.0001 + 1e-9) << "n=" << n;
+  }
+}
+
+TEST(CdffBinary, CostEqualsSumOfExpectedCounts) {
+  // CDFF(sigma_mu) = sum_t CDFF_{t+} exactly (unit-length instants).
+  const int n = 5;
+  const Instance in = make_binary_input(n);
+  Cdff cdff;
+  const Cost cost = run_cost(in, cdff);
+  double expected = 0.0;
+  for (std::int64_t t = 0; t < static_cast<std::int64_t>(pow2(n)); ++t)
+    expected += expected_cdff_bins(n, static_cast<std::uint64_t>(t));
+  EXPECT_NEAR(cost, expected, 1e-9);
+}
+
+TEST(CdffBinary, BinaryInputShape) {
+  const int n = 4;
+  const Instance in = make_binary_input(n);
+  EXPECT_EQ(in.size(), static_cast<std::size_t>(2 * 16 - 1));
+  EXPECT_TRUE(in.is_aligned());
+  EXPECT_TRUE(in.is_contiguous());
+  EXPECT_DOUBLE_EQ(in.mu(), 16.0);
+  // Every length active at every moment: S_t = (n+1) * 1/(n+1) = 1.
+  const StepFunction f = in.load_profile();
+  EXPECT_NEAR(f.max_value(), 1.0, 1e-12);
+  EXPECT_NEAR(f.integral(), pow2(n), 1e-9);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,63 @@
+#include "analysis/bootstrap.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace cdbp::analysis {
+namespace {
+
+TEST(Bootstrap, DegenerateSampleHasZeroWidth) {
+  const auto ci = bootstrap_mean_ci({2.0, 2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(ci.point, 2.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 2.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 2.0);
+}
+
+TEST(Bootstrap, CoversTheMean) {
+  std::mt19937_64 rng(4);
+  std::normal_distribution<double> noise(10.0, 2.0);
+  std::vector<double> sample;
+  for (int k = 0; k < 60; ++k) sample.push_back(noise(rng));
+  const auto ci = bootstrap_mean_ci(sample);
+  EXPECT_LT(ci.lo, ci.point);
+  EXPECT_GT(ci.hi, ci.point);
+  EXPECT_NEAR(ci.point, 10.0, 1.5);
+  EXPECT_LT(ci.hi - ci.lo, 3.0);  // n = 60, sd = 2 => width ~ 1
+}
+
+TEST(Bootstrap, DeterministicForFixedSeed) {
+  const std::vector<double> sample = {1.0, 3.0, 2.0, 5.0, 4.0};
+  const auto a = bootstrap_mean_ci(sample, 0.9, 500, 7);
+  const auto b = bootstrap_mean_ci(sample, 0.9, 500, 7);
+  EXPECT_DOUBLE_EQ(a.lo, b.lo);
+  EXPECT_DOUBLE_EQ(a.hi, b.hi);
+}
+
+TEST(Bootstrap, WiderLevelWiderInterval) {
+  std::mt19937_64 rng(9);
+  std::uniform_real_distribution<double> u(0.0, 1.0);
+  std::vector<double> sample;
+  for (int k = 0; k < 40; ++k) sample.push_back(u(rng));
+  const auto narrow = bootstrap_mean_ci(sample, 0.5);
+  const auto wide = bootstrap_mean_ci(sample, 0.99);
+  EXPECT_LE(wide.lo, narrow.lo + 1e-12);
+  EXPECT_GE(wide.hi, narrow.hi - 1e-12);
+}
+
+TEST(Bootstrap, Validation) {
+  EXPECT_THROW((void)bootstrap_mean_ci({}), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_mean_ci({1.0}, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_mean_ci({1.0}, 1.0), std::invalid_argument);
+  EXPECT_THROW((void)bootstrap_mean_ci({1.0}, 0.9, 1), std::invalid_argument);
+}
+
+TEST(Bootstrap, SingleValueSample) {
+  const auto ci = bootstrap_mean_ci({7.0});
+  EXPECT_DOUBLE_EQ(ci.point, 7.0);
+  EXPECT_DOUBLE_EQ(ci.lo, 7.0);
+  EXPECT_DOUBLE_EQ(ci.hi, 7.0);
+}
+
+}  // namespace
+}  // namespace cdbp::analysis

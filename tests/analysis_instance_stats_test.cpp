@@ -1,0 +1,59 @@
+#include "analysis/instance_stats.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workloads/binary_input.h"
+
+namespace cdbp::analysis {
+namespace {
+
+using testutil::make_instance;
+
+TEST(InstanceStats, EmptyInstance) {
+  const InstanceStats s = compute_instance_stats(Instance{});
+  EXPECT_EQ(s.items, 0u);
+  EXPECT_DOUBLE_EQ(s.mu, 1.0);
+  EXPECT_TRUE(s.duration_class_histogram.empty());
+}
+
+TEST(InstanceStats, KnownInstance) {
+  const Instance in = make_instance({
+      {0.0, 4.0, 0.5},   // class 2
+      {0.0, 1.0, 0.25},  // class 0
+      {1.0, 3.0, 0.75},  // class 1 at an odd arrival: breaks alignment
+  });
+  const InstanceStats s = compute_instance_stats(in);
+  EXPECT_EQ(s.items, 3u);
+  EXPECT_DOUBLE_EQ(s.mu, 4.0);
+  EXPECT_DOUBLE_EQ(s.span, 4.0);
+  EXPECT_DOUBLE_EQ(s.demand, 0.5 * 4 + 0.25 * 1 + 0.75 * 2);
+  EXPECT_DOUBLE_EQ(s.peak_load, 1.25);
+  EXPECT_EQ(s.max_concurrency, 2u);
+  EXPECT_FALSE(s.aligned);
+  EXPECT_EQ(s.duration_class_histogram.at(0), 1u);
+  EXPECT_EQ(s.duration_class_histogram.at(1), 1u);
+  EXPECT_EQ(s.duration_class_histogram.at(2), 1u);
+  EXPECT_DOUBLE_EQ(s.sizes.max, 0.75);
+  EXPECT_DOUBLE_EQ(s.lengths.median, 2.0);
+}
+
+TEST(InstanceStats, AlignedDetection) {
+  const InstanceStats s =
+      compute_instance_stats(workloads::make_binary_input(4));
+  EXPECT_TRUE(s.aligned);
+  EXPECT_TRUE(s.contiguous);
+  EXPECT_NEAR(s.peak_load, 1.0, 1e-12);
+  EXPECT_NEAR(s.mean_load, 1.0, 1e-12);
+}
+
+TEST(InstanceStats, RenderingMentionsKeyFields) {
+  const Instance in = make_instance({{0.0, 8.0, 0.5}});
+  const std::string text = to_string(compute_instance_stats(in));
+  EXPECT_NE(text.find("mu:"), std::string::npos);
+  EXPECT_NE(text.find("duration classes"), std::string::npos);
+  EXPECT_NE(text.find("max concurrency"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdbp::analysis

@@ -1,0 +1,69 @@
+#include "analysis/sweep.h"
+
+#include <gtest/gtest.h>
+
+namespace cdbp::analysis {
+namespace {
+
+RatioMeasurement meas(const std::string& algo, double cost, double lb,
+                      double ub) {
+  RatioMeasurement m;
+  m.algorithm = algo;
+  m.cost = cost;
+  m.opt_lower = lb;
+  m.opt_upper = ub;
+  return m;
+}
+
+TEST(Sweep, AggregatesByAlgorithmAndMu) {
+  const std::vector<SweepObservation> obs = {
+      {16.0, meas("A", 10.0, 5.0, 8.0)},
+      {16.0, meas("A", 20.0, 5.0, 8.0)},
+      {16.0, meas("B", 12.0, 6.0, 6.0)},
+      {64.0, meas("A", 30.0, 10.0, 15.0)},
+  };
+  const auto points = aggregate_sweep(obs);
+  ASSERT_EQ(points.size(), 3u);
+  // First-seen order: (A,16), (B,16), (A,64).
+  EXPECT_EQ(points[0].algorithm, "A");
+  EXPECT_DOUBLE_EQ(points[0].mu, 16.0);
+  EXPECT_EQ(points[0].ratio_vs_lower.count, 2u);
+  EXPECT_DOUBLE_EQ(points[0].ratio_vs_lower.mean, (2.0 + 4.0) / 2.0);
+  EXPECT_DOUBLE_EQ(points[0].ratio_vs_upper.mean, (10.0 / 8 + 20.0 / 8) / 2);
+  EXPECT_DOUBLE_EQ(points[0].cost.mean, 15.0);
+  EXPECT_EQ(points[1].algorithm, "B");
+  EXPECT_DOUBLE_EQ(points[2].mu, 64.0);
+}
+
+TEST(Sweep, EmptyInput) {
+  EXPECT_TRUE(aggregate_sweep({}).empty());
+}
+
+TEST(Sweep, RatioSeriesSortedByMu) {
+  const std::vector<SweepObservation> obs = {
+      {64.0, meas("A", 30.0, 10.0, 15.0)},
+      {16.0, meas("A", 10.0, 5.0, 8.0)},
+      {16.0, meas("B", 12.0, 6.0, 6.0)},
+  };
+  const auto points = aggregate_sweep(obs);
+  const auto series = ratio_series(points, "A");
+  ASSERT_EQ(series.size(), 2u);
+  EXPECT_DOUBLE_EQ(series[0].x, 16.0);
+  EXPECT_DOUBLE_EQ(series[0].y, 2.0);
+  EXPECT_DOUBLE_EQ(series[1].x, 64.0);
+  EXPECT_DOUBLE_EQ(series[1].y, 3.0);
+  EXPECT_TRUE(ratio_series(points, "nope").empty());
+}
+
+TEST(Sweep, NominalMuSeparatesBuckets) {
+  // Same algorithm, same measured values, different nominal mu: two
+  // points, not one.
+  const std::vector<SweepObservation> obs = {
+      {16.0, meas("A", 10.0, 5.0, 8.0)},
+      {32.0, meas("A", 10.0, 5.0, 8.0)},
+  };
+  EXPECT_EQ(aggregate_sweep(obs).size(), 2u);
+}
+
+}  // namespace
+}  // namespace cdbp::analysis

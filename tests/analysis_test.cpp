@@ -1,0 +1,110 @@
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "algos/any_fit.h"
+#include "analysis/ratio.h"
+#include "analysis/stats.h"
+#include "test_util.h"
+
+namespace cdbp::analysis {
+namespace {
+
+TEST(Stats, SummaryBasics) {
+  const Summary s = summarize({3.0, 1.0, 2.0, 4.0});
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_DOUBLE_EQ(s.mean, 2.5);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 4.0);
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+  EXPECT_NEAR(s.stddev, 1.2909944, 1e-6);
+}
+
+TEST(Stats, SummaryOddCountMedian) {
+  EXPECT_DOUBLE_EQ(summarize({5.0, 1.0, 3.0}).median, 3.0);
+}
+
+TEST(Stats, SummaryEmptyAndSingleton) {
+  EXPECT_EQ(summarize({}).count, 0u);
+  const Summary s = summarize({7.0});
+  EXPECT_DOUBLE_EQ(s.mean, 7.0);
+  EXPECT_DOUBLE_EQ(s.stddev, 0.0);
+}
+
+TEST(GrowthLaws, EvalValues) {
+  EXPECT_DOUBLE_EQ(eval_growth(GrowthLaw::kConstant, 256.0), 1.0);
+  EXPECT_DOUBLE_EQ(eval_growth(GrowthLaw::kLogMu, 256.0), 8.0);
+  EXPECT_DOUBLE_EQ(eval_growth(GrowthLaw::kSqrtLogMu, 256.0),
+                   std::sqrt(8.0));
+  EXPECT_DOUBLE_EQ(eval_growth(GrowthLaw::kLogLogMu, 256.0), 3.0);
+  EXPECT_DOUBLE_EQ(eval_growth(GrowthLaw::kMu, 256.0), 256.0);
+}
+
+TEST(GrowthLaws, Names) {
+  EXPECT_EQ(to_string(GrowthLaw::kSqrtLogMu), "sqrt(log mu)");
+  EXPECT_EQ(to_string(GrowthLaw::kMu), "mu");
+}
+
+TEST(GrowthLaws, PerfectFitRecovered) {
+  // y = 3 * sqrt(log mu) + 1 exactly.
+  std::vector<Point> pts;
+  for (int n = 2; n <= 20; ++n) {
+    const double mu = std::exp2(n);
+    pts.push_back(Point{mu, 3.0 * std::sqrt(static_cast<double>(n)) + 1.0});
+  }
+  const Fit fit = fit_growth(GrowthLaw::kSqrtLogMu, pts);
+  EXPECT_NEAR(fit.a, 3.0, 1e-9);
+  EXPECT_NEAR(fit.b, 1.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-12);
+}
+
+TEST(GrowthLaws, RankingPicksTheGeneratingLaw) {
+  std::vector<Point> pts;
+  for (int n = 2; n <= 24; ++n) {
+    const double mu = std::exp2(n);
+    pts.push_back(Point{mu, 2.0 * std::log2(static_cast<double>(n)) + 0.5});
+  }
+  const std::vector<Fit> fits = rank_growth_laws(pts);
+  ASSERT_FALSE(fits.empty());
+  EXPECT_EQ(fits.front().law, GrowthLaw::kLogLogMu);
+}
+
+TEST(GrowthLaws, ConstantLawDegenerateFit) {
+  const std::vector<Point> pts = {{4.0, 2.0}, {16.0, 2.0}, {64.0, 2.0}};
+  const Fit fit = fit_growth(GrowthLaw::kConstant, pts);
+  EXPECT_NEAR(fit.a + fit.b, 2.0, 1e-9);
+  EXPECT_NEAR(fit.r2, 1.0, 1e-9);
+}
+
+TEST(GrowthLaws, TooFewPointsSafe) {
+  EXPECT_DOUBLE_EQ(fit_growth(GrowthLaw::kLogMu, {}).r2, 0.0);
+  EXPECT_DOUBLE_EQ(fit_growth(GrowthLaw::kLogMu, {{2.0, 1.0}}).r2, 0.0);
+}
+
+TEST(Ratio, MeasurementSandwich) {
+  const Instance in = testutil::make_instance({
+      {0.0, 4.0, 0.6},
+      {0.0, 4.0, 0.6},
+      {1.0, 3.0, 0.6},
+  });
+  algos::FirstFit ff;
+  const RatioMeasurement m = measure_ratio(in, ff);
+  EXPECT_EQ(m.algorithm, "FirstFit");
+  EXPECT_GT(m.cost, 0.0);
+  EXPECT_LE(m.opt_lower, m.opt_upper + 1e-12);
+  EXPECT_GE(m.ratio_vs_lower(), m.ratio_vs_upper());
+  EXPECT_GE(m.ratio_vs_lower(), 1.0 - 1e-9);  // ON >= OPT >= LB
+  EXPECT_DOUBLE_EQ(m.mu, 2.0);
+}
+
+TEST(Ratio, PrecomputedCostPath) {
+  const Instance in = testutil::make_instance({{0.0, 2.0, 0.5}});
+  const RatioMeasurement m =
+      measure_ratio_with_cost(in, "X", 6.0, /*tight_upper=*/false);
+  EXPECT_DOUBLE_EQ(m.cost, 6.0);
+  EXPECT_DOUBLE_EQ(m.opt_lower, 2.0);
+  EXPECT_DOUBLE_EQ(m.ratio_vs_lower(), 3.0);
+}
+
+}  // namespace
+}  // namespace cdbp::analysis

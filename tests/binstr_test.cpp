@@ -1,0 +1,128 @@
+#include "binstr/binstr.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace cdbp::binstr {
+namespace {
+
+TEST(Binstr, BinaryStrings) {
+  EXPECT_EQ(binary(0), "0");
+  EXPECT_EQ(binary(5), "101");
+  EXPECT_EQ(binary(5, 6), "000101");
+  EXPECT_EQ(binary(255, 8), "11111111");
+}
+
+TEST(Binstr, MaxZeroRun) {
+  EXPECT_EQ(max_zero_run(0b1111, 4), 0);
+  EXPECT_EQ(max_zero_run(0b1011, 4), 1);
+  EXPECT_EQ(max_zero_run(0b1001, 4), 2);
+  EXPECT_EQ(max_zero_run(0, 7), 7);
+  EXPECT_EQ(max_zero_run(0b1001000, 7), 3);
+  // Width padding adds leading zeros.
+  EXPECT_EQ(max_zero_run(0b101, 8), 5);
+}
+
+TEST(Binstr, MaxZeroRunMatchesStringScan) {
+  std::mt19937_64 rng(1);
+  for (int trial = 0; trial < 200; ++trial) {
+    const int width = 1 + static_cast<int>(rng() % 20);
+    const std::uint64_t t = rng() & ((1ULL << width) - 1);
+    const std::string s = binary(t, width);
+    int best = 0, run = 0;
+    for (char c : s) {
+      run = c == '0' ? run + 1 : 0;
+      best = std::max(best, run);
+    }
+    EXPECT_EQ(max_zero_run(t, width), best) << s;
+  }
+}
+
+TEST(Binstr, LsbZeroRun) {
+  EXPECT_EQ(lsb_zero_run(0b1000, 4), 3);
+  EXPECT_EQ(lsb_zero_run(0b1001, 4), 0);
+  EXPECT_EQ(lsb_zero_run(0, 4), 4);
+  EXPECT_EQ(lsb_zero_run(16, 3), 3);  // run clamped to width
+}
+
+TEST(Binstr, PrefixedBit) {
+  // b = 1 || binary(t): bit `width` is the prepended 1.
+  EXPECT_TRUE(prefixed_bit(0, 4, 4));
+  EXPECT_FALSE(prefixed_bit(0, 4, 0));
+  EXPECT_TRUE(prefixed_bit(0b0100, 4, 2));
+  EXPECT_THROW((void)prefixed_bit(0, 4, 5), std::invalid_argument);
+}
+
+TEST(Binstr, ZeroRunAbove) {
+  // b_t = 1001000 (the paper's example, t = 0b001000, width 6):
+  // the bit of "length 4" (bit 2) has bit 3 == 1 right above -> s = 0,
+  // so the item goes to bin b_{s+1}^1 = b_1^1, matching the paper.
+  const std::uint64_t t = 0b001000;
+  EXPECT_EQ(zero_run_above(t, 6, 2), 0);
+  EXPECT_EQ(zero_run_above(t, 6, 3), 2);  // bits 4,5 zero, bit 6 is the 1
+  EXPECT_EQ(zero_run_above(t, 6, 5), 0);  // bit 6 is the prepended 1
+  EXPECT_EQ(zero_run_above(t, 6, 6), 0);  // MSB itself
+}
+
+TEST(Binstr, TotalMaxZeroRunSmallCases) {
+  // n = 2: strings 00,01,10,11 -> 2+1+1+0 = 4.
+  EXPECT_EQ(total_max_zero_run(2), 4u);
+  // n = 3: 3+2+1+1+2+1+1+0 = 11.
+  EXPECT_EQ(total_max_zero_run(3), 11u);
+}
+
+TEST(Binstr, Corollary510Bound) {
+  // sum_t max_0(binary(t)) <= 2 mu log log mu for all n >= 2.
+  for (int n = 2; n <= 16; ++n) {
+    const double mu = static_cast<double>(1ULL << n);
+    const double bound = 2.0 * mu * std::log2(static_cast<double>(n));
+    EXPECT_LE(static_cast<double>(total_max_zero_run(n)), bound + 1e-9)
+        << "n=" << n;
+  }
+}
+
+TEST(Binstr, Lemma59ExpectationBound) {
+  // E[max_0] <= 2 log2 n (exact DP vs the bound).
+  for (int n : {2, 4, 8, 16, 32, 63}) {
+    const double e = exact_expected_max_zero_run(n);
+    EXPECT_LE(e, 2.0 * std::log2(static_cast<double>(n)) + 1e-9) << n;
+    EXPECT_GT(e, 0.0);
+  }
+}
+
+TEST(Binstr, ExactExpectationMatchesExhaustive) {
+  for (int n = 1; n <= 12; ++n) {
+    const double exhaustive = static_cast<double>(total_max_zero_run(n)) /
+                              static_cast<double>(1ULL << n);
+    EXPECT_NEAR(exact_expected_max_zero_run(n), exhaustive, 1e-9) << n;
+  }
+}
+
+TEST(Binstr, MonteCarloAgreesWithExact) {
+  std::mt19937_64 rng(7);
+  const int n = 20;
+  const double mc = mc_expected_max_zero_run(n, 20000, rng);
+  const double exact = exact_expected_max_zero_run(n);
+  EXPECT_NEAR(mc, exact, 0.15);
+}
+
+TEST(Binstr, ExpectationIsMonotoneInN) {
+  double prev = 0.0;
+  for (int n = 1; n <= 40; ++n) {
+    const double e = exact_expected_max_zero_run(n);
+    EXPECT_GE(e, prev);
+    prev = e;
+  }
+}
+
+TEST(Binstr, WidthValidation) {
+  EXPECT_THROW((void)max_zero_run(1, 64), std::invalid_argument);
+  EXPECT_THROW((void)lsb_zero_run(1, 0), std::invalid_argument);
+  EXPECT_THROW((void)total_max_zero_run(27), std::invalid_argument);
+  std::mt19937_64 rng(0);
+  EXPECT_THROW((void)mc_expected_max_zero_run(4, 0, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdbp::binstr

@@ -1,0 +1,216 @@
+#include "cli/cli.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace cdbp::cli {
+namespace {
+
+struct CliRun {
+  int code;
+  std::string out;
+  std::string err;
+};
+
+CliRun cli(std::vector<std::string> args) {
+  std::ostringstream out, err;
+  const int code = run_cli(args, out, err);
+  return CliRun{code, out.str(), err.str()};
+}
+
+std::string temp_file(const std::string& name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Cli, HelpAndNoArgs) {
+  const CliRun help = cli({"help"});
+  EXPECT_EQ(help.code, 0);
+  EXPECT_NE(help.out.find("usage:"), std::string::npos);
+  const CliRun none = cli({});
+  EXPECT_EQ(none.code, 2);
+}
+
+TEST(Cli, UnknownCommand) {
+  const CliRun r = cli({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, GenerateRunCompareBoundsPipeline) {
+  const std::string path = temp_file("cdbp_cli_test.csv");
+
+  const CliRun gen = cli({"generate", "--kind", "binary", "--n", "4",
+                          "--out", path});
+  EXPECT_EQ(gen.code, 0) << gen.err;
+  EXPECT_NE(gen.out.find("wrote 31 items"), std::string::npos);
+
+  const CliRun run = cli({"run", "--algo", "cdff", "--in", path,
+                          "--validate"});
+  EXPECT_EQ(run.code, 0) << run.err;
+  EXPECT_NE(run.out.find("CDFF"), std::string::npos);
+  EXPECT_NE(run.out.find("validation: OK"), std::string::npos);
+
+  const CliRun bounds = cli({"bounds", "--in", path});
+  EXPECT_EQ(bounds.code, 0) << bounds.err;
+  EXPECT_NE(bounds.out.find("repack witness"), std::string::npos);
+
+  const CliRun compare = cli({"compare", "--in", path});
+  EXPECT_EQ(compare.code, 0) << compare.err;
+  EXPECT_NE(compare.out.find("[aligned]"), std::string::npos);
+  EXPECT_NE(compare.out.find("CDFF"), std::string::npos);
+  EXPECT_NE(compare.out.find("HA"), std::string::npos);
+
+  std::remove(path.c_str());
+}
+
+TEST(Cli, RunWithGanttAndTimeline) {
+  const std::string path = temp_file("cdbp_cli_gantt.csv");
+  const std::string timeline = temp_file("cdbp_cli_timeline.csv");
+  ASSERT_EQ(cli({"generate", "--kind", "general", "--n", "4", "--items",
+                 "20", "--out", path})
+                .code,
+            0);
+  const CliRun r = cli({"run", "--algo", "ha", "--in", path, "--gantt",
+                        "--timeline", timeline});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("bin"), std::string::npos);
+  EXPECT_NE(r.out.find("timeline written"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(timeline));
+  std::remove(path.c_str());
+  std::remove(timeline.c_str());
+}
+
+TEST(Cli, CompareSkipsCdffOnUnalignedInput) {
+  const std::string path = temp_file("cdbp_cli_unaligned.csv");
+  ASSERT_EQ(cli({"generate", "--kind", "cloud", "--out", path}).code, 0);
+  const CliRun r = cli({"compare", "--in", path});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_EQ(r.out.find("CDFF"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, StatsReduceExactPipeline) {
+  const std::string path = temp_file("cdbp_cli_sre.csv");
+  const std::string reduced = temp_file("cdbp_cli_sre_reduced.csv");
+  ASSERT_EQ(cli({"generate", "--kind", "general", "--n", "4", "--items",
+                 "12", "--out", path})
+                .code,
+            0);
+
+  const CliRun stats = cli({"stats", "--in", path});
+  EXPECT_EQ(stats.code, 0) << stats.err;
+  EXPECT_NE(stats.out.find("duration classes"), std::string::npos);
+
+  const CliRun red = cli({"reduce", "--in", path, "--out", reduced});
+  EXPECT_EQ(red.code, 0) << red.err;
+  EXPECT_NE(red.out.find("span x"), std::string::npos);
+  EXPECT_TRUE(std::filesystem::exists(reduced));
+
+  const CliRun exact = cli({"exact", "--in", path});
+  EXPECT_EQ(exact.code, 0) << exact.err;
+  EXPECT_NE(exact.out.find("OPT_R"), std::string::npos);
+  EXPECT_NE(exact.out.find("OPT_NR"), std::string::npos);
+
+  std::remove(path.c_str());
+  std::remove(reduced.c_str());
+}
+
+TEST(Cli, ExactReportsInfeasibilityGracefully) {
+  const std::string path = temp_file("cdbp_cli_big.csv");
+  ASSERT_EQ(cli({"generate", "--kind", "general", "--n", "4", "--items",
+                 "120", "--out", path})
+                .code,
+            0);
+  const CliRun exact = cli({"exact", "--in", path});
+  EXPECT_EQ(exact.code, 0) << exact.err;
+  EXPECT_NE(exact.out.find("OPT_NR   : infeasible"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, MergeCommand) {
+  const std::string a = temp_file("cdbp_cli_merge_a.csv");
+  const std::string b = temp_file("cdbp_cli_merge_b.csv");
+  const std::string out = temp_file("cdbp_cli_merge_out.csv");
+  ASSERT_EQ(cli({"generate", "--kind", "general", "--n", "3", "--items",
+                 "10", "--out", a})
+                .code,
+            0);
+  ASSERT_EQ(cli({"generate", "--kind", "general", "--n", "3", "--items",
+                 "15", "--seed", "2", "--out", b})
+                .code,
+            0);
+  // Superimpose (default).
+  const CliRun merged = cli({"merge", "--a", a, "--b", b, "--out", out});
+  EXPECT_EQ(merged.code, 0) << merged.err;
+  EXPECT_NE(merged.out.find("merged 10 + 15"), std::string::npos);
+  EXPECT_NE(merged.out.find("n=25"), std::string::npos);
+  // Concatenate with a gap.
+  const CliRun cat =
+      cli({"merge", "--a", a, "--b", b, "--out", out, "--gap", "8"});
+  EXPECT_EQ(cat.code, 0) << cat.err;
+  EXPECT_NE(cat.out.find("concatenated"), std::string::npos);
+  std::remove(a.c_str());
+  std::remove(b.c_str());
+  std::remove(out.c_str());
+}
+
+TEST(Cli, ClusterCommand) {
+  const std::string path = temp_file("cdbp_cli_cluster.csv");
+  ASSERT_EQ(cli({"generate", "--kind", "general", "--n", "4", "--items",
+                 "40", "--out", path})
+                .code,
+            0);
+  const CliRun r =
+      cli({"cluster", "--algo", "bf", "--in", path, "--boot", "2.5"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("warm window"), std::string::npos);
+  EXPECT_NE(r.out.find("total energy"), std::string::npos);
+  EXPECT_NE(r.out.find("boot=2.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, AdversaryCommand) {
+  const CliRun r =
+      cli({"adversary", "--algo", "ff", "--n", "6", "--rounds", "16"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("certified ratio"), std::string::npos);
+}
+
+TEST(Cli, ErrorPathsReportCleanly) {
+  EXPECT_EQ(cli({"run", "--algo", "ha"}).code, 1);           // missing --in
+  EXPECT_EQ(cli({"run", "--algo", "nope", "--in", "x"}).code, 1);
+  EXPECT_EQ(cli({"bounds", "--in", "/no/such/file.csv"}).code, 1);
+  EXPECT_EQ(cli({"generate", "--kind", "weird", "--out", "/tmp/x"}).code, 1);
+  EXPECT_EQ(cli({"run", "--algo"}).code, 1);                 // dangling flag
+  EXPECT_EQ(cli({"run", "positional"}).code, 1);
+  const CliRun unknown_flag =
+      cli({"adversary", "--algo", "ff", "--n", "4", "--bogus", "1"});
+  EXPECT_EQ(unknown_flag.code, 1);
+  EXPECT_NE(unknown_flag.err.find("--bogus"), std::string::npos);
+}
+
+TEST(Cli, MakeAlgorithmCoversAllNames) {
+  for (const std::string& name : algorithm_names()) {
+    const AlgorithmPtr algo = make_algorithm(name, 1024.0);
+    ASSERT_NE(algo, nullptr) << name;
+    EXPECT_FALSE(algo->name().empty());
+  }
+  EXPECT_THROW((void)make_algorithm("nope"), std::invalid_argument);
+}
+
+TEST(Cli, GenerateShapesAccepted) {
+  for (const std::string shape :
+       {"log-uniform", "exponential", "geometric-bursts", "two-phase"}) {
+    const std::string path = temp_file("cdbp_cli_shape.csv");
+    const CliRun r = cli({"generate", "--kind", "general", "--shape", shape,
+                          "--items", "30", "--out", path});
+    EXPECT_EQ(r.code, 0) << shape << ": " << r.err;
+    std::remove(path.c_str());
+  }
+}
+
+}  // namespace
+}  // namespace cdbp::cli

@@ -1,0 +1,151 @@
+#include "cluster/cluster.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "algos/any_fit.h"
+#include "algos/classify.h"
+#include "core/simulator.h"
+#include "test_util.h"
+#include "workloads/general_random.h"
+
+namespace cdbp::cluster {
+namespace {
+
+using testutil::make_instance;
+
+RunResult run_ff(const Instance& in) {
+  algos::FirstFit ff;
+  return Simulator{}.run(in, ff);
+}
+
+TEST(Cluster, NoWarmWindowMeansOneBootPerBin) {
+  // Two disjoint busy periods separated by a gap > 0: without a warm
+  // window the second bin needs a fresh boot.
+  const Instance in = make_instance({{0.0, 1.0, 0.5}, {5.0, 6.0, 0.5}});
+  const RunResult r = run_ff(in);
+  ASSERT_EQ(r.bins_opened, 2u);
+  const ClusterReport rep = evaluate_cluster(r, ClusterModel{});
+  EXPECT_EQ(rep.servers_booted, 2u);
+  EXPECT_EQ(rep.reuses, 0u);
+  EXPECT_DOUBLE_EQ(rep.active_time, 2.0);
+  EXPECT_DOUBLE_EQ(rep.idle_time, 0.0);
+  EXPECT_DOUBLE_EQ(rep.total_energy, 2.0 * 1.0 + 2.0 * 5.0);
+}
+
+TEST(Cluster, WarmWindowBridgesTheGap) {
+  const Instance in = make_instance({{0.0, 1.0, 0.5}, {5.0, 6.0, 0.5}});
+  const RunResult r = run_ff(in);
+  ClusterModel model;
+  model.warm_window = 10.0;
+  const ClusterReport rep = evaluate_cluster(r, model);
+  EXPECT_EQ(rep.servers_booted, 1u);
+  EXPECT_EQ(rep.reuses, 1u);
+  EXPECT_DOUBLE_EQ(rep.idle_time, 4.0);
+  EXPECT_DOUBLE_EQ(rep.total_energy, 2.0 * 1.0 + 4.0 * 0.4 + 1.0 * 5.0);
+}
+
+TEST(Cluster, WindowTooShortDoesNotBridge) {
+  const Instance in = make_instance({{0.0, 1.0, 0.5}, {5.0, 6.0, 0.5}});
+  const RunResult r = run_ff(in);
+  ClusterModel model;
+  model.warm_window = 3.9;
+  const ClusterReport rep = evaluate_cluster(r, model);
+  EXPECT_EQ(rep.servers_booted, 2u);
+}
+
+TEST(Cluster, ZeroWindowAllowsExactChaining) {
+  // Bin 0 closes at exactly t=1, bin 1 opens at t=1.
+  const Instance in = make_instance({{0.0, 1.0, 0.9}, {1.0, 2.0, 0.9}});
+  const RunResult r = run_ff(in);
+  ASSERT_EQ(r.bins_opened, 2u);
+  const ClusterReport rep = evaluate_cluster(r, ClusterModel{});
+  EXPECT_EQ(rep.servers_booted, 1u);
+  EXPECT_EQ(rep.reuses, 1u);
+  EXPECT_DOUBLE_EQ(rep.idle_time, 0.0);
+}
+
+TEST(Cluster, MostRecentlyFreedReused) {
+  // Two servers free at t=1 and t=3; the bin opening at t=4 should reuse
+  // the t=3 one (1 unit idle, not 3).
+  const Instance in = make_instance({
+      {0.0, 1.0, 0.9},
+      {0.0, 3.0, 0.9},
+      {4.0, 5.0, 0.9},
+  });
+  const RunResult r = run_ff(in);
+  ASSERT_EQ(r.bins_opened, 3u);
+  ClusterModel model;
+  model.warm_window = 10.0;
+  const ClusterReport rep = evaluate_cluster(r, model);
+  EXPECT_EQ(rep.servers_booted, 2u);
+  EXPECT_DOUBLE_EQ(rep.idle_time, 1.0);
+}
+
+TEST(Cluster, InvariantsOnRandomRuns) {
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 10; ++trial) {
+    workloads::GeneralConfig cfg;
+    cfg.target_items = 120;
+    cfg.log2_mu = 6;
+    cfg.horizon = 64.0;
+    const Instance in = workloads::make_general_random(cfg, rng);
+    for (double window : {0.0, 2.0, 100.0}) {
+      ClusterModel model;
+      model.warm_window = window;
+      const RunResult r = run_ff(in);
+      const ClusterReport rep = evaluate_cluster(r, model);
+      EXPECT_EQ(rep.logical_bins, r.bins_opened);
+      EXPECT_EQ(rep.servers_booted + rep.reuses, r.bins_opened);
+      EXPECT_NEAR(rep.active_time, r.cost, 1e-9);
+      EXPECT_GE(rep.total_energy, rep.active_energy);
+    }
+  }
+}
+
+TEST(Cluster, LargerWindowNeverBootsMore) {
+  std::mt19937_64 rng(9);
+  workloads::GeneralConfig cfg;
+  cfg.target_items = 150;
+  cfg.log2_mu = 5;
+  cfg.horizon = 128.0;
+  const Instance in = workloads::make_general_random(cfg, rng);
+  const RunResult r = run_ff(in);
+  std::size_t prev = r.bins_opened + 1;
+  for (double window : {0.0, 1.0, 4.0, 16.0, 1e6}) {
+    ClusterModel model;
+    model.warm_window = window;
+    const std::size_t boots = evaluate_cluster(r, model).servers_booted;
+    EXPECT_LE(boots, prev);
+    prev = boots;
+  }
+}
+
+TEST(Cluster, ChurnyAlgorithmsPayMoreBootEnergy) {
+  // Classify opens a bin per duration class; under boot costs its churn
+  // shows up directly in the energy bill.
+  std::mt19937_64 rng(4);
+  workloads::GeneralConfig cfg;
+  cfg.target_items = 200;
+  cfg.log2_mu = 8;
+  cfg.horizon = 64.0;
+  const Instance in = workloads::make_general_random(cfg, rng);
+  algos::FirstFit ff;
+  algos::ClassifyByDuration cbd(2.0);
+  const RunResult rf = Simulator{}.run(in, ff);
+  const RunResult rc = Simulator{}.run(in, cbd);
+  const ClusterReport ef = evaluate_cluster(rf, ClusterModel{});
+  const ClusterReport ec = evaluate_cluster(rc, ClusterModel{});
+  EXPECT_GE(ec.servers_booted, ef.servers_booted);
+}
+
+TEST(Cluster, RejectsNegativeParameters) {
+  const RunResult r;
+  ClusterModel model;
+  model.warm_window = -1.0;
+  EXPECT_THROW((void)evaluate_cluster(r, model), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdbp::cluster

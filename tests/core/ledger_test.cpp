@@ -1,0 +1,160 @@
+#include "core/ledger.h"
+
+#include <gtest/gtest.h>
+
+namespace cdbp {
+namespace {
+
+TEST(Ledger, OpenPlaceRemoveLifecycle) {
+  Ledger ledger;
+  const BinId b = ledger.open_bin(0.0);
+  EXPECT_EQ(ledger.open_count(), 1u);
+  EXPECT_TRUE(ledger.is_open(b));
+
+  ledger.place(0, 0.5, b, 0.0);
+  EXPECT_DOUBLE_EQ(ledger.load(b), 0.5);
+  EXPECT_EQ(ledger.bin_of(0), b);
+  EXPECT_EQ(ledger.active_items(), 1u);
+
+  EXPECT_EQ(ledger.remove(0, 3.0), b);
+  EXPECT_FALSE(ledger.is_open(b));
+  EXPECT_EQ(ledger.open_count(), 0u);
+  EXPECT_EQ(ledger.bin_of(0), kNoBin);
+  EXPECT_DOUBLE_EQ(ledger.total_usage(3.0), 3.0);
+}
+
+TEST(Ledger, UsageAccountingOpenAndClosedBins) {
+  Ledger ledger;
+  const BinId b1 = ledger.open_bin(0.0);
+  ledger.place(0, 0.4, b1, 0.0);
+  const BinId b2 = ledger.open_bin(1.0);
+  ledger.place(1, 0.4, b2, 1.0);
+  // At t=2: b1 open 2, b2 open 1.
+  EXPECT_DOUBLE_EQ(ledger.total_usage(2.0), 3.0);
+  ledger.remove(0, 2.0);  // closes b1 (span 2)
+  EXPECT_DOUBLE_EQ(ledger.total_usage(5.0), 2.0 + 4.0);
+}
+
+TEST(Ledger, CapacityEnforced) {
+  Ledger ledger;
+  const BinId b = ledger.open_bin(0.0);
+  ledger.place(0, 0.7, b, 0.0);
+  EXPECT_FALSE(ledger.fits(b, 0.4));
+  EXPECT_TRUE(ledger.fits(b, 0.3));
+  EXPECT_THROW(ledger.place(1, 0.4, b, 0.0), std::logic_error);
+  ledger.place(1, 0.3, b, 0.0);  // exactly full is allowed
+  EXPECT_DOUBLE_EQ(ledger.load(b), 1.0);
+}
+
+TEST(Ledger, ClosedBinsRejectPlacement) {
+  Ledger ledger;
+  const BinId b = ledger.open_bin(0.0);
+  ledger.place(0, 0.5, b, 0.0);
+  ledger.remove(0, 1.0);
+  EXPECT_FALSE(ledger.fits(b, 0.1));
+  EXPECT_THROW(ledger.place(1, 0.1, b, 1.0), std::logic_error);
+}
+
+TEST(Ledger, DoublePlacementAndGhostRemovalRejected) {
+  Ledger ledger;
+  const BinId b = ledger.open_bin(0.0);
+  ledger.place(0, 0.2, b, 0.0);
+  EXPECT_THROW(ledger.place(0, 0.2, b, 0.0), std::logic_error);
+  EXPECT_THROW(ledger.remove(99, 1.0), std::logic_error);
+}
+
+TEST(Ledger, TimeMustNotMoveBackwards) {
+  Ledger ledger;
+  ledger.open_bin(5.0);
+  EXPECT_THROW(ledger.open_bin(4.0), std::logic_error);
+}
+
+TEST(Ledger, OpenBinsOrderedByOpening) {
+  Ledger ledger;
+  const BinId a = ledger.open_bin(0.0);
+  const BinId b = ledger.open_bin(1.0);
+  const BinId c = ledger.open_bin(2.0);
+  ledger.place(0, 0.1, a, 2.0);
+  ledger.place(1, 0.1, b, 2.0);
+  ledger.place(2, 0.1, c, 2.0);
+  ledger.remove(1, 3.0);  // closes b
+  const auto& open = ledger.open_bins();
+  ASSERT_EQ(open.size(), 2u);
+  EXPECT_EQ(*open.begin(), a);
+  EXPECT_EQ(*std::next(open.begin()), c);
+}
+
+TEST(Ledger, GroupsQueries) {
+  Ledger ledger;
+  const BinId a = ledger.open_bin(0.0, 1);
+  const BinId b = ledger.open_bin(0.0, 2);
+  const BinId c = ledger.open_bin(0.0, 1);
+  EXPECT_EQ(ledger.group_of(a), 1);
+  EXPECT_EQ(ledger.group_of(b), 2);
+  EXPECT_EQ(ledger.open_count_in_group(1), 2u);
+  EXPECT_EQ(ledger.open_count_in_group(2), 1u);
+  const auto g1 = ledger.open_bins_in_group(1);
+  ASSERT_EQ(g1.size(), 2u);
+  EXPECT_EQ(g1[0], a);
+  EXPECT_EQ(g1[1], c);
+}
+
+TEST(Ledger, MaxOpenTracksPeak) {
+  Ledger ledger;
+  const BinId a = ledger.open_bin(0.0);
+  ledger.place(0, 0.1, a, 0.0);
+  const BinId b = ledger.open_bin(0.0);
+  ledger.place(1, 0.1, b, 0.0);
+  ledger.remove(0, 1.0);
+  ledger.open_bin(2.0);
+  EXPECT_EQ(ledger.max_open(), 2u);
+}
+
+TEST(Ledger, OpenBinsProfile) {
+  Ledger ledger;
+  const BinId a = ledger.open_bin(0.0);
+  ledger.place(0, 0.1, a, 0.0);
+  const BinId b = ledger.open_bin(1.0);
+  ledger.place(1, 0.1, b, 1.0);
+  ledger.remove(0, 2.0);
+  ledger.remove(1, 4.0);
+  const StepFunction f = ledger.open_bins_profile(4.0);
+  EXPECT_DOUBLE_EQ(f.at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(f.at(1.5), 2.0);
+  EXPECT_DOUBLE_EQ(f.at(3.0), 1.0);
+  EXPECT_DOUBLE_EQ(f.integral(), ledger.total_usage(4.0));
+}
+
+TEST(Ledger, LoadResidueClearedOnClose) {
+  // Sizes that do not sum exactly in floating point must not leave a
+  // residue that blocks the "empty" detection.
+  Ledger ledger;
+  const BinId b = ledger.open_bin(0.0);
+  for (int i = 0; i < 10; ++i)
+    ledger.place(i, 0.1, b, 0.0);
+  for (int i = 0; i < 10; ++i) ledger.remove(i, 1.0);
+  EXPECT_FALSE(ledger.is_open(b));
+  EXPECT_DOUBLE_EQ(ledger.record(b).load, 0.0);
+}
+
+TEST(Ledger, RecordHistoryKeepsAllItems) {
+  Ledger ledger;
+  const BinId b = ledger.open_bin(0.0);
+  ledger.place(0, 0.9, b, 0.0);
+  ledger.remove(0, 1.0);
+  const BinId b2 = ledger.open_bin(1.0);
+  ledger.place(1, 0.9, b2, 1.0);
+  ledger.remove(1, 2.0);
+  EXPECT_EQ(ledger.bins_opened(), 2u);
+  EXPECT_EQ(ledger.record(b).all_items.size(), 1u);
+  EXPECT_DOUBLE_EQ(ledger.record(b).usage(99.0), 1.0);  // closed: span fixed
+}
+
+TEST(Ledger, UnknownBinThrows) {
+  Ledger ledger;
+  EXPECT_THROW((void)ledger.load(0), std::out_of_range);
+  EXPECT_THROW((void)ledger.record(-1), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,67 @@
+#include "core/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/hybrid.h"
+#include "core/simulator.h"
+#include "test_util.h"
+
+namespace cdbp {
+namespace {
+
+using testutil::make_instance;
+
+TEST(Metrics, EmptyRun) {
+  const RunMetrics m = compute_metrics(Instance{}, RunResult{});
+  EXPECT_DOUBLE_EQ(m.cost, 0.0);
+  EXPECT_DOUBLE_EQ(m.utilization, 0.0);
+  EXPECT_TRUE(m.cost_by_group.empty());
+}
+
+TEST(Metrics, SingleBinNumbers) {
+  // Sizes below HA's thresholds so both items share one GN bin.
+  const Instance in = make_instance({{0.0, 4.0, 0.3}, {1.0, 3.0, 0.25}});
+  algos::Hybrid ha;
+  const RunResult r = Simulator{}.run(in, ha);
+  const RunMetrics m = compute_metrics(in, r);
+  EXPECT_DOUBLE_EQ(m.cost, 4.0);
+  EXPECT_DOUBLE_EQ(m.utilization, (0.3 * 4 + 0.25 * 2) / 4.0);
+  EXPECT_DOUBLE_EQ(m.mean_bin_span, 4.0);
+  EXPECT_DOUBLE_EQ(m.max_bin_span, 4.0);
+  EXPECT_DOUBLE_EQ(m.mean_items_per_bin, 2.0);
+}
+
+TEST(Metrics, GroupDecompositionMatchesTotal) {
+  // One light type (GN) + one heavy type (CD): the group costs sum to the
+  // total.
+  const Instance in = make_instance({
+      {0.0, 2.0, 0.2},
+      {0.0, 4.0, 0.7},   // class 2 threshold ~0.354 -> CD
+      {4.0, 6.0, 0.3},
+  });
+  algos::Hybrid ha;
+  const RunResult r = Simulator{}.run(in, ha);
+  const RunMetrics m = compute_metrics(in, r);
+  double total = 0.0;
+  for (const auto& [group, cost] : m.cost_by_group) {
+    (void)group;
+    total += cost;
+  }
+  EXPECT_NEAR(total, m.cost, 1e-9);
+  EXPECT_TRUE(m.cost_by_group.contains(algos::kHybridGroupGN));
+  EXPECT_TRUE(m.cost_by_group.contains(algos::kHybridGroupCD));
+}
+
+TEST(Metrics, UtilizationNeverExceedsOne) {
+  const Instance in = make_instance({
+      {0.0, 8.0, 0.9}, {0.0, 8.0, 0.9}, {2.0, 6.0, 0.1},
+  });
+  algos::Hybrid ha;
+  const RunResult r = Simulator{}.run(in, ha);
+  const RunMetrics m = compute_metrics(in, r);
+  EXPECT_LE(m.utilization, 1.0 + 1e-9);
+  EXPECT_GT(m.utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,86 @@
+#include "core/session.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/any_fit.h"
+#include "core/simulator.h"
+
+namespace cdbp {
+namespace {
+
+TEST(InteractiveSession, MatchesSimulatorOnSameStream) {
+  algos::FirstFit a1, a2;
+
+  InteractiveSession session(a1);
+  session.offer(0.0, 3.0, 0.6);
+  session.offer(1.0, 2.0, 0.6);
+  session.offer(2.0, 5.0, 0.3);
+  const Cost interactive = session.finish();
+
+  Instance in;
+  in.add(0.0, 3.0, 0.6);
+  in.add(1.0, 2.0, 0.6);
+  in.add(2.0, 5.0, 0.3);
+  in.finalize();
+  EXPECT_DOUBLE_EQ(interactive, run_cost(in, a2));
+}
+
+TEST(InteractiveSession, OpenBinCountObservable) {
+  algos::FirstFit ff;
+  InteractiveSession session(ff);
+  EXPECT_EQ(session.open_bins(), 0u);
+  session.offer(0.0, 10.0, 0.7);
+  EXPECT_EQ(session.open_bins(), 1u);
+  session.offer(0.0, 10.0, 0.7);
+  EXPECT_EQ(session.open_bins(), 2u);
+  session.offer(0.0, 10.0, 0.2);  // fits into the first bin
+  EXPECT_EQ(session.open_bins(), 2u);
+}
+
+TEST(InteractiveSession, AdvanceProcessesDepartures) {
+  algos::FirstFit ff;
+  InteractiveSession session(ff);
+  session.offer(0.0, 1.0, 0.5);
+  session.offer(0.0, 4.0, 0.9);
+  EXPECT_EQ(session.open_bins(), 2u);
+  session.advance_to(2.0);
+  EXPECT_EQ(session.open_bins(), 1u);
+  EXPECT_DOUBLE_EQ(session.clock(), 2.0);
+}
+
+TEST(InteractiveSession, CostSoFarCountsOpenBins) {
+  algos::FirstFit ff;
+  InteractiveSession session(ff);
+  session.offer(0.0, 10.0, 0.5);
+  session.advance_to(4.0);
+  EXPECT_DOUBLE_EQ(session.cost_so_far(), 4.0);
+}
+
+TEST(InteractiveSession, RejectsTimeTravel) {
+  algos::FirstFit ff;
+  InteractiveSession session(ff);
+  session.offer(5.0, 6.0, 0.5);
+  EXPECT_THROW(session.offer(4.0, 6.0, 0.5), std::logic_error);
+  EXPECT_THROW(session.advance_to(1.0), std::logic_error);
+  EXPECT_THROW(session.offer(6.0, 6.0, 0.5), std::logic_error);
+}
+
+TEST(InteractiveSession, ToInstanceRoundTrips) {
+  algos::FirstFit ff;
+  InteractiveSession session(ff);
+  session.offer(0.0, 2.0, 0.5);
+  session.offer(1.0, 4.0, 0.25);
+  const Instance in = session.to_instance();
+  ASSERT_EQ(in.size(), 2u);
+  EXPECT_DOUBLE_EQ(in[0].arrival, 0.0);
+  EXPECT_DOUBLE_EQ(in[1].departure, 4.0);
+}
+
+TEST(InteractiveSession, FinishOnEmptySessionIsZero) {
+  algos::FirstFit ff;
+  InteractiveSession session(ff);
+  EXPECT_DOUBLE_EQ(session.finish(), 0.0);
+}
+
+}  // namespace
+}  // namespace cdbp

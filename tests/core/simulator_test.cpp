@@ -1,0 +1,112 @@
+#include "core/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/any_fit.h"
+#include "core/validation.h"
+#include "test_util.h"
+
+namespace cdbp {
+namespace {
+
+using testutil::make_instance;
+
+TEST(Simulator, SingleItemCostIsItsLength) {
+  const Instance in = make_instance({{1.0, 5.0, 0.5}});
+  algos::FirstFit ff;
+  const RunResult r = Simulator{}.run(in, ff);
+  EXPECT_DOUBLE_EQ(r.cost, 4.0);
+  EXPECT_EQ(r.bins_opened, 1u);
+  EXPECT_EQ(r.max_open, 1u);
+  EXPECT_TRUE(validate_run(in, r).ok());
+}
+
+TEST(Simulator, DeparturesProcessedBeforeArrivalsAtSameTime) {
+  // Item 0 departs at t=1 exactly when item 1 arrives. The bin closes at
+  // t=1, so First-Fit must open a fresh bin even though both items would
+  // have fit together.
+  const Instance in = make_instance({{0.0, 1.0, 0.6}, {1.0, 2.0, 0.6}});
+  algos::FirstFit ff;
+  const RunResult r = Simulator{}.run(in, ff);
+  EXPECT_EQ(r.bins_opened, 2u);
+  EXPECT_DOUBLE_EQ(r.cost, 2.0);
+  EXPECT_EQ(r.max_open, 1u);  // never simultaneously open
+  EXPECT_TRUE(validate_run(in, r).ok());
+}
+
+TEST(Simulator, SameTimeArrivalsPresentedInInstanceOrder) {
+  // Two items at t=0; First-Fit packs the first into bin 0, the second
+  // (too big for bin 0) into bin 1.
+  const Instance in = make_instance({{0.0, 2.0, 0.7}, {0.0, 2.0, 0.5}});
+  algos::FirstFit ff;
+  const RunResult r = Simulator{}.run(in, ff);
+  ASSERT_EQ(r.placements.size(), 2u);
+  EXPECT_EQ(r.placements[0].bin, 0);
+  EXPECT_EQ(r.placements[1].bin, 1);
+}
+
+TEST(Simulator, CostEqualsOpenBinsIntegral) {
+  const Instance in = make_instance({
+      {0.0, 4.0, 0.9},
+      {1.0, 3.0, 0.9},
+      {2.0, 6.0, 0.9},
+  });
+  algos::FirstFit ff;
+  const RunResult r = Simulator{}.run(in, ff);
+  EXPECT_NEAR(r.cost, r.open_bins.integral(), 1e-9);
+  EXPECT_TRUE(validate_run(in, r).ok());
+}
+
+TEST(Simulator, KeepHistoryFalseOmitsRecords) {
+  const Instance in = make_instance({{0.0, 1.0, 0.5}});
+  algos::FirstFit ff;
+  const RunResult r =
+      Simulator{SimulatorOptions{.keep_history = false}}.run(in, ff);
+  EXPECT_DOUBLE_EQ(r.cost, 1.0);
+  EXPECT_TRUE(r.bins.empty());
+  EXPECT_TRUE(r.placements.empty());
+}
+
+TEST(Simulator, ResetCalledBetweenRuns) {
+  const Instance in = make_instance({{0.0, 1.0, 0.5}, {0.5, 2.0, 0.4}});
+  algos::FirstFit ff;
+  const RunResult r1 = Simulator{}.run(in, ff);
+  const RunResult r2 = Simulator{}.run(in, ff);
+  EXPECT_DOUBLE_EQ(r1.cost, r2.cost);
+  EXPECT_EQ(r1.bins_opened, r2.bins_opened);
+}
+
+TEST(Simulator, EmptyInstance) {
+  const Instance in;
+  algos::FirstFit ff;
+  const RunResult r = Simulator{}.run(in, ff);
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+  EXPECT_EQ(r.bins_opened, 0u);
+}
+
+TEST(Simulator, MisbehavingAlgorithmDetected) {
+  // An algorithm that opens a bin but "forgets" to place the item.
+  class Broken : public Algorithm {
+   public:
+    std::string name() const override { return "Broken"; }
+    BinId on_arrival(const Item& item, Ledger& ledger) override {
+      return ledger.open_bin(item.arrival);  // no place()
+    }
+  };
+  const Instance in = make_instance({{0.0, 1.0, 0.5}});
+  Broken broken;
+  EXPECT_THROW(Simulator{}.run(in, broken), std::logic_error);
+}
+
+TEST(RunCost, MatchesFullRun) {
+  const Instance in = make_instance({
+      {0.0, 3.0, 0.5},
+      {1.0, 2.0, 0.5},
+      {1.5, 4.0, 0.5},
+  });
+  algos::BestFit bf1, bf2;
+  EXPECT_DOUBLE_EQ(run_cost(in, bf1), Simulator{}.run(in, bf2).cost);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,125 @@
+#include "core/step_function.h"
+
+#include <gtest/gtest.h>
+
+namespace cdbp {
+namespace {
+
+TEST(StepFunction, EmptyFunctionIsZeroEverywhere) {
+  StepFunction f;
+  EXPECT_DOUBLE_EQ(f.at(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.integral(), 0.0);
+  EXPECT_DOUBLE_EQ(f.ceil_integral(), 0.0);
+  EXPECT_DOUBLE_EQ(f.max_value(), 0.0);
+  EXPECT_DOUBLE_EQ(f.support_measure(), 0.0);
+  EXPECT_EQ(f.breakpoint_count(), 0u);
+}
+
+TEST(StepFunction, SingleIntervalBasics) {
+  StepFunction f;
+  f.add(1.0, 3.0, 0.5);
+  EXPECT_DOUBLE_EQ(f.at(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(f.at(1.0), 0.5);  // right-continuous
+  EXPECT_DOUBLE_EQ(f.at(2.9), 0.5);
+  EXPECT_DOUBLE_EQ(f.at(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.integral(), 1.0);
+  EXPECT_DOUBLE_EQ(f.max_value(), 0.5);
+  EXPECT_DOUBLE_EQ(f.support_measure(), 2.0);
+}
+
+TEST(StepFunction, CeilIntegralRoundsUpFractionalLoads) {
+  StepFunction f;
+  f.add(0.0, 4.0, 0.25);  // ceil = 1 over 4 time units
+  EXPECT_DOUBLE_EQ(f.ceil_integral(), 4.0);
+  f.add(1.0, 2.0, 1.0);  // total 1.25 -> ceil 2 over [1,2)
+  EXPECT_DOUBLE_EQ(f.ceil_integral(), 3.0 * 1.0 + 1.0 * 2.0);
+}
+
+TEST(StepFunction, CeilIntegralToleratesEpsilonBelowInteger) {
+  StepFunction f;
+  f.add(0.0, 1.0, 1.0 + 0.5 * kLoadEps);  // within tolerance of 1
+  EXPECT_DOUBLE_EQ(f.ceil_integral(), 1.0);
+}
+
+TEST(StepFunction, OverlappingIntervalsAccumulate) {
+  StepFunction f;
+  f.add(0.0, 10.0, 0.3);
+  f.add(5.0, 15.0, 0.4);
+  EXPECT_DOUBLE_EQ(f.at(4.0), 0.3);
+  EXPECT_DOUBLE_EQ(f.at(5.0), 0.7);
+  EXPECT_DOUBLE_EQ(f.at(12.0), 0.4);
+  EXPECT_DOUBLE_EQ(f.integral(), 0.3 * 10 + 0.4 * 10);
+  EXPECT_DOUBLE_EQ(f.max_value(), 0.7);
+  EXPECT_DOUBLE_EQ(f.support_measure(), 15.0);
+}
+
+TEST(StepFunction, NegativeIncrementsSupported) {
+  StepFunction f;
+  f.add(0.0, 10.0, 1.0);
+  f.add(2.0, 4.0, -1.0);
+  EXPECT_DOUBLE_EQ(f.at(3.0), 0.0);
+  EXPECT_DOUBLE_EQ(f.support_measure(), 8.0);
+}
+
+TEST(StepFunction, ZeroLengthAndZeroValueAddsIgnored) {
+  StepFunction f;
+  f.add(1.0, 1.0, 5.0);
+  f.add(2.0, 1.0, 5.0);
+  f.add(1.0, 2.0, 0.0);
+  EXPECT_EQ(f.breakpoint_count(), 0u);
+}
+
+TEST(StepFunction, SamplesReportRightOpenValues) {
+  StepFunction f;
+  f.add(0.0, 2.0, 1.0);
+  f.add(2.0, 3.0, 2.0);
+  const auto samples = f.samples();
+  ASSERT_EQ(samples.size(), 3u);
+  EXPECT_DOUBLE_EQ(samples[0].time, 0.0);
+  EXPECT_DOUBLE_EQ(samples[0].value, 1.0);
+  EXPECT_DOUBLE_EQ(samples[1].time, 2.0);
+  EXPECT_DOUBLE_EQ(samples[1].value, 2.0);
+  EXPECT_DOUBLE_EQ(samples[2].time, 3.0);
+  EXPECT_DOUBLE_EQ(samples[2].value, 0.0);
+}
+
+TEST(StepFunction, SumOperator) {
+  StepFunction f, g;
+  f.add(0.0, 2.0, 1.0);
+  g.add(1.0, 3.0, 2.0);
+  const StepFunction h = f + g;
+  EXPECT_DOUBLE_EQ(h.at(0.5), 1.0);
+  EXPECT_DOUBLE_EQ(h.at(1.5), 3.0);
+  EXPECT_DOUBLE_EQ(h.at(2.5), 2.0);
+  EXPECT_DOUBLE_EQ(h.integral(), f.integral() + g.integral());
+}
+
+TEST(StepFunction, MinMaxBreakpoints) {
+  StepFunction f;
+  f.add(-2.0, 5.0, 1.0);
+  EXPECT_DOUBLE_EQ(f.min_breakpoint(), -2.0);
+  EXPECT_DOUBLE_EQ(f.max_breakpoint(), 5.0);
+}
+
+TEST(StepFunction, AdjacentIntervalsMergeInSupport) {
+  StepFunction f;
+  f.add(0.0, 1.0, 0.5);
+  f.add(1.0, 2.0, 0.5);
+  EXPECT_DOUBLE_EQ(f.support_measure(), 2.0);
+  EXPECT_DOUBLE_EQ(f.integral(), 1.0);
+}
+
+TEST(StepFunction, ManyIntervalsIntegralMatchesClosedForm) {
+  StepFunction f;
+  double expect = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double a = i * 0.5;
+    const double b = a + 2.0;
+    f.add(a, b, 0.01 * i);
+    expect += 2.0 * 0.01 * i;
+  }
+  EXPECT_NEAR(f.integral(), expect, 1e-9);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,99 @@
+#include "core/transforms.h"
+
+#include <gtest/gtest.h>
+
+#include "opt/bounds.h"
+#include "test_util.h"
+#include "workloads/binary_input.h"
+
+namespace cdbp {
+namespace {
+
+using testutil::make_instance;
+
+TEST(Transforms, ShiftMovesTimestampsOnly) {
+  const Instance in = make_instance({{0.0, 4.0, 0.5}, {1.0, 2.0, 0.25}});
+  const Instance out = shift_time(in, 10.0);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_DOUBLE_EQ(out[0].arrival, 10.0);
+  EXPECT_DOUBLE_EQ(out[0].departure, 14.0);
+  EXPECT_DOUBLE_EQ(out[0].size, 0.5);
+  EXPECT_DOUBLE_EQ(out.total_demand(), in.total_demand());
+  EXPECT_DOUBLE_EQ(out.mu(), in.mu());
+}
+
+TEST(Transforms, NegativeShiftAllowed) {
+  const Instance in = make_instance({{8.0, 12.0, 0.5}});
+  const Instance out = shift_time(in, -8.0);
+  EXPECT_DOUBLE_EQ(out[0].arrival, 0.0);
+}
+
+TEST(Transforms, ScaleMultipliesTimeQuantities) {
+  const Instance in = make_instance({{0.0, 4.0, 0.5}, {1.0, 2.0, 0.25}});
+  const Instance out = scale_time(in, 2.0);
+  EXPECT_DOUBLE_EQ(out.span(), 2.0 * in.span());
+  EXPECT_DOUBLE_EQ(out.total_demand(), 2.0 * in.total_demand());
+  EXPECT_DOUBLE_EQ(out.mu(), in.mu());
+  EXPECT_THROW((void)scale_time(in, 0.0), std::invalid_argument);
+  EXPECT_THROW((void)scale_time(in, -1.0), std::invalid_argument);
+}
+
+TEST(Transforms, NormalizeMinLength) {
+  const Instance in = make_instance({{0.0, 0.5, 0.5}, {0.0, 2.0, 0.5}});
+  const Instance out = normalize_min_length(in);
+  EXPECT_DOUBLE_EQ(out.min_length(), 1.0);
+  EXPECT_DOUBLE_EQ(out.mu(), in.mu());
+  EXPECT_TRUE(normalize_min_length(Instance{}).empty());
+}
+
+TEST(Transforms, MergeSuperimposes) {
+  const Instance a = make_instance({{0.0, 2.0, 0.5}});
+  const Instance b = make_instance({{1.0, 3.0, 0.25}});
+  const Instance m = merge(a, b);
+  EXPECT_EQ(m.size(), 2u);
+  EXPECT_DOUBLE_EQ(m.span(), 3.0);
+  EXPECT_DOUBLE_EQ(m.total_demand(),
+                   a.total_demand() + b.total_demand());
+  EXPECT_EQ(m.max_concurrency(), 2u);
+}
+
+TEST(Transforms, ConcatAppendsWithGap) {
+  const Instance a = make_instance({{0.0, 2.0, 0.5}});
+  const Instance b = make_instance({{0.0, 3.0, 0.5}});
+  const Instance c = concat(a, b, 4.0);
+  ASSERT_EQ(c.size(), 2u);
+  EXPECT_DOUBLE_EQ(c.horizon_end(), 2.0 + 4.0 + 3.0);
+  EXPECT_FALSE(c.is_contiguous());
+  EXPECT_DOUBLE_EQ(c.span(), 5.0);
+  // Bounds add up across an idle gap.
+  EXPECT_NEAR(opt::compute_bounds(c).lower(),
+              opt::compute_bounds(a).lower() + opt::compute_bounds(b).lower(),
+              1e-9);
+}
+
+TEST(Transforms, ConcatZeroGapTouches) {
+  const Instance a = make_instance({{0.0, 2.0, 0.5}});
+  const Instance b = make_instance({{0.0, 3.0, 0.5}});
+  const Instance c = concat(a, b);
+  EXPECT_TRUE(c.is_contiguous());
+  EXPECT_THROW((void)concat(a, b, -1.0), std::invalid_argument);
+}
+
+TEST(Transforms, ConcatWithEmptySides) {
+  const Instance a = make_instance({{0.0, 2.0, 0.5}});
+  EXPECT_EQ(concat(a, Instance{}).size(), 1u);
+  EXPECT_EQ(concat(Instance{}, a).size(), 1u);
+}
+
+TEST(Transforms, ScaledBinaryInputStaysAligned) {
+  // Scaling an aligned input by a power of two preserves alignment.
+  const Instance in = workloads::make_binary_input(4);
+  EXPECT_TRUE(scale_time(in, 4.0).is_aligned());
+  // Shifting by a multiple of mu preserves alignment too.
+  EXPECT_TRUE(shift_time(in, 16.0).is_aligned());
+  // Shifting by 1 breaks it (length-16 item lands at t=1).
+  EXPECT_FALSE(shift_time(in, 1.0).is_aligned());
+}
+
+}  // namespace
+}  // namespace cdbp

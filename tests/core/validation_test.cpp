@@ -1,0 +1,99 @@
+#include "core/validation.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/any_fit.h"
+#include "core/simulator.h"
+#include "test_util.h"
+
+namespace cdbp {
+namespace {
+
+using testutil::make_instance;
+
+RunResult honest_run(const Instance& in) {
+  algos::FirstFit ff;
+  return Simulator{}.run(in, ff);
+}
+
+TEST(Validation, HonestRunPasses) {
+  const Instance in = make_instance({
+      {0.0, 4.0, 0.5},
+      {1.0, 3.0, 0.5},
+      {2.0, 6.0, 0.5},
+  });
+  const ValidationReport rep = validate_run(in, honest_run(in));
+  EXPECT_TRUE(rep.ok()) << rep.to_string();
+  EXPECT_EQ(rep.to_string(), "OK");
+}
+
+TEST(Validation, DetectsMissingPlacement) {
+  const Instance in = make_instance({{0.0, 1.0, 0.5}, {0.0, 1.0, 0.4}});
+  RunResult r = honest_run(in);
+  r.placements.pop_back();
+  EXPECT_FALSE(validate_run(in, r).ok());
+}
+
+TEST(Validation, DetectsDoublePlacement) {
+  const Instance in = make_instance({{0.0, 1.0, 0.5}, {0.0, 1.0, 0.4}});
+  RunResult r = honest_run(in);
+  r.placements.push_back(r.placements.front());
+  EXPECT_FALSE(validate_run(in, r).ok());
+}
+
+TEST(Validation, DetectsOverloadedBin) {
+  const Instance in = make_instance({{0.0, 2.0, 0.7}, {0.0, 2.0, 0.7}});
+  RunResult r = honest_run(in);
+  ASSERT_EQ(r.bins.size(), 2u);
+  // Forge: claim both items sat in bin 0.
+  r.bins[0].all_items = {0, 1};
+  r.bins[1].all_items.clear();
+  RunResult forged = r;
+  forged.bins.pop_back();                 // drop the now-empty bin
+  forged.cost = 2.0;
+  forged.bins_opened = 1;
+  EXPECT_FALSE(validate_run(in, forged).ok());
+}
+
+TEST(Validation, DetectsCostMismatch) {
+  const Instance in = make_instance({{0.0, 2.0, 0.5}});
+  RunResult r = honest_run(in);
+  r.cost += 1.0;
+  EXPECT_FALSE(validate_run(in, r).ok());
+}
+
+TEST(Validation, DetectsBinLifetimeViolation) {
+  const Instance in = make_instance({{0.0, 2.0, 0.5}});
+  RunResult r = honest_run(in);
+  r.bins[0].closed = 1.0;  // claims to close before the item departs
+  EXPECT_FALSE(validate_run(in, r).ok());
+}
+
+TEST(Validation, DetectsGapInsideBinSpan) {
+  // A bin holding two disjoint items must have closed in between; a record
+  // spanning across the gap is invalid.
+  const Instance in = make_instance({{0.0, 1.0, 0.5}, {3.0, 4.0, 0.5}});
+  RunResult r = honest_run(in);
+  ASSERT_EQ(r.bins.size(), 2u);
+  RunResult forged = r;
+  forged.bins[0].all_items = {0, 1};
+  forged.bins[0].closed = 4.0;
+  forged.bins.pop_back();
+  forged.bins_opened = 1;
+  forged.cost = 4.0;
+  forged.placements = {{0, 0}, {1, 0}};
+  EXPECT_FALSE(validate_run(in, forged).ok());
+}
+
+TEST(Validation, ReportListsAllIssues) {
+  const Instance in = make_instance({{0.0, 2.0, 0.5}});
+  RunResult r = honest_run(in);
+  r.cost += 1.0;
+  r.placements.clear();
+  const ValidationReport rep = validate_run(in, r);
+  EXPECT_GE(rep.issues.size(), 2u);
+  EXPECT_NE(rep.to_string().find("issue"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdbp

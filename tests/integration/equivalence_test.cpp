@@ -1,0 +1,113 @@
+// Equivalence and invariance properties across execution paths:
+//  * the batch Simulator and the interactive Session must produce
+//    identical costs/placements for every algorithm on the same stream;
+//  * OPT bounds are invariant under same-instant presentation reordering
+//    (they depend on the multiset of items only);
+//  * shifting an instance in time shifts nothing but timestamps.
+#include <algorithm>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/session.h"
+#include "core/simulator.h"
+#include "opt/bounds.h"
+#include "opt/repack.h"
+#include "test_util.h"
+#include "workloads/general_random.h"
+
+namespace cdbp {
+namespace {
+
+class SessionEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SessionEquivalence, SimulatorAndSessionAgreeForEveryAlgorithm) {
+  std::mt19937_64 rng(GetParam());
+  workloads::GeneralConfig cfg;
+  cfg.target_items = 120;
+  cfg.log2_mu = 6;
+  cfg.horizon = 48.0;
+  const Instance in = workloads::make_general_random(cfg, rng);
+
+  for (const auto& f : testutil::online_factories()) {
+    auto batch_algo = f.make();
+    const RunResult batch = Simulator{}.run(in, *batch_algo);
+
+    auto live_algo = f.make();
+    InteractiveSession session(*live_algo);
+    std::vector<BinId> live_bins;
+    for (const Item& r : in.items())
+      live_bins.push_back(session.offer(r.arrival, r.departure, r.size));
+    const Cost live_cost = session.finish();
+
+    EXPECT_NEAR(batch.cost, live_cost, 1e-9) << f.name;
+    ASSERT_EQ(batch.placements.size(), live_bins.size()) << f.name;
+    for (std::size_t k = 0; k < live_bins.size(); ++k)
+      EXPECT_EQ(batch.placements[k].bin, live_bins[k])
+          << f.name << " item " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+class BoundsInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(BoundsInvariance, ReorderingSameInstantItemsChangesNoBound) {
+  std::mt19937_64 rng(GetParam());
+  workloads::GeneralConfig cfg;
+  cfg.target_items = 100;
+  cfg.log2_mu = 5;
+  cfg.horizon = 10.0;  // dense: many shared instants
+  cfg.integer_times = true;
+  const Instance in = workloads::make_general_random(cfg, rng);
+
+  std::vector<Item> items = in.items();
+  std::shuffle(items.begin(), items.end(), rng);
+  const Instance shuffled{items};
+
+  const opt::Bounds a = opt::compute_bounds(in);
+  const opt::Bounds b = opt::compute_bounds(shuffled);
+  EXPECT_NEAR(a.demand, b.demand, 1e-9);
+  EXPECT_NEAR(a.span, b.span, 1e-9);
+  EXPECT_NEAR(a.ceil_integral, b.ceil_integral, 1e-9);
+  // The repacking witness consumes events time-ordered, so it is also
+  // order-invariant.
+  EXPECT_NEAR(opt::repack_witness(in).cost, opt::repack_witness(shuffled).cost,
+              1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, BoundsInvariance,
+                         ::testing::Range<std::uint64_t>(0, 8));
+
+class TimeShiftInvariance : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimeShiftInvariance, ShiftingTimestampsShiftsNothingElse) {
+  std::mt19937_64 rng(GetParam());
+  workloads::GeneralConfig cfg;
+  cfg.target_items = 80;
+  cfg.log2_mu = 5;
+  const Instance in = workloads::make_general_random(cfg, rng);
+
+  const double delta = 1024.0;  // dyadic: exact in double
+  Instance shifted;
+  for (const Item& r : in.items())
+    shifted.add(r.arrival + delta, r.departure + delta, r.size);
+  shifted.finalize();
+
+  const opt::Bounds a = opt::compute_bounds(in);
+  const opt::Bounds b = opt::compute_bounds(shifted);
+  EXPECT_NEAR(a.demand, b.demand, 1e-9);
+  EXPECT_NEAR(a.span, b.span, 1e-9);
+  EXPECT_NEAR(a.ceil_integral, b.ceil_integral, 1e-9);
+
+  // First-Fit ignores absolute time entirely.
+  algos::FirstFit f1, f2;
+  EXPECT_NEAR(run_cost(in, f1), run_cost(shifted, f2), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimeShiftInvariance,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,97 @@
+// Monotonicity and scaling laws of the OPT machinery — the sanity facts a
+// reviewer would check on paper, verified mechanically:
+//  * adding an item never decreases any lower bound, the exact OPT_R, or
+//    the exact OPT_NR;
+//  * scaling all timestamps by a constant scales every time-integral
+//    quantity by the same constant (sizes untouched);
+//  * removing an item never increases the exact OPT_R.
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "opt/bounds.h"
+#include "opt/exact.h"
+#include "opt/exact_repacking.h"
+#include "test_util.h"
+#include "workloads/general_random.h"
+
+namespace cdbp {
+namespace {
+
+Instance drop_item(const Instance& in, std::size_t index) {
+  Instance out;
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    if (k == index) continue;
+    out.add(in[k].arrival, in[k].departure, in[k].size);
+  }
+  out.finalize();
+  return out;
+}
+
+class Monotonicity : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(Monotonicity, DroppingAnItemNeverRaisesOptima) {
+  std::mt19937_64 rng(GetParam());
+  workloads::GeneralConfig cfg;
+  cfg.target_items = 10;
+  cfg.log2_mu = 4;
+  cfg.horizon = 12.0;
+  const Instance full = workloads::make_general_random(cfg, rng);
+  const auto full_r = opt::exact_opt_repacking(full);
+  const auto full_nr = opt::exact_opt_nonrepacking(full);
+  ASSERT_TRUE(full_r.has_value());
+  ASSERT_TRUE(full_nr.has_value());
+  const opt::Bounds full_b = opt::compute_bounds(full);
+
+  for (std::size_t drop = 0; drop < full.size(); ++drop) {
+    const Instance less = drop_item(full, drop);
+    const auto less_r = opt::exact_opt_repacking(less);
+    const auto less_nr = opt::exact_opt_nonrepacking(less);
+    ASSERT_TRUE(less_r.has_value());
+    ASSERT_TRUE(less_nr.has_value());
+    EXPECT_LE(less_r->cost, full_r->cost + 1e-9) << "drop " << drop;
+    EXPECT_LE(less_nr->cost, full_nr->cost + 1e-9) << "drop " << drop;
+    const opt::Bounds less_b = opt::compute_bounds(less);
+    EXPECT_LE(less_b.demand, full_b.demand + 1e-9);
+    EXPECT_LE(less_b.span, full_b.span + 1e-9);
+    EXPECT_LE(less_b.ceil_integral, full_b.ceil_integral + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, Monotonicity,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+class TimeScaling : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TimeScaling, ScalingTimestampsScalesEveryTimeQuantity) {
+  std::mt19937_64 rng(GetParam());
+  workloads::GeneralConfig cfg;
+  cfg.target_items = 10;
+  cfg.log2_mu = 4;
+  cfg.horizon = 10.0;
+  const Instance in = workloads::make_general_random(cfg, rng);
+  const double scale = 4.0;  // power of two: exact in double
+  Instance scaled;
+  for (const Item& r : in.items())
+    scaled.add(r.arrival * scale, r.departure * scale, r.size);
+  scaled.finalize();
+
+  const opt::Bounds a = opt::compute_bounds(in);
+  const opt::Bounds b = opt::compute_bounds(scaled);
+  EXPECT_NEAR(b.demand, scale * a.demand, 1e-9);
+  EXPECT_NEAR(b.span, scale * a.span, 1e-9);
+  EXPECT_NEAR(b.ceil_integral, scale * a.ceil_integral, 1e-9);
+
+  const auto r1 = opt::exact_opt_repacking(in);
+  const auto r2 = opt::exact_opt_repacking(scaled);
+  ASSERT_TRUE(r1 && r2);
+  EXPECT_NEAR(r2->cost, scale * r1->cost, 1e-9);
+  // mu is scale-invariant.
+  EXPECT_NEAR(scaled.mu(), in.mu(), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TimeScaling,
+                         ::testing::Range<std::uint64_t>(0, 6));
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,172 @@
+// Paper-level integration claims: the orderings and growth behaviours
+// Table 1 predicts, in miniature (full sweeps live in bench/).
+#include <cmath>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "adversary/lower_bound.h"
+#include "algos/any_fit.h"
+#include "algos/cdff.h"
+#include "algos/classify.h"
+#include "algos/hybrid.h"
+#include "analysis/ratio.h"
+#include "analysis/stats.h"
+#include "core/session.h"
+#include "core/simulator.h"
+#include "opt/bounds.h"
+#include "test_util.h"
+#include "workloads/aligned_random.h"
+#include "workloads/binary_input.h"
+#include "workloads/general_random.h"
+
+namespace cdbp {
+namespace {
+
+double mean_ratio_vs_lower(Algorithm& algo,
+                           const std::vector<Instance>& instances) {
+  std::vector<double> ratios;
+  for (const Instance& in : instances) {
+    ratios.push_back(
+        analysis::measure_ratio(in, algo, /*tight_upper=*/false)
+            .ratio_vs_lower());
+  }
+  return analysis::summarize(ratios).mean;
+}
+
+TEST(PaperClaims, HaBeatsFirstFitOnGeometricBursts) {
+  // The burst family (the sigma*-like shape) is where First-Fit's lack of
+  // duration awareness costs it; HA's CD bins contain the damage.
+  std::vector<Instance> instances;
+  for (std::uint64_t seed = 0; seed < 6; ++seed) {
+    std::mt19937_64 rng(seed);
+    workloads::GeneralConfig cfg;
+    cfg.shape = workloads::GeneralShape::kGeometricBursts;
+    cfg.log2_mu = 12;
+    cfg.target_items = 40 * (cfg.log2_mu + 1);
+    cfg.horizon = 64.0;
+    instances.push_back(workloads::make_general_random(cfg, rng));
+  }
+  algos::Hybrid ha;
+  algos::FirstFit ff;
+  const double r_ha = mean_ratio_vs_lower(ha, instances);
+  const double r_ff = mean_ratio_vs_lower(ff, instances);
+  EXPECT_LT(r_ha, r_ff);
+}
+
+TEST(PaperClaims, HaBeatsNaiveClassifyOnPersistentLadders) {
+  // The workload where pure classify-by-duration earns its Omega(log mu)
+  // reputation: one tiny item of every duration class alive at all times
+  // (the binary input, viewed as a general input). Classify keeps ~log mu
+  // near-empty bins open forever; HA's GN pool absorbs them all.
+  const std::vector<Instance> instances = {workloads::make_binary_input(10)};
+  algos::Hybrid ha;
+  algos::ClassifyByDuration cbd(2.0);
+  const double r_ha = mean_ratio_vs_lower(ha, instances);
+  const double r_cbd = mean_ratio_vs_lower(cbd, instances);
+  EXPECT_LT(2.0 * r_ha, r_cbd);  // not just better: decisively better
+}
+
+TEST(PaperClaims, CdffNearOptimalOnBinaryInputs) {
+  // Proposition 5.3 at work: CDFF(sigma_mu)/OPT <= 2 log log mu + 1,
+  // far below log mu for already-moderate mu.
+  const int n = 10;
+  const Instance in = workloads::make_binary_input(n);
+  algos::Cdff cdff;
+  const auto m = analysis::measure_ratio(in, cdff, /*tight_upper=*/false);
+  EXPECT_LE(m.ratio_vs_lower(),
+            2.0 * std::log2(static_cast<double>(n)) + 1.0 + 1e-9);
+}
+
+TEST(PaperClaims, CdffBeatsClassifyOnBinaryInputs) {
+  // On sigma_mu, static classify keeps one bin per duration class open
+  // nearly all the time (~log mu), while CDFF's dynamic rows share
+  // (~log log mu).
+  const int n = 10;
+  const Instance in = workloads::make_binary_input(n);
+  algos::Cdff cdff;
+  algos::ClassifyByDuration cbd(2.0);
+  const Cost c_cdff = run_cost(in, cdff);
+  const Cost c_cbd = run_cost(in, cbd);
+  EXPECT_LT(c_cdff, 0.7 * c_cbd);
+}
+
+TEST(PaperClaims, CdffRatioGrowsMuchSlowerThanClassify) {
+  // Ratio growth from mu = 2^6 to mu = 2^14: classify roughly doubles
+  // (log mu: 6 -> 14), CDFF barely moves (log log mu: 2.6 -> 3.8).
+  auto ratio_at = [](int n, Algorithm& algo) {
+    const Instance in = workloads::make_binary_input(n);
+    return analysis::measure_ratio(in, algo, /*tight_upper=*/false)
+        .ratio_vs_lower();
+  };
+  algos::Cdff cdff;
+  algos::ClassifyByDuration cbd(2.0);
+  const double cdff_growth = ratio_at(14, cdff) - ratio_at(6, cdff);
+  const double cbd_growth = ratio_at(14, cbd) - ratio_at(6, cbd);
+  EXPECT_LT(cdff_growth, cbd_growth);
+  EXPECT_LT(cdff_growth, 1.5);  // log log barely moves
+  EXPECT_GT(cbd_growth, 3.0);   // log mu adds ~8 bins' worth
+}
+
+TEST(PaperClaims, AdversaryForcesGrowthOnHaToo) {
+  // Theorem 4.3 applies to ANY online algorithm, including HA: the forced
+  // certified ratio grows from n = 4 to n = 16.
+  auto forced = [](int n) {
+    algos::Hybrid ha;
+    adversary::AdversaryConfig cfg;
+    cfg.n = n;
+    cfg.rounds = 40;
+    const auto out = adversary::run_lower_bound_adversary(cfg, ha);
+    return analysis::measure_ratio_with_cost(out.instance, "HA",
+                                             out.online_cost)
+        .ratio_vs_upper();
+  };
+  EXPECT_GT(forced(16), forced(4));
+}
+
+TEST(PaperClaims, Lemma33GnBoundHoldsOnRandomInputs) {
+  // Run HA interactively over random mixes and check GN_t <= 2 + 4 sqrt(log
+  // mu) at every arrival.
+  for (std::uint64_t seed = 0; seed < 4; ++seed) {
+    std::mt19937_64 rng(seed);
+    workloads::GeneralConfig cfg;
+    cfg.log2_mu = 10;
+    cfg.target_items = 300;
+    const Instance in = workloads::make_general_random(cfg, rng);
+    algos::Hybrid ha;
+    InteractiveSession session(ha);
+    const double bound = 2.0 + 4.0 * std::sqrt(10.0);
+    for (const Item& r : in.items()) {
+      session.offer(r.arrival, r.departure, r.size);
+      EXPECT_LE(static_cast<double>(ha.gn_open_count()), bound)
+          << "seed " << seed;
+    }
+    session.finish();
+  }
+}
+
+TEST(PaperClaims, Table1OrderingOnAlignedInputs) {
+  // On aligned inputs CDFF should (on average) beat naive classify.
+  std::vector<double> cdff_ratios, cbd_ratios;
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    std::mt19937_64 rng(seed);
+    workloads::AlignedConfig cfg;
+    cfg.n = 10;
+    cfg.max_bucket = 10;
+    cfg.arrivals_per_slot = 0.7;
+    cfg.size_min = 0.02;
+    cfg.size_max = 0.15;
+    const Instance in = workloads::make_aligned_random(cfg, rng);
+    algos::Cdff cdff;
+    algos::ClassifyByDuration cbd(2.0);
+    cdff_ratios.push_back(
+        analysis::measure_ratio(in, cdff, false).ratio_vs_lower());
+    cbd_ratios.push_back(
+        analysis::measure_ratio(in, cbd, false).ratio_vs_lower());
+  }
+  EXPECT_LT(analysis::summarize(cdff_ratios).mean,
+            analysis::summarize(cbd_ratios).mean);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,126 @@
+#include "opt/bin_packing.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+namespace cdbp::opt {
+namespace {
+
+/// Brute-force exact bin count by enumerating set partitions (tiny n).
+int brute_force(const std::vector<Load>& sizes) {
+  const std::size_t n = sizes.size();
+  if (n == 0) return 0;
+  std::vector<int> assign(n, 0);
+  int best = static_cast<int>(n);
+  // Restricted-growth enumeration of partitions.
+  auto feasible = [&](int bins) {
+    std::vector<double> load(static_cast<std::size_t>(bins), 0.0);
+    for (std::size_t i = 0; i < n; ++i)
+      load[static_cast<std::size_t>(assign[i])] += sizes[i];
+    for (double l : load)
+      if (l > kBinCapacity + kLoadEps) return false;
+    return true;
+  };
+  std::function<void(std::size_t, int)> rec = [&](std::size_t i, int used) {
+    if (used >= best) return;
+    if (i == n) {
+      if (feasible(used)) best = used;
+      return;
+    }
+    for (int b = 0; b <= used && b < best; ++b) {
+      assign[i] = b;
+      rec(i + 1, std::max(used, b + 1));
+    }
+  };
+  rec(0, 0);
+  return best;
+}
+
+TEST(BinPacking, TrivialCases) {
+  EXPECT_EQ(bp_exact({}).value(), 0);
+  EXPECT_EQ(bp_exact({0.5}).value(), 1);
+  EXPECT_EQ(bp_exact({1.0, 1.0, 1.0}).value(), 3);
+  EXPECT_EQ(bp_exact({0.5, 0.5}).value(), 1);
+  EXPECT_EQ(bp_exact({0.6, 0.6}).value(), 2);
+}
+
+TEST(BinPacking, PerfectFits) {
+  // 3 x (0.5 + 0.3 + 0.2).
+  const std::vector<Load> sizes = {0.5, 0.5, 0.5, 0.3, 0.3, 0.3,
+                                   0.2, 0.2, 0.2};
+  EXPECT_EQ(bp_exact(sizes).value(), 3);
+}
+
+TEST(BinPacking, FfdIsSuboptimalSomewhere) {
+  // The classical FFD = 3 vs OPT = 2... construct: OPT pairs
+  // {0.6, 0.4} x2, FFD packs 0.6,0.6 separately then 0.4,0.4 shares: that
+  // gives 3 bins? 0.6|0.4 ; 0.6|0.4 no: FFD sorted: .6 .6 .4 .4 ->
+  // bin1{.6,.4}, bin2{.6,.4} = 2. Use the known FFD=OPT+1 family instead:
+  const std::vector<Load> sizes = {0.36, 0.36, 0.36, 0.36, 0.36, 0.36,
+                                   0.28, 0.28, 0.28, 0.28, 0.28, 0.28};
+  // OPT: 4 bins of (0.36 + 0.36 + 0.28); wait that's 1.0 exactly with 6
+  // of each size forming... 6x0.36 + 6x0.28: bins {.36,.36,.28} x 3 uses
+  // 9 items, remaining {.28,.28,.28} -> 1 bin: OPT = 4.
+  EXPECT_EQ(bp_exact(sizes).value(), 4);
+  EXPECT_GE(bp_first_fit_decreasing(sizes), 4);
+}
+
+TEST(BinPacking, LowerBoundsAreValid) {
+  std::mt19937_64 rng(1);
+  std::uniform_real_distribution<double> size(0.05, 1.0);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Load> sizes;
+    const int n = 1 + static_cast<int>(rng() % 12);
+    for (int k = 0; k < n; ++k) sizes.push_back(size(rng));
+    const int exact = bp_exact(sizes).value();
+    EXPECT_GE(exact, bp_volume_lower_bound(sizes));
+    EXPECT_GE(exact, bp_l2_lower_bound(sizes));
+    EXPECT_GE(exact, bp_lower_bound(sizes));
+    EXPECT_LE(exact, bp_first_fit_decreasing(sizes));
+  }
+}
+
+TEST(BinPacking, MatchesBruteForceOnTinyInstances) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> size(0.1, 1.0);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::vector<Load> sizes;
+    const int n = 1 + static_cast<int>(rng() % 7);
+    for (int k = 0; k < n; ++k) sizes.push_back(size(rng));
+    EXPECT_EQ(bp_exact(sizes).value(), brute_force(sizes)) << "trial "
+                                                           << trial;
+  }
+}
+
+TEST(BinPacking, L2BeatsVolumeOnBigItems) {
+  // Seven items of size 0.51: volume bound ceil(3.57) = 4, true need 7.
+  const std::vector<Load> sizes(7, 0.51);
+  EXPECT_EQ(bp_volume_lower_bound(sizes), 4);
+  EXPECT_EQ(bp_l2_lower_bound(sizes), 7);
+  EXPECT_EQ(bp_exact(sizes).value(), 7);
+}
+
+TEST(BinPacking, NodeLimitAborts) {
+  std::mt19937_64 rng(3);
+  std::uniform_real_distribution<double> size(0.23, 0.41);
+  std::vector<Load> sizes;
+  for (int k = 0; k < 40; ++k) sizes.push_back(size(rng));
+  BinPackingOptions opts;
+  opts.node_limit = 3;
+  // Either the FFD incumbent already matches the lower bound (allowed), or
+  // the search aborts.
+  const auto result = bp_exact(sizes, opts);
+  if (result) {
+    EXPECT_EQ(*result, bp_lower_bound(sizes));
+  }
+}
+
+TEST(BinPacking, ExactFullBins) {
+  // 32 items of 1/32 fit one bin exactly despite accumulation order.
+  const std::vector<Load> sizes(32, 1.0 / 32.0);
+  EXPECT_EQ(bp_exact(sizes).value(), 1);
+}
+
+}  // namespace
+}  // namespace cdbp::opt

@@ -1,0 +1,64 @@
+#include "opt/bounds.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+#include "workloads/general_random.h"
+
+namespace cdbp {
+namespace {
+
+using testutil::make_instance;
+
+TEST(Bounds, KnownInstance) {
+  // Two stacked 0.6-items over [0,4]: S_t = 1.2, ceil = 2.
+  const Instance in = make_instance({{0.0, 4.0, 0.6}, {0.0, 4.0, 0.6}});
+  const opt::Bounds b = opt::compute_bounds(in);
+  EXPECT_DOUBLE_EQ(b.demand, 4.8);
+  EXPECT_DOUBLE_EQ(b.span, 4.0);
+  EXPECT_DOUBLE_EQ(b.ceil_integral, 8.0);
+  EXPECT_DOUBLE_EQ(b.lower(), 8.0);
+  EXPECT_DOUBLE_EQ(b.upper_ceil(), 16.0);
+  EXPECT_DOUBLE_EQ(b.upper_linear(), 2.0 * (4.8 + 4.0));
+}
+
+TEST(Bounds, SpanDominatesForSparseLightItems) {
+  const Instance in = make_instance({{0.0, 100.0, 0.01}});
+  const opt::Bounds b = opt::compute_bounds(in);
+  EXPECT_DOUBLE_EQ(b.lower(), 100.0);  // span, not demand (1.0)
+}
+
+TEST(Bounds, DemandNeverExceedsCeilIntegral) {
+  // ceil(S_t) >= S_t pointwise, so the ceil integral dominates demand.
+  std::mt19937_64 rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    workloads::GeneralConfig cfg;
+    cfg.target_items = 60;
+    cfg.log2_mu = 5;
+    const Instance in = workloads::make_general_random(cfg, rng);
+    const opt::Bounds b = opt::compute_bounds(in);
+    EXPECT_GE(b.ceil_integral + 1e-9, b.demand);
+    EXPECT_GE(b.ceil_integral + 1e-9, b.span);
+    EXPECT_LE(b.lower(), b.upper_ceil() + 1e-9);
+    EXPECT_LE(b.upper_ceil(), 2.0 * (b.demand + b.span) + 1e-9);
+  }
+}
+
+TEST(Bounds, ToStringMentionsFields) {
+  const opt::Bounds b =
+      opt::compute_bounds(make_instance({{0.0, 1.0, 0.5}}));
+  const std::string s = b.to_string();
+  EXPECT_NE(s.find("span"), std::string::npos);
+  EXPECT_NE(s.find("lower"), std::string::npos);
+}
+
+TEST(Bounds, EmptyInstance) {
+  const opt::Bounds b = opt::compute_bounds(Instance{});
+  EXPECT_DOUBLE_EQ(b.lower(), 0.0);
+  EXPECT_DOUBLE_EQ(b.upper_ceil(), 0.0);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,122 @@
+#include "opt/exact_repacking.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "opt/bounds.h"
+#include "opt/exact.h"
+#include "opt/repack.h"
+#include "test_util.h"
+#include "workloads/binary_input.h"
+#include "workloads/general_random.h"
+
+namespace cdbp {
+namespace {
+
+using testutil::make_instance;
+
+TEST(ExactRepacking, SingleItem) {
+  const Instance in = make_instance({{0.0, 5.0, 0.5}});
+  const auto r = opt::exact_opt_repacking(in);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->cost, 5.0);
+  EXPECT_DOUBLE_EQ(r->bins_over_time.at(2.0), 1.0);
+}
+
+TEST(ExactRepacking, RepackingBeatsFixedAssignments) {
+  // Staggered heavies: any non-repacking packing keeps 2 bins through the
+  // middle, the repacking optimum consolidates instantly.
+  const Instance in = make_instance({
+      {0.0, 2.0, 0.6},
+      {1.0, 3.0, 0.6},
+      {2.0, 4.0, 0.6},
+  });
+  const auto r = opt::exact_opt_repacking(in);
+  ASSERT_TRUE(r.has_value());
+  // Snapshots: [0,1): 1 bin; [1,2): 2 bins; [2,3): 2 bins; [3,4): 1 bin.
+  EXPECT_DOUBLE_EQ(r->cost, 1.0 + 2.0 + 2.0 + 1.0);
+  const auto nr = opt::exact_opt_nonrepacking(in);
+  ASSERT_TRUE(nr.has_value());
+  EXPECT_LE(r->cost, nr->cost + 1e-9);
+}
+
+TEST(ExactRepacking, GapsCostNothing) {
+  const Instance in = make_instance({{0.0, 1.0, 0.5}, {10.0, 11.0, 0.5}});
+  const auto r = opt::exact_opt_repacking(in);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->cost, 2.0);
+}
+
+TEST(ExactRepacking, RefusesHugeSnapshots) {
+  Instance in;
+  for (int k = 0; k < 40; ++k) in.add(0.0, 1.0, 0.01);
+  in.finalize();
+  opt::ExactRepackingOptions opts;
+  opts.max_active = 10;
+  EXPECT_FALSE(opt::exact_opt_repacking(in, opts).has_value());
+}
+
+TEST(ExactRepacking, EmptyInstance) {
+  const auto r = opt::exact_opt_repacking(Instance{});
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->cost, 0.0);
+}
+
+class ExactRepackingRandom : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ExactRepackingRandom, SandwichedExactlyWhereItBelongs) {
+  std::mt19937_64 rng(GetParam());
+  workloads::GeneralConfig cfg;
+  cfg.target_items = 12;
+  cfg.log2_mu = 4;
+  cfg.horizon = 14.0;
+  cfg.size_max = 0.8;
+  const Instance in = workloads::make_general_random(cfg, rng);
+  const auto opt_r = opt::exact_opt_repacking(in);
+  ASSERT_TRUE(opt_r.has_value());
+
+  const opt::Bounds b = opt::compute_bounds(in);
+  // LB <= OPT_R (and the ceil-integral bound is exactly ∫ceil(S_t) <= OPT_R).
+  EXPECT_GE(opt_r->cost, b.lower() - 1e-9);
+  // OPT_R <= exact OPT_NR (repacking can only help).
+  const auto opt_nr = opt::exact_opt_nonrepacking(in);
+  ASSERT_TRUE(opt_nr.has_value());
+  EXPECT_LE(opt_r->cost, opt_nr->cost + 1e-9);
+  // OPT_R <= the constructive Lemma 3.1 witness <= ∫2 ceil(S_t).
+  const double witness = opt::repack_witness(in).cost;
+  EXPECT_LE(opt_r->cost, witness + 1e-9);
+  EXPECT_LE(opt_r->cost, b.upper_ceil() + 1e-9);
+  // The profile integrates to the cost.
+  EXPECT_NEAR(opt_r->bins_over_time.integral(), opt_r->cost, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExactRepackingRandom,
+                         ::testing::Range<std::uint64_t>(0, 14));
+
+TEST(ExactRepacking, BinaryInputIsPerfectlyPackable) {
+  // sigma_mu has S_t = 1 at every instant with loads 1/(n+1): OPT_R = mu.
+  const Instance in = workloads::make_binary_input(5);
+  const auto r = opt::exact_opt_repacking(in);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_DOUBLE_EQ(r->cost, 32.0);
+  EXPECT_EQ(r->max_active, 6u);
+}
+
+TEST(ExactRepacking, MemoizationCountsDistinctSnapshots) {
+  // A periodic instance re-creates identical snapshots; the solver must
+  // solve each multiset once.
+  Instance in;
+  for (int k = 0; k < 12; ++k)
+    in.add(static_cast<Time>(k), static_cast<Time>(k) + 1.0, 0.4);
+  in.finalize();
+  const auto r = opt::exact_opt_repacking(in);
+  ASSERT_TRUE(r.has_value());
+  EXPECT_EQ(r->snapshots, 1u);  // one distinct multiset {0.4}
+  EXPECT_DOUBLE_EQ(r->cost, 12.0);
+}
+
+}  // namespace
+}  // namespace cdbp

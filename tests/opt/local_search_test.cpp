@@ -1,0 +1,132 @@
+#include "opt/local_search.h"
+
+#include <map>
+#include <random>
+#include <utility>
+
+#include <gtest/gtest.h>
+
+#include "core/step_function.h"
+#include "opt/bounds.h"
+#include "opt/exact.h"
+#include "opt/offline_ffd.h"
+#include "test_util.h"
+#include "workloads/general_random.h"
+
+namespace cdbp {
+namespace {
+
+using testutil::make_instance;
+
+/// Recomputes the cost of an assignment and checks feasibility.
+double assignment_cost(const Instance& in, const std::vector<int>& assign) {
+  std::map<int, std::pair<StepFunction, StepFunction>> bins;  // load, busy
+  for (std::size_t k = 0; k < in.size(); ++k) {
+    auto& [load, busy] = bins[assign[k]];
+    load.add(in[k].arrival, in[k].departure, in[k].size);
+    busy.add(in[k].arrival, in[k].departure, 1.0);
+  }
+  double cost = 0.0;
+  for (auto& [id, fns] : bins) {
+    (void)id;
+    EXPECT_LE(fns.first.max_value(), kBinCapacity + 2 * kLoadEps);
+    cost += fns.second.support_measure(0.5);
+  }
+  return cost;
+}
+
+TEST(LocalSearch, FixesAnObviouslyBadSeed) {
+  // Two compatible items seeded into different bins; the search merges.
+  const Instance in = make_instance({{0.0, 4.0, 0.4}, {0.0, 4.0, 0.4}});
+  const auto improved = opt::improve_packing(in, {0, 1});
+  EXPECT_DOUBLE_EQ(improved.cost, 4.0);
+  EXPECT_EQ(improved.assignment[0], improved.assignment[1]);
+  EXPECT_GE(improved.moves, 1u);
+}
+
+TEST(LocalSearch, LeavesOptimalSeedAlone) {
+  const Instance in = make_instance({{0.0, 4.0, 0.8}, {0.0, 4.0, 0.8}});
+  const auto improved = opt::improve_packing(in, {0, 1});
+  EXPECT_DOUBLE_EQ(improved.cost, 8.0);
+  EXPECT_EQ(improved.moves, 0u);
+}
+
+TEST(LocalSearch, NeverWorseThanFfdSeed) {
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 12; ++trial) {
+    workloads::GeneralConfig cfg;
+    cfg.target_items = 60;
+    cfg.log2_mu = 6;
+    const Instance in = workloads::make_general_random(cfg, rng);
+    const double ffd = opt::offline_ffd_by_length(in).cost;
+    const auto ls = opt::local_search_opt_nr(in);
+    EXPECT_LE(ls.cost, ffd + 1e-9) << "trial " << trial;
+    EXPECT_GE(ls.cost, opt::compute_bounds(in).lower() - 1e-9);
+    EXPECT_NEAR(ls.cost, assignment_cost(in, ls.assignment), 1e-9);
+  }
+}
+
+TEST(LocalSearch, NeverBeatsExactOpt) {
+  std::mt19937_64 rng(9);
+  for (int trial = 0; trial < 10; ++trial) {
+    workloads::GeneralConfig cfg;
+    cfg.target_items = 9;
+    cfg.log2_mu = 4;
+    cfg.horizon = 10.0;
+    const Instance in = workloads::make_general_random(cfg, rng);
+    const auto exact = opt::exact_opt_nonrepacking(in);
+    ASSERT_TRUE(exact.has_value());
+    const auto ls = opt::local_search_opt_nr(in);
+    EXPECT_GE(ls.cost, exact->cost - 1e-9) << "trial " << trial;
+  }
+}
+
+TEST(LocalSearch, OftenReachesExactOptOnTinyInstances) {
+  // Not a guarantee, but across 20 tiny instances the gap should close on
+  // a clear majority — a regression canary for the move logic.
+  std::mt19937_64 rng(11);
+  int optimal = 0, total = 0;
+  for (int trial = 0; trial < 20; ++trial) {
+    workloads::GeneralConfig cfg;
+    cfg.target_items = 8;
+    cfg.log2_mu = 3;
+    cfg.horizon = 8.0;
+    const Instance in = workloads::make_general_random(cfg, rng);
+    const auto exact = opt::exact_opt_nonrepacking(in);
+    ASSERT_TRUE(exact.has_value());
+    const auto ls = opt::local_search_opt_nr(in);
+    ++total;
+    if (approx_equal(ls.cost, exact->cost, 1e-6)) ++optimal;
+  }
+  EXPECT_GE(optimal * 2, total);  // >= 50%
+}
+
+TEST(LocalSearch, RejectsBadSeeds) {
+  const Instance in = make_instance({{0.0, 2.0, 0.9}, {0.0, 2.0, 0.9}});
+  EXPECT_THROW((void)opt::improve_packing(in, {0}), std::invalid_argument);
+  EXPECT_THROW((void)opt::improve_packing(in, {0, -1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)opt::improve_packing(in, {0, 0}),  // overloaded bin
+               std::invalid_argument);
+}
+
+TEST(LocalSearch, RespectsMoveBudget) {
+  std::mt19937_64 rng(13);
+  workloads::GeneralConfig cfg;
+  cfg.target_items = 80;
+  cfg.log2_mu = 5;
+  const Instance in = workloads::make_general_random(cfg, rng);
+  opt::LocalSearchOptions opts;
+  opts.max_moves = 2;
+  const auto ls = opt::local_search_opt_nr(in, opts);
+  EXPECT_LE(ls.moves, 2u);
+}
+
+TEST(LocalSearch, EmptyInstance) {
+  const auto ls = opt::local_search_opt_nr(Instance{});
+  EXPECT_DOUBLE_EQ(ls.cost, 0.0);
+  EXPECT_TRUE(ls.assignment.empty());
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,90 @@
+#include "opt/repack.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "opt/bounds.h"
+#include "test_util.h"
+#include "workloads/general_random.h"
+
+namespace cdbp {
+namespace {
+
+using testutil::make_instance;
+
+TEST(Repack, SingleItem) {
+  const Instance in = make_instance({{0.0, 5.0, 0.5}});
+  const opt::RepackResult r = opt::repack_witness(in);
+  EXPECT_DOUBLE_EQ(r.cost, 5.0);
+  EXPECT_EQ(r.max_open, 1u);
+}
+
+TEST(Repack, MergesAfterDepartures) {
+  // Two 0.6-items force two bins over [0,2]; one departs at 2, the other
+  // (0.6) then coexists with a 0.3 newcomer: they merge into one bin.
+  const Instance in = make_instance({
+      {0.0, 2.0, 0.6},
+      {0.0, 4.0, 0.6},
+      {2.0, 4.0, 0.3},
+  });
+  const opt::RepackResult r = opt::repack_witness(in);
+  // [0,2): 2 bins; [2,4): 1 bin (0.6 + 0.3 share after consolidation).
+  EXPECT_DOUBLE_EQ(r.cost, 2.0 * 2.0 + 1.0 * 2.0);
+}
+
+TEST(Repack, InvariantAnyTwoBinsExceedCapacity) {
+  // The witness cost must be <= integral of 2*ceil(S_t) (Lemma 3.1).
+  std::mt19937_64 rng(5);
+  for (int trial = 0; trial < 30; ++trial) {
+    workloads::GeneralConfig cfg;
+    cfg.target_items = 80;
+    cfg.log2_mu = 6;
+    cfg.shape = trial % 2 == 0 ? workloads::GeneralShape::kLogUniform
+                               : workloads::GeneralShape::kGeometricBursts;
+    const Instance in = workloads::make_general_random(cfg, rng);
+    const opt::Bounds b = opt::compute_bounds(in);
+    const opt::RepackResult r = opt::repack_witness(in);
+    EXPECT_LE(r.cost, b.upper_ceil() + 1e-6) << "trial " << trial;
+    EXPECT_GE(r.cost, b.lower() - 1e-6) << "trial " << trial;
+  }
+}
+
+TEST(Repack, ProfileIntegralEqualsCost) {
+  const Instance in = make_instance({
+      {0.0, 3.0, 0.9},
+      {1.0, 5.0, 0.9},
+      {2.0, 4.0, 0.9},
+  });
+  const opt::RepackResult r = opt::repack_witness(in);
+  EXPECT_NEAR(r.open_bins.integral(), r.cost, 1e-9);
+}
+
+TEST(Repack, EmptyInstance) {
+  const opt::RepackResult r = opt::repack_witness(Instance{});
+  EXPECT_DOUBLE_EQ(r.cost, 0.0);
+  EXPECT_EQ(r.max_open, 0u);
+}
+
+TEST(Repack, GapBetweenBlocksCostsNothing) {
+  const Instance in = make_instance({{0.0, 1.0, 0.5}, {10.0, 11.0, 0.5}});
+  const opt::RepackResult r = opt::repack_witness(in);
+  EXPECT_DOUBLE_EQ(r.cost, 2.0);
+}
+
+TEST(Repack, BeatsNoRepackingOnInterleavedHeavies) {
+  // Alternating heavy arrivals/departures where a fixed assignment wastes
+  // bins but repacking consolidates aggressively.
+  Instance in;
+  for (int k = 0; k < 10; ++k) {
+    const Time t = static_cast<Time>(k);
+    in.add(t, t + 1.5, 0.55);
+  }
+  in.finalize();
+  const opt::RepackResult r = opt::repack_witness(in);
+  const opt::Bounds b = opt::compute_bounds(in);
+  EXPECT_LE(r.cost, b.upper_ceil() + 1e-9);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,90 @@
+#include "parallel/rng.h"
+#include "parallel/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+namespace cdbp::parallel {
+namespace {
+
+TEST(ThreadPool, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.thread_count(), 4u);
+  auto f = pool.submit([] { return 41 + 1; });
+  EXPECT_EQ(f.get(), 42);
+}
+
+TEST(ThreadPool, ManyTasksAllComplete) {
+  ThreadPool pool(8);
+  std::atomic<int> counter{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 500; ++i)
+    futs.push_back(pool.submit([&counter] { counter.fetch_add(1); }));
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(counter.load(), 500);
+}
+
+TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
+  ThreadPool pool(2);
+  auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
+  EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ParallelFor, CoversExactRange) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  parallel_for(pool, 10, 90, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < hits.size(); ++i)
+    EXPECT_EQ(hits[i].load(), (i >= 10 && i < 90) ? 1 : 0) << i;
+}
+
+TEST(ParallelFor, EmptyRangeIsNoop) {
+  ThreadPool pool(2);
+  parallel_for(pool, 5, 5, [](std::size_t) { FAIL(); });
+}
+
+TEST(ParallelFor, FirstExceptionRethrown) {
+  ThreadPool pool(4);
+  EXPECT_THROW(parallel_for(pool, 0, 64,
+                            [](std::size_t i) {
+                              if (i == 13) throw std::logic_error("13");
+                            }),
+               std::logic_error);
+}
+
+TEST(ParallelMap, PreservesIndexOrder) {
+  ThreadPool pool(4);
+  const auto out = parallel_map<std::size_t>(
+      pool, 50, [](std::size_t i) { return i * i; });
+  for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(Rng, SplitMixDeterministicAndSpreads) {
+  EXPECT_EQ(splitmix64(1), splitmix64(1));
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+}
+
+TEST(Rng, TaskRngIndependentOfScheduling) {
+  // The rng for (seed, index) is a pure function — bit-identical draws.
+  auto a = task_rng(99, 7);
+  auto b = task_rng(99, 7);
+  for (int k = 0; k < 16; ++k) EXPECT_EQ(a(), b());
+  auto c = task_rng(99, 8);
+  EXPECT_NE(task_rng(99, 7)(), c());
+}
+
+TEST(Rng, ParallelDrawsMatchSerialDraws) {
+  ThreadPool pool(8);
+  const std::uint64_t seed = 1234;
+  std::vector<std::uint64_t> serial(64);
+  for (std::size_t i = 0; i < serial.size(); ++i)
+    serial[i] = task_rng(seed, i)();
+  const auto parallel = parallel_map<std::uint64_t>(
+      pool, 64, [seed](std::size_t i) { return task_rng(seed, i)(); });
+  EXPECT_EQ(serial, parallel);
+}
+
+}  // namespace
+}  // namespace cdbp::parallel

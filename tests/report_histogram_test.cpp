@@ -1,0 +1,62 @@
+#include "report/histogram.h"
+
+#include <gtest/gtest.h>
+
+namespace cdbp::report {
+namespace {
+
+TEST(Histogram, EmptyInput) {
+  EXPECT_EQ(histogram({}), "(no data)\n");
+}
+
+TEST(Histogram, CountsSumToSampleSize) {
+  const std::vector<double> values = {0.0, 0.1, 0.5, 0.9, 1.0, 1.0, 0.49};
+  const std::string h = histogram(values, HistogramOptions{.bins = 4});
+  // 4 rows, each showing a count; parse the counts back.
+  std::istringstream is(h);
+  std::string line;
+  int rows = 0;
+  long total = 0;
+  while (std::getline(is, line)) {
+    ++rows;
+    const auto bar = line.find('|');
+    ASSERT_NE(bar, std::string::npos);
+    const auto close = line.find(')');
+    total += std::stol(line.substr(close + 1, bar - close - 1));
+  }
+  EXPECT_EQ(rows, 4);
+  EXPECT_EQ(total, static_cast<long>(values.size()));
+}
+
+TEST(Histogram, ConstantValuesLandInOneBin) {
+  const std::string h =
+      histogram({3.0, 3.0, 3.0}, HistogramOptions{.bins = 5});
+  EXPECT_NE(h.find(" 3 |"), std::string::npos);
+}
+
+TEST(Histogram, PeakBinHasFullWidthBar) {
+  const std::string h = histogram({0.0, 0.0, 0.0, 10.0},
+                                  HistogramOptions{.bins = 2, .width = 8});
+  EXPECT_NE(h.find(std::string(8, '#')), std::string::npos);
+}
+
+TEST(Histogram, Validation) {
+  EXPECT_THROW((void)histogram({1.0}, HistogramOptions{.bins = 0}),
+               std::invalid_argument);
+  EXPECT_THROW((void)histogram({1.0}, HistogramOptions{.bins = 4, .width = 0}),
+               std::invalid_argument);
+}
+
+TEST(Histogram, MaxValueFallsInLastBin) {
+  const std::string h =
+      histogram({0.0, 1.0}, HistogramOptions{.bins = 2, .width = 4});
+  std::istringstream is(h);
+  std::string first, second;
+  std::getline(is, first);
+  std::getline(is, second);
+  EXPECT_NE(first.find("1 |"), std::string::npos);
+  EXPECT_NE(second.find("1 |"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace cdbp::report

@@ -1,0 +1,107 @@
+#include "workloads/batch.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "core/simulator.h"
+#include "core/validation.h"
+#include "test_util.h"
+
+namespace cdbp {
+namespace {
+
+using workloads::BatchConfig;
+using workloads::ZipfSampler;
+using workloads::make_batch_queue;
+
+TEST(Zipf, RankOneIsModalForPositiveExponent) {
+  std::mt19937_64 rng(1);
+  const ZipfSampler zipf(16, 1.2);
+  std::vector<int> counts(17, 0);
+  for (int k = 0; k < 20000; ++k) counts[static_cast<std::size_t>(zipf(rng))] += 1;
+  for (int r = 2; r <= 16; ++r) EXPECT_GT(counts[1], counts[static_cast<std::size_t>(r)]) << r;
+}
+
+TEST(Zipf, ExponentZeroIsUniform) {
+  std::mt19937_64 rng(2);
+  const ZipfSampler zipf(8, 0.0);
+  std::vector<int> counts(9, 0);
+  const int draws = 40000;
+  for (int k = 0; k < draws; ++k) counts[static_cast<std::size_t>(zipf(rng))] += 1;
+  for (int r = 1; r <= 8; ++r)
+    EXPECT_NEAR(counts[static_cast<std::size_t>(r)], draws / 8, draws / 40) << r;
+}
+
+TEST(Zipf, FrequenciesMatchTheLaw) {
+  std::mt19937_64 rng(3);
+  const double s = 1.0;
+  const ZipfSampler zipf(4, s);
+  std::vector<int> counts(5, 0);
+  const int draws = 60000;
+  for (int k = 0; k < draws; ++k) counts[static_cast<std::size_t>(zipf(rng))] += 1;
+  // P(r) proportional to 1/r: ratios ~ 2, 3, 4.
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 2.0, 0.2);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[4], 4.0, 0.5);
+}
+
+TEST(Zipf, Validation) {
+  EXPECT_THROW(ZipfSampler(0, 1.0), std::invalid_argument);
+  EXPECT_THROW(ZipfSampler(4, -1.0), std::invalid_argument);
+}
+
+TEST(BatchQueue, ShapeAndValidity) {
+  std::mt19937_64 rng(5);
+  BatchConfig cfg;
+  const Instance in = make_batch_queue(cfg, rng);
+  in.validate();
+  EXPECT_EQ(in.size(),
+            static_cast<std::size_t>(cfg.waves * cfg.jobs_per_wave));
+  EXPECT_TRUE(in.has_integer_times());
+  for (const Item& r : in.items()) {
+    EXPECT_GE(r.length(), 1.0);
+    EXPECT_LE(r.length(), pow2(cfg.max_duration_class));
+    EXPECT_TRUE(is_power_of_two(static_cast<std::uint64_t>(r.length())));
+    EXPECT_LE(r.size, cfg.max_size + kLoadEps);
+  }
+}
+
+TEST(BatchQueue, CorrelationLinksSizeAndDuration) {
+  std::mt19937_64 rng(7);
+  BatchConfig cfg;
+  cfg.duration_size_corr = 1.0;
+  cfg.waves = 50;
+  const Instance in = make_batch_queue(cfg, rng);
+  // With full correlation, the biggest jobs (rank 1 -> size = max_size)
+  // always get the longest class.
+  for (const Item& r : in.items()) {
+    if (approx_equal(r.size, cfg.max_size)) {
+      EXPECT_DOUBLE_EQ(r.length(), pow2(cfg.max_duration_class));
+    }
+  }
+}
+
+TEST(BatchQueue, RunsThroughAllAlgorithms) {
+  std::mt19937_64 rng(9);
+  BatchConfig cfg;
+  cfg.waves = 6;
+  const Instance in = make_batch_queue(cfg, rng);
+  for (const auto& f : testutil::online_factories()) {
+    auto algo = f.make();
+    const RunResult r = Simulator{}.run(in, *algo);
+    EXPECT_TRUE(validate_run(in, r).ok()) << f.name;
+  }
+}
+
+TEST(BatchQueue, Validation) {
+  std::mt19937_64 rng(1);
+  BatchConfig bad;
+  bad.waves = 0;
+  EXPECT_THROW((void)make_batch_queue(bad, rng), std::invalid_argument);
+  BatchConfig bad2;
+  bad2.max_size = 1.5;
+  EXPECT_THROW((void)make_batch_queue(bad2, rng), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdbp

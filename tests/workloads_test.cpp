@@ -1,0 +1,192 @@
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <map>
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "algos/any_fit.h"
+#include "algos/hybrid.h"
+#include "core/simulator.h"
+#include "opt/bounds.h"
+#include "workloads/aligned_random.h"
+#include "workloads/binary_input.h"
+#include "workloads/cloud_gaming.h"
+#include "workloads/ff_bad.h"
+#include "workloads/general_random.h"
+
+namespace cdbp {
+namespace {
+
+TEST(BinaryInput, DefinitionShape) {
+  const Instance in = workloads::make_binary_input(3);
+  EXPECT_EQ(in.size(), 15u);  // 2 mu - 1
+  EXPECT_TRUE(in.is_aligned());
+  // Exactly mu/2^i items of each length 2^i.
+  std::map<double, int> counts;
+  for (const Item& r : in.items()) counts[r.length()] += 1;
+  EXPECT_EQ(counts[1.0], 8);
+  EXPECT_EQ(counts[2.0], 4);
+  EXPECT_EQ(counts[4.0], 2);
+  EXPECT_EQ(counts[8.0], 1);
+  // Loads 1/(n+1) (documented deviation).
+  for (const Item& r : in.items()) EXPECT_DOUBLE_EQ(r.size, 0.25);
+}
+
+TEST(BinaryInput, ArrivalsAtMultiplesOnly) {
+  const Instance in = workloads::make_binary_input(4);
+  for (const Item& r : in.items()) {
+    const auto period = r.length();
+    EXPECT_EQ(std::fmod(r.arrival, period), 0.0);
+    EXPECT_DOUBLE_EQ(r.departure - r.arrival, period);
+  }
+}
+
+TEST(BinaryInput, RejectsBadN) {
+  EXPECT_THROW((void)workloads::make_binary_input(0), std::invalid_argument);
+  EXPECT_THROW((void)workloads::make_binary_input(31), std::invalid_argument);
+}
+
+TEST(AlignedRandom, ProducesAlignedContiguousHorizon) {
+  std::mt19937_64 rng(2);
+  workloads::AlignedConfig cfg;
+  cfg.n = 7;
+  cfg.max_bucket = 5;
+  const Instance in = workloads::make_aligned_random(cfg, rng);
+  EXPECT_TRUE(in.is_aligned());
+  EXPECT_GE(in.size(), 1u);
+  EXPECT_LE(in.horizon_end(), pow2(7) + kTimeEps);
+  for (const Item& r : in.items()) {
+    EXPECT_LE(aligned_bucket(r.length()), 5);
+    EXPECT_GE(r.length(), 1.0);
+  }
+}
+
+TEST(AlignedRandom, SeedsFullLengthItemAtZero) {
+  std::mt19937_64 rng(4);
+  workloads::AlignedConfig cfg;
+  cfg.n = 6;
+  cfg.max_bucket = 6;
+  cfg.arrivals_per_slot = 0.01;  // sparse: the seed guarantee matters
+  const Instance in = workloads::make_aligned_random(cfg, rng);
+  bool found = false;
+  for (const Item& r : in.items())
+    if (r.arrival == 0.0 && aligned_bucket(r.length()) == 6) found = true;
+  EXPECT_TRUE(found);
+}
+
+TEST(AlignedRandom, NonPow2LengthsStayInBucket) {
+  std::mt19937_64 rng(6);
+  workloads::AlignedConfig cfg;
+  cfg.n = 6;
+  cfg.max_bucket = 4;
+  cfg.pow2_lengths = false;
+  const Instance in = workloads::make_aligned_random(cfg, rng);
+  EXPECT_TRUE(in.is_aligned());
+}
+
+TEST(AlignedRandom, Determinism) {
+  workloads::AlignedConfig cfg;
+  std::mt19937_64 a(9), b(9);
+  const Instance x = workloads::make_aligned_random(cfg, a);
+  const Instance y = workloads::make_aligned_random(cfg, b);
+  ASSERT_EQ(x.size(), y.size());
+  for (std::size_t k = 0; k < x.size(); ++k) EXPECT_EQ(x[k], y[k]);
+}
+
+TEST(GeneralRandom, AllShapesWellFormed) {
+  std::mt19937_64 rng(1);
+  for (auto shape :
+       {workloads::GeneralShape::kLogUniform,
+        workloads::GeneralShape::kExponential,
+        workloads::GeneralShape::kGeometricBursts,
+        workloads::GeneralShape::kTwoPhase}) {
+    workloads::GeneralConfig cfg;
+    cfg.shape = shape;
+    cfg.target_items = 100;
+    cfg.log2_mu = 6;
+    const Instance in = workloads::make_general_random(cfg, rng);
+    in.validate();
+    EXPECT_GE(in.min_length(), 1.0 - kTimeEps) << to_string(shape);
+    EXPECT_LE(in.mu(), pow2(6) + kTimeEps) << to_string(shape);
+    EXPECT_GT(in.size(), 0u) << to_string(shape);
+  }
+}
+
+TEST(GeneralRandom, ShapeNames) {
+  EXPECT_EQ(to_string(workloads::GeneralShape::kLogUniform), "log-uniform");
+  EXPECT_EQ(to_string(workloads::GeneralShape::kTwoPhase), "two-phase");
+}
+
+TEST(CloudGaming, TraceLooksLikeSessions) {
+  std::mt19937_64 rng(5);
+  workloads::CloudGamingConfig cfg;
+  cfg.days = 0.5;
+  const Instance in = workloads::make_cloud_gaming(cfg, rng);
+  EXPECT_GT(in.size(), 50u);
+  in.validate();
+  EXPECT_TRUE(in.has_integer_times());
+  for (const Item& r : in.items()) {
+    EXPECT_GE(r.length(), 1.0);
+    EXPECT_LE(r.size, cfg.max_share + kLoadEps);
+  }
+}
+
+TEST(CloudGaming, DiurnalVariationPresent) {
+  std::mt19937_64 rng(8);
+  workloads::CloudGamingConfig cfg;
+  cfg.days = 4.0;
+  const Instance in = workloads::make_cloud_gaming(cfg, rng);
+  // Arrival counts must differ substantially between the busiest and
+  // quietest 6-hour window of the day.
+  std::array<int, 4> buckets{};
+  for (const Item& r : in.items()) {
+    const double minute_of_day = std::fmod(r.arrival, 24.0 * 60.0);
+    buckets[static_cast<std::size_t>(minute_of_day / (6.0 * 60.0))] += 1;
+  }
+  const auto [lo, hi] = std::minmax_element(buckets.begin(), buckets.end());
+  EXPECT_GT(*hi, 2 * *lo);
+}
+
+TEST(FfBad, ForcesLinearInMuRatioOnFirstFit) {
+  const auto result = workloads::build_nonclairvoyant_bad(
+      5, 4, [] { return std::make_unique<algos::FirstFit>(); });
+  EXPECT_GE(result.probe_bins, 4u);
+  algos::FirstFit ff;
+  const Cost cost = run_cost(result.instance, ff);
+  const opt::Bounds b = opt::compute_bounds(result.instance);
+  // FF pays ~ bins * mu; OPT upper ~ mu + bins.
+  EXPECT_GT(cost / b.upper_ceil(), 1.0);
+  // FF must pay at least probe_bins * (mu - 1): each probed bin holds a
+  // survivor to time mu.
+  EXPECT_GE(cost, static_cast<double>(result.probe_bins) * (pow2(5) - 1.0));
+}
+
+TEST(FfBad, RatioGrowsLinearlyWithMu) {
+  // The adaptive family only bites when the bin count scales with mu
+  // (B = mu survivors of size 1/mu pack into one OPT bin): the certified
+  // ratio is then ~ mu/4.
+  auto measured = [](int n) {
+    const auto result = workloads::build_nonclairvoyant_bad(
+        n, static_cast<int>(pow2(n)),
+        [] { return std::make_unique<algos::FirstFit>(); });
+    algos::FirstFit ff;
+    const Cost cost = run_cost(result.instance, ff);
+    return cost / opt::compute_bounds(result.instance).upper_ceil();
+  };
+  const double r4 = measured(4);
+  const double r6 = measured(6);
+  EXPECT_GT(r6, 3.0 * r4);  // 4x mu growth expected; allow slack
+}
+
+TEST(FfBad, RejectsClairvoyantAlgorithms) {
+  // HA reads departures, so its probe placements differ between the two
+  // provisional departure values -> the construction must refuse.
+  EXPECT_THROW(workloads::build_nonclairvoyant_bad(
+                   4, 2, [] { return std::make_unique<algos::Hybrid>(); }),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -1,0 +1,14 @@
+// The cdbp command-line tool. All logic lives in src/cli (unit-tested);
+// this file only adapts argv.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "cli/cli.h"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args;
+  args.reserve(static_cast<std::size_t>(argc > 0 ? argc - 1 : 0));
+  for (int i = 1; i < argc; ++i) args.emplace_back(argv[i]);
+  return cdbp::cli::run_cli(args, std::cout, std::cerr);
+}
