@@ -1,0 +1,145 @@
+// Simulator hot-path throughput: items/sec for FF/BF/WF/CDFF/HA at
+// n in {1e4, 1e5, 1e6}, indexed selection vs the seed linear scan
+// (SelectMode::kLinearScan). This is the before/after evidence for the
+// capacity-index rewrite; numbers are recorded in EXPERIMENTS.md.
+//
+// The workload keeps thousands of items concurrently active (hundreds of
+// open bins), so the seed per-arrival scan is genuinely linear in B.
+// --quick trims the sizes for CI smoke runs; --legacy-max N caps the
+// largest n the linear reference runs at (it is O(n * B) and dominates
+// wall time otherwise).
+
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "algos/any_fit.h"
+#include "algos/cdff.h"
+#include "algos/hybrid.h"
+#include "bench_common.h"
+#include "core/instance.h"
+#include "core/simulator.h"
+#include "report/table.h"
+#include "workloads/aligned_random.h"
+#include "workloads/general_random.h"
+
+namespace {
+
+using namespace cdbp;
+
+double run_items_per_sec(const Instance& instance, Algorithm& algo,
+                         Cost* cost_out) {
+  Simulator sim{SimulatorOptions{.keep_history = false}};
+  const auto start = std::chrono::steady_clock::now();
+  const RunResult result = sim.run(instance, algo);
+  const auto stop = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(stop - start).count();
+  if (cost_out) *cost_out = result.cost;
+  return static_cast<double>(instance.size()) / secs;
+}
+
+Instance make_general(std::size_t n) {
+  workloads::GeneralConfig config;
+  config.shape = workloads::GeneralShape::kLogUniform;
+  config.log2_mu = 8;
+  config.target_items = static_cast<int>(n);
+  // Horizon scaled so ~2-3k items stay concurrently active at n = 1e5.
+  config.horizon = std::max(64.0, static_cast<double>(n) / 50.0);
+  std::mt19937_64 rng(42);
+  return workloads::make_general_random(config, rng);
+}
+
+Instance make_aligned(std::size_t n) {
+  workloads::AlignedConfig config;
+  config.max_bucket = 8;
+  // Pick the horizon so roughly `n` items are emitted at the default
+  // per-slot rate (slot count across buckets is ~2 * 2^n).
+  int exp = 10;
+  while ((std::size_t{2} << exp) < n) ++exp;
+  config.n = exp;
+  std::mt19937_64 rng(42);
+  return workloads::make_aligned_random(config, rng);
+}
+
+std::string human(double v) {
+  return report::Table::num(v / 1e6, 2) + "M";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto opts = cdbp::bench::parse_options(argc, argv);
+  std::size_t legacy_max = 100000;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--legacy-max" && i + 1 < argc)
+      legacy_max = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+
+  std::vector<std::size_t> sizes = {10000, 100000, 1000000};
+  if (opts.quick) sizes = {2000, 10000};
+
+  std::cout << "== simulator hot path: items/sec, indexed vs linear scan "
+               "==\n";
+  report::Table table({"algorithm", "n", "indexed items/s", "linear items/s",
+                       "speedup", "cost equal"});
+
+  for (const std::size_t n : sizes) {
+    const Instance general = make_general(n);
+    const Instance aligned = make_aligned(n);
+
+    struct Entry {
+      std::string label;
+      AlgorithmPtr indexed;
+      AlgorithmPtr linear;
+      const Instance* instance;
+    };
+    std::vector<Entry> entries;
+    entries.push_back(
+        {"FirstFit", std::make_unique<algos::FirstFit>(),
+         std::make_unique<algos::FirstFit>(algos::SelectMode::kLinearScan),
+         &general});
+    entries.push_back(
+        {"BestFit", std::make_unique<algos::BestFit>(),
+         std::make_unique<algos::BestFit>(algos::SelectMode::kLinearScan),
+         &general});
+    entries.push_back(
+        {"WorstFit", std::make_unique<algos::WorstFit>(),
+         std::make_unique<algos::WorstFit>(algos::SelectMode::kLinearScan),
+         &general});
+    entries.push_back(
+        {"CDFF", std::make_unique<algos::Cdff>(),
+         std::make_unique<algos::Cdff>(algos::FitRule::kFirst,
+                                       algos::SelectMode::kLinearScan),
+         &aligned});
+    entries.push_back(
+        {"HA", std::make_unique<algos::Hybrid>(),
+         std::make_unique<algos::Hybrid>(&algos::Hybrid::paper_threshold,
+                                         "HA", algos::FitRule::kFirst,
+                                         algos::SelectMode::kLinearScan),
+         &general});
+
+    for (Entry& e : entries) {
+      Cost cost_indexed = 0.0, cost_linear = 0.0;
+      const double ips =
+          run_items_per_sec(*e.instance, *e.indexed, &cost_indexed);
+      std::string linear_cell = "-", speedup_cell = "-", equal_cell = "-";
+      if (n <= legacy_max) {
+        const double lps =
+            run_items_per_sec(*e.instance, *e.linear, &cost_linear);
+        linear_cell = human(lps);
+        speedup_cell = report::Table::num(ips / lps, 1) + "x";
+        equal_cell = cost_indexed == cost_linear ? "yes" : "NO";
+      }
+      table.add_row({e.label, std::to_string(e.instance->size()), human(ips),
+                     linear_cell, speedup_cell, equal_cell});
+    }
+  }
+  std::cout << table.to_string();
+  std::cout << "\n(linear reference capped at n <= " << legacy_max
+            << " items; 'cost equal' checks the indexed run reproduces the "
+               "seed cost bit for bit)\n";
+  return 0;
+}

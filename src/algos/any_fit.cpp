@@ -52,10 +52,33 @@ BinId pick_bin(const Ledger& ledger, const std::vector<BinId>& candidates,
   throw std::invalid_argument("unknown FitRule");
 }
 
+BinId pick_bin_indexed(const Ledger& ledger, PoolId pool, Load size,
+                       FitRule rule) {
+  switch (rule) {
+    case FitRule::kFirst:
+      return ledger.first_fit(pool, size);
+    case FitRule::kBest:
+      return ledger.best_fit(pool, size);
+    case FitRule::kWorst:
+      return ledger.worst_fit(pool, size);
+    case FitRule::kNext: {
+      const BinId last = ledger.newest_open_in_pool(pool);
+      return (last != kNoBin && ledger.fits(last, size)) ? last : kNoBin;
+    }
+  }
+  throw std::invalid_argument("unknown FitRule");
+}
+
 BinId AnyFit::on_arrival(const Item& item, Ledger& ledger) {
-  const std::vector<BinId> open(ledger.open_bins().begin(),
-                                ledger.open_bins().end());
-  BinId bin = pick_bin(ledger, open, item.size, rule_);
+  BinId bin = kNoBin;
+  if (mode_ == SelectMode::kIndexed) {
+    // All AnyFit bins live in pool 0.
+    bin = pick_bin_indexed(ledger, /*pool=*/0, item.size, rule_);
+  } else {
+    const std::vector<BinId> open(ledger.open_bins().begin(),
+                                  ledger.open_bins().end());
+    bin = pick_bin(ledger, open, item.size, rule_);
+  }
   if (bin == kNoBin) bin = ledger.open_bin(item.arrival);
   ledger.place(item.id, item.size, bin, item.arrival);
   return bin;

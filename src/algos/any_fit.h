@@ -20,10 +20,22 @@ enum class FitRule {
 
 [[nodiscard]] std::string to_string(FitRule rule);
 
+/// How an algorithm resolves its fit rule against the ledger.
+///  * kIndexed    — O(log B) per arrival via the ledger's capacity index
+///                  (the default; selects bit-identical bins);
+///  * kLinearScan — the seed O(B) scan over a materialized candidate list,
+///                  kept as the behavioral reference for equivalence tests
+///                  and before/after benchmarks.
+enum class SelectMode {
+  kIndexed,
+  kLinearScan,
+};
+
 /// Generic Any-Fit algorithm over a single pool of bins.
 class AnyFit : public Algorithm {
  public:
-  explicit AnyFit(FitRule rule) : rule_(rule) {}
+  explicit AnyFit(FitRule rule, SelectMode mode = SelectMode::kIndexed)
+      : rule_(rule), mode_(mode) {}
 
   [[nodiscard]] std::string name() const override {
     return to_string(rule_) + "Fit";
@@ -32,36 +44,50 @@ class AnyFit : public Algorithm {
   BinId on_arrival(const Item& item, Ledger& ledger) override;
 
   [[nodiscard]] FitRule rule() const noexcept { return rule_; }
+  [[nodiscard]] SelectMode mode() const noexcept { return mode_; }
 
  private:
   FitRule rule_;
+  SelectMode mode_;
 };
 
 /// Picks a bin from `candidates` (opening order) according to `rule`, or
-/// kNoBin when none fits. Shared by every classify-style algorithm.
+/// kNoBin when none fits, by linear scan — the seed reference
+/// implementation all indexed selection is checked against. Shared by the
+/// classify-style algorithms' kLinearScan mode.
 [[nodiscard]] BinId pick_bin(const Ledger& ledger,
                              const std::vector<BinId>& candidates, Load size,
                              FitRule rule);
 
+/// Indexed counterpart: picks from the ledger pool `pool` in O(log B).
+/// Selects the same bin as pick_bin over the pool's open bins in opening
+/// order (equivalence locked by tests/integration/equivalence_test.cpp).
+[[nodiscard]] BinId pick_bin_indexed(const Ledger& ledger, PoolId pool,
+                                     Load size, FitRule rule);
+
 /// Convenience concrete types.
 class FirstFit final : public AnyFit {
  public:
-  FirstFit() : AnyFit(FitRule::kFirst) {}
+  explicit FirstFit(SelectMode mode = SelectMode::kIndexed)
+      : AnyFit(FitRule::kFirst, mode) {}
 };
 
 class BestFit final : public AnyFit {
  public:
-  BestFit() : AnyFit(FitRule::kBest) {}
+  explicit BestFit(SelectMode mode = SelectMode::kIndexed)
+      : AnyFit(FitRule::kBest, mode) {}
 };
 
 class NextFit final : public AnyFit {
  public:
-  NextFit() : AnyFit(FitRule::kNext) {}
+  explicit NextFit(SelectMode mode = SelectMode::kIndexed)
+      : AnyFit(FitRule::kNext, mode) {}
 };
 
 class WorstFit final : public AnyFit {
  public:
-  WorstFit() : AnyFit(FitRule::kWorst) {}
+  explicit WorstFit(SelectMode mode = SelectMode::kIndexed)
+      : AnyFit(FitRule::kWorst, mode) {}
 };
 
 }  // namespace cdbp::algos

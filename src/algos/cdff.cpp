@@ -22,7 +22,7 @@ std::int64_t to_integer_time(Time t, const char* what) {
 
 }  // namespace
 
-Cdff::Cdff(FitRule rule) : rule_(rule) {}
+Cdff::Cdff(FitRule rule, SelectMode mode) : rule_(rule), mode_(mode) {}
 
 int Cdff::m_of(Time t) const {
   if (t == seg_start_) return seg_n_;
@@ -64,7 +64,9 @@ BinId Cdff::on_arrival(const Item& item, Ledger& ledger) {
   const int delta = bucket + (seg_n_ - m);
 
   std::vector<BinId>& row = rows_[delta];
-  BinId bin = pick_bin(ledger, row, item.size, rule_);
+  BinId bin = mode_ == SelectMode::kIndexed
+                  ? pick_bin_indexed(ledger, /*pool=*/delta, item.size, rule_)
+                  : pick_bin(ledger, row, item.size, rule_);
   if (bin == kNoBin) {
     bin = ledger.open_bin(item.arrival, /*group=*/delta);
     row.push_back(bin);

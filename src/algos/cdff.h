@@ -38,7 +38,8 @@ namespace cdbp::algos {
 
 class Cdff : public Algorithm {
  public:
-  explicit Cdff(FitRule rule = FitRule::kFirst);
+  explicit Cdff(FitRule rule = FitRule::kFirst,
+                SelectMode mode = SelectMode::kIndexed);
 
   [[nodiscard]] std::string name() const override { return "CDFF"; }
 
@@ -73,6 +74,7 @@ class Cdff : public Algorithm {
   [[nodiscard]] int m_of(Time t) const;
 
   FitRule rule_;
+  SelectMode mode_;
 
   // Segment state.
   bool in_segment_ = false;

@@ -7,8 +7,8 @@
 namespace cdbp::algos {
 
 ClassifyByDuration::ClassifyByDuration(double base, FitRule rule,
-                                       double shift)
-    : base_(base), rule_(rule), shift_(shift) {
+                                       double shift, SelectMode mode)
+    : base_(base), rule_(rule), shift_(shift), mode_(mode) {
   if (!(base > 1.0))
     throw std::invalid_argument("ClassifyByDuration: base must be > 1");
   set_shift(shift);
@@ -42,7 +42,9 @@ int ClassifyByDuration::class_of(Time length) const {
 BinId ClassifyByDuration::on_arrival(const Item& item, Ledger& ledger) {
   const int k = class_of(item.length());
   std::vector<BinId>& bins = class_bins_[k];
-  BinId bin = pick_bin(ledger, bins, item.size, rule_);
+  BinId bin = mode_ == SelectMode::kIndexed
+                  ? pick_bin_indexed(ledger, /*pool=*/k, item.size, rule_)
+                  : pick_bin(ledger, bins, item.size, rule_);
   if (bin == kNoBin) {
     bin = ledger.open_bin(item.arrival, /*group=*/k);
     bins.push_back(bin);

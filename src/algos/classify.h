@@ -31,7 +31,8 @@ class ClassifyByDuration : public Algorithm {
   /// almost-double window); a shifted grid dodges that placement.
   explicit ClassifyByDuration(double base = 2.0,
                               FitRule rule = FitRule::kFirst,
-                              double shift = 0.0);
+                              double shift = 0.0,
+                              SelectMode mode = SelectMode::kIndexed);
 
   [[nodiscard]] std::string name() const override;
 
@@ -54,6 +55,7 @@ class ClassifyByDuration : public Algorithm {
   double base_;
   FitRule rule_;
   double shift_;
+  SelectMode mode_;
   // Open bins per class, in opening order.
   std::unordered_map<int, std::vector<BinId>> class_bins_;
   std::unordered_map<BinId, int> bin_class_;

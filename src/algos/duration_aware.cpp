@@ -24,7 +24,7 @@ std::string DurationAwareFit::name() const {
 Time DurationAwareFit::horizon_of(BinId bin) const {
   const auto it = departures_.find(bin);
   if (it == departures_.end() || it->second.empty()) return kInfTime;
-  return *std::max_element(it->second.begin(), it->second.end());
+  return *it->second.rbegin();
 }
 
 double DurationAwareFit::extension_cost(BinId bin, Time departure) const {
@@ -66,7 +66,7 @@ BinId DurationAwareFit::on_arrival(const Item& item, Ledger& ledger) {
 
   if (chosen == kNoBin) chosen = ledger.open_bin(item.arrival);
   ledger.place(item.id, item.size, chosen, item.arrival);
-  departures_[chosen].push_back(item.departure);
+  departures_[chosen].insert(item.departure);
   return chosen;
 }
 
@@ -79,8 +79,8 @@ void DurationAwareFit::on_departure(const Item& item, BinId bin,
     departures_.erase(it);
     return;
   }
-  std::vector<Time>& deps = it->second;
-  const auto pos = std::find(deps.begin(), deps.end(), item.departure);
+  std::multiset<Time>& deps = it->second;
+  const auto pos = deps.find(item.departure);
   if (pos != deps.end()) deps.erase(pos);
 }
 

@@ -19,9 +19,9 @@
 //                           to kMinExtension.
 #pragma once
 
+#include <set>
 #include <string>
 #include <unordered_map>
-#include <vector>
 
 #include "core/algorithm.h"
 
@@ -54,10 +54,9 @@ class DurationAwareFit : public Algorithm {
   [[nodiscard]] double extension_cost(BinId bin, Time departure) const;
 
   DurationPolicy policy_;
-  // Horizon per open bin. Exact (not an upper bound): on every departure
-  // the horizon is recomputed only when the departing item defined it,
-  // using the stored per-bin multiset of departures.
-  std::unordered_map<BinId, std::vector<Time>> departures_;
+  // Departure multiset per open bin: the horizon is the max element, read
+  // in O(1) from the back; insert/erase are O(log items-in-bin).
+  std::unordered_map<BinId, std::multiset<Time>> departures_;
 };
 
 }  // namespace cdbp::algos

@@ -5,7 +5,8 @@
 
 namespace cdbp::algos {
 
-HarmonicFit::HarmonicFit(int classes) : classes_(classes) {
+HarmonicFit::HarmonicFit(int classes, SelectMode mode)
+    : classes_(classes), mode_(mode) {
   if (classes < 1)
     throw std::invalid_argument("HarmonicFit: classes must be >= 1");
 }
@@ -25,7 +26,10 @@ int HarmonicFit::class_of(Load size) const {
 BinId HarmonicFit::on_arrival(const Item& item, Ledger& ledger) {
   const int k = class_of(item.size);
   std::vector<BinId>& bins = class_bins_[k];
-  BinId bin = pick_bin(ledger, bins, item.size, FitRule::kFirst);
+  BinId bin = mode_ == SelectMode::kIndexed
+                  ? pick_bin_indexed(ledger, /*pool=*/k, item.size,
+                                     FitRule::kFirst)
+                  : pick_bin(ledger, bins, item.size, FitRule::kFirst);
   if (bin == kNoBin) {
     bin = ledger.open_bin(item.arrival, /*group=*/k);
     bins.push_back(bin);

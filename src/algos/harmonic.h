@@ -24,7 +24,8 @@ class HarmonicFit : public Algorithm {
  public:
   /// `classes` = K >= 1: size classes (1/2,1], (1/3,1/2], ..., plus the
   /// catch-all (0, 1/K].
-  explicit HarmonicFit(int classes = 8);
+  explicit HarmonicFit(int classes = 8,
+                       SelectMode mode = SelectMode::kIndexed);
 
   [[nodiscard]] std::string name() const override;
 
@@ -39,6 +40,7 @@ class HarmonicFit : public Algorithm {
 
  private:
   int classes_;
+  SelectMode mode_;
   std::unordered_map<int, std::vector<BinId>> class_bins_;
   std::unordered_map<BinId, int> bin_class_;
 };

@@ -5,11 +5,21 @@
 
 namespace cdbp::algos {
 
-Hybrid::Hybrid(Threshold threshold, std::string label, FitRule rule)
+Hybrid::Hybrid(Threshold threshold, std::string label, FitRule rule,
+               SelectMode mode)
     : threshold_(std::move(threshold)),
       label_(std::move(label)),
-      rule_(rule) {
+      rule_(rule),
+      mode_(mode) {
   if (!threshold_) throw std::invalid_argument("Hybrid: null threshold");
+}
+
+PoolId Hybrid::cd_pool(const DurationType& type) {
+  const auto it = type_pool_.find(type);
+  if (it != type_pool_.end()) return it->second;
+  const PoolId pool = next_cd_pool_++;
+  type_pool_.emplace(type, pool);
+  return pool;
 }
 
 double Hybrid::active_load(const DurationType& t) const {
@@ -25,9 +35,11 @@ BinId Hybrid::on_arrival(const Item& item, Ledger& ledger) {
   // Step 1: an open CD bin for this type captures the item.
   if (auto it = cd_bins_.find(type);
       it != cd_bins_.end() && !it->second.empty()) {
-    BinId bin = pick_bin(ledger, it->second, item.size, rule_);
+    BinId bin = mode_ == SelectMode::kIndexed
+                    ? pick_bin_indexed(ledger, cd_pool(type), item.size, rule_)
+                    : pick_bin(ledger, it->second, item.size, rule_);
     if (bin == kNoBin) {
-      bin = ledger.open_bin(item.arrival, kHybridGroupCD);
+      bin = ledger.open_bin(item.arrival, kHybridGroupCD, cd_pool(type));
       it->second.push_back(bin);
       cd_bin_type_.emplace(bin, type);
       ++cd_open_total_;
@@ -38,7 +50,7 @@ BinId Hybrid::on_arrival(const Item& item, Ledger& ledger) {
 
   // Step 2: heavy type -> dedicate a CD bin to it.
   if (definitely_greater(d, threshold_(type.i))) {
-    const BinId bin = ledger.open_bin(item.arrival, kHybridGroupCD);
+    const BinId bin = ledger.open_bin(item.arrival, kHybridGroupCD, cd_pool(type));
     cd_bins_[type].push_back(bin);
     cd_bin_type_.emplace(bin, type);
     ++cd_open_total_;
@@ -47,7 +59,9 @@ BinId Hybrid::on_arrival(const Item& item, Ledger& ledger) {
   }
 
   // Step 3: light type -> shared GN pool.
-  BinId bin = pick_bin(ledger, gn_bins_, item.size, rule_);
+  BinId bin = mode_ == SelectMode::kIndexed
+                  ? pick_bin_indexed(ledger, kHybridGroupGN, item.size, rule_)
+                  : pick_bin(ledger, gn_bins_, item.size, rule_);
   if (bin == kNoBin) {
     bin = ledger.open_bin(item.arrival, kHybridGroupGN);
     gn_bins_.push_back(bin);
@@ -80,6 +94,8 @@ void Hybrid::on_departure(const Item& item, BinId bin, bool bin_closed,
 
 void Hybrid::reset() {
   active_load_.clear();
+  type_pool_.clear();
+  next_cd_pool_ = kHybridGroupCD;
   cd_bins_.clear();
   cd_bin_type_.clear();
   gn_bins_.clear();

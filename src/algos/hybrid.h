@@ -45,7 +45,8 @@ class Hybrid : public Algorithm {
 
   explicit Hybrid(Threshold threshold = &Hybrid::paper_threshold,
                   std::string label = "HA",
-                  FitRule rule = FitRule::kFirst);
+                  FitRule rule = FitRule::kFirst,
+                  SelectMode mode = SelectMode::kIndexed);
 
   [[nodiscard]] std::string name() const override { return label_; }
 
@@ -66,11 +67,19 @@ class Hybrid : public Algorithm {
   [[nodiscard]] double active_load(const DurationType& t) const;
 
  private:
+  /// Ledger selection pool of one type's CD bins (allocated on demand;
+  /// pools kHybridGroupGN and below are never handed out, so GN and CD
+  /// selection never collide).
+  [[nodiscard]] PoolId cd_pool(const DurationType& type);
+
   Threshold threshold_;
   std::string label_;
   FitRule rule_;
+  SelectMode mode_;
 
   std::unordered_map<DurationType, double> active_load_;
+  std::unordered_map<DurationType, PoolId> type_pool_;
+  PoolId next_cd_pool_ = kHybridGroupCD;
   std::unordered_map<DurationType, std::vector<BinId>> cd_bins_;
   std::unordered_map<BinId, DurationType> cd_bin_type_;
   std::vector<BinId> gn_bins_;  // open GN bins, opening order

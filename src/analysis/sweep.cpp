@@ -1,8 +1,47 @@
 #include "analysis/sweep.h"
 
 #include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
 
 namespace cdbp::analysis {
+
+namespace {
+
+// Tolerance-stable bucket key for a nominal mu. Sweep mus arrive through
+// pow/ldexp/division chains whose results can differ by an ulp between
+// call sites; exact double comparison would split one nominal mu into
+// several buckets and corrupt every ratio-vs-mu curve. Quantizing log2(mu)
+// to 1/4096 collapses ulp-level noise (relative error ~1e-16, vastly
+// below the 2^-12 ~ 1.7e-4 relative cell width) while keeping any two
+// distinct sweep mus — even a 0.1% grid — in separate buckets.
+std::int64_t mu_key(double mu) {
+  if (!(mu > 0.0) || !std::isfinite(mu))
+    // Degenerate mus (<= 0, inf, nan) bucket by bit pattern, offset out of
+    // the log2-key range so 0.0 cannot collide with mu = 1.0 (key 0).
+    return static_cast<std::int64_t>(std::bit_cast<std::uint64_t>(mu) ^
+                                     (std::uint64_t{1} << 62));
+  return std::llround(std::log2(mu) * 4096.0);
+}
+
+struct GroupKey {
+  std::string algorithm;
+  std::int64_t mu;
+  friend bool operator==(const GroupKey&, const GroupKey&) = default;
+};
+
+struct GroupKeyHash {
+  std::size_t operator()(const GroupKey& k) const noexcept {
+    const std::size_t h = std::hash<std::string>{}(k.algorithm);
+    return h ^ (std::hash<std::int64_t>{}(k.mu) + 0x9e3779b97f4a7c15ULL +
+                (h << 6) + (h >> 2));
+  }
+};
+
+}  // namespace
 
 std::vector<SweepPoint> aggregate_sweep(
     const std::vector<SweepObservation>& observations) {
@@ -11,20 +50,17 @@ std::vector<SweepPoint> aggregate_sweep(
     double mu;
     std::vector<double> lows, highs, costs;
   };
-  std::vector<Accum> accums;
+  std::vector<Accum> accums;  // first-seen order
+  std::unordered_map<GroupKey, std::size_t, GroupKeyHash> index;
   for (const SweepObservation& obs : observations) {
-    Accum* acc = nullptr;
-    for (Accum& existing : accums)
-      if (existing.algorithm == obs.measurement.algorithm &&
-          existing.mu == obs.mu)
-        acc = &existing;
-    if (!acc) {
+    const GroupKey key{obs.measurement.algorithm, mu_key(obs.mu)};
+    const auto [it, inserted] = index.emplace(key, accums.size());
+    if (inserted)
       accums.push_back(Accum{obs.measurement.algorithm, obs.mu, {}, {}, {}});
-      acc = &accums.back();
-    }
-    acc->lows.push_back(obs.measurement.ratio_vs_lower());
-    acc->highs.push_back(obs.measurement.ratio_vs_upper());
-    acc->costs.push_back(obs.measurement.cost);
+    Accum& acc = accums[it->second];
+    acc.lows.push_back(obs.measurement.ratio_vs_lower());
+    acc.highs.push_back(obs.measurement.ratio_vs_upper());
+    acc.costs.push_back(obs.measurement.cost);
   }
   std::vector<SweepPoint> points;
   points.reserve(accums.size());

@@ -1,0 +1,90 @@
+#include "core/bin_index.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace cdbp {
+
+void BinCapacityIndex::grow() {
+  const std::size_t new_cap = cap_ == 0 ? 1 : cap_ * 2;
+  std::vector<Load> new_tree(2 * new_cap, kClosedLoad);
+  for (std::size_t s = 0; s < size_; ++s) new_tree[new_cap + s] = leaf(s);
+  tree_ = std::move(new_tree);
+  cap_ = new_cap;
+  for (std::size_t node = cap_ - 1; node >= 1; --node)
+    tree_[node] = std::min(tree_[2 * node], tree_[2 * node + 1]);
+}
+
+void BinCapacityIndex::update_leaf(std::size_t slot, Load load) {
+  std::size_t node = cap_ + slot;
+  tree_[node] = load;
+  for (node /= 2; node >= 1; node /= 2)
+    tree_[node] = std::min(tree_[2 * node], tree_[2 * node + 1]);
+}
+
+std::size_t BinCapacityIndex::add_bin(BinId bin) {
+  if (size_ == cap_) grow();
+  const std::size_t slot = size_++;
+  bins_.push_back(bin);
+  update_leaf(slot, 0.0);
+  by_load_.emplace(0.0, bin);
+  ++open_count_;
+  return slot;
+}
+
+void BinCapacityIndex::set_load(std::size_t slot, Load load) {
+  by_load_.erase({leaf(slot), bins_[slot]});
+  update_leaf(slot, load);
+  by_load_.emplace(load, bins_[slot]);
+}
+
+void BinCapacityIndex::close(std::size_t slot) {
+  by_load_.erase({leaf(slot), bins_[slot]});
+  update_leaf(slot, kClosedLoad);
+  --open_count_;
+}
+
+BinId BinCapacityIndex::first_fit(Load size) const {
+  if (cap_ == 0 || !fits_in_bin(tree_[1], size)) return kNoBin;
+  std::size_t node = 1;
+  while (node < cap_)
+    node = fits_in_bin(tree_[2 * node], size) ? 2 * node : 2 * node + 1;
+  return bins_[node - cap_];
+}
+
+BinId BinCapacityIndex::best_fit(Load size) const {
+  if (by_load_.empty()) return kNoBin;
+  const Load bound = max_load_admitting(size);
+  auto it = by_load_.upper_bound(
+      {bound, std::numeric_limits<BinId>::max()});
+  if (it == by_load_.begin()) return kNoBin;
+  --it;
+  // Ties on load resolve to the earliest-opened (smallest-id) bin.
+  return by_load_.lower_bound({it->first, kNoBin})->second;
+}
+
+BinId BinCapacityIndex::worst_fit(Load size) const {
+  if (cap_ == 0 || !fits_in_bin(tree_[1], size)) return kNoBin;
+  std::size_t node = 1;
+  while (node < cap_)
+    node = tree_[2 * node] == tree_[node] ? 2 * node : 2 * node + 1;
+  return bins_[node - cap_];
+}
+
+BinId BinCapacityIndex::newest_open() const {
+  if (cap_ == 0 || tree_[1] == kClosedLoad) return kNoBin;
+  std::size_t node = 1;
+  while (node < cap_)
+    node = tree_[2 * node + 1] != kClosedLoad ? 2 * node + 1 : 2 * node;
+  return bins_[node - cap_];
+}
+
+std::vector<BinId> BinCapacityIndex::open_bins() const {
+  std::vector<BinId> out;
+  out.reserve(open_count_);
+  for (std::size_t s = 0; s < size_; ++s)
+    if (leaf(s) != kClosedLoad) out.push_back(bins_[s]);
+  return out;
+}
+
+}  // namespace cdbp

@@ -1,0 +1,87 @@
+// Remaining-capacity index over one pool of bins: the data structure behind
+// the ledger's O(log B) first-fit / best-fit / worst-fit selection.
+//
+// Two structures are maintained incrementally, both keyed off a dense
+// *slot* number assigned in opening order (so slot order == opening order
+// == ascending BinId within the pool):
+//
+//  * a tournament (min-)tree over slot loads — answers "leftmost slot whose
+//    load admits `size`" (First-Fit), "leftmost slot at the minimum load"
+//    (Worst-Fit) and "rightmost open slot" (Next-Fit) in O(log B). The
+//    descent relies on fits_in_bin being monotone in load: if the subtree
+//    minimum admits the size, some leaf in it does.
+//  * an ordered set of (load, bin) pairs — answers "maximum load admitting
+//    `size`, smallest bin id among ties" (Best-Fit) in O(log B) via the
+//    exact key bound max_load_admitting(size).
+//
+// Closed bins keep their slot but are parked at kClosedLoad, a sentinel
+// above any admissible load, so they can never be selected. Tie-breaking
+// is bit-identical to the seed linear scans in algos::pick_bin (earliest
+// opened wins), which the integration equivalence tests lock in.
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include "core/time_types.h"
+
+namespace cdbp {
+
+class BinCapacityIndex {
+ public:
+  /// Sentinel load for closed / unused slots; no item size admits it.
+  static constexpr Load kClosedLoad = 3.0;
+
+  /// Registers a newly opened bin (load 0); returns its slot.
+  std::size_t add_bin(BinId bin);
+
+  /// Updates the load of an open slot (after place/remove).
+  void set_load(std::size_t slot, Load load);
+
+  /// Marks a slot's bin as closed; it can never be selected again.
+  void close(std::size_t slot);
+
+  /// Earliest-opened open bin admitting `size`; kNoBin if none.
+  [[nodiscard]] BinId first_fit(Load size) const;
+
+  /// Highest-load open bin admitting `size` (ties: earliest opened);
+  /// kNoBin if none.
+  [[nodiscard]] BinId best_fit(Load size) const;
+
+  /// Lowest-load open bin admitting `size` (ties: earliest opened);
+  /// kNoBin if none. If the minimum-load bin does not admit the size, no
+  /// bin does.
+  [[nodiscard]] BinId worst_fit(Load size) const;
+
+  /// Most recently opened bin that is still open; kNoBin if none.
+  [[nodiscard]] BinId newest_open() const;
+
+  [[nodiscard]] std::size_t open_count() const noexcept {
+    return open_count_;
+  }
+
+  /// Open bins in opening order. O(slots ever added) — for reporting and
+  /// the linear-scan reference paths, not for per-arrival use.
+  [[nodiscard]] std::vector<BinId> open_bins() const;
+
+ private:
+  [[nodiscard]] Load leaf(std::size_t slot) const {
+    return tree_[cap_ + slot];
+  }
+  void update_leaf(std::size_t slot, Load load);
+  void grow();
+
+  // Implicit binary tournament tree: tree_[1] is the root, tree_[cap_ ..
+  // cap_ + size_) the slot leaves; every interior node holds the minimum
+  // load of its subtree. Unused leaves are parked at kClosedLoad.
+  std::vector<Load> tree_;
+  std::vector<BinId> bins_;  // slot -> bin id
+  std::size_t size_ = 0;     // slots in use
+  std::size_t cap_ = 0;      // leaf capacity (power of two)
+  std::size_t open_count_ = 0;
+  std::set<std::pair<Load, BinId>> by_load_;  // open bins only
+};
+
+}  // namespace cdbp

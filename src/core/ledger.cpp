@@ -23,6 +23,10 @@ const BinRecord& Ledger::record(BinId bin) const {
 }
 
 BinId Ledger::open_bin(Time now, BinGroup group) {
+  return open_bin(now, group, /*pool=*/group);
+}
+
+BinId Ledger::open_bin(Time now, BinGroup group, PoolId pool) {
   advance_clock(now);
   const BinId id = static_cast<BinId>(bins_.size());
   BinRecord rec;
@@ -30,6 +34,7 @@ BinId Ledger::open_bin(Time now, BinGroup group) {
   rec.group = group;
   rec.opened = now;
   bins_.push_back(std::move(rec));
+  index_ref_.push_back(IndexRef{pool, pools_[pool].add_bin(id)});
   open_.insert(id);
   max_open_ = std::max(max_open_, open_.size());
   return id;
@@ -46,6 +51,9 @@ void Ledger::place(ItemId id, Load size, BinId bin, Time now) {
   rec.active_items += 1;
   rec.all_items.push_back(id);
   active_.emplace(id, ActivePlacement{bin, size});
+
+  const IndexRef& ref = index_ref_[static_cast<std::size_t>(bin)];
+  pools_[ref.pool].set_load(ref.slot, rec.load);
 }
 
 BinId Ledger::remove(ItemId id, Time now) {
@@ -59,11 +67,19 @@ BinId Ledger::remove(ItemId id, Time now) {
   BinRecord& rec = mutable_record(bin);
   rec.active_items -= 1;
   rec.load -= size;
+  // Subtraction can leave a negative residue when the removed size was
+  // rounded into the sum differently than it rounds out; clamp it so load
+  // stays a valid Load and fits() never sees a phantom deficit.
+  if (rec.load < 0.0 && rec.load >= -kLoadEps) rec.load = 0.0;
+  const IndexRef& ref = index_ref_[static_cast<std::size_t>(bin)];
   if (rec.active_items == 0) {
     rec.load = 0.0;  // clear any floating-point residue
     rec.closed = now;
     closed_usage_ += rec.closed - rec.opened;
     open_.erase(bin);
+    pools_[ref.pool].close(ref.slot);
+  } else {
+    pools_[ref.pool].set_load(ref.slot, rec.load);
   }
   return bin;
 }
@@ -96,6 +112,47 @@ std::size_t Ledger::open_count_in_group(BinGroup g) const {
   for (BinId b : open_)
     if (record(b).group == g) ++n;
   return n;
+}
+
+const BinCapacityIndex* Ledger::pool_index(PoolId pool) const {
+  const auto it = pools_.find(pool);
+  return it == pools_.end() ? nullptr : &it->second;
+}
+
+BinId Ledger::first_fit(PoolId pool, Load size) const {
+  const BinCapacityIndex* idx = pool_index(pool);
+  return idx ? idx->first_fit(size) : kNoBin;
+}
+
+BinId Ledger::best_fit(PoolId pool, Load size) const {
+  const BinCapacityIndex* idx = pool_index(pool);
+  return idx ? idx->best_fit(size) : kNoBin;
+}
+
+BinId Ledger::worst_fit(PoolId pool, Load size) const {
+  const BinCapacityIndex* idx = pool_index(pool);
+  return idx ? idx->worst_fit(size) : kNoBin;
+}
+
+BinId Ledger::newest_open_in_pool(PoolId pool) const {
+  const BinCapacityIndex* idx = pool_index(pool);
+  return idx ? idx->newest_open() : kNoBin;
+}
+
+std::vector<BinId> Ledger::open_bins_in_pool(PoolId pool) const {
+  const BinCapacityIndex* idx = pool_index(pool);
+  return idx ? idx->open_bins() : std::vector<BinId>{};
+}
+
+std::size_t Ledger::open_count_in_pool(PoolId pool) const {
+  const BinCapacityIndex* idx = pool_index(pool);
+  return idx ? idx->open_count() : 0;
+}
+
+PoolId Ledger::pool_of(BinId bin) const {
+  if (bin < 0 || static_cast<std::size_t>(bin) >= index_ref_.size())
+    throw std::out_of_range("Ledger: unknown bin id");
+  return index_ref_[static_cast<std::size_t>(bin)].pool;
 }
 
 Cost Ledger::total_usage(Time now) const {

@@ -11,6 +11,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/bin_index.h"
 #include "core/item.h"
 #include "core/step_function.h"
 #include "core/time_types.h"
@@ -20,6 +21,11 @@ namespace cdbp {
 /// Algorithm-defined bin grouping (e.g. HA's GN vs CD bins, CDFF's rows).
 /// Group 0 is the default; the ledger only stores it for queries/reporting.
 using BinGroup = std::int64_t;
+
+/// Key of the capacity index a bin is selectable from (see first_fit &c.).
+/// Defaults to the bin's group; algorithms that need finer selection pools
+/// than their reporting groups (HA's per-type CD bins) pass one explicitly.
+using PoolId = std::int64_t;
 
 /// Immutable record of one bin's life, available after (or during) a run.
 struct BinRecord {
@@ -42,8 +48,13 @@ struct BinRecord {
 class Ledger {
  public:
   /// Opens a new bin; returns its id (ids are dense and increase with time,
-  /// so ascending id order == opening order, as First-Fit requires).
+  /// so ascending id order == opening order, as First-Fit requires). The
+  /// bin joins selection pool `group`.
   BinId open_bin(Time now, BinGroup group = 0);
+
+  /// Opens a new bin in an explicit selection pool (reporting group and
+  /// pool decoupled).
+  BinId open_bin(Time now, BinGroup group, PoolId pool);
 
   /// Places item `id` of size `size` into `bin`.
   /// Throws std::logic_error on overflow, closed bin, or double placement.
@@ -72,6 +83,29 @@ class Ledger {
   /// Open bins of one group, in opening order.
   [[nodiscard]] std::vector<BinId> open_bins_in_group(BinGroup g) const;
   [[nodiscard]] std::size_t open_count_in_group(BinGroup g) const;
+
+  // --- O(log B) capacity-indexed selection (incrementally maintained by
+  // open_bin/place/remove; see core/bin_index.h). Tie-breaking matches the
+  // seed linear scans of algos::pick_bin bit for bit.
+
+  /// Earliest-opened open bin in `pool` admitting `size`; kNoBin if none.
+  [[nodiscard]] BinId first_fit(PoolId pool, Load size) const;
+  /// Highest-load open bin in `pool` admitting `size` (ties: earliest
+  /// opened); kNoBin if none.
+  [[nodiscard]] BinId best_fit(PoolId pool, Load size) const;
+  /// Lowest-load open bin in `pool` admitting `size` (ties: earliest
+  /// opened); kNoBin if none.
+  [[nodiscard]] BinId worst_fit(PoolId pool, Load size) const;
+  /// Most recently opened bin of `pool` still open; kNoBin if none.
+  [[nodiscard]] BinId newest_open_in_pool(PoolId pool) const;
+
+  /// Open bins of one pool, in opening order. O(bins ever opened in the
+  /// pool) — reporting / linear-reference use only.
+  [[nodiscard]] std::vector<BinId> open_bins_in_pool(PoolId pool) const;
+  /// O(1).
+  [[nodiscard]] std::size_t open_count_in_pool(PoolId pool) const;
+  /// Selection pool of a bin (any bin ever opened).
+  [[nodiscard]] PoolId pool_of(BinId bin) const;
 
   /// Total MinUsageTime cost accumulated so far (open bins counted up to
   /// `now`).
@@ -112,7 +146,16 @@ class Ledger {
     Load size;
   };
 
+  /// Where a bin lives inside the capacity indexes.
+  struct IndexRef {
+    PoolId pool = 0;
+    std::size_t slot = 0;
+  };
+  [[nodiscard]] const BinCapacityIndex* pool_index(PoolId pool) const;
+
   std::vector<BinRecord> bins_;
+  std::vector<IndexRef> index_ref_;  // parallel to bins_
+  std::unordered_map<PoolId, BinCapacityIndex> pools_;
   std::set<BinId> open_;
   std::unordered_map<ItemId, ActivePlacement> active_;
   Cost closed_usage_ = 0.0;

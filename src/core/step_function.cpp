@@ -7,91 +7,112 @@ namespace cdbp {
 
 void StepFunction::add(Time from, Time to, double value) {
   if (!(from < to) || value == 0.0) return;
-  deltas_[from] += value;
-  deltas_[to] -= value;
+  pending_.emplace_back(from, value);
+  pending_.emplace_back(to, -value);
+}
+
+void StepFunction::export_deltas(
+    std::vector<std::pair<Time, double>>& out) const {
+  for (std::size_t k = 0; k < times_.size(); ++k)
+    out.emplace_back(times_[k], deltas_[k]);
+}
+
+void StepFunction::finalize() const {
+  if (pending_.empty()) return;
+  std::vector<std::pair<Time, double>> events;
+  events.reserve(times_.size() + pending_.size());
+  export_deltas(events);
+  events.insert(events.end(), pending_.begin(), pending_.end());
+  pending_.clear();
+  // Stable: equal-time deltas keep insertion order, so they sum in the
+  // same order the old map-based representation summed them.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  times_.clear();
+  deltas_.clear();
+  for (const auto& [time, delta] : events) {
+    if (!times_.empty() && times_.back() == time) {
+      deltas_.back() += delta;
+    } else {
+      times_.push_back(time);
+      deltas_.push_back(delta);
+    }
+  }
+  values_.resize(times_.size());
+  double value = 0.0;
+  for (std::size_t k = 0; k < deltas_.size(); ++k) {
+    value += deltas_[k];
+    values_[k] = value;
+  }
 }
 
 double StepFunction::at(Time t) const {
-  double acc = 0.0;
-  for (const auto& [time, delta] : deltas_) {
-    if (time > t) break;
-    acc += delta;
-  }
-  return acc;
+  finalize();
+  const auto it = std::upper_bound(times_.begin(), times_.end(), t);
+  if (it == times_.begin()) return 0.0;
+  return values_[static_cast<std::size_t>(it - times_.begin()) - 1];
 }
 
 double StepFunction::integral() const {
-  double acc = 0.0, value = 0.0;
-  Time prev = 0.0;
-  bool first = true;
-  for (const auto& [time, delta] : deltas_) {
-    if (!first) acc += value * (time - prev);
-    value += delta;
-    prev = time;
-    first = false;
-  }
+  finalize();
+  double acc = 0.0;
+  for (std::size_t k = 1; k < times_.size(); ++k)
+    acc += values_[k - 1] * (times_[k] - times_[k - 1]);
   return acc;
 }
 
 double StepFunction::ceil_integral() const {
-  double acc = 0.0, value = 0.0;
-  Time prev = 0.0;
-  bool first = true;
-  for (const auto& [time, delta] : deltas_) {
-    if (!first && value > kLoadEps)
-      acc += std::ceil(value - kLoadEps) * (time - prev);
-    value += delta;
-    prev = time;
-    first = false;
-  }
+  finalize();
+  double acc = 0.0;
+  for (std::size_t k = 1; k < times_.size(); ++k)
+    if (values_[k - 1] > kLoadEps)
+      acc += std::ceil(values_[k - 1] - kLoadEps) * (times_[k] - times_[k - 1]);
   return acc;
 }
 
 double StepFunction::max_value() const {
-  double best = 0.0, value = 0.0;
-  for (const auto& [time, delta] : deltas_) {
-    (void)time;
-    value += delta;
-    best = std::max(best, value);
-  }
+  finalize();
+  double best = 0.0;
+  for (const double v : values_) best = std::max(best, v);
   return best;
 }
 
 double StepFunction::support_measure(double eps) const {
-  double acc = 0.0, value = 0.0;
-  Time prev = 0.0;
-  bool first = true;
-  for (const auto& [time, delta] : deltas_) {
-    if (!first && value > eps) acc += time - prev;
-    value += delta;
-    prev = time;
-    first = false;
-  }
+  finalize();
+  double acc = 0.0;
+  for (std::size_t k = 1; k < times_.size(); ++k)
+    if (values_[k - 1] > eps) acc += times_[k] - times_[k - 1];
   return acc;
 }
 
 Time StepFunction::min_breakpoint() const {
-  return deltas_.empty() ? 0.0 : deltas_.begin()->first;
+  finalize();
+  return times_.empty() ? 0.0 : times_.front();
 }
 
 Time StepFunction::max_breakpoint() const {
-  return deltas_.empty() ? 0.0 : deltas_.rbegin()->first;
+  finalize();
+  return times_.empty() ? 0.0 : times_.back();
 }
 
 std::vector<StepFunction::Sample> StepFunction::samples() const {
+  finalize();
   std::vector<Sample> out;
-  out.reserve(deltas_.size());
-  double value = 0.0;
-  for (const auto& [time, delta] : deltas_) {
-    value += delta;
-    out.push_back(Sample{time, value});
-  }
+  out.reserve(times_.size());
+  for (std::size_t k = 0; k < times_.size(); ++k)
+    out.push_back(Sample{times_[k], values_[k]});
   return out;
 }
 
 StepFunction StepFunction::operator+(const StepFunction& o) const {
-  StepFunction out = *this;
-  for (const auto& [time, delta] : o.deltas_) out.deltas_[time] += delta;
+  finalize();
+  o.finalize();
+  StepFunction out;
+  out.pending_.reserve(2 * (times_.size() + o.times_.size()));
+  export_deltas(out.pending_);
+  o.export_deltas(out.pending_);
   return out;
 }
 

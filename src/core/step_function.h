@@ -3,10 +3,23 @@
 //   d(sigma)        = integral of S_t
 //   integral of ceil(S_t)  (repacking lower bound)
 //   span(sigma)     = measure of the support of S_t.
+//
+// Representation: add() appends raw (time, delta) events; the first query
+// finalizes them into a flat sorted breakpoint array with prefixed values,
+// so at() is an O(log n) binary search and every aggregate (integral,
+// ceil_integral, support_measure, max_value) is one cache-friendly pass.
+// Further add()s re-dirty the cache; finalization is O(n log n) amortized
+// over the adds it absorbs. Equal-time deltas accumulate in insertion
+// order and breakpoints accumulate in ascending time order, matching the
+// former std::map-based implementation bit for bit.
+//
+// The lazy cache makes const queries non-reentrant: do not query one
+// instance from multiple threads while it has pending adds (call
+// finalize() first to make subsequent const queries safe to share).
 #pragma once
 
 #include <cstddef>
-#include <map>
+#include <utility>
 #include <vector>
 
 #include "core/time_types.h"
@@ -22,7 +35,14 @@ class StepFunction {
   /// Adds `value` over [from, to). No-op when from >= to.
   void add(Time from, Time to, double value);
 
-  /// Point evaluation (right-continuous: value on [breakpoint, next)).
+  /// Merges pending adds into the sorted representation. Called
+  /// automatically by every query; exposed so a fully built function can
+  /// be made safe for shared concurrent reads.
+  void finalize() const;
+
+  /// Point evaluation (right-continuous: the value on [t_k, t_{k+1}) is
+  /// returned for every t in that window, including the breakpoint t_k
+  /// itself — a breakpoint's delta is part of the value *at* it).
   [[nodiscard]] double at(Time t) const;
 
   /// Integral of the function over all time.
@@ -43,7 +63,10 @@ class StepFunction {
   [[nodiscard]] Time max_breakpoint() const;
 
   /// Number of breakpoints.
-  [[nodiscard]] std::size_t breakpoint_count() const { return deltas_.size(); }
+  [[nodiscard]] std::size_t breakpoint_count() const {
+    finalize();
+    return times_.size();
+  }
 
   /// Returns the function as (time, value) samples: the value on
   /// [time_k, time_{k+1}). The last sample has value 0.
@@ -57,8 +80,16 @@ class StepFunction {
   [[nodiscard]] StepFunction operator+(const StepFunction& o) const;
 
  private:
-  // time -> sum of increments starting at that time (delta encoding).
-  std::map<Time, double> deltas_;
+  /// Appends the finalized breakpoints as (time, delta) events to `out`.
+  void export_deltas(std::vector<std::pair<Time, double>>& out) const;
+
+  // Events not yet merged, in insertion order.
+  mutable std::vector<std::pair<Time, double>> pending_;
+  // Finalized: times_ sorted unique; deltas_[k] the summed increment at
+  // times_[k]; values_[k] the value on [times_[k], times_[k+1]).
+  mutable std::vector<Time> times_;
+  mutable std::vector<double> deltas_;
+  mutable std::vector<double> values_;
 };
 
 }  // namespace cdbp

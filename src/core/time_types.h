@@ -57,6 +57,21 @@ inline constexpr double kTimeEps = 1e-9;
   return a > b + kLoadEps;
 }
 
+/// Largest load value that still admits `size` under fits_in_bin, computed
+/// exactly on the double grid (fits_in_bin is monotone non-increasing in
+/// load, so the admitting loads form a prefix of the number line). Used by
+/// the capacity index to turn the tolerance predicate into a key bound; the
+/// nextafter walks start within a few ulps of the boundary and terminate in
+/// O(1) steps.
+[[nodiscard]] inline Load max_load_admitting(Load size) noexcept {
+  Load t = kBinCapacity + kLoadEps - size;
+  while (fits_in_bin(t, size))
+    t = std::nextafter(t, std::numeric_limits<double>::infinity());
+  while (!fits_in_bin(t, size))
+    t = std::nextafter(t, -std::numeric_limits<double>::infinity());
+  return t;
+}
+
 /// True when |a - b| is within load tolerance.
 [[nodiscard]] inline bool approx_equal(double a, double b,
                                        double eps = kLoadEps) noexcept {

@@ -113,6 +113,85 @@ TEST(AnyFit, PickBinHonorsCandidateOrder) {
   EXPECT_EQ(algos::pick_bin(ledger, {}, 0.1, algos::FitRule::kBest), kNoBin);
 }
 
+TEST(AnyFit, TieBreakingIsEarliestOpenedInBothModes) {
+  // Three equally-loaded bins: kBest and kWorst both tie across all of
+  // them; the contract (and what the competitive analyses implicitly
+  // assume) is that ties break to the earliest-opened bin. Checked for
+  // the linear reference and the indexed path side by side.
+  Ledger ledger;
+  const BinId a = ledger.open_bin(0.0);
+  const BinId b = ledger.open_bin(0.0);
+  const BinId c = ledger.open_bin(0.0);
+  ledger.place(0, 0.4, a, 0.0);
+  ledger.place(1, 0.4, b, 0.0);
+  ledger.place(2, 0.4, c, 0.0);
+  for (const auto rule : {algos::FitRule::kFirst, algos::FitRule::kBest,
+                          algos::FitRule::kWorst}) {
+    EXPECT_EQ(algos::pick_bin(ledger, {a, b, c}, 0.3, rule), a)
+        << to_string(rule);
+    EXPECT_EQ(algos::pick_bin_indexed(ledger, /*pool=*/0, 0.3, rule), a)
+        << to_string(rule);
+  }
+  // Partial tie: a is excluded by load, b and c tie.
+  ledger.place(3, 0.3, a, 1.0);  // a now 0.7
+  for (const auto rule : {algos::FitRule::kBest, algos::FitRule::kWorst}) {
+    EXPECT_EQ(algos::pick_bin(ledger, {a, b, c}, 0.4, rule), b)
+        << to_string(rule);
+    EXPECT_EQ(algos::pick_bin_indexed(ledger, /*pool=*/0, 0.4, rule), b)
+        << to_string(rule);
+  }
+}
+
+TEST(AnyFit, SentinelWhenNothingFitsInBothModes) {
+  Ledger ledger;
+  const BinId a = ledger.open_bin(0.0);
+  const BinId b = ledger.open_bin(0.0);
+  ledger.place(0, 0.95, a, 0.0);
+  ledger.place(1, 0.9, b, 0.0);
+  for (const auto rule : {algos::FitRule::kFirst, algos::FitRule::kBest,
+                          algos::FitRule::kWorst, algos::FitRule::kNext}) {
+    EXPECT_EQ(algos::pick_bin(ledger, {a, b}, 0.2, rule), kNoBin)
+        << to_string(rule);
+    EXPECT_EQ(algos::pick_bin_indexed(ledger, /*pool=*/0, 0.2, rule), kNoBin)
+        << to_string(rule);
+  }
+  // Unknown pool: the index has never seen it.
+  EXPECT_EQ(algos::pick_bin_indexed(ledger, /*pool=*/7, 0.01,
+                                    algos::FitRule::kFirst),
+            kNoBin);
+}
+
+TEST(AnyFit, ExactFitAcceptedInBothModes) {
+  // Boundary case for the index's best-fit load bound: an item that fills
+  // the bin to exactly kBinCapacity must be accepted by every rule.
+  Ledger ledger;
+  const BinId a = ledger.open_bin(0.0);
+  ledger.place(0, 0.25, a, 0.0);
+  const Load exact = 0.75;  // 0.25 + 0.75 == 1.0 exactly
+  for (const auto rule : {algos::FitRule::kFirst, algos::FitRule::kBest,
+                          algos::FitRule::kWorst, algos::FitRule::kNext}) {
+    EXPECT_EQ(algos::pick_bin(ledger, {a}, exact, rule), a)
+        << to_string(rule);
+    EXPECT_EQ(algos::pick_bin_indexed(ledger, /*pool=*/0, exact, rule), a)
+        << to_string(rule);
+  }
+}
+
+TEST(AnyFit, IndexedNextFitMatchesNewestOpenSemantics) {
+  Ledger ledger;
+  const BinId a = ledger.open_bin(0.0);
+  const BinId b = ledger.open_bin(0.0);
+  ledger.place(0, 0.2, a, 0.0);
+  ledger.place(1, 0.8, b, 0.0);
+  // Newest bin b cannot take 0.5; NextFit must NOT fall back to a.
+  EXPECT_EQ(algos::pick_bin_indexed(ledger, 0, 0.5, algos::FitRule::kNext),
+            kNoBin);
+  ledger.place(2, 0.5, a, 1.0);
+  ledger.remove(1, 2.0);  // closes b; newest open is again a
+  EXPECT_EQ(algos::pick_bin_indexed(ledger, 0, 0.2, algos::FitRule::kNext),
+            a);
+}
+
 TEST(AnyFit, AllVariantsProduceValidRuns) {
   const Instance in = make_instance({
       {0.0, 8.0, 0.55}, {0.0, 2.0, 0.50}, {1.0, 6.0, 0.25},

@@ -1,5 +1,8 @@
 #include "analysis/sweep.h"
 
+#include <cmath>
+#include <limits>
+
 #include <gtest/gtest.h>
 
 namespace cdbp::analysis {
@@ -53,6 +56,50 @@ TEST(Sweep, RatioSeriesSortedByMu) {
   EXPECT_DOUBLE_EQ(series[1].x, 64.0);
   EXPECT_DOUBLE_EQ(series[1].y, 3.0);
   EXPECT_TRUE(ratio_series(points, "nope").empty());
+}
+
+// Regression: grouping used to key on the exact double value of mu, so the
+// same nominal mu reached through two different float expression chains
+// (pow vs ldexp vs repeated multiplication — routinely an ulp apart) split
+// one sweep cell into several, deflating every per-cell sample count. The
+// grouping must collapse ulp-level noise.
+TEST(Sweep, UlpPerturbedMuLandsInOneBucket) {
+  const double mu = std::pow(2.0, 10.0) * 1.1;  // non-dyadic: ulps matter
+  const double mu_up =
+      std::nextafter(mu, std::numeric_limits<double>::infinity());
+  const double mu_dn =
+      std::nextafter(mu, -std::numeric_limits<double>::infinity());
+  ASSERT_NE(mu, mu_up);
+  const std::vector<SweepObservation> obs = {
+      {mu, meas("A", 10.0, 5.0, 8.0)},
+      {mu_up, meas("A", 20.0, 5.0, 8.0)},
+      {mu_dn, meas("A", 30.0, 5.0, 8.0)},
+  };
+  const auto points = aggregate_sweep(obs);
+  ASSERT_EQ(points.size(), 1u);
+  EXPECT_EQ(points[0].ratio_vs_lower.count, 3u);
+  EXPECT_DOUBLE_EQ(points[0].mu, mu);  // representative: first seen
+}
+
+TEST(Sweep, PercentLevelMuGridStaysSeparated) {
+  // Tolerance must not over-merge: a dense sweep grid with 0.1% spacing
+  // (far finer than any sweep we run) still gets one bucket per nominal mu.
+  std::vector<SweepObservation> obs;
+  double mu = 16.0;
+  for (int k = 0; k < 50; ++k) {
+    obs.push_back({mu, meas("A", 10.0, 5.0, 8.0)});
+    mu *= 1.001;
+  }
+  EXPECT_EQ(aggregate_sweep(obs).size(), 50u);
+}
+
+TEST(Sweep, NonFiniteAndNonPositiveMuDoNotCollide) {
+  const std::vector<SweepObservation> obs = {
+      {0.0, meas("A", 10.0, 5.0, 8.0)},
+      {-1.0, meas("A", 10.0, 5.0, 8.0)},
+      {std::numeric_limits<double>::infinity(), meas("A", 10.0, 5.0, 8.0)},
+  };
+  EXPECT_EQ(aggregate_sweep(obs).size(), 3u);
 }
 
 TEST(Sweep, NominalMuSeparatesBuckets) {

@@ -1,0 +1,178 @@
+#include "core/bin_index.h"
+
+#include <random>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cdbp {
+namespace {
+
+TEST(MaxLoadAdmitting, MatchesFitsInBinBoundaryExactly) {
+  std::mt19937_64 rng(7);
+  std::uniform_real_distribution<double> unit(1e-6, 1.0);
+  for (int k = 0; k < 2000; ++k) {
+    const Load size = unit(rng);
+    const Load bound = max_load_admitting(size);
+    EXPECT_TRUE(fits_in_bin(bound, size));
+    EXPECT_FALSE(fits_in_bin(
+        std::nextafter(bound, std::numeric_limits<double>::infinity()),
+        size));
+  }
+  // Degenerate sizes: tiny and full.
+  for (const Load size : {1e-300, 1e-18, 1.0}) {
+    const Load bound = max_load_admitting(size);
+    EXPECT_TRUE(fits_in_bin(bound, size));
+    EXPECT_FALSE(fits_in_bin(
+        std::nextafter(bound, std::numeric_limits<double>::infinity()),
+        size));
+  }
+}
+
+TEST(BinCapacityIndex, EmptyIndexSelectsNothing) {
+  BinCapacityIndex idx;
+  EXPECT_EQ(idx.first_fit(0.5), kNoBin);
+  EXPECT_EQ(idx.best_fit(0.5), kNoBin);
+  EXPECT_EQ(idx.worst_fit(0.5), kNoBin);
+  EXPECT_EQ(idx.newest_open(), kNoBin);
+  EXPECT_EQ(idx.open_count(), 0u);
+}
+
+TEST(BinCapacityIndex, FirstFitIsEarliestOpened) {
+  BinCapacityIndex idx;
+  const auto s0 = idx.add_bin(10);
+  const auto s1 = idx.add_bin(11);
+  idx.add_bin(12);
+  idx.set_load(s0, 0.9);
+  idx.set_load(s1, 0.5);
+  // 0.2 fits bins 11 and 12; earliest opened wins.
+  EXPECT_EQ(idx.first_fit(0.2), 11);
+  // 0.05 also fits bin 10.
+  EXPECT_EQ(idx.first_fit(0.05), 10);
+  EXPECT_EQ(idx.first_fit(0.9), 12);
+}
+
+TEST(BinCapacityIndex, BestFitPrefersFullestThenEarliest) {
+  BinCapacityIndex idx;
+  const auto s0 = idx.add_bin(0);
+  const auto s1 = idx.add_bin(1);
+  const auto s2 = idx.add_bin(2);
+  idx.set_load(s0, 0.4);
+  idx.set_load(s1, 0.7);
+  idx.set_load(s2, 0.7);
+  EXPECT_EQ(idx.best_fit(0.2), 1);  // 0.7 beats 0.4; tie -> earliest id
+  EXPECT_EQ(idx.best_fit(0.5), 0);  // only 0.4 admits it
+  EXPECT_EQ(idx.best_fit(0.95), kNoBin);
+}
+
+TEST(BinCapacityIndex, WorstFitPrefersEmptiestThenEarliest) {
+  BinCapacityIndex idx;
+  const auto s0 = idx.add_bin(0);
+  const auto s1 = idx.add_bin(1);
+  const auto s2 = idx.add_bin(2);
+  idx.set_load(s0, 0.4);
+  idx.set_load(s1, 0.2);
+  idx.set_load(s2, 0.2);
+  EXPECT_EQ(idx.worst_fit(0.3), 1);  // min load; tie -> earliest id
+  // If the min-load bin cannot take it, nothing can.
+  EXPECT_EQ(idx.worst_fit(0.9), kNoBin);
+}
+
+TEST(BinCapacityIndex, ClosedBinsAreNeverSelected) {
+  BinCapacityIndex idx;
+  const auto s0 = idx.add_bin(0);
+  idx.add_bin(1);
+  idx.set_load(s0, 0.1);
+  idx.close(s0);
+  EXPECT_EQ(idx.first_fit(0.1), 1);
+  EXPECT_EQ(idx.best_fit(0.1), 1);
+  EXPECT_EQ(idx.worst_fit(0.1), 1);
+  EXPECT_EQ(idx.open_count(), 1u);
+  EXPECT_EQ(idx.open_bins(), std::vector<BinId>{1});
+}
+
+TEST(BinCapacityIndex, NewestOpenSkipsClosedTail) {
+  BinCapacityIndex idx;
+  idx.add_bin(0);
+  idx.add_bin(1);
+  const auto s2 = idx.add_bin(2);
+  EXPECT_EQ(idx.newest_open(), 2);
+  idx.close(s2);
+  EXPECT_EQ(idx.newest_open(), 1);
+}
+
+// Randomized cross-check against a straight linear scan, through a long
+// open/load/close churn that also exercises tree growth.
+TEST(BinCapacityIndex, AgreesWithLinearScanUnderChurn) {
+  BinCapacityIndex idx;
+  std::mt19937_64 rng(123);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+
+  struct Slot {
+    BinId bin;
+    std::size_t slot;
+    Load load = 0.0;
+    bool open = true;
+  };
+  std::vector<Slot> shadow;
+
+  const auto linear_first = [&](Load size) {
+    for (const Slot& s : shadow)
+      if (s.open && fits_in_bin(s.load, size)) return s.bin;
+    return kNoBin;
+  };
+  const auto linear_best = [&](Load size) {
+    BinId chosen = kNoBin;
+    Load best = -1.0;
+    for (const Slot& s : shadow)
+      if (s.open && fits_in_bin(s.load, size) && s.load > best) {
+        best = s.load;
+        chosen = s.bin;
+      }
+    return chosen;
+  };
+  const auto linear_worst = [&](Load size) {
+    BinId chosen = kNoBin;
+    Load best = 2.0;
+    for (const Slot& s : shadow)
+      if (s.open && fits_in_bin(s.load, size) && s.load < best) {
+        best = s.load;
+        chosen = s.bin;
+      }
+    return chosen;
+  };
+
+  BinId next_bin = 0;
+  for (int step = 0; step < 5000; ++step) {
+    const double r = unit(rng);
+    if (r < 0.3 || shadow.empty()) {
+      Slot s;
+      s.bin = next_bin++;
+      s.slot = idx.add_bin(s.bin);
+      shadow.push_back(s);
+    } else if (r < 0.8) {
+      Slot& s = shadow[static_cast<std::size_t>(unit(rng) *
+                                                static_cast<double>(
+                                                    shadow.size()))];
+      if (s.open) {
+        s.load = unit(rng);
+        idx.set_load(s.slot, s.load);
+      }
+    } else {
+      Slot& s = shadow[static_cast<std::size_t>(unit(rng) *
+                                                static_cast<double>(
+                                                    shadow.size()))];
+      if (s.open) {
+        s.open = false;
+        idx.close(s.slot);
+      }
+    }
+    const Load size = unit(rng);
+    ASSERT_EQ(idx.first_fit(size), linear_first(size)) << "step " << step;
+    ASSERT_EQ(idx.best_fit(size), linear_best(size)) << "step " << step;
+    ASSERT_EQ(idx.worst_fit(size), linear_worst(size)) << "step " << step;
+  }
+}
+
+}  // namespace
+}  // namespace cdbp

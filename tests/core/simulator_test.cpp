@@ -34,6 +34,25 @@ TEST(Simulator, DeparturesProcessedBeforeArrivalsAtSameTime) {
   EXPECT_TRUE(validate_run(in, r).ok());
 }
 
+TEST(Simulator, SameInstantDepartureFreesCapacityForArrival) {
+  // Complement of the bin-closing case above: item 0 departs at t=1 but a
+  // long-lived roommate keeps the bin open. Because departures drain
+  // before arrivals (t- before t+, see docs/ALGORITHMS.md), the freed
+  // capacity is visible to item 2 arriving at t=1, which therefore reuses
+  // bin 0 instead of opening a second bin.
+  const Instance in = make_instance({
+      {0.0, 1.0, 0.6},  // departs exactly at t=1
+      {0.0, 3.0, 0.3},  // roommate: keeps bin 0 open through t=1
+      {1.0, 2.0, 0.6},  // would not fit bin 0 at t=1^-
+  });
+  algos::FirstFit ff;
+  const RunResult r = Simulator{}.run(in, ff);
+  EXPECT_EQ(r.bins_opened, 1u);
+  ASSERT_EQ(r.placements.size(), 3u);
+  EXPECT_EQ(r.placements[2].bin, 0);
+  EXPECT_TRUE(validate_run(in, r).ok());
+}
+
 TEST(Simulator, SameTimeArrivalsPresentedInInstanceOrder) {
   // Two items at t=0; First-Fit packs the first into bin 0, the second
   // (too big for bin 0) into bin 1.

@@ -1,5 +1,7 @@
 #include "core/step_function.h"
 
+#include <cmath>
+
 #include <gtest/gtest.h>
 
 namespace cdbp {
@@ -107,6 +109,71 @@ TEST(StepFunction, AdjacentIntervalsMergeInSupport) {
   f.add(1.0, 2.0, 0.5);
   EXPECT_DOUBLE_EQ(f.support_measure(), 2.0);
   EXPECT_DOUBLE_EQ(f.integral(), 1.0);
+}
+
+TEST(StepFunction, AtIsRightContinuousAtEveryBreakpoint) {
+  // Contract (docs/ALGORITHMS.md): at(t) includes the deltas that fire AT
+  // t, i.e. the function is right-continuous — at(t) = lim_{s->t+} f(s).
+  // This is the StepFunction-level mirror of the simulator's
+  // departures-before-arrivals rule: the value at a boundary is the
+  // post-event value.
+  StepFunction f;
+  f.add(0.0, 2.0, 1.0);
+  f.add(2.0, 4.0, 3.0);
+  EXPECT_DOUBLE_EQ(f.at(2.0), 3.0);                 // not 1.0, not 4.0
+  EXPECT_DOUBLE_EQ(f.at(std::nextafter(2.0, 0.0)), 1.0);  // left limit
+  EXPECT_DOUBLE_EQ(f.at(4.0), 0.0);                 // final drop included
+  EXPECT_DOUBLE_EQ(f.at(std::nextafter(4.0, 0.0)), 3.0);
+  EXPECT_DOUBLE_EQ(f.at(0.0), 1.0);                 // first rise included
+  EXPECT_DOUBLE_EQ(f.at(std::nextafter(0.0, -1.0)), 0.0);
+}
+
+TEST(StepFunction, CoincidentDeltasCollapseToOneBreakpoint) {
+  // Several intervals meeting at the same instant produce ONE breakpoint
+  // whose value is the net of all deltas — a query at that instant must
+  // never observe a partial sum.
+  StepFunction f;
+  f.add(0.0, 5.0, 1.0);
+  f.add(5.0, 9.0, 2.0);   // -1 and +2 both at t=5
+  f.add(5.0, 7.0, 4.0);   // +4 also at t=5
+  EXPECT_DOUBLE_EQ(f.at(5.0), 6.0);
+  const auto samples = f.samples();
+  std::size_t hits = 0;
+  for (const auto& s : samples)
+    if (s.time == 5.0) ++hits;
+  EXPECT_EQ(hits, 1u);
+}
+
+TEST(StepFunction, AddAfterQueryReFinalizes) {
+  // Queries finalize the lazy event buffer; later add() calls must fold
+  // into subsequent queries exactly as if all adds happened up front.
+  StepFunction f;
+  f.add(0.0, 2.0, 1.0);
+  EXPECT_DOUBLE_EQ(f.integral(), 2.0);  // forces finalization
+  f.add(1.0, 3.0, 2.0);                 // straddles existing breakpoints
+  EXPECT_DOUBLE_EQ(f.at(1.5), 3.0);
+  EXPECT_DOUBLE_EQ(f.integral(), 2.0 + 4.0);
+  EXPECT_DOUBLE_EQ(f.max_value(), 3.0);
+  f.add(0.5, 1.0, -1.0);
+  EXPECT_DOUBLE_EQ(f.at(0.75), 0.0);
+  EXPECT_DOUBLE_EQ(f.support_measure(), 2.5);
+}
+
+TEST(StepFunction, QueryIsLogarithmicNotLinear) {
+  // Smoke-check the finalized representation: 200k breakpoints, then many
+  // point queries. With the O(n)-per-at() map walk this takes seconds;
+  // with binary search it is instant. Keeps the complexity claim honest
+  // without a timing assertion.
+  StepFunction f;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i)
+    f.add(static_cast<double>(i), static_cast<double>(i) + 1.5, 1.0);
+  double acc = 0.0;
+  for (int q = 0; q < 200000; ++q)
+    acc += f.at(static_cast<double>(q % n) + 0.25);
+  // Every probed point is covered by 1 or 2 intervals.
+  EXPECT_GE(acc, static_cast<double>(n));
+  EXPECT_EQ(f.breakpoint_count(), 2u * n);
 }
 
 TEST(StepFunction, ManyIntervalsIntegralMatchesClosedForm) {

@@ -1,6 +1,8 @@
 // Equivalence and invariance properties across execution paths:
 //  * the batch Simulator and the interactive Session must produce
 //    identical costs/placements for every algorithm on the same stream;
+//  * indexed bin selection (capacity index) must reproduce the seed
+//    linear-scan selection bit for bit, placement by placement;
 //  * OPT bounds are invariant under same-instant presentation reordering
 //    (they depend on the multiset of items only);
 //  * shifting an instance in time shifts nothing but timestamps.
@@ -9,11 +11,15 @@
 
 #include <gtest/gtest.h>
 
+#include "algos/cdff.h"
+#include "algos/classify.h"
+#include "algos/hybrid.h"
 #include "core/session.h"
 #include "core/simulator.h"
 #include "opt/bounds.h"
 #include "opt/repack.h"
 #include "test_util.h"
+#include "workloads/aligned_random.h"
 #include "workloads/general_random.h"
 
 namespace cdbp {
@@ -50,6 +56,114 @@ TEST_P(SessionEquivalence, SimulatorAndSessionAgreeForEveryAlgorithm) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SessionEquivalence,
                          ::testing::Range<std::uint64_t>(0, 8));
+
+// --- Indexed selection vs the seed linear scan -----------------------------
+//
+// The capacity index must be a pure data-structure change: every algorithm
+// running in SelectMode::kIndexed has to pick the exact same bin as the
+// seed SelectMode::kLinearScan implementation at every arrival, hence
+// produce a bit-identical cost. 18 seeds x (7 general + 8 aligned)
+// algorithm pairs = 270 instance/algorithm runs.
+
+struct ModePair {
+  std::string name;
+  std::function<AlgorithmPtr()> indexed;
+  std::function<AlgorithmPtr()> linear;
+};
+
+std::vector<ModePair> mode_pairs() {
+  using namespace algos;
+  const auto af = [](FitRule r, SelectMode m) {
+    return std::make_unique<AnyFit>(r, m);
+  };
+  std::vector<ModePair> out;
+  for (const FitRule r : {FitRule::kFirst, FitRule::kBest, FitRule::kWorst,
+                          FitRule::kNext})
+    out.push_back({AnyFit(r).name(),
+                   [=] { return af(r, SelectMode::kIndexed); },
+                   [=] { return af(r, SelectMode::kLinearScan); }});
+  out.push_back({"CBD2",
+                 [] {
+                   return std::make_unique<ClassifyByDuration>(
+                       2.0, FitRule::kFirst, 0.0, SelectMode::kIndexed);
+                 },
+                 [] {
+                   return std::make_unique<ClassifyByDuration>(
+                       2.0, FitRule::kFirst, 0.0, SelectMode::kLinearScan);
+                 }});
+  out.push_back({"HA",
+                 [] { return std::make_unique<Hybrid>(); },
+                 [] {
+                   return std::make_unique<Hybrid>(
+                       &Hybrid::paper_threshold, "HA", FitRule::kFirst,
+                       SelectMode::kLinearScan);
+                 }});
+  out.push_back({"HA-best",
+                 [] {
+                   return std::make_unique<Hybrid>(&Hybrid::paper_threshold,
+                                                   "HA-best", FitRule::kBest);
+                 },
+                 [] {
+                   return std::make_unique<Hybrid>(
+                       &Hybrid::paper_threshold, "HA-best", FitRule::kBest,
+                       SelectMode::kLinearScan);
+                 }});
+  return out;
+}
+
+void expect_same_run(const Instance& in, const ModePair& pair) {
+  auto idx_algo = pair.indexed();
+  auto lin_algo = pair.linear();
+  const RunResult idx = Simulator{}.run(in, *idx_algo);
+  const RunResult lin = Simulator{}.run(in, *lin_algo);
+  // Bitwise, not NEAR: identical selections must yield identical sums.
+  EXPECT_EQ(idx.cost, lin.cost) << pair.name;
+  ASSERT_EQ(idx.placements.size(), lin.placements.size()) << pair.name;
+  for (std::size_t k = 0; k < idx.placements.size(); ++k)
+    ASSERT_EQ(idx.placements[k].bin, lin.placements[k].bin)
+        << pair.name << " item " << k;
+}
+
+class SelectionEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SelectionEquivalence, IndexedMatchesLinearScanOnGeneralInstances) {
+  std::mt19937_64 rng(GetParam());
+  workloads::GeneralConfig cfg;
+  cfg.target_items = 220;
+  cfg.log2_mu = 6;
+  cfg.horizon = 40.0;  // dense enough to keep many bins open
+  const Instance in = workloads::make_general_random(cfg, rng);
+  for (const ModePair& pair : mode_pairs()) expect_same_run(in, pair);
+}
+
+TEST_P(SelectionEquivalence, IndexedMatchesLinearScanOnAlignedInstances) {
+  std::mt19937_64 rng(GetParam() + 1000);
+  workloads::AlignedConfig cfg;
+  cfg.max_bucket = 5;
+  cfg.n = 6;
+  const Instance in = workloads::make_aligned_random(cfg, rng);
+  for (const ModePair& pair : mode_pairs()) expect_same_run(in, pair);
+  // CDFF is only defined on aligned inputs, so it is checked here.
+  const ModePair cdff{
+      "CDFF",
+      [] { return std::make_unique<algos::Cdff>(); },
+      [] {
+        return std::make_unique<algos::Cdff>(algos::FitRule::kFirst,
+                                             algos::SelectMode::kLinearScan);
+      }};
+  expect_same_run(in, cdff);
+  const ModePair cdbf{
+      "CDBF",
+      [] { return std::make_unique<algos::Cdff>(algos::FitRule::kBest); },
+      [] {
+        return std::make_unique<algos::Cdff>(algos::FitRule::kBest,
+                                             algos::SelectMode::kLinearScan);
+      }};
+  expect_same_run(in, cdbf);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 18));
 
 class BoundsInvariance : public ::testing::TestWithParam<std::uint64_t> {};
 
