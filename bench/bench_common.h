@@ -21,6 +21,7 @@
 #include "analysis/ratio.h"
 #include "analysis/stats.h"
 #include "analysis/sweep.h"
+#include "obs/obs.h"
 #include "parallel/rng.h"
 #include "parallel/thread_pool.h"
 #include "report/csv.h"
@@ -73,9 +74,16 @@ inline std::vector<SweepPoint> run_sweep(const std::vector<int>& exponents,
     for (int s = 0; s < seeds; ++s)
       tasks.push_back(Task{n, static_cast<std::uint64_t>(s)});
 
+  // Heartbeat on stderr: one repaint per completed (n, seed) task, rate
+  // limited inside Progress, with elapsed/ETA.
+  obs::Progress progress("sweep", tasks.size());
   const auto raw = parallel::parallel_map<std::vector<analysis::RatioMeasurement>>(
-      pool, tasks.size(),
-      [&](std::size_t i) { return measure(tasks[i].n, tasks[i].seed); });
+      pool, tasks.size(), [&](std::size_t i) {
+        auto result = measure(tasks[i].n, tasks[i].seed);
+        progress.tick();
+        return result;
+      });
+  progress.finish();
 
   std::vector<analysis::SweepObservation> observations;
   for (std::size_t ti = 0; ti < tasks.size(); ++ti)

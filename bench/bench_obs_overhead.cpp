@@ -1,0 +1,150 @@
+// E16: what does the observability layer cost on the simulator hot path?
+//
+// Measures Any-Fit (FirstFit, indexed selection) items/sec on the E15
+// general workload under the tracer states a deployment actually sees:
+//
+//   disabled  - observability compiled in, no sink installed (the default:
+//               metrics counters tick, every trace call is one relaxed
+//               atomic load + branch);
+//   jsonl     - JsonlSink writing to /dev/null (full event serialization);
+//   chrome    - ChromeTraceSink writing to /dev/null.
+//
+// The same source builds twice: this binary (observability ON) and
+// bench_obs_overhead_off (-DCDBP_OBS_OFF, everything compiled out). Each
+// prints a machine-greppable `RESULT mode=... items_per_sec=...` line;
+// comparing `disabled` here against `compiled-out` over there is the <2%
+// acceptance check recorded in EXPERIMENTS.md.
+//
+// Repetitions are interleaved across modes (round-robin, median reported)
+// so CPU frequency drift hits every mode equally.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "algos/any_fit.h"
+#include "core/instance.h"
+#include "core/simulator.h"
+#include "obs/obs.h"
+#include "workloads/general_random.h"
+
+namespace {
+
+using namespace cdbp;
+
+Instance make_general(std::size_t n) {
+  // Same recipe as bench_simulator_hotpath (E15): log-uniform general
+  // workload, mu = 2^8, horizon scaled for thousands of concurrent items.
+  workloads::GeneralConfig config;
+  config.shape = workloads::GeneralShape::kLogUniform;
+  config.log2_mu = 8;
+  config.target_items = static_cast<int>(n);
+  config.horizon = std::max(64.0, static_cast<double>(n) / 50.0);
+  std::mt19937_64 rng(42);
+  return workloads::make_general_random(config, rng);
+}
+
+double run_items_per_sec(const Instance& instance) {
+  algos::FirstFit algo;
+  Simulator sim{SimulatorOptions{.keep_history = false}};
+  const auto start = std::chrono::steady_clock::now();
+  const RunResult result = sim.run(instance, algo);
+  const auto stop = std::chrono::steady_clock::now();
+  const double secs = std::chrono::duration<double>(stop - start).count();
+  if (result.bins_opened == 0) std::abort();  // defeat dead-code elimination
+  return static_cast<double>(instance.size()) / secs;
+}
+
+double median(std::vector<double> v) {
+  std::sort(v.begin(), v.end());
+  return v[v.size() / 2];
+}
+
+struct Mode {
+  const char* name;
+  void (*enter)();
+  void (*leave)();
+};
+
+#ifndef CDBP_OBS_OFF
+std::ofstream& null_stream() {
+  static std::ofstream out("/dev/null");
+  return out;
+}
+
+void enter_disabled() {}
+void enter_jsonl() {
+  obs::Tracer::global().set_sink(
+      std::make_shared<obs::JsonlSink>(null_stream()));
+}
+void enter_chrome() {
+  obs::Tracer::global().set_sink(
+      std::make_shared<obs::ChromeTraceSink>(null_stream()));
+}
+void leave_none() {}
+void leave_sink() { obs::Tracer::global().clear_sink(); }
+#endif
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::size_t n = 100000;
+  int reps = 9;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--quick") == 0) {
+      n = 10000;
+      reps = 3;
+    } else if (std::strcmp(argv[i], "--n") == 0 && i + 1 < argc) {
+      n = static_cast<std::size_t>(std::atoll(argv[++i]));
+    } else if (std::strcmp(argv[i], "--reps") == 0 && i + 1 < argc) {
+      reps = std::max(1, std::atoi(argv[++i]));
+    } else {
+      std::cout << "options: --quick  --n N  --reps R\n";
+      return 0;
+    }
+  }
+
+  const Instance instance = make_general(n);
+
+#ifndef CDBP_OBS_OFF
+  const std::vector<Mode> modes = {
+      {"disabled", enter_disabled, leave_none},
+      {"jsonl", enter_jsonl, leave_sink},
+      {"chrome", enter_chrome, leave_sink},
+  };
+  std::cout << "== E16: observability overhead (compiled IN), FirstFit, n="
+            << instance.size() << ", reps=" << reps << " ==\n";
+#else
+  const std::vector<Mode> modes = {
+      {"compiled-out", []() {}, []() {}},
+  };
+  std::cout << "== E16: observability overhead (compiled OUT via "
+               "CDBP_OBS_OFF), FirstFit, n="
+            << instance.size() << ", reps=" << reps << " ==\n";
+#endif
+
+  (void)run_items_per_sec(instance);  // warm-up: faults pages, warms caches
+
+  std::vector<std::vector<double>> samples(modes.size());
+  for (int r = 0; r < reps; ++r)
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      modes[m].enter();
+      samples[m].push_back(run_items_per_sec(instance));
+      modes[m].leave();
+    }
+
+  const double baseline = median(samples[0]);
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    const double ips = median(samples[m]);
+    std::cout << "RESULT mode=" << modes[m].name
+              << " items_per_sec=" << static_cast<long long>(ips)
+              << " vs_baseline=" << (100.0 * ips / baseline) << "%\n";
+  }
+  return 0;
+}

@@ -2,7 +2,35 @@
 
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace cdbp::algos {
+
+namespace {
+
+// Namespace-scope references: no initialization-guard load per placement.
+obs::Counter& g_placements =
+    obs::MetricsRegistry::global().counter("algo.placements");
+obs::Counter& g_new_bins =
+    obs::MetricsRegistry::global().counter("algo.new_bins");
+obs::Tracer& g_tracer = obs::Tracer::global();
+
+// Static-storage name for trace args (TraceArg keeps the pointer, not a copy).
+const char* rule_cstr(FitRule rule) {
+  switch (rule) {
+    case FitRule::kFirst:
+      return "First";
+    case FitRule::kBest:
+      return "Best";
+    case FitRule::kWorst:
+      return "Worst";
+    case FitRule::kNext:
+      return "Next";
+  }
+  return "?";
+}
+
+}  // namespace
 
 std::string to_string(FitRule rule) {
   switch (rule) {
@@ -79,8 +107,17 @@ BinId AnyFit::on_arrival(const Item& item, Ledger& ledger) {
                                   ledger.open_bins().end());
     bin = pick_bin(ledger, open, item.size, rule_);
   }
-  if (bin == kNoBin) bin = ledger.open_bin(item.arrival);
+  const bool opened = bin == kNoBin;
+  if (opened) bin = ledger.open_bin(item.arrival);
   ledger.place(item.id, item.size, bin, item.arrival);
+  g_placements.add();
+  if (opened) g_new_bins.add();
+  if (g_tracer.enabled())
+    g_tracer.instant("anyfit.place", "algo",
+                   {{"item", item.id},
+                    {"bin", bin},
+                    {"rule", rule_cstr(rule_)},
+                    {"new_bin", static_cast<std::int64_t>(opened)}});
   return bin;
 }
 

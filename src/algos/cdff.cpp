@@ -5,12 +5,22 @@
 #include <stdexcept>
 
 #include "core/instance.h"  // aligned_bucket
+#include "obs/obs.h"
 
 namespace cdbp::algos {
 
 namespace {
 
 const std::vector<BinId> kEmptyRow;
+
+// Namespace-scope references: no initialization-guard load per placement.
+obs::Counter& g_placements =
+    obs::MetricsRegistry::global().counter("algo.placements");
+obs::Counter& g_new_bins =
+    obs::MetricsRegistry::global().counter("algo.new_bins");
+obs::Counter& g_segments =
+    obs::MetricsRegistry::global().counter("cdff.segments");
+obs::Tracer& g_tracer = obs::Tracer::global();
 
 std::int64_t to_integer_time(Time t, const char* what) {
   if (t < 0.0 || t != std::floor(t))
@@ -49,6 +59,7 @@ BinId Cdff::on_arrival(const Item& item, Ledger& ledger) {
     seg_start_ = item.arrival;
     seg_n_ = bucket;
     ++segments_;
+    g_segments.add();
   } else if (item.arrival == seg_start_) {
     // Still inside the opening instant: the horizon may grow.
     seg_n_ = std::max(seg_n_, bucket);
@@ -67,12 +78,21 @@ BinId Cdff::on_arrival(const Item& item, Ledger& ledger) {
   BinId bin = mode_ == SelectMode::kIndexed
                   ? pick_bin_indexed(ledger, /*pool=*/delta, item.size, rule_)
                   : pick_bin(ledger, row, item.size, rule_);
-  if (bin == kNoBin) {
+  const bool opened = bin == kNoBin;
+  if (opened) {
     bin = ledger.open_bin(item.arrival, /*group=*/delta);
     row.push_back(bin);
     bin_row_.emplace(bin, delta);
   }
   ledger.place(item.id, item.size, bin, item.arrival);
+  g_placements.add();
+  if (opened) g_new_bins.add();
+  if (g_tracer.enabled())
+    g_tracer.instant("cdff.place", "algo",
+                   {{"item", item.id},
+                    {"bin", bin},
+                    {"row", static_cast<std::int64_t>(delta)},
+                    {"m", static_cast<std::int64_t>(m)}});
   return bin;
 }
 

@@ -4,7 +4,20 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace cdbp::algos {
+
+namespace {
+
+// Namespace-scope references: no initialization-guard load per placement.
+obs::Counter& g_placements =
+    obs::MetricsRegistry::global().counter("algo.placements");
+obs::Counter& g_new_bins =
+    obs::MetricsRegistry::global().counter("algo.new_bins");
+obs::Tracer& g_tracer = obs::Tracer::global();
+
+}  // namespace
 
 ClassifyByDuration::ClassifyByDuration(double base, FitRule rule,
                                        double shift, SelectMode mode)
@@ -45,12 +58,20 @@ BinId ClassifyByDuration::on_arrival(const Item& item, Ledger& ledger) {
   BinId bin = mode_ == SelectMode::kIndexed
                   ? pick_bin_indexed(ledger, /*pool=*/k, item.size, rule_)
                   : pick_bin(ledger, bins, item.size, rule_);
-  if (bin == kNoBin) {
+  const bool opened = bin == kNoBin;
+  if (opened) {
     bin = ledger.open_bin(item.arrival, /*group=*/k);
     bins.push_back(bin);
     bin_class_.emplace(bin, k);
   }
   ledger.place(item.id, item.size, bin, item.arrival);
+  g_placements.add();
+  if (opened) g_new_bins.add();
+  if (g_tracer.enabled())
+    g_tracer.instant("cbd.place", "algo",
+                   {{"item", item.id},
+                    {"bin", bin},
+                    {"class", static_cast<std::int64_t>(k)}});
   return bin;
 }
 

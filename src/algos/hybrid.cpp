@@ -3,7 +3,36 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace cdbp::algos {
+
+namespace {
+
+// Namespace-scope references: no initialization-guard load per placement.
+obs::Counter& g_placements =
+    obs::MetricsRegistry::global().counter("algo.placements");
+obs::Counter& g_new_bins =
+    obs::MetricsRegistry::global().counter("algo.new_bins");
+obs::Gauge& g_cd_open =
+    obs::MetricsRegistry::global().gauge("hybrid.cd_open_bins");
+obs::Tracer& g_tracer = obs::Tracer::global();
+
+// One instant per placement decision; `path` is a static string naming which
+// of the algorithm's branches fired (docs/OBSERVABILITY.md lists them all).
+void trace_place(const Item& item, BinId bin, const char* path,
+                 std::int64_t type_class, bool opened) {
+  g_placements.add();
+  if (opened) g_new_bins.add();
+  if (!g_tracer.enabled()) return;
+  g_tracer.instant("hybrid.place", "algo",
+                   {{"item", item.id},
+                    {"bin", bin},
+                    {"path", path},
+                    {"type", type_class}});
+}
+
+}  // namespace
 
 Hybrid::Hybrid(Threshold threshold, std::string label, FitRule rule,
                SelectMode mode)
@@ -38,13 +67,17 @@ BinId Hybrid::on_arrival(const Item& item, Ledger& ledger) {
     BinId bin = mode_ == SelectMode::kIndexed
                     ? pick_bin_indexed(ledger, cd_pool(type), item.size, rule_)
                     : pick_bin(ledger, it->second, item.size, rule_);
-    if (bin == kNoBin) {
+    const bool opened = bin == kNoBin;
+    if (opened) {
       bin = ledger.open_bin(item.arrival, kHybridGroupCD, cd_pool(type));
       it->second.push_back(bin);
       cd_bin_type_.emplace(bin, type);
       ++cd_open_total_;
+      g_cd_open.set(static_cast<double>(cd_open_total_));
     }
     ledger.place(item.id, item.size, bin, item.arrival);
+    trace_place(item, bin, opened ? "cd-open" : "cd-reuse",
+                static_cast<std::int64_t>(type.i), opened);
     return bin;
   }
 
@@ -54,7 +87,10 @@ BinId Hybrid::on_arrival(const Item& item, Ledger& ledger) {
     cd_bins_[type].push_back(bin);
     cd_bin_type_.emplace(bin, type);
     ++cd_open_total_;
+    g_cd_open.set(static_cast<double>(cd_open_total_));
     ledger.place(item.id, item.size, bin, item.arrival);
+    trace_place(item, bin, "cd-heavy", static_cast<std::int64_t>(type.i),
+                /*opened=*/true);
     return bin;
   }
 
@@ -62,11 +98,14 @@ BinId Hybrid::on_arrival(const Item& item, Ledger& ledger) {
   BinId bin = mode_ == SelectMode::kIndexed
                   ? pick_bin_indexed(ledger, kHybridGroupGN, item.size, rule_)
                   : pick_bin(ledger, gn_bins_, item.size, rule_);
-  if (bin == kNoBin) {
+  const bool opened = bin == kNoBin;
+  if (opened) {
     bin = ledger.open_bin(item.arrival, kHybridGroupGN);
     gn_bins_.push_back(bin);
   }
   ledger.place(item.id, item.size, bin, item.arrival);
+  trace_place(item, bin, opened ? "gn-new" : "gn-reuse",
+              static_cast<std::int64_t>(type.i), opened);
   return bin;
 }
 
@@ -86,6 +125,7 @@ void Hybrid::on_departure(const Item& item, BinId bin, bool bin_closed,
     if (bins.empty()) cd_bins_.erase(it->second);
     cd_bin_type_.erase(it);
     --cd_open_total_;
+    g_cd_open.set(static_cast<double>(cd_open_total_));
   } else {
     gn_bins_.erase(std::remove(gn_bins_.begin(), gn_bins_.end(), bin),
                    gn_bins_.end());

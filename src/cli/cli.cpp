@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <fstream>
 #include <map>
 #include <memory>
 #include <optional>
@@ -20,6 +21,7 @@
 #include "core/simulator.h"
 #include "core/transforms.h"
 #include "core/validation.h"
+#include "obs/obs.h"
 #include "opt/bounds.h"
 #include "opt/exact.h"
 #include "opt/exact_repacking.h"
@@ -89,12 +91,53 @@ int to_int(const std::string& s, const std::string& what) {
   }
 }
 
+/// Trace format from an explicit flag or the output file extension:
+/// *.jsonl -> one JSON object per line; anything else -> Chrome trace_event
+/// JSON (chrome://tracing, https://ui.perfetto.dev).
+std::string infer_trace_format(const std::string& path) {
+  return path.ends_with(".jsonl") ? "jsonl" : "chrome";
+}
+
+#ifndef CDBP_OBS_OFF
+std::shared_ptr<obs::TraceSink> make_trace_sink(const std::string& path,
+                                                const std::string& format) {
+  if (format == "jsonl") return std::make_shared<obs::JsonlSink>(path);
+  if (format == "chrome") return std::make_shared<obs::ChromeTraceSink>(path);
+  throw std::invalid_argument("unknown trace format '" + format +
+                              "' (expected chrome|jsonl)");
+}
+#endif
+
+/// Dumps the global metrics registry: *.csv -> CSV, otherwise text.
+void write_metrics_file(const std::string& path) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open metrics file: " + path);
+  if (path.ends_with(".csv"))
+    obs::MetricsRegistry::global().dump_csv(f);
+  else
+    obs::MetricsRegistry::global().dump_text(f);
+}
+
+[[maybe_unused]] void require_obs(const char* what) {
+#ifdef CDBP_OBS_OFF
+  throw std::invalid_argument(
+      std::string(what) +
+      " is unavailable: this build has observability compiled out "
+      "(CDBP_OBS_OFF)");
+#else
+  (void)what;
+#endif
+}
+
 void print_usage(std::ostream& out) {
   out << "usage: cdbp <command> [flags]\n"
       << "  generate  --kind binary|aligned|general|cloud [--n N]\n"
       << "            [--seed S] [--items K] [--shape NAME] --out FILE\n"
       << "  run       --algo ALGO --in FILE [--gantt] [--validate]\n"
-      << "            [--timeline FILE]\n"
+      << "            [--timeline FILE] [--trace-out FILE]\n"
+      << "            [--trace-format chrome|jsonl] [--metrics-out FILE]\n"
+      << "  trace     --algo ALGO --in FILE --out FILE\n"
+      << "            [--format chrome|jsonl] [--metrics-out FILE]\n"
       << "  bounds    --in FILE\n"
       << "  compare   --in FILE\n"
       << "  stats     --in FILE\n"
@@ -160,11 +203,33 @@ int cmd_run(Flags& flags, std::ostream& out) {
   const bool gantt = flags.get("gantt").has_value();
   const bool validate = flags.get("validate").has_value();
   const auto timeline = flags.get("timeline");
+  const auto trace_out = flags.get("trace-out");
+  const auto trace_format = flags.get("trace-format");
+  const auto metrics_out = flags.get("metrics-out");
   flags.finish();
+  if (trace_out || metrics_out) require_obs("--trace-out/--metrics-out");
 
   const Instance instance = trace::read_instance_csv(path);
   const AlgorithmPtr algo = make_algorithm(algo_name, instance.mu());
+  if (metrics_out) obs::MetricsRegistry::global().reset();
+#ifndef CDBP_OBS_OFF
+  if (trace_out)
+    obs::Tracer::global().set_sink(make_trace_sink(
+        *trace_out, trace_format.value_or(infer_trace_format(*trace_out))));
+  struct SinkGuard {
+    bool armed;
+    ~SinkGuard() {
+      if (armed) obs::Tracer::global().clear_sink();
+    }
+  } sink_guard{trace_out.has_value()};
+#endif
   const RunResult result = Simulator{}.run(instance, *algo);
+#ifndef CDBP_OBS_OFF
+  if (trace_out) {
+    obs::Tracer::global().clear_sink();  // finalize the file
+    sink_guard.armed = false;
+  }
+#endif
   const opt::Bounds bounds = opt::compute_bounds(instance);
 
   out << instance.summary() << "\n"
@@ -180,6 +245,49 @@ int cmd_run(Flags& flags, std::ostream& out) {
   if (timeline) {
     trace::write_timeline_csv(result, *timeline);
     out << "timeline written to " << *timeline << "\n";
+  }
+  if (trace_out) out << "trace written to " << *trace_out << "\n";
+  if (metrics_out) {
+    write_metrics_file(*metrics_out);
+    out << "metrics written to " << *metrics_out << "\n";
+  }
+  return 0;
+}
+
+/// `cdbp trace`: one run with event tracing always on — the quickest way to
+/// get a Perfetto-loadable picture of a packing.
+int cmd_trace(Flags& flags, std::ostream& out) {
+  const std::string algo_name = flags.require("algo");
+  const std::string path = flags.require("in");
+  const std::string out_path = flags.require("out");
+  const std::string format =
+      flags.get("format").value_or(infer_trace_format(out_path));
+  const auto metrics_out = flags.get("metrics-out");
+  flags.finish();
+  require_obs("cdbp trace");
+
+  const Instance instance = trace::read_instance_csv(path);
+  const AlgorithmPtr algo = make_algorithm(algo_name, instance.mu());
+  obs::MetricsRegistry::global().reset();
+#ifndef CDBP_OBS_OFF
+  obs::Tracer::global().set_sink(make_trace_sink(out_path, format));
+  struct SinkGuard {
+    ~SinkGuard() { obs::Tracer::global().clear_sink(); }
+  } sink_guard;
+#endif
+  const RunResult result = Simulator{}.run(instance, *algo);
+#ifndef CDBP_OBS_OFF
+  obs::Tracer::global().clear_sink();  // finalize before reporting
+#endif
+
+  out << instance.summary() << "\n"
+      << algo->name() << ": cost=" << result.cost
+      << " bins=" << result.bins_opened << " peak=" << result.max_open
+      << "\n"
+      << "trace (" << format << ") written to " << out_path << "\n";
+  if (metrics_out) {
+    write_metrics_file(*metrics_out);
+    out << "metrics written to " << *metrics_out << "\n";
   }
   return 0;
 }
@@ -391,6 +499,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     Flags flags(args.begin() + 1, args.end());
     if (args[0] == "generate") return cmd_generate(flags, out);
     if (args[0] == "run") return cmd_run(flags, out);
+    if (args[0] == "trace") return cmd_trace(flags, out);
     if (args[0] == "bounds") return cmd_bounds(flags, out);
     if (args[0] == "compare") return cmd_compare(flags, out);
     if (args[0] == "stats") return cmd_stats(flags, out);

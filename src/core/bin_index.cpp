@@ -3,7 +3,22 @@
 #include <algorithm>
 #include <limits>
 
+#include "obs/obs.h"
+
 namespace cdbp {
+
+namespace {
+
+// Selection-probe instruments shared by all index instances: `index.probes`
+// counts fit queries, `index.probe_steps` the tree-descent work they did, so
+// steps/probes ~ log2(open bins) on a healthy index. Namespace-scope
+// references (not function-local statics) so the per-query cost is the
+// fetch_add alone, with no initialization-guard load on the hot path.
+obs::Counter& g_probes = obs::MetricsRegistry::global().counter("index.probes");
+obs::Counter& g_probe_steps =
+    obs::MetricsRegistry::global().counter("index.probe_steps");
+
+}  // namespace
 
 void BinCapacityIndex::grow() {
   const std::size_t new_cap = cap_ == 0 ? 1 : cap_ * 2;
@@ -45,14 +60,20 @@ void BinCapacityIndex::close(std::size_t slot) {
 }
 
 BinId BinCapacityIndex::first_fit(Load size) const {
+  g_probes.add();
   if (cap_ == 0 || !fits_in_bin(tree_[1], size)) return kNoBin;
   std::size_t node = 1;
-  while (node < cap_)
+  std::uint64_t steps = 0;
+  while (node < cap_) {
     node = fits_in_bin(tree_[2 * node], size) ? 2 * node : 2 * node + 1;
+    ++steps;
+  }
+  g_probe_steps.add(steps);
   return bins_[node - cap_];
 }
 
 BinId BinCapacityIndex::best_fit(Load size) const {
+  g_probes.add();
   if (by_load_.empty()) return kNoBin;
   const Load bound = max_load_admitting(size);
   auto it = by_load_.upper_bound(
@@ -64,10 +85,15 @@ BinId BinCapacityIndex::best_fit(Load size) const {
 }
 
 BinId BinCapacityIndex::worst_fit(Load size) const {
+  g_probes.add();
   if (cap_ == 0 || !fits_in_bin(tree_[1], size)) return kNoBin;
   std::size_t node = 1;
-  while (node < cap_)
+  std::uint64_t steps = 0;
+  while (node < cap_) {
     node = tree_[2 * node] == tree_[node] ? 2 * node : 2 * node + 1;
+    ++steps;
+  }
+  g_probe_steps.add(steps);
   return bins_[node - cap_];
 }
 

@@ -3,7 +3,24 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace cdbp {
+
+namespace {
+
+// Process-wide instruments; resolved at static-init time, then a relaxed
+// atomic op per event.  The open-bins gauge tracks the most recent ledger
+// touched, which is what a live trace wants (per-run breakdowns come from
+// RunResult).
+obs::Counter& g_bins_opened =
+    obs::MetricsRegistry::global().counter("ledger.bins_opened");
+obs::Counter& g_bins_closed =
+    obs::MetricsRegistry::global().counter("ledger.bins_closed");
+obs::Gauge& g_open_bins =
+    obs::MetricsRegistry::global().gauge("ledger.open_bins");
+
+}  // namespace
 
 void Ledger::advance_clock(Time now) {
   if (now < clock_) throw std::logic_error("Ledger: time moved backwards");
@@ -37,6 +54,8 @@ BinId Ledger::open_bin(Time now, BinGroup group, PoolId pool) {
   index_ref_.push_back(IndexRef{pool, pools_[pool].add_bin(id)});
   open_.insert(id);
   max_open_ = std::max(max_open_, open_.size());
+  g_bins_opened.add();
+  g_open_bins.set(static_cast<double>(open_.size()));
   return id;
 }
 
@@ -78,6 +97,8 @@ BinId Ledger::remove(ItemId id, Time now) {
     closed_usage_ += rec.closed - rec.opened;
     open_.erase(bin);
     pools_[ref.pool].close(ref.slot);
+    g_bins_closed.add();
+    g_open_bins.set(static_cast<double>(open_.size()));
   } else {
     pools_[ref.pool].set_load(ref.slot, rec.load);
   }

@@ -8,7 +8,14 @@ RunMetrics compute_metrics(const Instance& instance,
                            const RunResult& result) {
   RunMetrics m;
   m.cost = result.cost;
-  if (result.bins.empty()) return m;
+  m.utilization =
+      result.cost > 0.0 ? instance.total_demand() / result.cost : 0.0;
+  if (result.bins.empty()) {
+    // No per-bin history. Distinguish "nothing ran" (all-zero metrics) from
+    // "ran with keep_history = false" (cost/utilization valid, rest absent).
+    m.partial = instance.size() > 0;
+    return m;
+  }
 
   double span_sum = 0.0;
   std::size_t items_sum = 0;
@@ -22,9 +29,6 @@ RunMetrics compute_metrics(const Instance& instance,
   const auto n = static_cast<double>(result.bins.size());
   m.mean_bin_span = span_sum / n;
   m.mean_items_per_bin = static_cast<double>(items_sum) / n;
-  m.utilization = result.cost > 0.0
-                      ? instance.total_demand() / result.cost
-                      : 0.0;
   return m;
 }
 

@@ -23,10 +23,17 @@ struct RunMetrics {
   double mean_items_per_bin = 0.0;
   /// Usage time accumulated per bin group (e.g. HA's GN vs CD).
   std::map<BinGroup, Cost> cost_by_group;
+  /// True when the run was simulated with keep_history = false: only cost
+  /// and utilization are meaningful; the per-bin statistics above are zero
+  /// / empty, NOT measured-as-zero.
+  bool partial = false;
 };
 
-/// Computes metrics from a run with history enabled. An empty run yields
-/// all-zero metrics.
+/// Computes metrics from a run. With SimulatorOptions::keep_history the
+/// result is complete; from a history-free run (RunResult::bins empty but
+/// items were packed) `cost` and `utilization` are still computed and the
+/// returned metrics are marked `partial`. An empty run (no items) yields
+/// all-zero, non-partial metrics.
 [[nodiscard]] RunMetrics compute_metrics(const Instance& instance,
                                          const RunResult& result);
 

@@ -4,6 +4,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "obs/obs.h"
+
 namespace cdbp {
 
 namespace {
@@ -19,17 +21,30 @@ struct Departure {
   }
 };
 
+// Hot-path instruments: resolved at static-init time, then one relaxed
+// atomic op per event (see docs/OBSERVABILITY.md; E16 bounds the cost).
+obs::Counter& g_arrivals =
+    obs::MetricsRegistry::global().counter("sim.arrivals");
+obs::Counter& g_departures =
+    obs::MetricsRegistry::global().counter("sim.departures");
+
 }  // namespace
 
 RunResult Simulator::run(const Instance& instance, Algorithm& algo) const {
   algo.reset();
   Ledger ledger;
 
+  obs::Tracer& tracer = obs::Tracer::global();
+
   std::priority_queue<Departure, std::vector<Departure>, std::greater<>> dq;
 
   const std::vector<Item>& items = instance.items();
 
   auto drain_departures_until = [&](Time t_inclusive) {
+    if (dq.empty() || dq.top().time > t_inclusive) return;
+    obs::TraceSpan span(tracer, "sim.drain", "sim",
+                        {{"until", dq.top().time}});
+    std::uint64_t drained = 0;
     while (!dq.empty() && dq.top().time <= t_inclusive) {
       const Departure d = dq.top();
       dq.pop();
@@ -37,8 +52,15 @@ RunResult Simulator::run(const Instance& instance, Algorithm& algo) const {
       const bool closed = !ledger.is_open(bin);
       algo.on_departure(items[static_cast<std::size_t>(d.item)], bin, closed,
                         ledger);
+      ++drained;
     }
+    g_departures.add(drained);
+    span.add_arg({"departures", drained});
   };
+
+  obs::TraceSpan run_span(
+      tracer, "sim.run", "sim",
+      {{"items", static_cast<std::uint64_t>(items.size())}});
 
   for (const Item& r : items) {
     // Process all departures at times <= this arrival first (t^- before t^+).
@@ -49,9 +71,18 @@ RunResult Simulator::run(const Instance& instance, Algorithm& algo) const {
       throw std::logic_error(
           "Simulator: algorithm did not place the item in the bin it "
           "returned");
+    if (tracer.enabled())
+      tracer.instant("sim.arrival", "sim",
+                     {{"item", r.id},
+                      {"size", r.size},
+                      {"bin", bin},
+                      {"open_bins",
+                       static_cast<std::uint64_t>(ledger.open_count())}});
     dq.push(Departure{r.departure, r.id});
   }
   drain_departures_until(kInfTime);
+  // Batched: one atomic op for the whole run, not one per arrival.
+  g_arrivals.add(items.size());
 
   if (ledger.active_items() != 0)
     throw std::logic_error("Simulator: items left active after drain");

@@ -1,0 +1,200 @@
+// Runtime metrics for libcdbp: a process-wide registry of named counters,
+// gauges, and log2-bucketed histograms, designed so that instrumented hot
+// paths pay one relaxed atomic op per event and zero map lookups (callers
+// resolve an instrument once and keep the reference; instruments are never
+// deallocated, so cached references stay valid across MetricsRegistry::
+// reset()).
+//
+// Concurrency: instrument mutation is lock-free (relaxed atomics — values
+// are independent statistics, not synchronization); registration and
+// snapshotting take a registry mutex. Snapshots are weakly consistent: a
+// snapshot taken while writers run sees each instrument at some recent
+// value, which is the usual contract for operational metrics.
+//
+// Compile-time kill switch: building with -DCDBP_OBS_OFF (CMake option
+// CDBP_OBS_OFF) replaces every type in this header with an empty shell
+// whose members are inline no-ops, so instrumented call sites compile away
+// entirely. See docs/OBSERVABILITY.md.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#ifndef CDBP_OBS_OFF
+#include <atomic>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#endif
+
+namespace cdbp::obs {
+
+/// Number of histogram buckets: bucket k counts values v with
+/// bit_width(v) == k, i.e. bucket 0 holds v = 0 and bucket k >= 1 holds
+/// v in [2^(k-1), 2^k).
+inline constexpr std::size_t kHistogramBuckets = 65;
+
+/// Point-in-time copy of one histogram (also the dump/reporting unit).
+struct HistogramSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t sum = 0;
+  std::uint64_t min = 0;  ///< 0 when count == 0
+  std::uint64_t max = 0;
+  std::array<std::uint64_t, kHistogramBuckets> buckets{};
+
+  [[nodiscard]] double mean() const noexcept {
+    return count == 0 ? 0.0
+                      : static_cast<double>(sum) / static_cast<double>(count);
+  }
+  /// Approximate quantile (q in [0, 1]) from the log2 buckets: finds the
+  /// bucket holding the q-th observation and returns its geometric
+  /// midpoint, clamped to [min, max]. Good to a factor of sqrt(2).
+  [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
+};
+
+/// Point-in-time copy of every instrument, sorted by name within each kind.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+#ifndef CDBP_OBS_OFF
+
+/// Monotonic event count.
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Last-written (or accumulated) level, e.g. open bins or queue depth.
+class Gauge {
+ public:
+  void set(double v) noexcept { value_.store(v, std::memory_order_relaxed); }
+  void add(double d) noexcept {
+    value_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+  void reset() noexcept { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Log2-bucketed histogram of non-negative integer observations
+/// (microsecond latencies, probe counts, ...). All updates are relaxed
+/// atomics; min/max converge via CAS loops.
+class Histogram {
+ public:
+  void record(std::uint64_t v) noexcept;
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept;
+  void reset() noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kHistogramBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// See file comment. Instruments are created on first use and live for the
+/// life of the registry; reset() zeroes values but never invalidates
+/// references.
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(std::string_view name);
+  [[nodiscard]] Gauge& gauge(std::string_view name);
+  [[nodiscard]] Histogram& histogram(std::string_view name);
+
+  [[nodiscard]] MetricsSnapshot snapshot() const;
+  void reset();
+
+  /// Human-readable dump: one `kind name value...` line per instrument.
+  void dump_text(std::ostream& out) const;
+  /// CSV dump with header `kind,name,count,sum,min,max,mean,p50,p99`
+  /// (counters fill `sum`, gauges fill `mean`).
+  void dump_csv(std::ostream& out) const;
+
+  /// The process-wide registry every built-in instrumentation point uses.
+  static MetricsRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+#else  // CDBP_OBS_OFF: every operation is an inline no-op.
+
+class Counter {
+ public:
+  void add(std::uint64_t = 1) noexcept {}
+  [[nodiscard]] std::uint64_t value() const noexcept { return 0; }
+  void reset() noexcept {}
+};
+
+class Gauge {
+ public:
+  void set(double) noexcept {}
+  void add(double) noexcept {}
+  [[nodiscard]] double value() const noexcept { return 0.0; }
+  void reset() noexcept {}
+};
+
+class Histogram {
+ public:
+  void record(std::uint64_t) noexcept {}
+  [[nodiscard]] HistogramSnapshot snapshot() const noexcept { return {}; }
+  void reset() noexcept {}
+};
+
+class MetricsRegistry {
+ public:
+  [[nodiscard]] Counter& counter(const char*) noexcept { return counter_; }
+  [[nodiscard]] Counter& counter(const std::string&) noexcept {
+    return counter_;
+  }
+  [[nodiscard]] Gauge& gauge(const char*) noexcept { return gauge_; }
+  [[nodiscard]] Gauge& gauge(const std::string&) noexcept { return gauge_; }
+  [[nodiscard]] Histogram& histogram(const char*) noexcept {
+    return histogram_;
+  }
+  [[nodiscard]] Histogram& histogram(const std::string&) noexcept {
+    return histogram_;
+  }
+  [[nodiscard]] MetricsSnapshot snapshot() const { return {}; }
+  void reset() {}
+  void dump_text(std::ostream&) const {}
+  void dump_csv(std::ostream&) const {}
+  static MetricsRegistry& global() {
+    static MetricsRegistry r;
+    return r;
+  }
+
+ private:
+  Counter counter_;
+  Gauge gauge_;
+  Histogram histogram_;
+};
+
+#endif  // CDBP_OBS_OFF
+
+}  // namespace cdbp::obs

@@ -1,0 +1,10 @@
+// Umbrella header for the observability layer: metrics registry, scoped
+// timers, structured event tracing, and the sweep progress heartbeat.
+// Instrumented modules include this one header; docs/OBSERVABILITY.md
+// catalogs the metric names and the event schema.
+#pragma once
+
+#include "obs/metrics.h"   // IWYU pragma: export
+#include "obs/progress.h"  // IWYU pragma: export
+#include "obs/timer.h"     // IWYU pragma: export
+#include "obs/tracer.h"    // IWYU pragma: export

@@ -1,0 +1,86 @@
+#include "obs/progress.h"
+
+#include <algorithm>
+#include <cmath>
+#include <iostream>
+#include <sstream>
+
+namespace cdbp::obs {
+
+namespace {
+
+std::string format_seconds(double s) {
+  std::ostringstream os;
+  if (!std::isfinite(s) || s < 0.0) {
+    os << "?";
+  } else if (s < 90.0) {
+    os.precision(1);
+    os << std::fixed << s << "s";
+  } else if (s < 5400.0) {
+    os.precision(1);
+    os << std::fixed << s / 60.0 << "m";
+  } else {
+    os.precision(1);
+    os << std::fixed << s / 3600.0 << "h";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+Progress::Progress(std::string label, std::size_t total, std::ostream* out,
+                   double min_interval_s)
+    : label_(std::move(label)),
+      total_(total),
+      out_(out != nullptr ? out : &std::cerr),
+      min_interval_s_(min_interval_s),
+      start_(std::chrono::steady_clock::now()),
+      last_paint_(start_ - std::chrono::hours(1)) {}
+
+Progress::~Progress() { finish(); }
+
+void Progress::tick(std::size_t n) {
+  const std::size_t done = done_.fetch_add(n, std::memory_order_relaxed) + n;
+  const auto now = std::chrono::steady_clock::now();
+  {
+    std::scoped_lock lock(mutex_);
+    if (finished_) return;
+    const double since_paint =
+        std::chrono::duration<double>(now - last_paint_).count();
+    if (done < total_ && since_paint < min_interval_s_) return;
+    last_paint_ = now;
+    paint(/*final_line=*/false);
+  }
+}
+
+void Progress::finish() {
+  std::scoped_lock lock(mutex_);
+  if (finished_) return;
+  finished_ = true;
+  paint(/*final_line=*/true);
+}
+
+void Progress::paint(bool final_line) {
+  const std::size_t done = std::min(done_.load(std::memory_order_relaxed),
+                                    total_);
+  const double elapsed =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start_)
+          .count();
+  const double pct =
+      total_ == 0 ? 100.0
+                  : 100.0 * static_cast<double>(done) /
+                        static_cast<double>(total_);
+  const double eta = (done == 0 || done >= total_)
+                         ? 0.0
+                         : elapsed / static_cast<double>(done) *
+                               static_cast<double>(total_ - done);
+  std::ostringstream line;
+  line << "\r" << label_ << ": " << done << "/" << total_ << " ("
+       << static_cast<int>(pct) << "%)  elapsed " << format_seconds(elapsed);
+  if (done < total_) line << "  eta " << format_seconds(eta);
+  *out_ << line.str();
+  if (final_line) *out_ << "\n";
+  out_->flush();
+}
+
+}  // namespace cdbp::obs

@@ -1,0 +1,58 @@
+// Operator-facing progress heartbeat for long (mu, seed) sweeps and other
+// fixed-size task sets: counts completed tasks and periodically rewrites a
+// one-line `done/total (pct) elapsed ETA` status on stderr. Rate-limited so
+// per-task ticks stay cheap; thread-safe so pool workers can tick directly.
+//
+// This is operational UX, not hot-path instrumentation, so it is NOT
+// compiled out by CDBP_OBS_OFF — a multi-hour sweep should report progress
+// regardless of how the library was built.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <iosfwd>
+#include <mutex>
+#include <string>
+
+namespace cdbp::obs {
+
+class Progress {
+ public:
+  /// `label` prefixes every line; `total` is the task count; `out`
+  /// defaults to std::cerr; `min_interval_s` throttles repaints (the
+  /// final 100% line always prints, followed by a newline).
+  explicit Progress(std::string label, std::size_t total,
+                    std::ostream* out = nullptr,
+                    double min_interval_s = 0.5);
+  ~Progress();
+  Progress(const Progress&) = delete;
+  Progress& operator=(const Progress&) = delete;
+
+  /// Marks `n` tasks complete; repaints if the throttle interval elapsed.
+  void tick(std::size_t n = 1);
+
+  /// Prints the final line (with trailing newline). Idempotent; also
+  /// invoked by the destructor.
+  void finish();
+
+  [[nodiscard]] std::size_t done() const noexcept {
+    return done_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t total() const noexcept { return total_; }
+
+ private:
+  void paint(bool final_line);
+
+  std::string label_;
+  std::size_t total_;
+  std::atomic<std::size_t> done_{0};
+  std::ostream* out_;
+  double min_interval_s_;
+  std::mutex mutex_;  // serializes painting
+  std::chrono::steady_clock::time_point start_;
+  std::chrono::steady_clock::time_point last_paint_;
+  bool finished_ = false;
+};
+
+}  // namespace cdbp::obs

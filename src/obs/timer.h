@@ -1,0 +1,58 @@
+// Scoped wall-clock timers feeding obs::Histogram instruments, the bridge
+// between the metrics registry and "how long did this phase take". Under
+// -DCDBP_OBS_OFF the timer compiles to an empty object (no clock reads).
+#pragma once
+
+#include <cstdint>
+
+#include "obs/metrics.h"
+
+#ifndef CDBP_OBS_OFF
+#include <chrono>
+#endif
+
+namespace cdbp::obs {
+
+#ifndef CDBP_OBS_OFF
+
+/// Records the enclosing scope's duration, in microseconds, into a
+/// histogram at destruction. Typical use:
+///
+///   static obs::Histogram& h =
+///       obs::MetricsRegistry::global().histogram("sweep.task_us");
+///   obs::ScopedTimer timer(h);
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram& hist) noexcept
+      : hist_(&hist), start_(std::chrono::steady_clock::now()) {}
+  ~ScopedTimer() { hist_->record(elapsed_us()); }
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+  /// Microseconds since construction (also usable mid-scope).
+  [[nodiscard]] std::uint64_t elapsed_us() const noexcept {
+    const auto delta = std::chrono::steady_clock::now() - start_;
+    const auto us =
+        std::chrono::duration_cast<std::chrono::microseconds>(delta).count();
+    return us > 0 ? static_cast<std::uint64_t>(us) : 0;
+  }
+
+ private:
+  Histogram* hist_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+#else  // CDBP_OBS_OFF
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Histogram&) noexcept {}
+  ~ScopedTimer() {}  // non-trivial so unused timers don't warn
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  [[nodiscard]] std::uint64_t elapsed_us() const noexcept { return 0; }
+};
+
+#endif  // CDBP_OBS_OFF
+
+}  // namespace cdbp::obs

@@ -1,0 +1,239 @@
+#include "obs/tracer.h"
+
+#ifndef CDBP_OBS_OFF
+
+#include <cmath>
+#include <stdexcept>
+
+namespace cdbp::obs {
+
+namespace {
+
+/// Small dense thread ids for trace output (0 = first thread seen).
+std::uint32_t this_thread_id() noexcept {
+  static std::atomic<std::uint32_t> next{0};
+  thread_local const std::uint32_t id =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+/// JSON string escaping for the (rare) names that need it.
+void write_json_string(std::ostream& out, const char* s) {
+  out << '"';
+  for (; *s; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default: {
+        const auto uc = static_cast<unsigned char>(c);
+        if (uc < 0x20)
+          out << "\\u00" << "0123456789abcdef"[uc >> 4]
+              << "0123456789abcdef"[uc & 0xf];
+        else
+          out << c;
+      }
+    }
+  }
+  out << '"';
+}
+
+void write_json_number(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  out << v;
+}
+
+/// Shared body of both sinks: one trace_event JSON object, Chrome schema
+/// (ts/dur in microseconds).
+void write_event_json(std::ostream& out, const TraceEvent& e) {
+  out << "{\"name\":";
+  write_json_string(out, e.name);
+  out << ",\"cat\":";
+  write_json_string(out, e.cat);
+  out << ",\"ph\":\"" << e.phase << "\"";
+  out << ",\"ts\":" << e.ts_ns / 1000 << "." << (e.ts_ns % 1000 / 100);
+  if (e.phase == 'X')
+    out << ",\"dur\":" << e.dur_ns / 1000 << "." << (e.dur_ns % 1000 / 100);
+  if (e.phase == 'i') out << ",\"s\":\"t\"";
+  out << ",\"pid\":1,\"tid\":" << e.tid;
+  if (e.n_args > 0) {
+    out << ",\"args\":{";
+    for (std::uint8_t k = 0; k < e.n_args; ++k) {
+      if (k) out << ',';
+      const TraceArg& a = e.args[k];
+      write_json_string(out, a.key);
+      out << ':';
+      switch (a.kind) {
+        case TraceArg::Kind::kInt:
+          out << a.i;
+          break;
+        case TraceArg::Kind::kDouble:
+          write_json_number(out, a.d);
+          break;
+        case TraceArg::Kind::kStr:
+          write_json_string(out, a.s);
+          break;
+      }
+    }
+    out << '}';
+  }
+  out << '}';
+}
+
+std::ofstream open_or_throw(const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("obs: cannot open " + path);
+  return out;
+}
+
+}  // namespace
+
+// ---- JsonlSink -------------------------------------------------------------
+
+JsonlSink::JsonlSink(const std::string& path)
+    : owned_(open_or_throw(path)), out_(&owned_) {}
+
+void JsonlSink::write(const TraceEvent& event) {
+  write_event_json(*out_, event);
+  *out_ << '\n';
+}
+
+void JsonlSink::close() { out_->flush(); }
+
+// ---- ChromeTraceSink -------------------------------------------------------
+
+ChromeTraceSink::ChromeTraceSink(const std::string& path)
+    : owned_(open_or_throw(path)), out_(&owned_) {
+  open();
+}
+
+void ChromeTraceSink::open() { *out_ << "{\"traceEvents\":[\n"; }
+
+void ChromeTraceSink::write(const TraceEvent& event) {
+  if (!first_) *out_ << ",\n";
+  first_ = false;
+  write_event_json(*out_, event);
+}
+
+void ChromeTraceSink::close() {
+  if (closed_) return;
+  closed_ = true;
+  *out_ << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  out_->flush();
+}
+
+// ---- Tracer ----------------------------------------------------------------
+
+Tracer::~Tracer() { clear_sink(); }
+
+namespace {
+
+std::int64_t steady_now_ns() noexcept {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void Tracer::set_sink(std::shared_ptr<TraceSink> sink) {
+  std::scoped_lock lock(mutex_);
+  if (sink_) sink_->close();
+  sink_ = std::move(sink);
+  epoch_ns_.store(steady_now_ns(), std::memory_order_relaxed);
+  enabled_.store(sink_ != nullptr, std::memory_order_relaxed);
+}
+
+std::uint64_t Tracer::now_ns() const noexcept {
+  const std::int64_t delta =
+      steady_now_ns() - epoch_ns_.load(std::memory_order_relaxed);
+  return delta > 0 ? static_cast<std::uint64_t>(delta) : 0;
+}
+
+void Tracer::instant(const char* name, const char* cat,
+                     std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'i';
+  e.ts_ns = now_ns();
+  for (const TraceArg& a : args)
+    if (e.n_args < kMaxTraceArgs) e.args[e.n_args++] = a;
+  emit(e);
+}
+
+void Tracer::complete(const char* name, const char* cat, std::uint64_t ts_ns,
+                      std::uint64_t dur_ns,
+                      std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'X';
+  e.ts_ns = ts_ns;
+  e.dur_ns = dur_ns;
+  for (const TraceArg& a : args)
+    if (e.n_args < kMaxTraceArgs) e.args[e.n_args++] = a;
+  emit(e);
+}
+
+void Tracer::emit(TraceEvent& event) {
+  event.tid = this_thread_id();
+  std::scoped_lock lock(mutex_);
+  if (sink_) sink_->write(event);
+}
+
+Tracer& Tracer::global() {
+  static Tracer tracer;
+  return tracer;
+}
+
+// ---- TraceSpan -------------------------------------------------------------
+
+TraceSpan::TraceSpan(Tracer& tracer, const char* name, const char* cat,
+                     std::initializer_list<TraceArg> args) {
+  if (!tracer.enabled()) return;
+  tracer_ = &tracer;
+  name_ = name;
+  cat_ = cat;
+  start_ns_ = tracer.now_ns();
+  for (const TraceArg& a : args)
+    if (n_args_ < kMaxTraceArgs) args_[n_args_++] = a;
+}
+
+TraceSpan::~TraceSpan() {
+  if (!tracer_) return;
+  const std::uint64_t end_ns = tracer_->now_ns();
+  TraceEvent e;
+  e.name = name_;
+  e.cat = cat_;
+  e.phase = 'X';
+  e.ts_ns = start_ns_;
+  e.dur_ns = end_ns > start_ns_ ? end_ns - start_ns_ : 0;
+  e.args = args_;
+  e.n_args = n_args_;
+  tracer_->emit(e);
+}
+
+void TraceSpan::add_arg(TraceArg arg) noexcept {
+  if (!tracer_) return;
+  if (n_args_ < kMaxTraceArgs) args_[n_args_++] = arg;
+}
+
+}  // namespace cdbp::obs
+
+#endif  // CDBP_OBS_OFF

@@ -1,0 +1,229 @@
+// Structured event tracing for libcdbp: named spans and instants with a
+// handful of typed key/value arguments, emitted to a pluggable sink.
+//
+// Two sinks ship with the library:
+//  * JsonlSink       — one JSON object per line (easy to grep / ingest);
+//  * ChromeTraceSink — the Chrome trace_event JSON array format, loadable
+//                      directly in chrome://tracing or https://ui.perfetto.dev.
+//
+// Cost model: with no sink installed the tracer is *disabled* and every
+// emit call is a single relaxed atomic load plus a branch (the null-sink
+// short-circuit); TraceSpan additionally skips its clock reads. Building
+// with -DCDBP_OBS_OFF compiles all of it out (see metrics.h).
+//
+// Event names and categories must be string literals (or otherwise outlive
+// the tracer): events store `const char*` and sinks serialize at write
+// time. Sink writes are serialized by the owning Tracer's mutex, so sink
+// implementations need no locking of their own.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <initializer_list>
+
+#ifndef CDBP_OBS_OFF
+#include <array>
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+#endif
+
+namespace cdbp::obs {
+
+/// Maximum typed arguments attached to one event.
+inline constexpr std::size_t kMaxTraceArgs = 4;
+
+#ifndef CDBP_OBS_OFF
+
+/// One typed key/value argument. Keys and string values must be literals.
+struct TraceArg {
+  enum class Kind : std::uint8_t { kInt, kDouble, kStr };
+
+  const char* key = "";
+  Kind kind = Kind::kInt;
+  std::int64_t i = 0;
+  double d = 0.0;
+  const char* s = "";
+
+  constexpr TraceArg() = default;
+  constexpr TraceArg(const char* k, std::int64_t v)
+      : key(k), kind(Kind::kInt), i(v) {}
+  constexpr TraceArg(const char* k, int v)
+      : key(k), kind(Kind::kInt), i(v) {}
+  constexpr TraceArg(const char* k, std::uint64_t v)
+      : key(k), kind(Kind::kInt), i(static_cast<std::int64_t>(v)) {}
+  constexpr TraceArg(const char* k, double v)
+      : key(k), kind(Kind::kDouble), d(v) {}
+  constexpr TraceArg(const char* k, const char* v)
+      : key(k), kind(Kind::kStr), s(v) {}
+};
+
+/// One event, timestamped in nanoseconds since the tracer's epoch.
+struct TraceEvent {
+  const char* name = "";
+  const char* cat = "";
+  char phase = 'i';  ///< 'X' complete span, 'i' instant
+  std::uint64_t ts_ns = 0;
+  std::uint64_t dur_ns = 0;  ///< 'X' only
+  std::uint32_t tid = 0;
+  std::array<TraceArg, kMaxTraceArgs> args{};
+  std::uint8_t n_args = 0;
+};
+
+/// Where events go. Implementations are called under the tracer's mutex
+/// (single-threaded from the sink's point of view). close() finalizes the
+/// output (Chrome's closing brackets, flush) and is called exactly once.
+class TraceSink {
+ public:
+  virtual ~TraceSink() = default;
+  virtual void write(const TraceEvent& event) = 0;
+  virtual void close() {}
+};
+
+/// One JSON object per line. Non-owning (ostream&) or file-owning (path).
+class JsonlSink final : public TraceSink {
+ public:
+  explicit JsonlSink(std::ostream& out) : out_(&out) {}
+  /// Throws std::runtime_error if the file cannot be opened.
+  explicit JsonlSink(const std::string& path);
+
+  void write(const TraceEvent& event) override;
+  void close() override;
+
+ private:
+  std::ofstream owned_;
+  std::ostream* out_;
+};
+
+/// Chrome trace_event "JSON Object Format": {"traceEvents":[...]}.
+/// The array is finalized by close() (driven by Tracer::set_sink /
+/// ~Tracer); an unclosed file is still salvageable by Perfetto.
+class ChromeTraceSink final : public TraceSink {
+ public:
+  explicit ChromeTraceSink(std::ostream& out) : out_(&out) { open(); }
+  /// Throws std::runtime_error if the file cannot be opened.
+  explicit ChromeTraceSink(const std::string& path);
+
+  void write(const TraceEvent& event) override;
+  void close() override;
+
+ private:
+  void open();
+
+  std::ofstream owned_;
+  std::ostream* out_;
+  bool first_ = true;
+  bool closed_ = false;
+};
+
+/// See file comment. Thread-safe; usually used via Tracer::global().
+class Tracer {
+ public:
+  Tracer() = default;
+  ~Tracer();
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// Installs (or, with nullptr, removes) the sink. Replacing a sink
+  /// close()s the old one; installing one resets the timestamp epoch.
+  void set_sink(std::shared_ptr<TraceSink> sink);
+  void clear_sink() { set_sink(nullptr); }
+
+  [[nodiscard]] bool enabled() const noexcept {
+    return enabled_.load(std::memory_order_relaxed);
+  }
+
+  /// Emits an instant event (no-op when disabled).
+  void instant(const char* name, const char* cat,
+               std::initializer_list<TraceArg> args = {});
+
+  /// Emits a complete span [ts_ns, ts_ns + dur_ns] (no-op when disabled).
+  void complete(const char* name, const char* cat, std::uint64_t ts_ns,
+                std::uint64_t dur_ns,
+                std::initializer_list<TraceArg> args = {});
+
+  /// Nanoseconds since the epoch set by the last set_sink().
+  [[nodiscard]] std::uint64_t now_ns() const noexcept;
+
+  /// The process-wide tracer every built-in instrumentation point uses.
+  static Tracer& global();
+
+ private:
+  friend class TraceSpan;
+
+  void emit(TraceEvent& event);
+
+  std::atomic<bool> enabled_{false};
+  mutable std::mutex mutex_;
+  std::shared_ptr<TraceSink> sink_;
+  /// steady_clock reading at the last set_sink(), in raw tick nanoseconds
+  /// (atomic so now_ns() is lock-free).
+  std::atomic<std::int64_t> epoch_ns_{0};
+};
+
+/// RAII span: samples the clock at construction and emits one complete
+/// ('X') event at destruction — if the tracer was enabled when the span
+/// was constructed. Result arguments can be attached mid-span.
+class TraceSpan {
+ public:
+  TraceSpan(Tracer& tracer, const char* name, const char* cat,
+            std::initializer_list<TraceArg> args = {});
+  ~TraceSpan();
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches an argument (dropped beyond kMaxTraceArgs; no-op if the
+  /// span is disabled).
+  void add_arg(TraceArg arg) noexcept;
+
+ private:
+  Tracer* tracer_ = nullptr;  // null when disabled at construction
+  const char* name_ = "";
+  const char* cat_ = "";
+  std::uint64_t start_ns_ = 0;
+  std::array<TraceArg, kMaxTraceArgs> args_{};
+  std::uint8_t n_args_ = 0;
+};
+
+#else  // CDBP_OBS_OFF: empty shells; call sites compile away.
+
+struct TraceArg {
+  constexpr TraceArg() = default;
+  constexpr TraceArg(const char*, std::int64_t) {}
+  constexpr TraceArg(const char*, int) {}
+  constexpr TraceArg(const char*, std::uint64_t) {}
+  constexpr TraceArg(const char*, double) {}
+  constexpr TraceArg(const char*, const char*) {}
+};
+
+class Tracer {
+ public:
+  [[nodiscard]] bool enabled() const noexcept { return false; }
+  void instant(const char*, const char*,
+               std::initializer_list<TraceArg> = {}) noexcept {}
+  void complete(const char*, const char*, std::uint64_t, std::uint64_t,
+                std::initializer_list<TraceArg> = {}) noexcept {}
+  [[nodiscard]] std::uint64_t now_ns() const noexcept { return 0; }
+  static Tracer& global() {
+    static Tracer t;
+    return t;
+  }
+};
+
+class TraceSpan {
+ public:
+  TraceSpan(Tracer&, const char*, const char*,
+            std::initializer_list<TraceArg> = {}) noexcept {}
+  ~TraceSpan() {}  // non-trivial so unused spans don't warn
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  void add_arg(TraceArg) noexcept {}
+};
+
+#endif  // CDBP_OBS_OFF
+
+}  // namespace cdbp::obs

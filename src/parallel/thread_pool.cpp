@@ -3,8 +3,48 @@
 #include <algorithm>
 #include <atomic>
 #include <exception>
+#include <utility>
+
+#include "obs/obs.h"
 
 namespace cdbp::parallel {
+
+namespace {
+
+obs::Counter& tasks_counter() {
+  static obs::Counter& c = obs::MetricsRegistry::global().counter("pool.tasks");
+  return c;
+}
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g =
+      obs::MetricsRegistry::global().gauge("pool.queue_depth");
+  return g;
+}
+
+#ifndef CDBP_OBS_OFF
+
+obs::Histogram& queue_wait_histogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("pool.queue_wait_us");
+  return h;
+}
+
+obs::Histogram& task_run_histogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("pool.task_run_us");
+  return h;
+}
+
+obs::Histogram& task_latency_histogram() {
+  static obs::Histogram& h =
+      obs::MetricsRegistry::global().histogram("pool.task_latency_us");
+  return h;
+}
+
+#endif  // CDBP_OBS_OFF
+
+}  // namespace
 
 ThreadPool::ThreadPool(std::size_t threads) {
   if (threads == 0)
@@ -14,26 +54,62 @@ ThreadPool::ThreadPool(std::size_t threads) {
     workers_.emplace_back([this]() { worker_loop(); });
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { stop(); }
+
+void ThreadPool::stop() {
   {
     std::scoped_lock lock(mutex_);
     stopping_ = true;
   }
   cv_.notify_all();
   for (std::thread& t : workers_) t.join();
+  workers_.clear();
+}
+
+void ThreadPool::enqueue(std::function<void()> fn) {
+  TaskEntry entry;
+  entry.fn = std::move(fn);
+#ifndef CDBP_OBS_OFF
+  entry.enqueue_ns = obs::Tracer::global().now_ns();
+#endif
+  {
+    std::scoped_lock lock(mutex_);
+    if (stopping_) throw std::runtime_error("ThreadPool: stopped");
+    queue_.push_back(std::move(entry));
+    tasks_counter().add();
+    queue_depth_gauge().set(static_cast<double>(queue_.size()));
+  }
+  cv_.notify_one();
 }
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::function<void()> task;
+    TaskEntry entry;
     {
       std::unique_lock lock(mutex_);
       cv_.wait(lock, [this]() { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping and drained
-      task = std::move(queue_.front());
+      entry = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_gauge().set(static_cast<double>(queue_.size()));
     }
-    task();
+#ifndef CDBP_OBS_OFF
+    obs::Tracer& tracer = obs::Tracer::global();
+    const std::uint64_t start_ns = tracer.now_ns();
+    // set_sink() mid-flight resets the epoch; skip deltas that would wrap.
+    if (start_ns >= entry.enqueue_ns)
+      queue_wait_histogram().record((start_ns - entry.enqueue_ns) / 1000);
+    {
+      obs::TraceSpan span(tracer, "pool.task", "pool");
+      entry.fn();  // packaged_task: exceptions land in the future, not here
+    }
+    const std::uint64_t end_ns = tracer.now_ns();
+    task_run_histogram().record((end_ns - start_ns) / 1000);
+    if (end_ns >= entry.enqueue_ns)
+      task_latency_histogram().record((end_ns - entry.enqueue_ns) / 1000);
+#else
+    entry.fn();
+#endif
   }
 }
 

@@ -7,7 +7,9 @@
 
 #include <condition_variable>
 #include <cstddef>
+#include <cstdint>
 #include <deque>
+#include <exception>
 #include <functional>
 #include <future>
 #include <mutex>
@@ -27,30 +29,38 @@ class ThreadPool {
   ThreadPool& operator=(const ThreadPool&) = delete;
 
   /// Enqueues a task; returns a future for its completion/result.
+  /// Throws std::runtime_error if the pool has been stop()ped.
   template <typename F>
   auto submit(F&& fn) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
     auto task =
         std::make_shared<std::packaged_task<R()>>(std::forward<F>(fn));
     std::future<R> fut = task->get_future();
-    {
-      std::scoped_lock lock(mutex_);
-      if (stopping_) throw std::runtime_error("ThreadPool: stopped");
-      queue_.emplace_back([task]() { (*task)(); });
-    }
-    cv_.notify_one();
+    enqueue([task]() { (*task)(); });
     return fut;
   }
+
+  /// Drains the queue, joins all workers, and rejects further submits.
+  /// Idempotent; the destructor calls it.
+  void stop();
 
   [[nodiscard]] std::size_t thread_count() const noexcept {
     return workers_.size();
   }
 
  private:
+  /// Queue entry: the erased task plus its enqueue timestamp, which feeds
+  /// the pool.queue_wait_us / pool.task_latency_us histograms.
+  struct TaskEntry {
+    std::function<void()> fn;
+    std::uint64_t enqueue_ns = 0;
+  };
+
+  void enqueue(std::function<void()> fn);
   void worker_loop();
 
   std::vector<std::thread> workers_;
-  std::deque<std::function<void()>> queue_;
+  std::deque<TaskEntry> queue_;
   std::mutex mutex_;
   std::condition_variable cv_;
   bool stopping_ = false;
@@ -61,7 +71,10 @@ class ThreadPool {
 void parallel_for(ThreadPool& pool, std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn);
 
-/// Maps fn over [0, n) into a vector<R>, preserving index order.
+/// Maps fn over [0, n) into a vector<R>, preserving index order; rethrows
+/// the first exception. All futures are drained before rethrowing — tasks
+/// still queued or running reference `out`, so unwinding past them would
+/// free memory they are about to write.
 template <typename R, typename F>
 std::vector<R> parallel_map(ThreadPool& pool, std::size_t n, F&& fn) {
   std::vector<R> out(n);
@@ -69,7 +82,15 @@ std::vector<R> parallel_map(ThreadPool& pool, std::size_t n, F&& fn) {
   futs.reserve(n);
   for (std::size_t i = 0; i < n; ++i)
     futs.push_back(pool.submit([&out, &fn, i]() { out[i] = fn(i); }));
-  for (auto& f : futs) f.get();
+  std::exception_ptr first_error;
+  for (auto& f : futs) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
   return out;
 }
 

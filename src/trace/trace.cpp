@@ -15,6 +15,31 @@ std::ofstream open_out(const std::string& path) {
   return out;
 }
 
+/// Strict field-to-double conversion: the whole field (modulo surrounding
+/// blanks) must be one number. std::stod alone would accept "1.5abc".
+double parse_number(const std::string& field, std::size_t line_no) {
+  std::size_t begin = 0;
+  while (begin < field.size() &&
+         (field[begin] == ' ' || field[begin] == '\t'))
+    ++begin;
+  std::size_t end = field.size();
+  while (end > begin && (field[end - 1] == ' ' || field[end - 1] == '\t'))
+    --end;
+  const std::string body = field.substr(begin, end - begin);
+  std::size_t consumed = 0;
+  double v = 0.0;
+  try {
+    v = std::stod(body, &consumed);
+  } catch (const std::exception&) {
+    throw std::runtime_error("trace: bad number on line " +
+                             std::to_string(line_no));
+  }
+  if (consumed != body.size())
+    throw std::runtime_error("trace: trailing garbage after number on line " +
+                             std::to_string(line_no));
+  return v;
+}
+
 }  // namespace
 
 void write_instance_csv(const Instance& instance, std::ostream& out) {
@@ -34,12 +59,14 @@ Instance read_instance_csv(std::istream& in) {
   std::string line;
   if (!std::getline(in, line))
     throw std::runtime_error("trace: empty instance file");
+  if (!line.empty() && line.back() == '\r') line.pop_back();  // CRLF input
   if (line.rfind("arrival", 0) != 0)
     throw std::runtime_error("trace: missing header line");
   Instance out;
   std::size_t line_no = 1;
   while (std::getline(in, line)) {
     ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty()) continue;
     std::istringstream ls(line);
     std::string a, d, s;
@@ -47,12 +74,12 @@ Instance read_instance_csv(std::istream& in) {
         !std::getline(ls, s, ','))
       throw std::runtime_error("trace: malformed line " +
                                std::to_string(line_no));
-    try {
-      out.add(std::stod(a), std::stod(d), std::stod(s));
-    } catch (const std::exception&) {
-      throw std::runtime_error("trace: bad number on line " +
+    std::string extra;
+    if (std::getline(ls, extra, ','))
+      throw std::runtime_error("trace: extra fields on line " +
                                std::to_string(line_no));
-    }
+    out.add(parse_number(a, line_no), parse_number(d, line_no),
+            parse_number(s, line_no));
   }
   out.finalize();
   return out;
@@ -64,13 +91,17 @@ Instance read_instance_csv(const std::string& path) {
   return read_instance_csv(in);
 }
 
-void write_timeline_csv(const RunResult& result, const std::string& path) {
-  std::ofstream out = open_out(path);
+void write_timeline_csv(const RunResult& result, std::ostream& out) {
   out << "time,open_bins\n";
   out << std::setprecision(17);
   for (const auto& s : result.open_bins.samples())
     out << s.time << ',' << s.value << '\n';
   if (!out) throw std::runtime_error("trace: write failed");
+}
+
+void write_timeline_csv(const RunResult& result, const std::string& path) {
+  std::ofstream out = open_out(path);
+  write_timeline_csv(result, out);
 }
 
 }  // namespace cdbp::trace

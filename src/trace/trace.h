@@ -18,11 +18,15 @@ void write_instance_csv(const Instance& instance, const std::string& path);
 void write_instance_csv(const Instance& instance, std::ostream& out);
 
 /// Reads an instance from CSV (same format). Throws std::runtime_error on
-/// I/O or parse failure.
+/// I/O or parse failure. Parsing is strict: every field must be exactly one
+/// number (trailing garbage such as "1.5abc" is rejected), rows must have
+/// exactly three fields, and CRLF line endings are accepted.
 [[nodiscard]] Instance read_instance_csv(const std::string& path);
 [[nodiscard]] Instance read_instance_csv(std::istream& in);
 
-/// Writes a run's open-bin step function as CSV samples.
+/// Writes a run's open-bin step function as CSV samples. The RunResult must
+/// come from a keep_history simulation (otherwise the timeline is empty).
 void write_timeline_csv(const RunResult& result, const std::string& path);
+void write_timeline_csv(const RunResult& result, std::ostream& out);
 
 }  // namespace cdbp::trace

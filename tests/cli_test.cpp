@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -200,6 +201,132 @@ TEST(Cli, MakeAlgorithmCoversAllNames) {
   }
   EXPECT_THROW((void)make_algorithm("nope"), std::invalid_argument);
 }
+
+#ifndef CDBP_OBS_OFF
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+// Cheap structural JSON checks (no JSON parser in the tree): brace balance
+// outside string literals, and known substrings. Event names/categories are
+// literals without braces, so this is robust for our own output.
+bool braces_balanced(const std::string& s) {
+  int depth = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (c == '\\')
+        ++i;
+      else if (c == '"')
+        in_string = false;
+    } else if (c == '"') {
+      in_string = true;
+    } else if (c == '{' || c == '[') {
+      ++depth;
+    } else if (c == '}' || c == ']') {
+      if (--depth < 0) return false;
+    }
+  }
+  return depth == 0 && !in_string;
+}
+
+TEST(Cli, TraceCommandWritesChromeTraceOfHybridOnSigmaMu) {
+  const std::string inst = temp_file("cdbp_cli_trace_inst.csv");
+  const std::string trace_path = temp_file("cdbp_cli_trace.json");
+  const std::string metrics = temp_file("cdbp_cli_trace_metrics.txt");
+  // sigma_mu: the paper's binary instance (2^n - 1 items, mu = 2^n).
+  ASSERT_EQ(cli({"generate", "--kind", "binary", "--n", "4", "--out", inst})
+                .code,
+            0);
+  const CliRun r = cli({"trace", "--algo", "ha", "--in", inst, "--out",
+                        trace_path, "--metrics-out", metrics});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("trace (chrome) written"), std::string::npos);
+
+  const std::string body = read_file(trace_path);
+  EXPECT_EQ(body.rfind("{\"traceEvents\":[", 0), 0u) << body.substr(0, 80);
+  EXPECT_NE(body.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  EXPECT_TRUE(braces_balanced(body));
+  // One 'X' span for the whole run, plus per-arrival instants from both the
+  // simulator and the Hybrid placement paths.
+  EXPECT_NE(body.find("\"name\":\"sim.run\""), std::string::npos);
+  EXPECT_NE(body.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(body.find("\"name\":\"hybrid.place\""), std::string::npos);
+  EXPECT_NE(body.find("\"path\":"), std::string::npos);
+
+  const std::string m = read_file(metrics);
+  EXPECT_NE(m.find("counter sim.arrivals 31"), std::string::npos) << m;
+  EXPECT_NE(m.find("counter algo.placements 31"), std::string::npos);
+
+  std::remove(inst.c_str());
+  std::remove(trace_path.c_str());
+  std::remove(metrics.c_str());
+}
+
+TEST(Cli, TraceCommandWritesJsonl) {
+  const std::string inst = temp_file("cdbp_cli_trace_inst2.csv");
+  const std::string trace_path = temp_file("cdbp_cli_trace.jsonl");
+  ASSERT_EQ(cli({"generate", "--kind", "binary", "--n", "3", "--out", inst})
+                .code,
+            0);
+  // Format inferred from the .jsonl extension.
+  const CliRun r =
+      cli({"trace", "--algo", "ha", "--in", inst, "--out", trace_path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("trace (jsonl) written"), std::string::npos);
+
+  std::ifstream in(trace_path);
+  std::string line;
+  std::size_t events = 0;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(line.empty());
+    EXPECT_EQ(line.front(), '{') << line;
+    EXPECT_EQ(line.back(), '}') << line;
+    EXPECT_TRUE(braces_balanced(line)) << line;
+    EXPECT_NE(line.find("\"ts\":"), std::string::npos) << line;
+    ++events;
+  }
+  // 7 items -> at least one event per arrival plus the run span.
+  EXPECT_GE(events, 8u);
+
+  std::remove(inst.c_str());
+  std::remove(trace_path.c_str());
+}
+
+TEST(Cli, RunAcceptsTraceAndMetricsFlags) {
+  const std::string inst = temp_file("cdbp_cli_run_trace_inst.csv");
+  const std::string trace_path = temp_file("cdbp_cli_run_trace.json");
+  const std::string metrics = temp_file("cdbp_cli_run_metrics.csv");
+  ASSERT_EQ(cli({"generate", "--kind", "binary", "--n", "3", "--out", inst})
+                .code,
+            0);
+  const CliRun r = cli({"run", "--algo", "ff", "--in", inst, "--trace-out",
+                        trace_path, "--metrics-out", metrics});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("trace written"), std::string::npos);
+  EXPECT_NE(r.out.find("metrics written"), std::string::npos);
+  EXPECT_TRUE(braces_balanced(read_file(trace_path)));
+  const std::string m = read_file(metrics);
+  EXPECT_EQ(m.rfind("kind,name,", 0), 0u) << m;  // CSV by extension
+  EXPECT_NE(m.find("counter,sim.arrivals,"), std::string::npos);
+
+  // Unknown trace format is a clean CLI error.
+  const CliRun bad = cli({"run", "--algo", "ff", "--in", inst, "--trace-out",
+                          trace_path, "--trace-format", "xml"});
+  EXPECT_EQ(bad.code, 1);
+  EXPECT_NE(bad.err.find("trace format"), std::string::npos);
+
+  std::remove(inst.c_str());
+  std::remove(trace_path.c_str());
+  std::remove(metrics.c_str());
+}
+
+#endif  // CDBP_OBS_OFF
 
 TEST(Cli, GenerateShapesAccepted) {
   for (const std::string shape :

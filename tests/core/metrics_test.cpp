@@ -16,6 +16,31 @@ TEST(Metrics, EmptyRun) {
   EXPECT_DOUBLE_EQ(m.cost, 0.0);
   EXPECT_DOUBLE_EQ(m.utilization, 0.0);
   EXPECT_TRUE(m.cost_by_group.empty());
+  EXPECT_FALSE(m.partial);  // nothing ran, nothing is missing
+}
+
+TEST(Metrics, HistoryFreeRunIsMarkedPartial) {
+  const Instance in = make_instance({{0.0, 4.0, 0.3}, {1.0, 3.0, 0.25}});
+  algos::Hybrid ha;
+  const RunResult r =
+      Simulator{SimulatorOptions{.keep_history = false}}.run(in, ha);
+  const RunMetrics m = compute_metrics(in, r);
+  EXPECT_TRUE(m.partial);
+  // Cost and utilization don't need per-bin history; both are computed.
+  EXPECT_DOUBLE_EQ(m.cost, 4.0);
+  EXPECT_DOUBLE_EQ(m.utilization, (0.3 * 4 + 0.25 * 2) / 4.0);
+  // The per-bin statistics are absent, not measured-as-zero.
+  EXPECT_DOUBLE_EQ(m.mean_bin_span, 0.0);
+  EXPECT_DOUBLE_EQ(m.max_bin_span, 0.0);
+  EXPECT_DOUBLE_EQ(m.mean_items_per_bin, 0.0);
+  EXPECT_TRUE(m.cost_by_group.empty());
+}
+
+TEST(Metrics, HistoryRunIsNotPartial) {
+  const Instance in = make_instance({{0.0, 4.0, 0.3}});
+  algos::Hybrid ha;
+  const RunResult r = Simulator{}.run(in, ha);
+  EXPECT_FALSE(compute_metrics(in, r).partial);
 }
 
 TEST(Metrics, SingleBinNumbers) {

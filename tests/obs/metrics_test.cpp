@@ -1,0 +1,189 @@
+#include "obs/metrics.h"
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cdbp::obs {
+namespace {
+
+// The suite tests a local registry, not MetricsRegistry::global(), so it
+// cannot race with the instrumented library code exercised by other tests.
+
+#ifdef CDBP_OBS_OFF
+
+TEST(ObsMetrics, CompiledOutShellsAreInertNoOps) {
+  MetricsRegistry reg;
+  reg.counter("a").add(42);
+  EXPECT_EQ(reg.counter("a").value(), 0u);
+  reg.gauge("g").set(1.5);
+  EXPECT_DOUBLE_EQ(reg.gauge("g").value(), 0.0);
+  reg.histogram("h").record(7);
+  EXPECT_EQ(reg.histogram("h").snapshot().count, 0u);
+  EXPECT_TRUE(reg.snapshot().counters.empty());
+}
+
+#else
+
+TEST(ObsMetrics, CounterBasics) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("a");
+  EXPECT_EQ(c.value(), 0u);
+  c.add();
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(ObsMetrics, GaugeBasics) {
+  MetricsRegistry reg;
+  Gauge& g = reg.gauge("g");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.add(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), 1.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(ObsMetrics, SameNameReturnsSameInstrument) {
+  MetricsRegistry reg;
+  Counter& a = reg.counter("x");
+  Counter& b = reg.counter("x");
+  EXPECT_EQ(&a, &b);
+  EXPECT_NE(&reg.counter("y"), &a);
+}
+
+TEST(ObsMetrics, ResetZeroesButKeepsReferencesValid) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  Histogram& h = reg.histogram("h");
+  c.add(7);
+  h.record(3);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);
+  EXPECT_EQ(h.snapshot().count, 0u);
+  c.add(1);  // the cached reference still works after reset()
+  EXPECT_EQ(reg.counter("c").value(), 1u);
+}
+
+TEST(ObsMetrics, HistogramBucketsAndStats) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("lat");
+  h.record(0);   // bucket 0
+  h.record(1);   // bucket 1
+  h.record(2);   // bucket 2: [2, 4)
+  h.record(3);   // bucket 2
+  h.record(100);  // bucket 7: [64, 128)
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_EQ(s.sum, 106u);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 106.0 / 5.0);
+  EXPECT_EQ(s.buckets[0], 1u);
+  EXPECT_EQ(s.buckets[1], 1u);
+  EXPECT_EQ(s.buckets[2], 2u);
+  EXPECT_EQ(s.buckets[7], 1u);
+}
+
+TEST(ObsMetrics, HistogramQuantileApproximation) {
+  MetricsRegistry reg;
+  Histogram& h = reg.histogram("q");
+  for (int i = 0; i < 99; ++i) h.record(10);   // bucket 4: [8, 16)
+  h.record(1000);                              // bucket 10: [512, 1024)
+  const HistogramSnapshot s = h.snapshot();
+  const std::uint64_t p50 = s.quantile(0.5);
+  EXPECT_GE(p50, 8u);
+  EXPECT_LE(p50, 16u);
+  const std::uint64_t p100 = s.quantile(1.0);
+  EXPECT_LE(p100, 1000u);  // clamped to observed max
+  EXPECT_GE(p100, 512u);
+  EXPECT_EQ(HistogramSnapshot{}.quantile(0.5), 0u);  // empty -> 0
+}
+
+TEST(ObsMetrics, SnapshotIsSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("b").add(2);
+  reg.counter("a").add(1);
+  reg.gauge("g").set(3.0);
+  reg.histogram("h").record(4);
+  const MetricsSnapshot s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].first, "a");
+  EXPECT_EQ(s.counters[0].second, 1u);
+  EXPECT_EQ(s.counters[1].first, "b");
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.gauges[0].second, 3.0);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].second.count, 1u);
+}
+
+TEST(ObsMetrics, DumpTextAndCsv) {
+  MetricsRegistry reg;
+  reg.counter("sim.arrivals").add(31);
+  reg.gauge("ledger.open_bins").set(4.0);
+  reg.histogram("pool.task_latency_us").record(100);
+
+  std::ostringstream text;
+  reg.dump_text(text);
+  EXPECT_NE(text.str().find("counter sim.arrivals 31"), std::string::npos);
+  EXPECT_NE(text.str().find("gauge ledger.open_bins 4"), std::string::npos);
+  EXPECT_NE(text.str().find("histogram pool.task_latency_us count=1"),
+            std::string::npos);
+
+  std::ostringstream csv;
+  reg.dump_csv(csv);
+  EXPECT_EQ(csv.str().rfind("kind,name,count,sum,min,max,mean,p50,p99", 0),
+            0u);
+  EXPECT_NE(csv.str().find("counter,sim.arrivals,,31,"), std::string::npos);
+}
+
+TEST(ObsMetrics, ConcurrentAddsAreExact) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  Histogram& h = reg.histogram("h");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&c, &h]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        c.add();
+        h.record(static_cast<std::uint64_t>(i));
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+  const HistogramSnapshot s = h.snapshot();
+  EXPECT_EQ(s.count, static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(s.min, 0u);
+  EXPECT_EQ(s.max, kPerThread - 1u);
+}
+
+TEST(ObsMetrics, ConcurrentRegistrationIsSafe) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  std::vector<Counter*> seen(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back(
+        [&reg, &seen, t]() { seen[static_cast<std::size_t>(t)] = &reg.counter("same"); });
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t)
+    EXPECT_EQ(seen[static_cast<std::size_t>(t)], seen[0]);
+}
+
+TEST(ObsMetrics, GlobalRegistryIsASingleton) {
+  EXPECT_EQ(&MetricsRegistry::global(), &MetricsRegistry::global());
+}
+
+#endif  // CDBP_OBS_OFF
+
+}  // namespace
+}  // namespace cdbp::obs

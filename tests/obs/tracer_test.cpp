@@ -1,0 +1,230 @@
+#include "obs/tracer.h"
+
+#include <limits>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cdbp::obs {
+namespace {
+
+#ifdef CDBP_OBS_OFF
+
+TEST(ObsTracer, CompiledOutShellsAreInertNoOps) {
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  tracer.instant("e", "cat", {{"k", 1}});
+  tracer.complete("e", "cat", 0, 1, {{"k", 2.0}});
+  EXPECT_EQ(tracer.now_ns(), 0u);
+  TraceSpan span(tracer, "s", "cat", {{"k", "v"}});
+  span.add_arg({"late", 3});
+}
+
+#else
+
+/// Splits sink output into non-empty lines.
+std::vector<std::string> lines_of(const std::string& text) {
+  std::vector<std::string> lines;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (!line.empty()) lines.push_back(line);
+  return lines;
+}
+
+TEST(ObsTracer, DisabledTracerEmitsNothing) {
+  std::ostringstream out;
+  Tracer tracer;
+  EXPECT_FALSE(tracer.enabled());
+  // No sink installed: instants, spans, and completes are all dropped.
+  tracer.instant("dropped", "test");
+  tracer.complete("dropped", "test", 0, 10);
+  { TraceSpan span(tracer, "dropped", "test"); }
+  EXPECT_TRUE(out.str().empty());
+}
+
+TEST(ObsTracer, JsonlSinkWritesOneObjectPerLine) {
+  std::ostringstream out;
+  Tracer tracer;
+  tracer.set_sink(std::make_shared<JsonlSink>(out));
+  EXPECT_TRUE(tracer.enabled());
+  tracer.instant("first", "test");
+  tracer.instant("second", "test");
+  tracer.clear_sink();
+  EXPECT_FALSE(tracer.enabled());
+
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    EXPECT_NE(line.find("\"ph\":\"i\""), std::string::npos);
+    EXPECT_NE(line.find("\"s\":\"t\""), std::string::npos);
+    EXPECT_NE(line.find("\"pid\":1"), std::string::npos);
+  }
+  EXPECT_NE(lines[0].find("\"name\":\"first\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"name\":\"second\""), std::string::npos);
+}
+
+TEST(ObsTracer, ArgsSerializeByKind) {
+  std::ostringstream out;
+  Tracer tracer;
+  tracer.set_sink(std::make_shared<JsonlSink>(out));
+  tracer.instant("args", "test",
+                 {{"n", 42}, {"x", 2.5}, {"who", "ha"}, {"neg", -7}});
+  tracer.clear_sink();
+
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"args\":{"), std::string::npos);
+  EXPECT_NE(text.find("\"n\":42"), std::string::npos);
+  EXPECT_NE(text.find("\"x\":2.5"), std::string::npos);
+  EXPECT_NE(text.find("\"who\":\"ha\""), std::string::npos);
+  EXPECT_NE(text.find("\"neg\":-7"), std::string::npos);
+}
+
+TEST(ObsTracer, ArgsBeyondMaxAreDropped) {
+  std::ostringstream out;
+  Tracer tracer;
+  tracer.set_sink(std::make_shared<JsonlSink>(out));
+  tracer.instant("overflow", "test",
+                 {{"a", 1}, {"b", 2}, {"c", 3}, {"d", 4}, {"e", 5}});
+  tracer.clear_sink();
+  EXPECT_NE(out.str().find("\"d\":4"), std::string::npos);
+  EXPECT_EQ(out.str().find("\"e\":"), std::string::npos);
+}
+
+TEST(ObsTracer, JsonStringsAreEscaped) {
+  std::ostringstream out;
+  Tracer tracer;
+  tracer.set_sink(std::make_shared<JsonlSink>(out));
+  tracer.instant("quote\"back\\slash", "test", {{"k", "tab\there"}});
+  tracer.clear_sink();
+  EXPECT_NE(out.str().find("\"name\":\"quote\\\"back\\\\slash\""),
+            std::string::npos);
+  EXPECT_NE(out.str().find("\"k\":\"tab\\there\""), std::string::npos);
+}
+
+TEST(ObsTracer, NonFiniteDoubleArgSerializesAsNull) {
+  std::ostringstream out;
+  Tracer tracer;
+  tracer.set_sink(std::make_shared<JsonlSink>(out));
+  tracer.instant("inf", "test",
+                 {{"x", std::numeric_limits<double>::infinity()}});
+  tracer.clear_sink();
+  EXPECT_NE(out.str().find("\"x\":null"), std::string::npos);
+}
+
+TEST(ObsTracer, SpanEmitsCompleteEventWithDuration) {
+  std::ostringstream out;
+  Tracer tracer;
+  tracer.set_sink(std::make_shared<JsonlSink>(out));
+  {
+    TraceSpan span(tracer, "work", "test", {{"items", 3}});
+    span.add_arg({"result", "ok"});
+  }
+  tracer.clear_sink();
+
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"name\":\"work\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"dur\":"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"items\":3"), std::string::npos);
+  EXPECT_NE(lines[0].find("\"result\":\"ok\""), std::string::npos);
+}
+
+TEST(ObsTracer, SpanConstructedWhileDisabledStaysSilent) {
+  std::ostringstream out;
+  Tracer tracer;
+  TraceSpan span(tracer, "early", "test");
+  // Enabling mid-span must not resurrect a span that skipped its clock read.
+  tracer.set_sink(std::make_shared<JsonlSink>(out));
+  span.add_arg({"k", 1});
+  tracer.clear_sink();
+  // Only destruction after this point; the span emits nothing either way.
+  EXPECT_TRUE(lines_of(out.str()).empty());
+}
+
+TEST(ObsTracer, ChromeSinkProducesFinalizedJsonObject) {
+  std::ostringstream out;
+  Tracer tracer;
+  tracer.set_sink(std::make_shared<ChromeTraceSink>(out));
+  tracer.instant("a", "test");
+  { TraceSpan span(tracer, "b", "test"); }
+  tracer.clear_sink();  // finalizes: closing bracket + displayTimeUnit
+
+  const std::string text = out.str();
+  EXPECT_EQ(text.rfind("{\"traceEvents\":[", 0), 0u);
+  EXPECT_NE(text.find("],\"displayTimeUnit\":\"ms\"}"), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"a\""), std::string::npos);
+  EXPECT_NE(text.find("\"name\":\"b\""), std::string::npos);
+  // Events are comma-separated inside the array: exactly one separator.
+  std::size_t commas = 0;
+  for (std::size_t pos = text.find(",\n{"); pos != std::string::npos;
+       pos = text.find(",\n{", pos + 1))
+    ++commas;
+  EXPECT_EQ(commas, 1u);
+}
+
+TEST(ObsTracer, ReplacingSinkClosesTheOldOne) {
+  std::ostringstream first_out;
+  std::ostringstream second_out;
+  Tracer tracer;
+  tracer.set_sink(std::make_shared<ChromeTraceSink>(first_out));
+  tracer.instant("one", "test");
+  tracer.set_sink(std::make_shared<JsonlSink>(second_out));
+  tracer.instant("two", "test");
+  tracer.clear_sink();
+  // The Chrome sink was finalized by the replacement, not left dangling.
+  EXPECT_NE(first_out.str().find("\"displayTimeUnit\""), std::string::npos);
+  EXPECT_EQ(first_out.str().find("\"name\":\"two\""), std::string::npos);
+  EXPECT_NE(second_out.str().find("\"name\":\"two\""), std::string::npos);
+}
+
+TEST(ObsTracer, NowNsIsMonotonicFromSinkEpoch) {
+  std::ostringstream out;
+  Tracer tracer;
+  tracer.set_sink(std::make_shared<JsonlSink>(out));
+  const std::uint64_t a = tracer.now_ns();
+  const std::uint64_t b = tracer.now_ns();
+  EXPECT_LE(a, b);
+  tracer.clear_sink();
+}
+
+TEST(ObsTracer, ConcurrentEmitsProduceWholeLines) {
+  std::ostringstream out;
+  Tracer tracer;
+  tracer.set_sink(std::make_shared<JsonlSink>(out));
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 200;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    threads.emplace_back([&tracer]() {
+      for (int i = 0; i < kPerThread; ++i) {
+        tracer.instant("tick", "test", {{"i", i}});
+        TraceSpan span(tracer, "spin", "test");
+      }
+    });
+  for (std::thread& t : threads) t.join();
+  tracer.clear_sink();
+
+  const auto lines = lines_of(out.str());
+  EXPECT_EQ(lines.size(), 2u * kThreads * kPerThread);
+  for (const std::string& line : lines) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+}
+
+TEST(ObsTracer, GlobalTracerIsASingleton) {
+  EXPECT_EQ(&Tracer::global(), &Tracer::global());
+}
+
+#endif  // CDBP_OBS_OFF
+
+}  // namespace
+}  // namespace cdbp::obs

@@ -6,6 +6,8 @@
 
 #include <gtest/gtest.h>
 
+#include "obs/obs.h"
+
 namespace cdbp::parallel {
 namespace {
 
@@ -30,6 +32,53 @@ TEST(ThreadPool, ExceptionsPropagateThroughFutures) {
   ThreadPool pool(2);
   auto f = pool.submit([]() -> int { throw std::runtime_error("boom"); });
   EXPECT_THROW(f.get(), std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitAfterStopThrows) {
+  ThreadPool pool(2);
+  auto f = pool.submit([] { return 7; });
+  EXPECT_EQ(f.get(), 7);
+  pool.stop();
+  EXPECT_EQ(pool.thread_count(), 0u);
+  EXPECT_THROW((void)pool.submit([] { return 0; }), std::runtime_error);
+}
+
+TEST(ThreadPool, StopIsIdempotentAndDrainsQueue) {
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  std::vector<std::future<void>> futs;
+  for (int i = 0; i < 64; ++i)
+    futs.push_back(pool.submit([&done] { done.fetch_add(1); }));
+  pool.stop();
+  pool.stop();  // second stop is a no-op
+  for (auto& f : futs) f.get();
+  EXPECT_EQ(done.load(), 64);  // stop() drains, it does not drop
+}
+
+TEST(ThreadPool, TaskLatencyMetricsEmitted) {
+#ifdef CDBP_OBS_OFF
+  GTEST_SKIP() << "observability compiled out";
+#else
+  const auto histogram_count = [](const obs::MetricsSnapshot& snap,
+                                  const std::string& name) -> std::uint64_t {
+    for (const auto& [n, h] : snap.histograms)
+      if (n == name) return h.count;
+    return 0;
+  };
+  const auto before = obs::MetricsRegistry::global().snapshot();
+  {
+    ThreadPool pool(2);
+    std::vector<std::future<void>> futs;
+    for (int i = 0; i < 16; ++i) futs.push_back(pool.submit([] {}));
+    for (auto& f : futs) f.get();
+  }
+  const auto after = obs::MetricsRegistry::global().snapshot();
+  for (const char* name :
+       {"pool.task_latency_us", "pool.task_run_us", "pool.queue_wait_us"})
+    EXPECT_GE(histogram_count(after, name),
+              histogram_count(before, name) + 16u)
+        << name;
+#endif
 }
 
 TEST(ParallelFor, CoversExactRange) {
@@ -59,6 +108,17 @@ TEST(ParallelMap, PreservesIndexOrder) {
   const auto out = parallel_map<std::size_t>(
       pool, 50, [](std::size_t i) { return i * i; });
   for (std::size_t i = 0; i < out.size(); ++i) EXPECT_EQ(out[i], i * i);
+}
+
+TEST(ParallelMap, ExceptionPropagatesThroughFutures) {
+  ThreadPool pool(4);
+  EXPECT_THROW((void)parallel_map<int>(pool, 32,
+                                       [](std::size_t i) -> int {
+                                         if (i == 17)
+                                           throw std::domain_error("17");
+                                         return static_cast<int>(i);
+                                       }),
+               std::domain_error);
 }
 
 TEST(Rng, SplitMixDeterministicAndSpreads) {
