@@ -11,8 +11,7 @@
 
 #include "bench_common.h"
 #include "opt/bounds.h"
-#include "opt/exact.h"
-#include "opt/exact_repacking.h"
+#include "opt/certify.h"
 #include "opt/offline_ffd.h"
 #include "opt/reduction.h"
 #include "opt/repack.h"
@@ -41,13 +40,14 @@ int main(int argc, char** argv) {
       cfg.horizon = 12.0;
       cfg.size_max = 0.7;
       const Instance in = workloads::make_general_random(cfg, rng);
-      const opt::Bounds b = opt::compute_bounds(in);
-      const auto exact_r = opt::exact_opt_repacking(in);
-      const auto exact = opt::exact_opt_nonrepacking(in);
+      opt::CertifyOptions copts;
+      copts.tight_upper = true;  // also run the Lemma 3.1 repack witness
+      const opt::Certificate cert = opt::certify(in, copts);
+      const opt::Bounds& b = cert.bounds;
       const double ffd = opt::offline_ffd_by_length(in).cost;
-      const double repack = opt::repack_witness(in).cost;
-      const double opt_nr = exact ? exact->cost : -1.0;
-      const double opt_r = exact_r ? exact_r->cost : -1.0;
+      const double repack = cert.witness_upper.value_or(-1.0);
+      const double opt_nr = cert.opt_nr ? cert.opt_nr->cost : -1.0;
+      const double opt_r = cert.opt_r ? cert.opt_r->cost : -1.0;
       worst_ffd = std::max(worst_ffd, ffd / opt_nr);
       table.add_row({std::to_string(seed), std::to_string(in.size()),
                      report::Table::num(b.lower(), 2),

@@ -3,9 +3,7 @@
 #include <algorithm>
 
 #include "core/simulator.h"
-#include "opt/bounds.h"
-#include "opt/exact_repacking.h"
-#include "opt/repack.h"
+#include "opt/certify.h"
 
 namespace cdbp::analysis {
 
@@ -16,11 +14,13 @@ RatioMeasurement measure_ratio_with_cost(const Instance& instance,
   m.algorithm = algorithm;
   m.cost = cost;
   m.mu = instance.mu();
-  const opt::Bounds b = opt::compute_bounds(instance);
-  m.opt_lower = b.lower();
-  m.opt_upper = std::min(b.upper_ceil(), b.upper_linear());
-  if (tight_upper)
-    m.opt_upper = std::min(m.opt_upper, opt::repack_witness(instance).cost);
+  opt::CertifyOptions opts;
+  opts.exact_repacking = false;
+  opts.exact_nonrepacking = false;
+  opts.tight_upper = tight_upper;
+  const opt::Certificate cert = opt::certify(instance, opts);
+  m.opt_lower = cert.lower_r();
+  m.opt_upper = cert.upper_r();
   // OPT is sandwiched: guard against tolerance inversions.
   m.opt_upper = std::max(m.opt_upper, m.opt_lower);
   return m;
@@ -29,14 +29,16 @@ RatioMeasurement measure_ratio_with_cost(const Instance& instance,
 std::optional<RatioMeasurement> measure_ratio_exact(const Instance& instance,
                                                     const std::string& algorithm,
                                                     Cost cost) {
-  const auto exact = opt::exact_opt_repacking(instance);
-  if (!exact) return std::nullopt;
+  opt::CertifyOptions opts;
+  opts.exact_nonrepacking = false;
+  const opt::Certificate cert = opt::certify(instance, opts);
+  if (!cert.opt_r) return std::nullopt;
   RatioMeasurement m;
   m.algorithm = algorithm;
   m.cost = cost;
   m.mu = instance.mu();
-  m.opt_lower = exact->cost;
-  m.opt_upper = exact->cost;
+  m.opt_lower = cert.opt_r->cost;
+  m.opt_upper = cert.opt_r->cost;
   return m;
 }
 

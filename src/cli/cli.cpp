@@ -23,6 +23,7 @@
 #include "core/validation.h"
 #include "obs/obs.h"
 #include "opt/bounds.h"
+#include "opt/certify.h"
 #include "opt/exact.h"
 #include "opt/exact_repacking.h"
 #include "opt/local_search.h"
@@ -142,7 +143,7 @@ void print_usage(std::ostream& out) {
       << "  compare   --in FILE\n"
       << "  stats     --in FILE\n"
       << "  reduce    --in FILE --out FILE      (sigma -> sigma', paper §3)\n"
-      << "  exact     --in FILE                 (exact OPT_R / OPT_NR)\n"
+      << "  exact     --in FILE [--threads T]   (exact OPT_R / OPT_NR)\n"
       << "  cluster   --algo ALGO --in FILE [--boot E] [--idle P]\n"
       << "  merge     --a FILE --b FILE --out FILE [--gap G]\n"
       << "  adversary --algo ALGO --n N [--rounds R]\n"
@@ -296,18 +297,23 @@ int cmd_bounds(Flags& flags, std::ostream& out) {
   const std::string path = flags.require("in");
   flags.finish();
   const Instance instance = trace::read_instance_csv(path);
-  const opt::Bounds b = opt::compute_bounds(instance);
-  const double repack = opt::repack_witness(instance).cost;
-  const auto ls = opt::local_search_opt_nr(instance);
+  opt::CertifyOptions copts;
+  copts.exact_repacking = false;
+  copts.exact_nonrepacking = false;
+  copts.tight_upper = true;
+  copts.local_search_upper = true;
+  const opt::Certificate cert = opt::certify(instance, copts);
+  const opt::Bounds& b = cert.bounds;
 
   report::Table table({"bound", "value", "kind"});
   table.add_row({"demand d(sigma)", report::Table::num(b.demand, 3), "lower"});
   table.add_row({"span(sigma)", report::Table::num(b.span, 3), "lower"});
   table.add_row(
       {"int ceil(S_t)", report::Table::num(b.ceil_integral, 3), "lower"});
-  table.add_row({"repack witness", report::Table::num(repack, 3),
-                 "upper (OPT_R)"});
-  table.add_row({"FFD + local search", report::Table::num(ls.cost, 3),
+  table.add_row({"repack witness",
+                 report::Table::num(*cert.witness_upper, 3), "upper (OPT_R)"});
+  table.add_row({"FFD + local search",
+                 report::Table::num(*cert.local_search_upper, 3),
                  "upper (OPT_NR)"});
   table.add_row({"int 2*ceil(S_t)", report::Table::num(b.upper_ceil(), 3),
                  "upper (OPT_R)"});
@@ -368,23 +374,28 @@ int cmd_reduce(Flags& flags, std::ostream& out) {
 
 int cmd_exact(Flags& flags, std::ostream& out) {
   const std::string path = flags.require("in");
+  const int threads = to_int(flags.get("threads").value_or("1"), "--threads");
   flags.finish();
   const Instance instance = trace::read_instance_csv(path);
   out << instance.summary() << "\n";
-  const opt::Bounds b = opt::compute_bounds(instance);
-  out << "LB(OPT)  = " << report::Table::num(b.lower(), 3) << "\n";
-  if (const auto opt_r = opt::exact_opt_repacking(instance)) {
-    out << "OPT_R    = " << report::Table::num(opt_r->cost, 3)
-        << "   (exact; " << opt_r->snapshots << " distinct snapshots, max "
-        << opt_r->max_active << " active)\n";
+  opt::CertifyOptions copts;
+  copts.repacking.threads = static_cast<std::size_t>(std::max(0, threads));
+  const opt::Certificate cert = opt::certify(instance, copts);
+  out << "LB(OPT)  = " << report::Table::num(cert.bounds.lower(), 3) << "\n";
+  if (cert.opt_r) {
+    out << "OPT_R    = " << report::Table::num(cert.opt_r->cost, 3)
+        << "   (exact; " << cert.opt_r->distinct_snapshots
+        << " distinct snapshots, " << cert.opt_r->cache_hits
+        << " cache hits, max " << cert.opt_r->max_active << " active)\n";
   } else {
     out << "OPT_R    : infeasible (snapshots too large; bounds only)\n";
   }
-  if (const auto opt_nr = opt::exact_opt_nonrepacking(instance)) {
-    out << "OPT_NR   = " << report::Table::num(opt_nr->cost, 3)
-        << "   (exact; " << opt_nr->nodes_explored << " search nodes)\n";
+  if (cert.opt_nr) {
+    out << "OPT_NR   = " << report::Table::num(cert.opt_nr->cost, 3)
+        << "   (exact; " << cert.opt_nr->nodes_explored << " search nodes)\n";
   } else {
-    out << "OPT_NR   : infeasible (> 13 items); FFD+local-search upper = "
+    out << "OPT_NR   : infeasible (> " << opt::ExactOptions{}.max_items
+        << " items); FFD+local-search upper = "
         << report::Table::num(opt::local_search_opt_nr(instance).cost, 3)
         << "\n";
   }

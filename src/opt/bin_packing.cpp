@@ -11,6 +11,23 @@ int ceil_with_tolerance(double x) {
   return static_cast<int>(std::ceil(x - kLoadEps));
 }
 
+/// Newest-win cap for the lb-tight dominance list: checking an entry is an
+/// O(m) sorted-merge, so the list stays a shortcut, not an index.
+constexpr std::size_t kMaxLbTight = 8;
+
+/// True when `sub` is a sub-multiset of `super` (both sorted ascending).
+bool is_submultiset(const std::vector<std::int64_t>& sub,
+                    const std::vector<std::int64_t>& super) {
+  if (sub.size() > super.size()) return false;
+  std::size_t j = 0;
+  for (std::int64_t v : sub) {
+    while (j < super.size() && super[j] < v) ++j;
+    if (j == super.size() || super[j] != v) return false;
+    ++j;
+  }
+  return true;
+}
+
 }  // namespace
 
 int bp_volume_lower_bound(const std::vector<Load>& sizes) {
@@ -66,6 +83,41 @@ int bp_first_fit_decreasing(const std::vector<Load>& sizes) {
   return static_cast<int>(bins.size());
 }
 
+std::optional<int> BpCache::lookup(const SnapshotKey& key) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = map_.find(key);
+  if (it == map_.end()) return std::nullopt;
+  return it->second;
+}
+
+void BpCache::store(const SnapshotKey& key, int value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  map_.emplace(key, value);
+}
+
+void BpCache::note_lb_tight(std::vector<std::int64_t> sorted_quantized,
+                            int value) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (lb_tight_.size() >= kMaxLbTight)
+    lb_tight_.erase(lb_tight_.begin());
+  lb_tight_.emplace_back(std::move(sorted_quantized), value);
+}
+
+std::optional<int> BpCache::dominance_upper(
+    const std::vector<std::int64_t>& sorted_quantized) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::optional<int> best;
+  for (const auto& [super, value] : lb_tight_)
+    if ((!best || value < *best) && is_submultiset(sorted_quantized, super))
+      best = value;
+  return best;
+}
+
+std::size_t BpCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return map_.size();
+}
+
 namespace {
 
 /// Depth-first branch & bound over items in decreasing size order.
@@ -79,21 +131,24 @@ class BpSearch {
       suffix_sum_[i] = suffix_sum_[i + 1] + sizes_[i];
   }
 
-  std::optional<int> run() {
-    best_ = bp_first_fit_decreasing(sizes_);
-    const int lb = bp_lower_bound(sizes_);
-    if (best_ == lb) return best_;
+  /// Proves the optimum in [lower, incumbent]: `incumbent` must be an
+  /// achievable bin count, `lower` a sound lower bound. Returns nullopt
+  /// only on node-limit exhaustion.
+  std::optional<int> run(int incumbent, int lower, std::size_t* nodes_out) {
+    best_ = incumbent;
+    lower_ = lower;
     bins_.clear();
     aborted_ = false;
     nodes_ = 0;
-    dfs(0);
+    if (best_ > lower_) dfs(0);
+    if (nodes_out) *nodes_out = nodes_;
     if (aborted_) return std::nullopt;
     return best_;
   }
 
  private:
   void dfs(std::size_t i) {
-    if (aborted_) return;
+    if (aborted_ || best_ == lower_) return;
     if (++nodes_ > node_limit_) {
       aborted_ = true;
       return;
@@ -124,7 +179,7 @@ class BpSearch {
       bins_[b] += s;
       dfs(i + 1);
       bins_[b] -= s;
-      if (aborted_) return;
+      if (aborted_ || best_ == lower_) return;
     }
     // New bin — only if it can still beat the incumbent.
     if (used + 1 < best_) {
@@ -140,6 +195,7 @@ class BpSearch {
   std::size_t node_limit_;
   std::size_t nodes_ = 0;
   int best_ = 0;
+  int lower_ = 0;
   bool aborted_ = false;
 };
 
@@ -148,7 +204,53 @@ class BpSearch {
 std::optional<int> bp_exact(const std::vector<Load>& sizes,
                             const BinPackingOptions& options) {
   if (sizes.empty()) return 0;
-  return BpSearch(sizes, options.node_limit).run();
+
+  SnapshotKey key;
+  std::vector<std::int64_t> quantized;
+  quantized.reserve(sizes.size());
+  for (Load s : sizes) quantized.push_back(quantize_load(s));
+  std::sort(quantized.begin(), quantized.end());
+  for (std::int64_t q : quantized) key.insert(q);
+
+  if (options.cache) {
+    if (const auto hit = options.cache->lookup(key)) {
+      if (options.stats) options.stats->from_cache = true;
+      return *hit;
+    }
+  }
+
+  const int n = static_cast<int>(sizes.size());
+  const int vol_lb = bp_volume_lower_bound(sizes);
+  int lb = std::max(options.known_lower, vol_lb);
+  // Candidate incumbents, cheapest first; every one is achievable.
+  int ub = n;
+  if (options.incumbent >= 0) ub = std::min(ub, options.incumbent);
+  if (options.cache && ub > lb) {
+    if (const auto dom = options.cache->dominance_upper(quantized)) {
+      if (*dom < ub) {
+        ub = *dom;
+        if (options.stats) options.stats->dominance_hit = true;
+      }
+    }
+  }
+  if (ub > lb) ub = std::min(ub, bp_first_fit_decreasing(sizes));
+  if (ub > lb) lb = std::max(lb, bp_l2_lower_bound(sizes));
+
+  std::optional<int> result;
+  if (ub == lb) {
+    if (options.stats) options.stats->bounds_only = true;
+    result = ub;
+  } else {
+    std::size_t nodes = 0;
+    result = BpSearch(sizes, options.node_limit).run(ub, lb, &nodes);
+    if (options.stats) options.stats->nodes = nodes;
+  }
+  if (result && options.cache) {
+    options.cache->store(key, *result);
+    if (*result == vol_lb)
+      options.cache->note_lb_tight(std::move(quantized), *result);
+  }
+  return result;
 }
 
 }  // namespace cdbp::opt

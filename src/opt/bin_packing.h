@@ -6,15 +6,24 @@
 //
 // Provided: the standard lower bounds (ceil-sum and Martello-Toth L2),
 // First-Fit-Decreasing as the upper bound / incumbent, and an exact
-// branch-and-bound with dominance/symmetry pruning for the ~25-item
-// snapshots the tests and benches use.
+// branch-and-bound with dominance/symmetry pruning. The solver accepts
+// externally-certified bounds (chain hints from neighbouring snapshots),
+// and an optional thread-safe BpCache that memoizes solved multisets
+// across calls and carries the sub-multiset dominance list: a snapshot
+// whose volume lower bound matches a cached superset solved at *its*
+// lower bound inherits the value without any search.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
+#include <mutex>
 #include <optional>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/time_types.h"
+#include "opt/snapshot.h"
 
 namespace cdbp::opt {
 
@@ -32,8 +41,53 @@ namespace cdbp::opt {
 /// First-Fit-Decreasing bin count (a feasible packing: upper bound).
 [[nodiscard]] int bp_first_fit_decreasing(const std::vector<Load>& sizes);
 
+/// Thread-safe cross-snapshot memo: solved multisets keyed by their
+/// quantized fingerprint, plus a bounded list of "lb-tight" entries
+/// (value == volume lower bound) that feed sub-multiset dominance.
+/// Values are exact optima, so cache layout/order never affects results.
+class BpCache {
+ public:
+  [[nodiscard]] std::optional<int> lookup(const SnapshotKey& key) const;
+  void store(const SnapshotKey& key, int value);
+
+  /// Registers a multiset solved at its volume lower bound. Keeps at most
+  /// a few entries (newest win): dominance is an opportunistic shortcut,
+  /// not an index.
+  void note_lb_tight(std::vector<std::int64_t> sorted_quantized, int value);
+
+  /// If some registered lb-tight superset of `sorted_quantized` exists,
+  /// returns its value (an achievable bin count for the subset: drop the
+  /// extra items from the superset's packing).
+  [[nodiscard]] std::optional<int> dominance_upper(
+      const std::vector<std::int64_t>& sorted_quantized) const;
+
+  [[nodiscard]] std::size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<SnapshotKey, int, SnapshotKeyHash> map_;
+  std::vector<std::pair<std::vector<std::int64_t>, int>> lb_tight_;
+};
+
+/// Per-solve observability (all fields optional to consume).
+struct BpStats {
+  std::size_t nodes = 0;        ///< branch & bound nodes explored
+  bool from_cache = false;      ///< resolved by BpCache::lookup
+  bool bounds_only = false;     ///< resolved without entering the search
+  bool dominance_hit = false;   ///< resolved via sub-multiset dominance
+};
+
 struct BinPackingOptions {
   std::size_t node_limit = 2'000'000;
+  /// Externally-known achievable bin count (e.g. a neighbouring snapshot's
+  /// optimum plus the event delta); -1 = none. Tightens the incumbent —
+  /// never changes the returned optimum, only the work to prove it.
+  int incumbent = -1;
+  /// Externally-certified lower bound (e.g. a solved sub-multiset's
+  /// optimum). Must be sound; 0 = none.
+  int known_lower = 0;
+  BpCache* cache = nullptr;  ///< optional cross-call memo, may be shared
+  BpStats* stats = nullptr;  ///< optional out-param
 };
 
 /// Exact minimum bin count by branch & bound. Returns nullopt only when

@@ -1,0 +1,36 @@
+#include "opt/certify.h"
+
+#include "obs/obs.h"
+#include "opt/local_search.h"
+#include "opt/repack.h"
+
+namespace cdbp::opt {
+
+Certificate certify(const Instance& instance, const CertifyOptions& options) {
+#ifndef CDBP_OBS_OFF
+  auto& reg = obs::MetricsRegistry::global();
+  static obs::Histogram& certify_us = reg.histogram("opt.certify_us");
+  static obs::Counter& certified_r = reg.counter("opt.certified_r");
+  static obs::Counter& certified_nr = reg.counter("opt.certified_nr");
+  obs::ScopedTimer timer(certify_us);
+#endif
+
+  Certificate cert;
+  cert.bounds = compute_bounds(instance);
+  if (options.exact_repacking)
+    cert.opt_r = exact_opt_repacking(instance, options.repacking);
+  if (options.exact_nonrepacking)
+    cert.opt_nr = exact_opt_nonrepacking(instance, options.exact);
+  if (options.tight_upper)
+    cert.witness_upper = repack_witness(instance).cost;
+  if (options.local_search_upper)
+    cert.local_search_upper = local_search_opt_nr(instance).cost;
+
+#ifndef CDBP_OBS_OFF
+  if (cert.opt_r) certified_r.add();
+  if (cert.opt_nr) certified_nr.add();
+#endif
+  return cert;
+}
+
+}  // namespace cdbp::opt

@@ -1,0 +1,89 @@
+// One entry point for everything this repo can prove about an instance's
+// optimal costs — the OPT-certification pipeline's public face.
+//
+// The bound lattice (paper §2-3): with LB = max(d, span, ∫ceil S_t),
+//
+//      LB  <=  OPT_R  <=  OPT_NR  <=  UB_NR
+//               |             |
+//               +- <= UB_R ---+---- (repacking can only help)
+//
+// certify() fills every edge it can afford:
+//   * LB and the closed-form UB_R candidates come from compute_bounds;
+//   * OPT_R is pinned exactly by the snapshot pipeline
+//     (opt/exact_repacking.h) when every snapshot is small enough;
+//   * OPT_NR is pinned exactly by the branch & bound (opt/exact.h) when
+//     the instance is small enough;
+//   * otherwise OPT_NR is bracketed from above by FFD + local search, and
+//     OPT_R from above by the Lemma 3.1 repack witness.
+//
+// Results are the same objects the underlying routines return, so callers
+// that need provenance (snapshot counts, node counts, assignments) read
+// them directly; the lower_*/upper_* accessors compose the lattice in the
+// exact min/max order the analysis layer historically used, keeping every
+// reported ratio numerically unchanged.
+#pragma once
+
+#include <optional>
+
+#include "core/instance.h"
+#include "opt/bounds.h"
+#include "opt/exact.h"
+#include "opt/exact_repacking.h"
+
+namespace cdbp::opt {
+
+struct CertifyOptions {
+  /// Attempt the exact OPT_R snapshot pipeline.
+  bool exact_repacking = true;
+  /// Attempt the exact OPT_NR branch & bound.
+  bool exact_nonrepacking = true;
+  /// Run FFD + local search for an OPT_NR upper bound.
+  bool local_search_upper = false;
+  /// Run the (slower) Lemma 3.1 repack witness for a tight OPT_R upper
+  /// bound; otherwise only the closed forms 2*∫ceil and 2d+2span apply.
+  bool tight_upper = false;
+  ExactOptions exact;                 ///< OPT_NR controls
+  ExactRepackingOptions repacking;    ///< OPT_R pipeline controls
+};
+
+struct Certificate {
+  Bounds bounds;                                ///< LB ingredients
+  std::optional<ExactRepackingResult> opt_r;    ///< exact OPT_R if certified
+  std::optional<ExactResult> opt_nr;            ///< exact OPT_NR if certified
+  std::optional<double> witness_upper;          ///< repack witness cost
+  std::optional<double> local_search_upper;     ///< FFD + local search cost
+
+  /// Best lower bound on OPT_R (exact when opt_r is set).
+  [[nodiscard]] double lower_r() const {
+    return opt_r ? opt_r->cost : bounds.lower();
+  }
+  /// Best upper bound on OPT_R.
+  [[nodiscard]] double upper_r() const {
+    if (opt_r) return opt_r->cost;
+    double ub = std::min(bounds.upper_ceil(), bounds.upper_linear());
+    if (witness_upper) ub = std::min(ub, *witness_upper);
+    if (opt_nr) ub = std::min(ub, opt_nr->cost);
+    if (local_search_upper) ub = std::min(ub, *local_search_upper);
+    return ub;
+  }
+  /// Best lower bound on OPT_NR (exact when opt_nr is set; otherwise the
+  /// OPT_R lower bound transfers).
+  [[nodiscard]] double lower_nr() const {
+    return opt_nr ? opt_nr->cost : lower_r();
+  }
+  /// Best upper bound on OPT_NR.
+  [[nodiscard]] double upper_nr() const {
+    if (opt_nr) return opt_nr->cost;
+    double ub = std::min(bounds.upper_ceil(), bounds.upper_linear());
+    if (local_search_upper) ub = std::min(ub, *local_search_upper);
+    return ub;
+  }
+};
+
+/// Computes every requested certificate edge. Infeasible exact routines
+/// (too many items / snapshots, node-limit hits) leave their field empty
+/// rather than failing the call.
+[[nodiscard]] Certificate certify(const Instance& instance,
+                                  const CertifyOptions& options = {});
+
+}  // namespace cdbp::opt

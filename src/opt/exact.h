@@ -1,10 +1,27 @@
 // Exact OPT_NR (offline, non-repacking optimum) by branch-and-bound over
 // set partitions of the items into capacity-feasible bins, minimizing the
-// summed bin spans. Exponential (Bell-number) search — intended for the
-// <= ~13-item instances used to certify the bounds and every algorithm in
-// the test suite. Repacking OPT_R is not computed exactly anywhere in this
-// repo (the paper never does either); it is sandwiched by opt/bounds and
-// opt/repack.
+// summed bin spans. Exponential (Bell-number) search, but with an
+// admissible lookahead bound it certifies instances up to the ~18-item
+// default (the pre-optimization ceiling was ~13).
+//
+// The optimized engine keeps three invariants-driven shortcuts, none of
+// which can change the optimum or the reported assignment (every pruned
+// subtree provably contains no improving leaf, so the incumbent-update
+// sequence is the reference's):
+//   * items are placed in arrival order, so a bin's load on
+//     [r.arrival, inf) is non-increasing — the capacity probe collapses to
+//     one lookup at r.arrival, answered in O(log m) from a
+//     departure-sorted member array with suffix load sums;
+//   * an admissible node bound: any completion must still cover the part
+//     of the remaining items' interval union that no current bin span
+//     covers, so cost + uncovered-measure is a valid lower bound on every
+//     descendant leaf (suffix unions are precomputed once);
+//   * a global floor: once the incumbent is within tolerance of
+//     compute_bounds().lower(), no strict improvement can exist and the
+//     search stops.
+//
+// ExactEngine::kReference preserves the original search verbatim as the
+// equivalence oracle (same precedent as exact_opt_repacking_reference).
 #pragma once
 
 #include <cstddef>
@@ -21,14 +38,33 @@ struct ExactResult {
   std::size_t nodes_explored = 0;
 };
 
+enum class ExactEngine {
+  kOptimized,  ///< envelope fits + admissible lookahead (default)
+  kReference,  ///< the original O(m^2)-probe search, kept as oracle
+};
+
 struct ExactOptions {
-  std::size_t max_items = 13;        ///< refuse larger instances
+  std::size_t max_items = 18;            ///< refuse larger instances
   std::size_t node_limit = 200'000'000;  ///< safety valve
+  ExactEngine engine = ExactEngine::kOptimized;
 };
 
 /// Computes OPT_NR exactly. Returns nullopt if the instance exceeds
 /// max_items or the node limit is hit (never silently approximates).
 [[nodiscard]] std::optional<ExactResult> exact_opt_nonrepacking(
     const Instance& instance, const ExactOptions& options = {});
+
+/// First-fit by arrival with the span-overlap guard: an item only joins a
+/// bin whose current span its interval touches (otherwise the telescoped
+/// span accounting would bill the gap between them — the historical seed
+/// skipped the guard and could overstate its own cost). The returned cost
+/// is therefore exactly the summed support measure of the produced bins —
+/// the incumbent the optimized engine seeds its search with (the reference
+/// engine keeps the historical seed, verbatim).
+struct GreedySeed {
+  Cost cost = 0.0;
+  std::vector<int> assignment;
+};
+[[nodiscard]] GreedySeed greedy_nonrepacking_seed(const Instance& instance);
 
 }  // namespace cdbp::opt

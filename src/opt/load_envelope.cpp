@@ -1,0 +1,165 @@
+#include "opt/load_envelope.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+
+namespace cdbp::opt {
+
+void BinProfile::add(std::size_t item_index) {
+  members_.push_back(item_index);
+  dirty_ = true;
+}
+
+void BinProfile::remove(std::size_t item_index) {
+  const auto it = std::find(members_.begin(), members_.end(), item_index);
+  assert(it != members_.end());
+  members_.erase(it);
+  dirty_ = true;
+}
+
+void BinProfile::rebuild() const {
+  dirty_ = false;
+  times_.clear();
+  load_.clear();
+  occ_.clear();
+  load_sparse_.clear();
+  zero_prefix_.assign(1, 0.0);
+  one_prefix_.assign(1, 0.0);
+  span_ = 0.0;
+  max_load_ = 0.0;
+  if (members_.empty()) return;
+
+  StepFunction load_f, occ_f;
+  for (std::size_t m : members_) {
+    const Item& r = (*items_)[m];
+    load_f.add(r.arrival, r.departure, r.size);
+    occ_f.add(r.arrival, r.departure, 1.0);
+  }
+  // Both functions share breakpoints (same intervals), so the sample
+  // arrays are aligned segment by segment.
+  const auto load_samples = load_f.samples();
+  const auto occ_samples = occ_f.samples();
+  assert(load_samples.size() == occ_samples.size());
+
+  const std::size_t k = load_samples.size();
+  times_.reserve(k);
+  load_.reserve(k);
+  occ_.reserve(k);
+  for (std::size_t i = 0; i < k; ++i) {
+    times_.push_back(load_samples[i].time);
+    load_.push_back(load_samples[i].value);
+    occ_.push_back(occ_samples[i].value);
+    max_load_ = std::max(max_load_, load_samples[i].value);
+  }
+  // Prefix measures over the closed segments (the final sample has value 0
+  // and no right endpoint — it contributes nothing).
+  zero_prefix_.assign(k, 0.0);
+  one_prefix_.assign(k, 0.0);
+  for (std::size_t i = 0; i + 1 < k; ++i) {
+    const double len = times_[i + 1] - times_[i];
+    const bool zero = occ_[i] < 0.5;
+    const bool one = !zero && occ_[i] < 1.5;
+    zero_prefix_[i + 1] = zero_prefix_[i] + (zero ? len : 0.0);
+    one_prefix_[i + 1] = one_prefix_[i] + (one ? len : 0.0);
+    if (!zero) span_ += len;
+  }
+
+  // Sparse table for O(1) range max over load_.
+  const auto levels = static_cast<std::size_t>(std::bit_width(k));
+  load_sparse_.reserve(levels);
+  load_sparse_.push_back(load_);
+  for (std::size_t lvl = 1; (std::size_t{1} << lvl) <= k; ++lvl) {
+    const auto& prev = load_sparse_[lvl - 1];
+    const std::size_t half = std::size_t{1} << (lvl - 1);
+    std::vector<double> row(k - (std::size_t{1} << lvl) + 1);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      row[i] = std::max(prev[i], prev[i + half]);
+    load_sparse_.push_back(std::move(row));
+  }
+}
+
+double BinProfile::load_max(Time from, Time to) const {
+  if (dirty_) rebuild();
+  if (times_.empty() || from >= to) return 0.0;
+  // Segments intersecting [from, to): first = the segment containing
+  // `from` (or 0 if from precedes coverage), last = the last segment
+  // starting before `to`. Values outside coverage are 0.
+  if (to <= times_.front() || from >= times_.back()) return 0.0;
+  const auto lo_it =
+      std::upper_bound(times_.begin(), times_.end(), from);
+  const std::size_t lo =
+      lo_it == times_.begin()
+          ? 0
+          : static_cast<std::size_t>(lo_it - times_.begin()) - 1;
+  const auto hi_it = std::lower_bound(times_.begin(), times_.end(), to);
+  const std::size_t hi =
+      static_cast<std::size_t>(hi_it - times_.begin()) - 1;  // to > front
+  if (lo > hi) return 0.0;
+  const std::size_t span = hi - lo + 1;
+  const auto lvl = static_cast<std::size_t>(std::bit_width(span)) - 1;
+  return std::max(load_sparse_[lvl][lo],
+                  load_sparse_[lvl][hi + 1 - (std::size_t{1} << lvl)]);
+}
+
+double BinProfile::max_load() const {
+  if (dirty_) rebuild();
+  return max_load_;
+}
+
+double BinProfile::span() const {
+  if (dirty_) rebuild();
+  return span_;
+}
+
+namespace {
+
+/// Sum of a prefix-summed per-segment measure over the part of [from, to)
+/// inside coverage, prorating the two partial boundary segments.
+double range_measure(const std::vector<Time>& times,
+                     const std::vector<double>& prefix,
+                     const std::vector<double>& occ, Time from, Time to,
+                     bool (*pred)(double)) {
+  // Clamp to coverage [times.front(), times.back()).
+  const Time a = std::max(from, times.front());
+  const Time b = std::min(to, times.back());
+  if (a >= b) return 0.0;
+  const auto seg_of = [&](Time t) {
+    return static_cast<std::size_t>(
+               std::upper_bound(times.begin(), times.end(), t) -
+               times.begin()) -
+           1;
+  };
+  const std::size_t i = seg_of(a);
+  const std::size_t j = seg_of(std::nextafter(b, times.front()));  // b)-open
+  if (i == j) return pred(occ[i]) ? b - a : 0.0;
+  double total = prefix[j] - prefix[i + 1];
+  if (pred(occ[i])) total += times[i + 1] - a;
+  if (pred(occ[j])) total += b - times[j];
+  return total;
+}
+
+bool is_zero(double occ) { return occ < 0.5; }
+bool is_one(double occ) { return occ >= 0.5 && occ < 1.5; }
+
+}  // namespace
+
+double BinProfile::zero_measure(Time from, Time to) const {
+  if (dirty_) rebuild();
+  if (from >= to) return 0.0;
+  if (times_.empty()) return to - from;
+  double outside = 0.0;
+  if (from < times_.front())
+    outside += std::min(to, times_.front()) - from;
+  if (to > times_.back()) outside += to - std::max(from, times_.back());
+  return outside +
+         range_measure(times_, zero_prefix_, occ_, from, to, &is_zero);
+}
+
+double BinProfile::one_measure(Time from, Time to) const {
+  if (dirty_) rebuild();
+  if (times_.empty() || from >= to) return 0.0;
+  return range_measure(times_, one_prefix_, occ_, from, to, &is_one);
+}
+
+}  // namespace cdbp::opt

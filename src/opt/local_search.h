@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "opt/load_envelope.h"
 
 namespace cdbp::opt {
 
@@ -22,6 +23,9 @@ struct LocalSearchResult {
 struct LocalSearchOptions {
   std::size_t max_rounds = 16;   ///< full improvement passes
   std::size_t max_moves = 5000;  ///< accepted-move budget
+  /// kEnvelope answers span deltas and capacity probes from BinProfile in
+  /// O(log m); kReference keeps the historical full-rebuild scans.
+  FitEngine engine = FitEngine::kEnvelope;
 };
 
 /// Improves `seed_assignment` (item -> bin; -1 entries are invalid) by

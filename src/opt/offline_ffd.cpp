@@ -6,12 +6,14 @@
 #include "core/step_function.h"
 #include "opt/bounds.h"
 #include "opt/exact.h"
+#include "opt/load_envelope.h"
 #include "opt/repack.h"
 
 namespace cdbp::opt {
 
 namespace {
 
+/// Reference bin: per-probe StepFunction copies (the historical engine).
 struct OfflineBin {
   StepFunction load;
   Time lo = kInfTime, hi = -kInfTime;
@@ -42,10 +44,7 @@ struct OfflineBin {
   }
 };
 
-}  // namespace
-
-OfflineResult offline_ffd_by_length(const Instance& instance) {
-  const std::vector<Item>& items = instance.items();
+std::vector<std::size_t> ffd_order(const std::vector<Item>& items) {
   std::vector<std::size_t> order(items.size());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
@@ -55,7 +54,11 @@ OfflineResult offline_ffd_by_length(const Instance& instance) {
       return items[a].arrival < items[b].arrival;
     return a < b;
   });
+  return order;
+}
 
+OfflineResult ffd_reference(const std::vector<Item>& items,
+                            const std::vector<std::size_t>& order) {
   std::vector<OfflineBin> bins;
   OfflineResult result;
   result.assignment.assign(items.size(), -1);
@@ -77,6 +80,43 @@ OfflineResult offline_ffd_by_length(const Instance& instance) {
   result.bins = bins.size();
   for (const OfflineBin& b : bins) result.cost += b.span(items);
   return result;
+}
+
+OfflineResult ffd_envelope(const std::vector<Item>& items,
+                           const std::vector<std::size_t>& order) {
+  std::vector<BinProfile> bins;
+  OfflineResult result;
+  result.assignment.assign(items.size(), -1);
+  for (std::size_t idx : order) {
+    const Item& r = items[idx];
+    bool placed = false;
+    for (std::size_t b = 0; b < bins.size() && !placed; ++b)
+      if (bins[b].fits(r)) {
+        bins[b].add(idx);
+        result.assignment[idx] = static_cast<int>(b);
+        placed = true;
+      }
+    if (!placed) {
+      bins.emplace_back(&items);
+      bins.back().add(idx);
+      result.assignment[idx] = static_cast<int>(bins.size()) - 1;
+    }
+  }
+  result.bins = bins.size();
+  // Occupancy deltas are exactly +/-1, so BinProfile::span() reproduces
+  // the reference support_measure sum bit for bit.
+  for (const BinProfile& b : bins) result.cost += b.span();
+  return result;
+}
+
+}  // namespace
+
+OfflineResult offline_ffd_by_length(const Instance& instance,
+                                    FitEngine engine) {
+  const std::vector<Item>& items = instance.items();
+  const std::vector<std::size_t> order = ffd_order(items);
+  return engine == FitEngine::kReference ? ffd_reference(items, order)
+                                         : ffd_envelope(items, order);
 }
 
 double best_opt_upper_bound(const Instance& instance) {

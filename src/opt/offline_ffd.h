@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "core/instance.h"
+#include "opt/load_envelope.h"
 
 namespace cdbp::opt {
 
@@ -22,8 +23,11 @@ struct OfflineResult {
   std::vector<int> assignment;  ///< item id -> bin index
 };
 
-/// FFD by duration, see file comment. O(n^2 * max-bin-size) worst case.
-[[nodiscard]] OfflineResult offline_ffd_by_length(const Instance& instance);
+/// FFD by duration, see file comment. With the default envelope engine a
+/// probe is O(log |members|) after an amortized rebuild per placement;
+/// FitEngine::kReference keeps the historical O(n^2 * max-bin-size) scans.
+[[nodiscard]] OfflineResult offline_ffd_by_length(
+    const Instance& instance, FitEngine engine = FitEngine::kEnvelope);
 
 /// Best certified upper bound on OPT_R available in this repo:
 /// min(repack witness, 2*ceil-integral, 2d + 2span). Also >= LB trivially.

@@ -1,0 +1,110 @@
+#include "opt/snapshot.h"
+
+#include <algorithm>
+#include <vector>
+#include <unordered_map>
+
+namespace cdbp::opt {
+
+std::optional<SnapshotSweep> collect_snapshots(const Instance& instance,
+                                               std::size_t max_active) {
+  struct Ev {
+    Time time;
+    bool arrival;
+    ItemId item;
+  };
+  std::vector<Ev> events;
+  events.reserve(instance.size() * 2);
+  for (const Item& r : instance.items()) {
+    events.push_back(Ev{r.arrival, true, r.id});
+    events.push_back(Ev{r.departure, false, r.id});
+  }
+  std::sort(events.begin(), events.end(), [](const Ev& a, const Ev& b) {
+    if (a.time != b.time) return a.time < b.time;
+    if (a.arrival != b.arrival) return !a.arrival;
+    return a.item < b.item;
+  });
+
+  SnapshotSweep sweep;
+  // The active multiset as a count map: events only need O(1) amortized
+  // upkeep; the sorted sizes vector is materialized (and paid for) only
+  // when a *fresh* distinct snapshot is recorded.
+  std::unordered_map<Load, std::size_t> active;
+  std::size_t active_count = 0;
+  SnapshotKey key;
+  std::unordered_map<SnapshotKey, std::size_t, SnapshotKeyHash> index;
+  const std::vector<Item>& items = instance.items();
+
+  // Chain state: the distinct snapshot of the previous non-empty interval
+  // and the event delta accumulated since it ended.
+  std::int64_t prev_snapshot = -1;
+  std::size_t arrivals_since = 0, departures_since = 0;
+
+  std::size_t e = 0;
+  Time prev = events.empty() ? 0.0 : events.front().time;
+  while (e < events.size()) {
+    const Time t = events[e].time;
+    if (t > prev && active_count > 0) {
+      if (active_count > max_active) return std::nullopt;
+      sweep.max_active = std::max(sweep.max_active, active_count);
+      const auto [it, fresh] = index.try_emplace(key, sweep.snapshots.size());
+      if (fresh) {
+        Snapshot snap;
+        snap.sizes.reserve(active_count);
+        for (const auto& [size, count] : active)
+          snap.sizes.insert(snap.sizes.end(), count, size);
+        std::sort(snap.sizes.begin(), snap.sizes.end());
+        snap.key = key;
+        for (Load s : snap.sizes) snap.volume += s;
+        if (prev_snapshot >= 0 &&
+            (arrivals_since == 0) != (departures_since == 0)) {
+          snap.prev = prev_snapshot;
+          snap.delta = arrivals_since > 0 ? SnapshotDelta::kArrivals
+                                          : SnapshotDelta::kDepartures;
+          snap.delta_count = arrivals_since + departures_since;
+        } else if (prev_snapshot >= 0 &&
+                   (arrivals_since > 0 || departures_since > 0)) {
+          snap.prev = prev_snapshot;
+          snap.delta = SnapshotDelta::kMixed;
+          snap.delta_count = arrivals_since + departures_since;
+        }
+        sweep.snapshots.push_back(std::move(snap));
+      } else {
+        ++sweep.cache_hits;
+      }
+      Snapshot& snap = sweep.snapshots[it->second];
+      snap.dwell += t - prev;
+      ++snap.intervals;
+      sweep.intervals.push_back(
+          SnapshotSweep::Interval{prev, t, it->second});
+      prev_snapshot = static_cast<std::int64_t>(it->second);
+      arrivals_since = departures_since = 0;
+    } else if (t > prev && active_count == 0) {
+      // A gap: the chain restarts (a snapshot after a gap has no useful
+      // neighbour — its delta would be the whole multiset).
+      prev_snapshot = -1;
+      arrivals_since = departures_since = 0;
+    }
+    while (e < events.size() && events[e].time == t) {
+      const Item& r = items[static_cast<std::size_t>(events[e].item)];
+      const std::int64_t q = quantize_load(r.size);
+      if (events[e].arrival) {
+        ++active[r.size];
+        ++active_count;
+        key.insert(q);
+        ++arrivals_since;
+      } else {
+        const auto it = active.find(r.size);
+        if (--it->second == 0) active.erase(it);
+        --active_count;
+        key.erase(q);
+        ++departures_since;
+      }
+      ++e;
+    }
+    prev = t;
+  }
+  return sweep;
+}
+
+}  // namespace cdbp::opt

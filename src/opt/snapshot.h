@@ -1,0 +1,113 @@
+// Phase 1 of the OPT_R certification pipeline: a single event sweep that
+// collects the *distinct* active size-multisets of an instance together
+// with their total dwell time (integral weight) and the interval list
+// needed to integrate solved bin counts back into a cost.
+//
+// The sweep maintains a commutative 128-bit multiset hash that is updated
+// in O(1) per event, so repeated snapshots cost nothing beyond the hash
+// probe — the sizes vector is materialized only the first time a multiset
+// is seen. Keys are built from *quantized* sizes (cells of 2*kLoadEps, the
+// same ulp-collapsing idea as the sweep aggregator's log2 mu key; linear
+// rather than logarithmic because load tolerance is absolute), so sizes
+// that differ by ulp-level noise — or by anything at or below the global
+// load tolerance — land in the same snapshot instead of splitting the
+// cache the way the former exact-double std::map key did.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "core/instance.h"
+#include "parallel/rng.h"
+
+namespace cdbp::opt {
+
+/// Tolerance-stable key for one size: cells of width 2*kLoadEps, so any
+/// two sizes within kLoadEps of each other are at most one cell apart and
+/// quantize equal unless they straddle a cell boundary (ulp-perturbed
+/// duplicates — the case that used to split the cache — never do in
+/// practice, the cell is ~1e9 ulps wide at size 1).
+[[nodiscard]] inline std::int64_t quantize_load(Load s) noexcept {
+  return std::llround(s * (0.5 / kLoadEps));
+}
+
+/// Commutative multiset fingerprint: two independent SplitMix64 streams
+/// summed over the quantized member sizes, plus the exact cardinality.
+/// Insert/erase are O(1) (wrapping adds/subtracts commute), collisions
+/// need simultaneous agreement of both 64-bit sums at equal cardinality.
+struct SnapshotKey {
+  std::uint64_t h1 = 0;
+  std::uint64_t h2 = 0;
+  std::uint64_t count = 0;
+
+  void insert(std::int64_t q) noexcept {
+    const auto u = static_cast<std::uint64_t>(q);
+    h1 += parallel::splitmix64(u);
+    h2 += parallel::splitmix64(u ^ 0x6a09e667f3bcc909ULL);
+    ++count;
+  }
+  void erase(std::int64_t q) noexcept {
+    const auto u = static_cast<std::uint64_t>(q);
+    h1 -= parallel::splitmix64(u);
+    h2 -= parallel::splitmix64(u ^ 0x6a09e667f3bcc909ULL);
+    --count;
+  }
+  friend bool operator==(const SnapshotKey&, const SnapshotKey&) = default;
+};
+
+struct SnapshotKeyHash {
+  [[nodiscard]] std::size_t operator()(const SnapshotKey& k) const noexcept {
+    return static_cast<std::size_t>(k.h1 ^ (k.h2 * 0x9e3779b97f4a7c15ULL) ^
+                                    k.count);
+  }
+};
+
+/// How a snapshot's multiset relates to the snapshot of the preceding
+/// non-empty interval (the event delta between them).
+enum class SnapshotDelta : std::int8_t {
+  kNone,       ///< first non-empty interval, or preceded by an empty one
+  kArrivals,   ///< superset of prev: only arrivals at the boundary
+  kDepartures, ///< subset of prev: only departures at the boundary
+  kMixed,      ///< both arrivals and departures at the boundary
+};
+
+/// One distinct active multiset with its aggregate dwell time.
+struct Snapshot {
+  std::vector<Load> sizes;   ///< representative sizes, ascending
+  SnapshotKey key;           ///< quantized multiset fingerprint
+  double dwell = 0.0;        ///< total time this multiset is active
+  std::size_t intervals = 0; ///< event intervals mapping to it
+  double volume = 0.0;       ///< sum of sizes (ceil -> volume lower bound)
+  /// Chain link for dominance bounds: the distinct snapshot occupying the
+  /// interval right before this one's *first* occurrence, and how the two
+  /// multisets relate. -1 when kNone.
+  std::int64_t prev = -1;
+  SnapshotDelta delta = SnapshotDelta::kNone;
+  std::size_t delta_count = 0;  ///< |multiset difference| vs prev
+};
+
+/// The full sweep: distinct snapshots plus the time-ordered interval list
+/// (only intervals with at least one active item are recorded).
+struct SnapshotSweep {
+  std::vector<Snapshot> snapshots;
+  struct Interval {
+    Time from, to;
+    std::size_t snapshot;  ///< index into `snapshots`
+  };
+  std::vector<Interval> intervals;
+  std::size_t max_active = 0;  ///< largest snapshot over all intervals
+  /// Non-empty intervals served by an already-collected snapshot
+  /// (== intervals.size() - snapshots.size()).
+  std::size_t cache_hits = 0;
+};
+
+/// Sweeps the instance (departures before arrivals at equal times, the
+/// same event order as the sequential reference) and returns the distinct
+/// snapshots, or nullopt as soon as any interval holds more than
+/// `max_active` items.
+[[nodiscard]] std::optional<SnapshotSweep> collect_snapshots(
+    const Instance& instance, std::size_t max_active);
+
+}  // namespace cdbp::opt

@@ -1,0 +1,96 @@
+// The certify() entry point: every requested lattice edge gets filled,
+// the accessors compose LB <= OPT_R <= OPT_NR <= UB, and infeasible exact
+// routines degrade to bounds instead of failing.
+#include "opt/certify.h"
+
+#include <random>
+
+#include <gtest/gtest.h>
+
+#include "opt/offline_ffd.h"
+#include "test_util.h"
+#include "workloads/general_random.h"
+
+namespace cdbp {
+namespace {
+
+using testutil::make_instance;
+
+TEST(Certify, SmallInstancePinsBothOptima) {
+  const Instance in = make_instance({
+      {0.0, 4.0, 0.6},
+      {1.0, 3.0, 0.6},
+      {2.0, 5.0, 0.3},
+  });
+  const opt::Certificate cert = opt::certify(in);
+  ASSERT_TRUE(cert.opt_r.has_value());
+  ASSERT_TRUE(cert.opt_nr.has_value());
+  // The lattice, with exact values at both interior nodes.
+  EXPECT_LE(cert.bounds.lower(), cert.opt_r->cost + 1e-9);
+  EXPECT_LE(cert.opt_r->cost, cert.opt_nr->cost + 1e-9);
+  EXPECT_LE(cert.opt_nr->cost, cert.bounds.upper_ceil() + 1e-9);
+  // Accessors collapse onto the exact values.
+  EXPECT_DOUBLE_EQ(cert.lower_r(), cert.opt_r->cost);
+  EXPECT_DOUBLE_EQ(cert.upper_r(), cert.opt_r->cost);
+  EXPECT_DOUBLE_EQ(cert.lower_nr(), cert.opt_nr->cost);
+  EXPECT_DOUBLE_EQ(cert.upper_nr(), cert.opt_nr->cost);
+}
+
+TEST(Certify, DisabledEdgesFallBackToBounds) {
+  const Instance in = make_instance({{0.0, 4.0, 0.5}, {1.0, 3.0, 0.5}});
+  opt::CertifyOptions opts;
+  opts.exact_repacking = false;
+  opts.exact_nonrepacking = false;
+  const opt::Certificate cert = opt::certify(in, opts);
+  EXPECT_FALSE(cert.opt_r.has_value());
+  EXPECT_FALSE(cert.opt_nr.has_value());
+  EXPECT_DOUBLE_EQ(cert.lower_r(), cert.bounds.lower());
+  EXPECT_DOUBLE_EQ(cert.lower_nr(), cert.bounds.lower());
+  EXPECT_GE(cert.upper_r(), cert.lower_r() - 1e-9);
+  EXPECT_GE(cert.upper_nr(), cert.lower_nr() - 1e-9);
+}
+
+TEST(Certify, UpperBoundsTightenWithOptionalEdges) {
+  std::mt19937_64 rng(7);
+  workloads::GeneralConfig cfg;
+  cfg.target_items = 40;  // too large for the exact routines' defaults
+  cfg.log2_mu = 4;
+  cfg.horizon = 16.0;
+  const Instance in = workloads::make_general_random(cfg, rng);
+
+  opt::CertifyOptions plain;
+  plain.exact_nonrepacking = false;  // > max_items anyway
+  plain.exact.max_items = 0;
+  plain.repacking.max_active = 0;    // force the pipeline to decline
+  const opt::Certificate base = opt::certify(in, plain);
+  EXPECT_FALSE(base.opt_r.has_value());
+
+  opt::CertifyOptions rich = plain;
+  rich.tight_upper = true;
+  rich.local_search_upper = true;
+  const opt::Certificate cert = opt::certify(in, rich);
+  ASSERT_TRUE(cert.witness_upper.has_value());
+  ASSERT_TRUE(cert.local_search_upper.has_value());
+  // Extra witnesses can only tighten the composed upper bounds.
+  EXPECT_LE(cert.upper_r(), base.upper_r() + 1e-9);
+  EXPECT_LE(cert.upper_nr(), base.upper_nr() + 1e-9);
+  // Local search is seeded by FFD, so it is at least as tight.
+  EXPECT_LE(*cert.local_search_upper,
+            opt::offline_ffd_by_length(in).cost + 1e-9);
+  // The lattice still holds end to end.
+  EXPECT_LE(cert.lower_r(), cert.upper_r() + 1e-9);
+  EXPECT_LE(cert.lower_nr(), cert.upper_nr() + 1e-9);
+}
+
+TEST(Certify, OptionForwardingReachesTheEngines) {
+  const Instance in = make_instance({{0.0, 2.0, 0.5}, {0.5, 1.5, 0.4}});
+  opt::CertifyOptions opts;
+  opts.exact.max_items = 1;      // refuse the 2-item instance
+  opts.repacking.max_active = 1; // refuse the 2-active snapshot
+  const opt::Certificate cert = opt::certify(in, opts);
+  EXPECT_FALSE(cert.opt_nr.has_value());
+  EXPECT_FALSE(cert.opt_r.has_value());
+}
+
+}  // namespace
+}  // namespace cdbp

@@ -64,12 +64,57 @@ TEST(Exact, RefusesOversizeInstances) {
 }
 
 TEST(Exact, NodeLimitAborts) {
+  // Staircase heavies: no two overlapping items share a bin, the greedy
+  // seed lands strictly above the certified lower bound, and the admissible
+  // lookahead cannot prune the root — both engines must actually search,
+  // so a 5-node budget aborts. (The old all-overlapping instance is now
+  // solved outright by the seed + lower-bound floor.)
   Instance in;
-  for (int k = 0; k < 10; ++k) in.add(0.0, 1.0 + k * 0.1, 0.05);
+  for (int k = 0; k < 10; ++k)
+    in.add(static_cast<Time>(k), static_cast<Time>(k) + 3.0, 0.6);
   in.finalize();
   opt::ExactOptions opts;
   opts.node_limit = 5;
   EXPECT_FALSE(opt::exact_opt_nonrepacking(in, opts).has_value());
+  opts.engine = opt::ExactEngine::kReference;
+  EXPECT_FALSE(opt::exact_opt_nonrepacking(in, opts).has_value());
+}
+
+TEST(Exact, GreedySeedDoesNotBillGaps) {
+  // Regression: the historical seed skipped the span-overlap guard, so the
+  // second item joined the first bin across the [2,5] gap and the
+  // telescoped accounting billed the whole [0,7] span (cost 7) for a
+  // packing that only occupies 4 time units. The guarded seed opens a new
+  // bin and its cost is exactly the summed support measures.
+  const Instance in = make_instance({{0.0, 2.0, 0.3}, {5.0, 7.0, 0.3}});
+  const opt::GreedySeed seed = opt::greedy_nonrepacking_seed(in);
+  EXPECT_DOUBLE_EQ(seed.cost, 4.0);
+  EXPECT_NE(seed.assignment[0], seed.assignment[1]);
+  const auto exact = opt::exact_opt_nonrepacking(in);
+  ASSERT_TRUE(exact.has_value());
+  EXPECT_DOUBLE_EQ(exact->cost, 4.0);
+}
+
+TEST(Exact, GreedySeedCostMatchesItsOwnPacking) {
+  // Property: on random instances the seed's telescoped cost equals the
+  // recomputed support measure of the bins it reports — the invariant the
+  // unguarded seed violated.
+  for (std::uint64_t s = 0; s < 6; ++s) {
+    std::mt19937_64 rng(s);
+    workloads::GeneralConfig cfg;
+    cfg.target_items = 14;
+    cfg.log2_mu = 4;
+    cfg.horizon = 12.0;
+    cfg.size_max = 0.7;
+    const Instance in = workloads::make_general_random(cfg, rng);
+    const opt::GreedySeed seed = opt::greedy_nonrepacking_seed(in);
+    std::map<int, StepFunction> busy;
+    for (std::size_t k = 0; k < in.size(); ++k)
+      busy[seed.assignment[k]].add(in[k].arrival, in[k].departure, 1.0);
+    double recomputed = 0.0;
+    for (auto& [bin, f] : busy) recomputed += f.support_measure(0.5);
+    EXPECT_NEAR(seed.cost, recomputed, 1e-9) << "seed " << s;
+  }
 }
 
 TEST(Exact, EmptyInstanceCostsZero) {

@@ -1,0 +1,93 @@
+// BinProfile unit tests: flat load/occupancy envelopes must reproduce the
+// StepFunction semantics they replaced — range maxima, spans, and the
+// zero/one-occupancy measures that drive local-search span deltas.
+#include "opt/load_envelope.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace cdbp {
+namespace {
+
+using testutil::make_instance;
+
+class BinProfileTest : public ::testing::Test {
+ protected:
+  // A [0,4) x 0.5, B [1,3) x 0.3, C [6,8) x 0.4 — one mid-bin gap.
+  BinProfileTest() : in_(make_instance({{0.0, 4.0, 0.5},
+                                        {1.0, 3.0, 0.3},
+                                        {6.0, 8.0, 0.4}})) {}
+
+  Instance in_;
+};
+
+TEST_F(BinProfileTest, LoadMaxOverWindows) {
+  opt::BinProfile bin(&in_.items());
+  bin.add(0);
+  bin.add(1);
+  bin.add(2);
+  EXPECT_DOUBLE_EQ(bin.load_max(0.0, 4.0), 0.8);
+  EXPECT_DOUBLE_EQ(bin.load_max(3.0, 4.0), 0.5);  // B departed
+  EXPECT_DOUBLE_EQ(bin.load_max(4.0, 6.0), 0.0);  // the gap
+  EXPECT_DOUBLE_EQ(bin.load_max(6.0, 8.0), 0.4);
+  EXPECT_DOUBLE_EQ(bin.load_max(-5.0, 0.0), 0.0);   // before coverage
+  EXPECT_DOUBLE_EQ(bin.load_max(8.0, 99.0), 0.0);   // after coverage
+  EXPECT_DOUBLE_EQ(bin.max_load(), 0.8);
+}
+
+TEST_F(BinProfileTest, SpanAndOccupancyMeasures) {
+  opt::BinProfile bin(&in_.items());
+  bin.add(0);
+  bin.add(1);
+  bin.add(2);
+  EXPECT_DOUBLE_EQ(bin.span(), 6.0);  // [0,4) + [6,8)
+  EXPECT_DOUBLE_EQ(bin.zero_measure(0.0, 8.0), 2.0);   // the gap [4,6)
+  EXPECT_DOUBLE_EQ(bin.zero_measure(4.5, 5.5), 1.0);   // prorated inside it
+  EXPECT_DOUBLE_EQ(bin.one_measure(0.0, 4.0), 2.0);    // [0,1) + [3,4)
+  EXPECT_DOUBLE_EQ(bin.one_measure(5.0, 7.0), 1.0);    // [6,7)
+  // Outside coverage everything is zero-occupancy.
+  EXPECT_DOUBLE_EQ(bin.zero_measure(10.0, 13.0), 3.0);
+  EXPECT_DOUBLE_EQ(bin.one_measure(10.0, 13.0), 0.0);
+}
+
+TEST_F(BinProfileTest, FitsUsesCapacityWithTolerance) {
+  opt::BinProfile bin(&in_.items());
+  bin.add(0);
+  bin.add(1);
+  const Item fits_item{/*id=*/3, 1.0, 3.0, 0.2};   // 0.8 + 0.2 == capacity
+  const Item too_big{/*id=*/4, 1.0, 3.0, 0.21};
+  const Item in_gap{/*id=*/5, 4.0, 6.0, 0.9};      // load there is 0
+  EXPECT_TRUE(bin.fits(fits_item));
+  EXPECT_FALSE(bin.fits(too_big));
+  EXPECT_TRUE(bin.fits(in_gap));
+}
+
+TEST_F(BinProfileTest, RemoveRestoresEnvelope) {
+  opt::BinProfile bin(&in_.items());
+  bin.add(0);
+  bin.add(1);
+  bin.remove(1);
+  EXPECT_DOUBLE_EQ(bin.load_max(0.0, 4.0), 0.5);
+  EXPECT_DOUBLE_EQ(bin.one_measure(0.0, 4.0), 4.0);
+  EXPECT_DOUBLE_EQ(bin.span(), 4.0);
+  bin.remove(0);
+  EXPECT_TRUE(bin.empty());
+  EXPECT_DOUBLE_EQ(bin.span(), 0.0);
+  EXPECT_DOUBLE_EQ(bin.load_max(0.0, 4.0), 0.0);
+}
+
+TEST_F(BinProfileTest, ExactOccupancyAcrossAbuttingItems) {
+  // Two items that abut at t=4 with equal sizes: occupancy is exactly 1
+  // throughout (deltas are +/-1.0 exact), so the span has no seam.
+  const Instance in = make_instance({{0.0, 4.0, 0.3}, {4.0, 8.0, 0.3}});
+  opt::BinProfile bin(&in.items());
+  bin.add(0);
+  bin.add(1);
+  EXPECT_DOUBLE_EQ(bin.span(), 8.0);
+  EXPECT_DOUBLE_EQ(bin.zero_measure(0.0, 8.0), 0.0);
+  EXPECT_DOUBLE_EQ(bin.one_measure(0.0, 8.0), 8.0);
+}
+
+}  // namespace
+}  // namespace cdbp
