@@ -1,0 +1,194 @@
+// E18 — serving-path throughput: offers/sec through the sharded WAL-backed
+// front end, swept over shard count x fsync policy. The interesting shape:
+// with fsync=none/batch the router scales with shards until the submit
+// thread saturates; fsync=every is disk-bound and shows why group commit
+// exists. Self-checks: every accepted offer must come back placed, and the
+// single-shard cost must be independent of the fsync policy.
+//
+// Flags: --quick (smaller stream), --seeds N (repetitions per cell),
+// --csv PATH (per-cell rows), --json PATH (BENCH_SERVE.json for CI).
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "algos/any_fit.h"
+#include "bench_common.h"
+#include "report/table.h"
+#include "serve/request_stream.h"
+#include "serve/shard_router.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using namespace cdbp;
+
+struct Cell {
+  std::size_t shards = 1;
+  serve::FsyncPolicy fsync = serve::FsyncPolicy::kNone;
+  std::size_t items = 0;
+  double seconds = 0.0;
+  double offers_per_sec = 0.0;
+  Cost total_cost = 0.0;
+};
+
+double run_cell(const std::vector<serve::ServeRequest>& stream,
+                std::size_t shards, serve::FsyncPolicy fsync,
+                const fs::path& dir, Cost* cost_out) {
+  fs::remove_all(dir);
+  serve::RouterConfig rc;
+  rc.wal_dir = dir.string();
+  rc.shards = shards;
+  rc.fsync = fsync;
+  rc.fsync_batch = 64;
+  rc.queue_capacity = 4096;
+
+  serve::ShardRouter router(
+      rc, [] { return AlgorithmPtr(std::make_unique<algos::BestFit>()); },
+      "bf");
+  const auto start = std::chrono::steady_clock::now();
+  for (const serve::ServeRequest& req : stream) {
+    if (!router.submit(req))
+      throw std::runtime_error("block admission must never refuse");
+  }
+  router.stop();
+  const double seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+
+  // Self-check: nothing lost between submit and placement.
+  std::uint64_t applied = 0;
+  for (std::size_t i = 0; i < router.shards(); ++i)
+    applied += router.stats(i).applied;
+  if (applied != stream.size() ||
+      router.results().size() != stream.size())
+    throw std::runtime_error("offer count mismatch: submitted " +
+                             std::to_string(stream.size()) + ", placed " +
+                             std::to_string(applied));
+  *cost_out = router.total_cost();
+  fs::remove_all(dir);
+  return seconds;
+}
+
+std::string json_num(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using bench::BenchOptions;
+  BenchOptions opts = bench::parse_options(argc, argv);
+  std::optional<std::string> json_path;
+  for (int i = 1; i < argc; ++i)
+    if (std::string(argv[i]) == "--json" && i + 1 < argc)
+      json_path = argv[i + 1];
+
+  const std::size_t items = opts.quick ? 4000 : 40000;
+  // fsync=every pays one fsync per offer; cap the stream so the disk-bound
+  // cells finish in seconds while staying statistically useful.
+  const std::size_t items_every = opts.quick ? 500 : 4000;
+
+  serve::StreamGenConfig gen;
+  gen.target_items = static_cast<int>(items);
+  gen.tenants = 64;  // plenty of keys so every shard count gets traffic
+  gen.seed = 7;
+  gen.log2_mu = 6;
+  gen.horizon = 256.0;
+  const std::vector<serve::ServeRequest> stream = serve::generate_stream(gen);
+  const std::vector<serve::ServeRequest> stream_short(
+      stream.begin(),
+      stream.begin() + static_cast<std::ptrdiff_t>(
+                           std::min(items_every, stream.size())));
+
+  const std::vector<std::size_t> shard_counts =
+      opts.quick ? std::vector<std::size_t>{1, 4}
+                 : std::vector<std::size_t>{1, 2, 4, 8, 16};
+  const std::vector<serve::FsyncPolicy> policies = {
+      serve::FsyncPolicy::kNone, serve::FsyncPolicy::kBatch,
+      serve::FsyncPolicy::kEvery};
+
+  const fs::path dir =
+      fs::temp_directory_path() / "cdbp_bench_serve_throughput";
+  std::vector<Cell> cells;
+  Cost single_shard_cost_none = -1.0;
+  for (const serve::FsyncPolicy fsync : policies) {
+    for (const std::size_t shards : shard_counts) {
+      const std::vector<serve::ServeRequest>& input =
+          fsync == serve::FsyncPolicy::kEvery ? stream_short : stream;
+      double best = 0.0;
+      Cost cost = 0.0;
+      for (int rep = 0; rep < std::max(1, opts.seeds / 2); ++rep) {
+        Cost c = 0.0;
+        const double seconds = run_cell(input, shards, fsync, dir, &c);
+        const double rate = static_cast<double>(input.size()) / seconds;
+        if (rate > best) {
+          best = rate;
+          cost = c;
+        }
+      }
+      Cell cell;
+      cell.shards = shards;
+      cell.fsync = fsync;
+      cell.items = input.size();
+      cell.seconds = static_cast<double>(input.size()) / best;
+      cell.offers_per_sec = best;
+      cell.total_cost = cost;
+      cells.push_back(cell);
+
+      // Self-check: the packing outcome is a function of the stream and the
+      // shard map, never of the durability policy.
+      if (shards == 1) {
+        if (single_shard_cost_none < 0.0 &&
+            input.size() == stream.size())
+          single_shard_cost_none = cost;
+        else if (input.size() == stream.size() &&
+                 cost != single_shard_cost_none)
+          throw std::runtime_error(
+              "single-shard cost changed with fsync policy");
+      }
+    }
+  }
+
+  std::cout << "== E18: serve throughput (offers/sec), " << stream.size()
+            << " offers, 64 tenants ==\n";
+  report::Table table({"fsync", "shards", "offers", "offers/sec"});
+  for (const Cell& c : cells)
+    table.add_row({serve::to_string(c.fsync), std::to_string(c.shards),
+                   std::to_string(c.items),
+                   report::Table::num(c.offers_per_sec, 0)});
+  std::cout << table.to_string();
+
+  if (opts.csv_path) {
+    report::CsvWriter csv(*opts.csv_path,
+                          {"experiment", "fsync", "shards", "offers",
+                           "seconds", "offers_per_sec"});
+    for (const Cell& c : cells)
+      csv.add_row({"E18", serve::to_string(c.fsync),
+                   std::to_string(c.shards), std::to_string(c.items),
+                   report::Table::num(c.seconds, 6),
+                   report::Table::num(c.offers_per_sec, 1)});
+  }
+  if (json_path) {
+    std::ofstream f(*json_path);
+    f << "{\"experiment\":\"E18\",\"offers\":" << stream.size()
+      << ",\"cells\":[";
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      const Cell& c = cells[i];
+      f << (i ? "," : "") << "{\"fsync\":\"" << serve::to_string(c.fsync)
+        << "\",\"shards\":" << c.shards << ",\"offers\":" << c.items
+        << ",\"seconds\":" << json_num(c.seconds)
+        << ",\"offers_per_sec\":" << json_num(c.offers_per_sec) << "}";
+    }
+    f << "]}\n";
+    std::cout << "json written to " << *json_path << "\n";
+  }
+  std::cout << "self-checks passed: placed == offered in every cell\n";
+  return 0;
+}

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/algorithm.h"
+#include "core/checkpoint.h"
 
 namespace cdbp::algos {
 
@@ -31,8 +32,10 @@ enum class SelectMode {
   kLinearScan,
 };
 
-/// Generic Any-Fit algorithm over a single pool of bins.
-class AnyFit : public Algorithm {
+/// Generic Any-Fit algorithm over a single pool of bins. The family keeps
+/// no per-run state of its own (every decision reads the ledger), so it is
+/// trivially Checkpointable: restoring the ledger restores the algorithm.
+class AnyFit : public Algorithm, public Checkpointable {
  public:
   explicit AnyFit(FitRule rule, SelectMode mode = SelectMode::kIndexed)
       : rule_(rule), mode_(mode) {}
@@ -42,6 +45,9 @@ class AnyFit : public Algorithm {
   }
 
   BinId on_arrival(const Item& item, Ledger& ledger) override;
+
+  void save_state(StateWriter& w) const override { (void)w; }
+  void load_state(StateReader& r) override { (void)r; }
 
   [[nodiscard]] FitRule rule() const noexcept { return rule_; }
   [[nodiscard]] SelectMode mode() const noexcept { return mode_; }

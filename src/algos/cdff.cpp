@@ -118,6 +118,44 @@ void Cdff::reset() {
   bin_row_.clear();
 }
 
+void Cdff::save_state(StateWriter& w) const {
+  w.u8(in_segment_ ? 1 : 0);
+  w.f64(seg_start_);
+  w.i64(seg_n_);
+  w.u64(segments_);
+  std::vector<int> deltas;
+  deltas.reserve(rows_.size());
+  for (const auto& [delta, bins] : rows_) deltas.push_back(delta);
+  std::sort(deltas.begin(), deltas.end());
+  w.u64(deltas.size());
+  for (int delta : deltas) {
+    const std::vector<BinId>& bins = rows_.at(delta);
+    w.i64(delta);
+    w.u64(bins.size());
+    for (BinId b : bins) w.i64(b);
+  }
+}
+
+void Cdff::load_state(StateReader& r) {
+  reset();
+  in_segment_ = r.u8() != 0;
+  seg_start_ = r.f64();
+  seg_n_ = static_cast<int>(r.i64());
+  segments_ = r.u64();
+  const std::uint64_t n_rows = r.u64();
+  for (std::uint64_t i = 0; i < n_rows; ++i) {
+    const int delta = static_cast<int>(r.i64());
+    const std::uint64_t n_bins = r.u64();
+    std::vector<BinId>& row = rows_[delta];
+    row.reserve(n_bins);
+    for (std::uint64_t k = 0; k < n_bins; ++k) {
+      const BinId bin = r.i64();
+      row.push_back(bin);
+      bin_row_.emplace(bin, delta);
+    }
+  }
+}
+
 int Cdff::row_of(BinId bin) const {
   const auto it = bin_row_.find(bin);
   return it == bin_row_.end() ? -1 : it->second;

@@ -36,7 +36,7 @@
 
 namespace cdbp::algos {
 
-class Cdff : public Algorithm {
+class Cdff : public Algorithm, public Checkpointable {
  public:
   explicit Cdff(FitRule rule = FitRule::kFirst,
                 SelectMode mode = SelectMode::kIndexed);
@@ -49,6 +49,10 @@ class Cdff : public Algorithm {
   void on_departure(const Item& item, BinId bin, bool bin_closed,
                     Ledger& ledger) override;
   void reset() override;
+
+  /// Exact segment + row state (bin_row_ is rebuilt from the rows).
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
 
   /// Row (delta key, see file comment) of an open bin; -1 if unknown.
   [[nodiscard]] int row_of(BinId bin) const;

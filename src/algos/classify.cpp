@@ -92,6 +92,38 @@ void ClassifyByDuration::reset() {
   bin_class_.clear();
 }
 
+void ClassifyByDuration::save_state(StateWriter& w) const {
+  w.f64(shift_);
+  std::vector<int> classes;
+  classes.reserve(class_bins_.size());
+  for (const auto& [k, bins] : class_bins_) classes.push_back(k);
+  std::sort(classes.begin(), classes.end());
+  w.u64(classes.size());
+  for (int k : classes) {
+    const std::vector<BinId>& bins = class_bins_.at(k);
+    w.i64(k);
+    w.u64(bins.size());
+    for (BinId b : bins) w.i64(b);
+  }
+}
+
+void ClassifyByDuration::load_state(StateReader& r) {
+  reset();
+  shift_ = r.f64();
+  const std::uint64_t n_classes = r.u64();
+  for (std::uint64_t i = 0; i < n_classes; ++i) {
+    const int k = static_cast<int>(r.i64());
+    const std::uint64_t n_bins = r.u64();
+    std::vector<BinId>& bins = class_bins_[k];
+    bins.reserve(n_bins);
+    for (std::uint64_t j = 0; j < n_bins; ++j) {
+      const BinId bin = r.i64();
+      bins.push_back(bin);
+      bin_class_.emplace(bin, k);
+    }
+  }
+}
+
 RandomizedClassify::RandomizedClassify(std::uint64_t seed, double base,
                                        FitRule rule)
     : ClassifyByDuration(base, rule, 0.0), rng_(seed) {

@@ -21,7 +21,7 @@
 
 namespace cdbp::algos {
 
-class ClassifyByDuration : public Algorithm {
+class ClassifyByDuration : public Algorithm, public Checkpointable {
  public:
   /// `base` > 1. `rule` selects the in-class packing heuristic (the paper's
   /// footnote 1: any Any-Fit rule works). `shift` in [0, 1) slides the
@@ -40,6 +40,10 @@ class ClassifyByDuration : public Algorithm {
   void on_departure(const Item& item, BinId bin, bool bin_closed,
                     Ledger& ledger) override;
   void reset() override;
+
+  /// Exact class-bin state plus the active shift (bin_class_ is rebuilt).
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
 
   /// Class index of an interval length (>= some positive value):
   /// smallest k with length <= base^{k+shift}.

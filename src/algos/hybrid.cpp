@@ -132,6 +132,91 @@ void Hybrid::on_departure(const Item& item, BinId bin, bool bin_closed,
   }
 }
 
+namespace {
+
+/// Keys of an unordered_map<DurationType, V>, sorted so serialization is
+/// deterministic regardless of hash iteration order.
+template <typename Map>
+std::vector<DurationType> sorted_type_keys(const Map& map) {
+  std::vector<DurationType> keys;
+  keys.reserve(map.size());
+  for (const auto& [type, value] : map) keys.push_back(type);
+  std::sort(keys.begin(), keys.end());
+  return keys;
+}
+
+void write_type(StateWriter& w, const DurationType& t) {
+  w.i64(t.i);
+  w.i64(t.c);
+}
+
+DurationType read_type(StateReader& r) {
+  DurationType t;
+  t.i = static_cast<int>(r.i64());
+  t.c = r.i64();
+  return t;
+}
+
+}  // namespace
+
+void Hybrid::save_state(StateWriter& w) const {
+  const std::vector<DurationType> load_keys = sorted_type_keys(active_load_);
+  w.u64(load_keys.size());
+  for (const DurationType& t : load_keys) {
+    write_type(w, t);
+    w.f64(active_load_.at(t));
+  }
+  const std::vector<DurationType> pool_keys = sorted_type_keys(type_pool_);
+  w.u64(pool_keys.size());
+  for (const DurationType& t : pool_keys) {
+    write_type(w, t);
+    w.i64(type_pool_.at(t));
+  }
+  w.i64(next_cd_pool_);
+  const std::vector<DurationType> cd_keys = sorted_type_keys(cd_bins_);
+  w.u64(cd_keys.size());
+  for (const DurationType& t : cd_keys) {
+    write_type(w, t);
+    const std::vector<BinId>& bins = cd_bins_.at(t);
+    w.u64(bins.size());
+    for (BinId b : bins) w.i64(b);
+  }
+  w.u64(gn_bins_.size());
+  for (BinId b : gn_bins_) w.i64(b);
+}
+
+void Hybrid::load_state(StateReader& r) {
+  reset();
+  const std::uint64_t n_loads = r.u64();
+  for (std::uint64_t i = 0; i < n_loads; ++i) {
+    const DurationType t = read_type(r);
+    active_load_.emplace(t, r.f64());
+  }
+  const std::uint64_t n_pools = r.u64();
+  for (std::uint64_t i = 0; i < n_pools; ++i) {
+    const DurationType t = read_type(r);
+    type_pool_.emplace(t, r.i64());
+  }
+  next_cd_pool_ = r.i64();
+  const std::uint64_t n_types = r.u64();
+  for (std::uint64_t i = 0; i < n_types; ++i) {
+    const DurationType t = read_type(r);
+    const std::uint64_t n_bins = r.u64();
+    std::vector<BinId>& bins = cd_bins_[t];
+    bins.reserve(n_bins);
+    for (std::uint64_t k = 0; k < n_bins; ++k) {
+      const BinId bin = r.i64();
+      bins.push_back(bin);
+      cd_bin_type_.emplace(bin, t);
+      ++cd_open_total_;
+    }
+  }
+  const std::uint64_t n_gn = r.u64();
+  gn_bins_.reserve(n_gn);
+  for (std::uint64_t i = 0; i < n_gn; ++i) gn_bins_.push_back(r.i64());
+  g_cd_open.set(static_cast<double>(cd_open_total_));
+}
+
 void Hybrid::reset() {
   active_load_.clear();
   type_pool_.clear();

@@ -33,7 +33,7 @@ namespace cdbp::algos {
 inline constexpr BinGroup kHybridGroupGN = 1;
 inline constexpr BinGroup kHybridGroupCD = 2;
 
-class Hybrid : public Algorithm {
+class Hybrid : public Algorithm, public Checkpointable {
  public:
   /// threshold(i) -> load bound below which type-(i, c) items go to GN bins.
   using Threshold = std::function<double(int)>;
@@ -54,6 +54,12 @@ class Hybrid : public Algorithm {
   void on_departure(const Item& item, BinId bin, bool bin_closed,
                     Ledger& ledger) override;
   void reset() override;
+
+  /// Exact state: per-type active loads (bit-exact accumulators — the
+  /// threshold comparison must see the same float it would have seen),
+  /// type->pool assignments, CD/GN bin sets. Derived maps are rebuilt.
+  void save_state(StateWriter& w) const override;
+  void load_state(StateReader& r) override;
 
   /// Number of open GN bins (Lemma 3.3 asserts <= 2 + 4*sqrt(log mu)).
   [[nodiscard]] std::size_t gn_open_count() const noexcept {

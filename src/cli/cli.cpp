@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <memory>
@@ -18,6 +19,7 @@
 #include "analysis/instance_stats.h"
 #include "analysis/ratio.h"
 #include "cluster/cluster.h"
+#include "core/checkpoint.h"
 #include "core/simulator.h"
 #include "core/transforms.h"
 #include "core/validation.h"
@@ -32,6 +34,8 @@
 #include "opt/repack.h"
 #include "report/ascii_chart.h"
 #include "report/table.h"
+#include "serve/request_stream.h"
+#include "serve/shard_router.h"
 #include "trace/trace.h"
 #include "workloads/aligned_random.h"
 #include "workloads/binary_input.h"
@@ -51,7 +55,7 @@ class Flags {
       if (it->rfind("--", 0) != 0)
         throw std::invalid_argument("expected --flag, got '" + *it + "'");
       const std::string key = it->substr(2);
-      if (key == "gantt" || key == "validate") {
+      if (key == "gantt" || key == "validate" || key == "resume") {
         values_[key] = "true";
       } else {
         if (++it == end)
@@ -147,6 +151,15 @@ void print_usage(std::ostream& out) {
       << "  cluster   --algo ALGO --in FILE [--boot E] [--idle P]\n"
       << "  merge     --a FILE --b FILE --out FILE [--gap G]\n"
       << "  adversary --algo ALGO --n N [--rounds R]\n"
+      << "  gen-stream --out FILE [--items N] [--tenants T] [--seed S]\n"
+      << "            [--mu-log2 M]\n"
+      << "  serve     --algo ALGO --in STREAM --wal-dir DIR [--shards N]\n"
+      << "            [--fsync none|batch|every] [--fsync-batch K]\n"
+      << "            [--checkpoint-every N] [--admission block|reject|shed]\n"
+      << "            [--queue-capacity N] [--throttle-us U] [--resume]\n"
+      << "            [--out FILE] [--metrics-out FILE]\n"
+      << "  recover   --algo ALGO --wal-dir DIR [--shards N]\n"
+      << "  wal-dump  --wal FILE\n"
       << "algorithms:";
   for (const std::string& name : algorithm_names()) out << " " << name;
   out << "\n";
@@ -472,6 +485,189 @@ int cmd_adversary(Flags& flags, std::ostream& out) {
   return 0;
 }
 
+/// Full round-trip precision for values that must diff-compare exactly
+/// across a crash/recover cycle (`cdbp recover` output is the CI oracle).
+std::string num_exact(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+int cmd_gen_stream(Flags& flags, std::ostream& out) {
+  const std::string out_path = flags.require("out");
+  serve::StreamGenConfig cfg;
+  cfg.target_items = to_int(flags.get("items").value_or("400"), "--items");
+  cfg.tenants = static_cast<std::size_t>(
+      to_int(flags.get("tenants").value_or("8"), "--tenants"));
+  cfg.seed = static_cast<std::uint64_t>(
+      to_int(flags.get("seed").value_or("1"), "--seed"));
+  cfg.log2_mu = to_int(flags.get("mu-log2").value_or("6"), "--mu-log2");
+  flags.finish();
+
+  const std::vector<serve::ServeRequest> stream = serve::generate_stream(cfg);
+  serve::write_stream_csv(stream, out_path);
+  out << "wrote " << stream.size() << " requests (" << cfg.tenants
+      << " tenants) to " << out_path << "\n";
+  return 0;
+}
+
+int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::string algo_name = flags.require("algo");
+  const std::string in_path = flags.require("in");
+  serve::RouterConfig rc;
+  rc.wal_dir = flags.require("wal-dir");
+  rc.shards = static_cast<std::size_t>(
+      to_int(flags.get("shards").value_or("1"), "--shards"));
+  rc.fsync = serve::parse_fsync_policy(flags.get("fsync").value_or("batch"));
+  rc.fsync_batch = static_cast<std::size_t>(
+      to_int(flags.get("fsync-batch").value_or("64"), "--fsync-batch"));
+  rc.checkpoint_every = static_cast<std::uint64_t>(to_int(
+      flags.get("checkpoint-every").value_or("0"), "--checkpoint-every"));
+  rc.admission = serve::parse_admission_policy(
+      flags.get("admission").value_or("block"));
+  rc.queue_capacity = static_cast<std::size_t>(
+      to_int(flags.get("queue-capacity").value_or("1024"), "--queue-capacity"));
+  rc.worker_delay_us = static_cast<std::uint32_t>(
+      to_int(flags.get("throttle-us").value_or("0"), "--throttle-us"));
+  rc.resume = flags.get("resume").has_value();
+  const double mu_hint = std::stod(flags.get("mu-hint").value_or("2"));
+  const auto out_path = flags.get("out");
+  const auto metrics_out = flags.get("metrics-out");
+  flags.finish();
+  if (metrics_out) require_obs("--metrics-out");
+
+  const std::vector<serve::ServeRequest> stream =
+      serve::read_stream_csv(in_path);
+  serve::ShardRouter router(
+      rc, [&] { return make_algorithm(algo_name, mu_hint); }, algo_name);
+  std::uint64_t rejected = 0;
+  for (const serve::ServeRequest& req : stream)
+    if (!router.submit(req)) ++rejected;
+  router.stop();
+
+  std::uint64_t applied = 0, skipped = 0, shed = 0, invalid = 0;
+  for (std::size_t i = 0; i < router.shards(); ++i) {
+    const serve::ShardStats& s = router.stats(i);
+    applied += s.applied;
+    skipped += s.skipped;
+    shed += s.shed;
+    invalid += s.invalid;
+    out << "shard " << i << ": applied=" << s.applied
+        << " skipped=" << s.skipped << " invalid=" << s.invalid
+        << " shed=" << s.shed << " queue-peak=" << s.queue_peak
+        << " wal-records=" << s.wal_records
+        << " open-at-finish=" << s.open_bins
+        << " cost=" << num_exact(s.final_cost) << "\n";
+    if (rc.resume) {
+      const serve::RecoveryReport& r = s.recovery;
+      err << "shard " << i << " recovery: records=" << r.records
+          << " replayed=" << r.replayed
+          << (r.used_checkpoint
+                  ? " checkpoint@" + std::to_string(r.checkpoint_seq)
+                  : " no-checkpoint")
+          << (r.torn ? " torn(" + r.tail_error + ", -" +
+                           std::to_string(r.truncated_bytes) + "B)"
+                     : "")
+          << "\n";
+    }
+  }
+  out << "served " << stream.size() << " requests on " << router.shards()
+      << " shard(s): applied=" << applied << " skipped=" << skipped
+      << " rejected=" << rejected << " shed=" << shed
+      << " invalid=" << invalid << "\n"
+      << "total cost=" << num_exact(router.total_cost()) << "\n";
+
+  if (out_path) {
+    std::ofstream f(*out_path);
+    if (!f)
+      throw std::runtime_error("cannot open placements file: " + *out_path);
+    f << "stream_index,tenant,shard,seq,bin\n";
+    for (const serve::ServeResult& r : router.results())
+      f << r.stream_index << ',' << r.tenant << ',' << r.shard << ','
+        << r.seq << ',' << r.bin << "\n";
+    out << "placements written to " << *out_path << "\n";
+  }
+  if (metrics_out) {
+    write_metrics_file(*metrics_out);
+    out << "metrics written to " << *metrics_out << "\n";
+  }
+  return 0;
+}
+
+/// `cdbp recover`: rebuild every shard from its WAL (+checkpoint), repair
+/// torn tails, and print a *canonical* per-shard state line — records,
+/// high-water stream index, final MinUsageTime cost, and a CRC digest over
+/// the full decision log. Two runs that ended with the same logical state
+/// print byte-identical stdout (diagnostics go to stderr), which is what
+/// the crash-recovery CI job diffs.
+int cmd_recover(Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::string algo_name = flags.require("algo");
+  const std::string wal_dir = flags.require("wal-dir");
+  const std::size_t shards = static_cast<std::size_t>(
+      to_int(flags.get("shards").value_or("1"), "--shards"));
+  const double mu_hint = std::stod(flags.get("mu-hint").value_or("2"));
+  flags.finish();
+
+  Cost total = 0.0;
+  for (std::size_t i = 0; i < shards; ++i) {
+    serve::DurableSessionConfig sc;
+    sc.wal_path = wal_dir + "/shard-" + std::to_string(i) + ".wal";
+    sc.checkpoint_path = wal_dir + "/shard-" + std::to_string(i) + ".ckpt";
+    sc.resume = true;
+    serve::DurableSession session(make_algorithm(algo_name, mu_hint),
+                                  algo_name, sc);
+    const serve::RecoveryReport& r = session.recovery();
+    err << "shard " << i << " recovery: records=" << r.records
+        << " replayed=" << r.replayed
+        << (r.used_checkpoint
+                ? " checkpoint@" + std::to_string(r.checkpoint_seq)
+                : " no-checkpoint")
+        << (r.torn ? " torn(" + r.tail_error + ", -" +
+                         std::to_string(r.truncated_bytes) + "B)"
+                   : "")
+        << "\n";
+
+    // Digest over the (repaired) decision log: exact equality witness.
+    const serve::WalReadResult wal = serve::read_wal(sc.wal_path);
+    StateWriter w;
+    for (const serve::WalRecord& rec : wal.records) {
+      w.u64(rec.seq);
+      w.u64(rec.stream_index);
+      w.f64(rec.arrival);
+      w.f64(rec.departure);
+      w.f64(rec.size);
+      w.i64(rec.bin);
+    }
+    const std::uint32_t digest = crc32(w.buffer().data(), w.size());
+    const Cost cost = session.finish();
+    session.close();
+    total += cost;
+    char digest_hex[16];
+    std::snprintf(digest_hex, sizeof(digest_hex), "%08x", digest);
+    out << "shard " << i << ": records=" << session.seq()
+        << " last-stream=" << session.last_stream_index()
+        << " cost=" << num_exact(cost) << " digest=" << digest_hex << "\n";
+  }
+  out << "total cost=" << num_exact(total) << "\n";
+  return 0;
+}
+
+int cmd_wal_dump(Flags& flags, std::ostream& out) {
+  const std::string path = flags.require("wal");
+  flags.finish();
+  const serve::WalReadResult wal = serve::read_wal(path);
+  if (!wal.exists) throw std::runtime_error("no such WAL file: " + path);
+  out << "seq,stream_index,arrival,departure,size,bin\n";
+  for (const serve::WalRecord& rec : wal.records)
+    out << rec.seq << ',' << rec.stream_index << ','
+        << num_exact(rec.arrival) << ',' << num_exact(rec.departure) << ','
+        << num_exact(rec.size) << ',' << rec.bin << "\n";
+  out << "# records=" << wal.records.size()
+      << " valid_bytes=" << wal.valid_bytes << "\n";
+  if (wal.torn) out << "# torn tail: " << wal.tail_error << "\n";
+  return 0;
+}
+
 }  // namespace
 
 AlgorithmPtr make_algorithm(const std::string& name, double mu_hint) {
@@ -519,6 +715,10 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (args[0] == "cluster") return cmd_cluster(flags, out);
     if (args[0] == "merge") return cmd_merge(flags, out);
     if (args[0] == "adversary") return cmd_adversary(flags, out);
+    if (args[0] == "gen-stream") return cmd_gen_stream(flags, out);
+    if (args[0] == "serve") return cmd_serve(flags, out, err);
+    if (args[0] == "recover") return cmd_recover(flags, out, err);
+    if (args[0] == "wal-dump") return cmd_wal_dump(flags, out);
     err << "unknown command '" << args[0] << "'\n";
     print_usage(err);
     return 2;

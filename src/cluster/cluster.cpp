@@ -12,6 +12,12 @@ ClusterReport evaluate_cluster(const RunResult& result,
   if (model.warm_window < 0.0 || model.boot_energy < 0.0 ||
       model.active_power < 0.0 || model.idle_power < 0.0)
     throw std::invalid_argument("evaluate_cluster: negative model parameter");
+  // A run simulated with keep_history = false opened bins but recorded no
+  // BinRecords; costing it would silently report an empty fleet.
+  if (result.bins_opened > 0 && result.bins.empty())
+    throw std::invalid_argument(
+        "evaluate_cluster: RunResult has no bin records — simulate with "
+        "SimulatorOptions::keep_history = true");
 
   ClusterReport rep;
   rep.logical_bins = result.bins.size();

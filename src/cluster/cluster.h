@@ -39,7 +39,9 @@ struct ClusterReport {
   double total_energy = 0.0;
 };
 
-/// Requires a RunResult produced with keep_history = true.
+/// Requires a RunResult produced with keep_history = true; throws
+/// std::invalid_argument when the run opened bins but carries no records
+/// (keep_history = false), instead of silently costing an empty fleet.
 [[nodiscard]] ClusterReport evaluate_cluster(const RunResult& result,
                                              const ClusterModel& model);
 

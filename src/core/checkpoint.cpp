@@ -1,0 +1,40 @@
+#include "core/checkpoint.h"
+
+#include <array>
+#include <stdexcept>
+
+namespace cdbp {
+
+namespace {
+
+std::array<std::uint32_t, 256> make_crc_table() {
+  std::array<std::uint32_t, 256> table{};
+  for (std::uint32_t i = 0; i < 256; ++i) {
+    std::uint32_t c = i;
+    for (int k = 0; k < 8; ++k)
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    table[i] = c;
+  }
+  return table;
+}
+
+}  // namespace
+
+std::uint32_t crc32(const void* data, std::size_t size, std::uint32_t seed) {
+  static const std::array<std::uint32_t, 256> table = make_crc_table();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t c = seed ^ 0xFFFFFFFFu;
+  for (std::size_t i = 0; i < size; ++i)
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  return c ^ 0xFFFFFFFFu;
+}
+
+std::string_view StateReader::take(std::uint64_t n) {
+  if (n > data_.size() - pos_)
+    throw std::runtime_error("checkpoint: truncated state");
+  const std::string_view s = data_.substr(pos_, n);
+  pos_ += n;
+  return s;
+}
+
+}  // namespace cdbp

@@ -182,6 +182,89 @@ Cost Ledger::total_usage(Time now) const {
   return acc;
 }
 
+std::vector<ItemId> Ledger::active_item_ids() const {
+  std::vector<ItemId> out;
+  out.reserve(active_.size());
+  for (const auto& [id, placement] : active_) out.push_back(id);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+void Ledger::save_state(StateWriter& w) const {
+  w.u64(bins_.size());
+  for (std::size_t i = 0; i < bins_.size(); ++i) {
+    const BinRecord& rec = bins_[i];
+    w.i64(rec.group);
+    w.f64(rec.opened);
+    w.f64(rec.closed);
+    w.f64(rec.load);
+    w.u64(rec.active_items);
+    w.u64(rec.all_items.size());
+    for (ItemId item : rec.all_items) w.i64(item);
+    w.i64(index_ref_[i].pool);
+    w.u64(index_ref_[i].slot);
+  }
+  const std::vector<ItemId> active = active_item_ids();
+  w.u64(active.size());
+  for (ItemId id : active) {
+    const ActivePlacement& p = active_.at(id);
+    w.i64(id);
+    w.i64(p.bin);
+    w.f64(p.size);
+  }
+  w.f64(closed_usage_);
+  w.u64(max_open_);
+  w.f64(clock_);
+}
+
+void Ledger::load_state(StateReader& r) {
+  if (!bins_.empty() || !active_.empty() || clock_ != -kInfTime)
+    throw std::logic_error("Ledger::load_state: ledger is not fresh");
+  const std::uint64_t n_bins = r.u64();
+  bins_.reserve(n_bins);
+  index_ref_.reserve(n_bins);
+  for (std::uint64_t i = 0; i < n_bins; ++i) {
+    BinRecord rec;
+    rec.id = static_cast<BinId>(i);
+    rec.group = r.i64();
+    rec.opened = r.f64();
+    rec.closed = r.f64();
+    rec.load = r.f64();
+    rec.active_items = r.u64();
+    const std::uint64_t n_items = r.u64();
+    rec.all_items.reserve(n_items);
+    for (std::uint64_t k = 0; k < n_items; ++k) rec.all_items.push_back(r.i64());
+    const PoolId pool = r.i64();
+    const std::uint64_t slot = r.u64();
+    // Bins are replayed in id order, which within a pool is opening order,
+    // so the capacity index hands out the same slots it originally did and
+    // ends up value-identical (same leaves, same (load, bin) set, same
+    // tournament shape) to the uninterrupted index.
+    const std::size_t got = pools_[pool].add_bin(rec.id);
+    if (got != slot)
+      throw std::runtime_error("Ledger::load_state: slot mismatch");
+    if (rec.is_open()) {
+      open_.insert(rec.id);
+      pools_[pool].set_load(got, rec.load);
+    } else {
+      pools_[pool].close(got);
+    }
+    index_ref_.push_back(IndexRef{pool, got});
+    bins_.push_back(std::move(rec));
+  }
+  const std::uint64_t n_active = r.u64();
+  for (std::uint64_t i = 0; i < n_active; ++i) {
+    const ItemId id = r.i64();
+    const BinId bin = r.i64();
+    const Load size = r.f64();
+    active_.emplace(id, ActivePlacement{bin, size});
+  }
+  closed_usage_ = r.f64();
+  max_open_ = r.u64();
+  clock_ = r.f64();
+  g_open_bins.set(static_cast<double>(open_.size()));
+}
+
 StepFunction Ledger::open_bins_profile(Time now) const {
   StepFunction f;
   for (const BinRecord& rec : bins_)

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/bin_index.h"
+#include "core/checkpoint.h"
 #include "core/item.h"
 #include "core/step_function.h"
 #include "core/time_types.h"
@@ -136,6 +137,17 @@ class Ledger {
 
   /// Latest time passed to any mutator.
   [[nodiscard]] Time clock() const noexcept { return clock_; }
+
+  /// Currently placed item ids, ascending. O(active items log active items).
+  [[nodiscard]] std::vector<ItemId> active_item_ids() const;
+
+  /// Serializes the complete ledger state (bit-exact loads and usage
+  /// accumulators). `load_state` restores into a *fresh* ledger (throws
+  /// std::logic_error otherwise), rebuilding the per-pool capacity indexes
+  /// so that every subsequent first/best/worst-fit query answers exactly as
+  /// it would have on the uninterrupted ledger.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   void advance_clock(Time now);

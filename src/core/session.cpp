@@ -17,10 +17,15 @@ void InteractiveSession::drain_until(Time t_inclusive) {
 }
 
 BinId InteractiveSession::offer(Time arrival, Time departure, Load size) {
+  // Input validation (not internal invariants): a service front end feeds
+  // untrusted streams through here, so bad requests must be rejected with
+  // std::invalid_argument before any state is touched.
   if (arrival < clock_)
-    throw std::logic_error("InteractiveSession: arrival in the past");
+    throw std::invalid_argument(
+        "InteractiveSession: arrival is before the session clock "
+        "(out-of-order offer)");
   if (!(departure > arrival))
-    throw std::logic_error("InteractiveSession: departure <= arrival");
+    throw std::invalid_argument("InteractiveSession: departure <= arrival");
   drain_until(arrival);
   clock_ = arrival;
 
@@ -42,7 +47,7 @@ BinId InteractiveSession::offer(Time arrival, Time departure, Load size) {
 
 void InteractiveSession::advance_to(Time t) {
   if (t < clock_)
-    throw std::logic_error("InteractiveSession: advancing backwards");
+    throw std::invalid_argument("InteractiveSession: advancing backwards");
   drain_until(t);
   clock_ = t;
 }
@@ -55,6 +60,39 @@ Cost InteractiveSession::finish() {
 
 Instance InteractiveSession::to_instance() const {
   return Instance{offered_};
+}
+
+void InteractiveSession::save_state(StateWriter& w) const {
+  w.f64(clock_);
+  w.u64(offered_.size());
+  for (const Item& item : offered_) {
+    w.f64(item.arrival);
+    w.f64(item.departure);
+    w.f64(item.size);
+  }
+  ledger_.save_state(w);
+}
+
+void InteractiveSession::load_state(StateReader& r) {
+  if (!offered_.empty() || !dq_.empty())
+    throw std::logic_error("InteractiveSession::load_state: session not fresh");
+  clock_ = r.f64();
+  const std::uint64_t n = r.u64();
+  offered_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    Item item;
+    item.id = static_cast<ItemId>(i);
+    item.arrival = r.f64();
+    item.departure = r.f64();
+    item.size = r.f64();
+    offered_.push_back(item);
+  }
+  ledger_.load_state(r);
+  // The departure queue is exactly the still-active items: drain_until
+  // pops every departure <= clock_ before an offer completes, so each
+  // pending departure belongs to an active placement and vice versa.
+  for (ItemId id : ledger_.active_item_ids())
+    dq_.push(Departure{offered_[static_cast<std::size_t>(id)].departure, id});
 }
 
 }  // namespace cdbp

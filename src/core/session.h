@@ -23,6 +23,8 @@ class InteractiveSession {
   /// Departures due at times <= item.arrival are processed first.
   /// Returns the bin chosen by the algorithm. The item's id is assigned by
   /// the session (sequence number) and returned via the offered item list.
+  /// Throws std::invalid_argument on an out-of-order arrival (before the
+  /// session clock) or a departure <= arrival, without mutating any state.
   BinId offer(Time arrival, Time departure, Load size);
 
   /// Advances the clock to `t`, processing departures with time <= t.
@@ -45,6 +47,16 @@ class InteractiveSession {
   /// Everything offered so far, as an Instance (finalized copy) — this is
   /// the sigma the adversary constructed, used to evaluate OPT on it.
   [[nodiscard]] Instance to_instance() const;
+
+  /// Serializes the session (clock, offered items, full ledger state). The
+  /// driven algorithm's state is NOT included — the caller saves it
+  /// alongside iff the algorithm is Checkpointable (see src/serve/).
+  /// `load_state` restores into a freshly constructed session (throws
+  /// std::logic_error otherwise) and rebuilds the departure queue from the
+  /// ledger's active items, after which the session continues
+  /// bit-identically with the one that was saved.
+  void save_state(StateWriter& w) const;
+  void load_state(StateReader& r);
 
  private:
   struct Departure {

@@ -1,0 +1,246 @@
+#include "serve/durable_session.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "core/checkpoint.h"
+#include "obs/obs.h"
+
+namespace cdbp::serve {
+
+namespace {
+
+constexpr char kCkptMagic[8] = {'C', 'D', 'B', 'P', 'C', 'K', 'P', '1'};
+
+obs::Counter& g_offers =
+    obs::MetricsRegistry::global().counter("serve.offers");
+obs::Counter& g_checkpoints =
+    obs::MetricsRegistry::global().counter("serve.checkpoints");
+obs::Counter& g_replayed =
+    obs::MetricsRegistry::global().counter("serve.recovery_replayed");
+obs::Histogram& g_ckpt_bytes =
+    obs::MetricsRegistry::global().histogram("serve.checkpoint_bytes");
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw std::runtime_error("checkpoint: " + what + " failed for '" + path +
+                           "': " + std::strerror(errno));
+}
+
+/// Durably writes `magic + u64 len + u32 crc + payload` via tmp + rename,
+/// so a crash mid-checkpoint leaves the previous checkpoint intact.
+void write_checkpoint_file(const std::string& path,
+                           const std::string& payload) {
+  StateWriter header;
+  header.u64(payload.size());
+  header.u32(crc32(payload.data(), payload.size()));
+
+  const std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open", tmp);
+  const auto write_all = [&](const char* data, std::size_t size) {
+    while (size > 0) {
+      const ssize_t n = ::write(fd, data, size);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        ::close(fd);
+        throw_errno("write", tmp);
+      }
+      data += n;
+      size -= static_cast<std::size_t>(n);
+    }
+  };
+  write_all(kCkptMagic, sizeof(kCkptMagic));
+  write_all(header.buffer().data(), header.size());
+  write_all(payload.data(), payload.size());
+  if (::fsync(fd) != 0) {
+    ::close(fd);
+    throw_errno("fsync", tmp);
+  }
+  if (::close(fd) != 0) throw_errno("close", tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) throw_errno("rename", path);
+}
+
+/// Reads and CRC-verifies a checkpoint payload. Empty optional-style
+/// contract via bool: returns false when the file is absent; throws on a
+/// present-but-invalid file.
+bool read_checkpoint_file(const std::string& path, std::string& payload) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (data.size() < sizeof(kCkptMagic) + 12 ||
+      std::memcmp(data.data(), kCkptMagic, sizeof(kCkptMagic)) != 0)
+    throw std::runtime_error("checkpoint: bad header in '" + path + "'");
+  StateReader r(std::string_view(data).substr(sizeof(kCkptMagic)));
+  const std::uint64_t len = r.u64();
+  const std::uint32_t crc = r.u32();
+  if (r.remaining() != len)
+    throw std::runtime_error("checkpoint: truncated file '" + path + "'");
+  payload = data.substr(sizeof(kCkptMagic) + 12);
+  if (crc32(payload.data(), payload.size()) != crc)
+    throw std::runtime_error("checkpoint: CRC mismatch in '" + path + "'");
+  return true;
+}
+
+AlgorithmPtr require_algo(AlgorithmPtr algo) {
+  if (!algo) throw std::invalid_argument("DurableSession: null algorithm");
+  return algo;
+}
+
+}  // namespace
+
+DurableSession::DurableSession(AlgorithmPtr algo, std::string algo_name,
+                               DurableSessionConfig config)
+    : algo_(require_algo(std::move(algo))),
+      algo_name_(std::move(algo_name)),
+      config_(std::move(config)),
+      session_(*algo_) {
+  checkpointable_ = dynamic_cast<Checkpointable*>(algo_.get());
+  if (config_.resume) {
+    recover();
+  } else {
+    // A fresh session must not leave a stale checkpoint behind: a later
+    // --resume would pair it with the new WAL and restore garbage.
+    std::remove(config_.checkpoint_path.c_str());
+  }
+  wal_ = std::make_unique<WalWriter>(config_.wal_path, config_.fsync,
+                                     config_.fsync_batch,
+                                     /*truncate=*/!config_.resume);
+}
+
+void DurableSession::replay(const std::vector<WalRecord>& records,
+                            std::uint64_t from_seq) {
+  for (const WalRecord& rec : records) {
+    if (rec.seq < from_seq) continue;
+    if (rec.seq != seq_)
+      throw std::runtime_error("recovery: WAL sequence gap (expected " +
+                               std::to_string(seq_) + ", found " +
+                               std::to_string(rec.seq) + ")");
+    const BinId bin = session_.offer(rec.arrival, rec.departure, rec.size);
+    if (bin != rec.bin)
+      throw std::runtime_error(
+          "recovery: replay diverged at seq " + std::to_string(rec.seq) +
+          " (log says bin " + std::to_string(rec.bin) + ", " + algo_name_ +
+          " chose " + std::to_string(bin) + ") — wrong --algo?");
+    ++seq_;
+    if (rec.stream_index > last_stream_index_)
+      last_stream_index_ = rec.stream_index;
+    ++recovery_.replayed;
+    g_replayed.add();
+  }
+}
+
+void DurableSession::recover() {
+  WalReadResult wal = read_wal(config_.wal_path);
+  recovery_.wal_existed = wal.exists;
+  recovery_.torn = wal.torn;
+  recovery_.tail_error = wal.tail_error;
+  recovery_.records = wal.records.size();
+  if (wal.exists && wal.torn) {
+    // Repair in place: everything past the intact prefix is a torn write
+    // from the crash. (valid_bytes = 0 covers a corrupt header — the log
+    // restarts empty, which WalWriter handles by re-writing the magic.)
+    std::ifstream probe(config_.wal_path,
+                        std::ios::binary | std::ios::ate);
+    const std::uint64_t file_size =
+        probe ? static_cast<std::uint64_t>(probe.tellg()) : 0;
+    probe.close();
+    if (file_size > wal.valid_bytes)
+      recovery_.truncated_bytes = file_size - wal.valid_bytes;
+    truncate_wal(config_.wal_path, wal.valid_bytes);
+  }
+
+  std::uint64_t from_seq = 0;
+  std::string payload;
+  if (checkpointable_ && read_checkpoint_file(config_.checkpoint_path,
+                                              payload)) {
+    StateReader r(payload);
+    const std::string name = r.str();
+    const std::uint64_t ckpt_seq = r.u64();
+    const std::uint64_t ckpt_stream = r.u64();
+    const bool has_algo_state = r.u8() != 0;
+    // Use the checkpoint only when it describes this algorithm and does not
+    // claim offers the (possibly truncated) WAL no longer holds — a
+    // checkpoint ahead of a torn log would skip records we cannot verify.
+    if (name == algo_name_ && has_algo_state &&
+        ckpt_seq <= wal.records.size()) {
+      session_.load_state(r);
+      checkpointable_->load_state(r);
+      if (!r.at_end())
+        throw std::runtime_error("checkpoint: trailing bytes in '" +
+                                 config_.checkpoint_path + "'");
+      seq_ = ckpt_seq;
+      last_stream_index_ = ckpt_stream;
+      from_seq = ckpt_seq;
+      recovery_.used_checkpoint = true;
+      recovery_.checkpoint_seq = ckpt_seq;
+    }
+  }
+  replay(wal.records, from_seq);
+}
+
+BinId DurableSession::offer(Time arrival, Time departure, Load size,
+                            std::uint64_t stream_index) {
+  if (!wal_) throw std::logic_error("DurableSession: offer after close");
+  const BinId bin = session_.offer(arrival, departure, size);
+  WalRecord rec;
+  rec.seq = seq_;
+  rec.stream_index = stream_index;
+  rec.arrival = arrival;
+  rec.departure = departure;
+  rec.size = size;
+  rec.bin = bin;
+  wal_->append(rec);
+  ++seq_;
+  if (stream_index > last_stream_index_) last_stream_index_ = stream_index;
+  g_offers.add();
+  if (config_.checkpoint_every > 0 && checkpointable_ &&
+      seq_ % config_.checkpoint_every == 0)
+    checkpoint_now();
+  return bin;
+}
+
+bool DurableSession::checkpoint_now() {
+  if (!checkpointable_) return false;
+  // WAL first: the checkpoint's seq must never exceed the durable log, or
+  // recovery would trust state it cannot cross-check against records.
+  if (wal_) wal_->sync();
+  StateWriter w;
+  w.str(algo_name_);
+  w.u64(seq_);
+  w.u64(last_stream_index_);
+  w.u8(1);
+  session_.save_state(w);
+  checkpointable_->save_state(w);
+  write_checkpoint_file(config_.checkpoint_path, w.buffer());
+  g_checkpoints.add();
+  g_ckpt_bytes.record(w.size());
+  return true;
+}
+
+void DurableSession::close() {
+  if (!wal_) return;
+  wal_->close();
+  wal_.reset();
+}
+
+CheckpointInfo read_checkpoint_info(const std::string& path) {
+  std::string payload;
+  if (!read_checkpoint_file(path, payload))
+    throw std::runtime_error("checkpoint: no such file '" + path + "'");
+  StateReader r(payload);
+  CheckpointInfo info;
+  info.algo_name = r.str();
+  info.seq = r.u64();
+  return info;
+}
+
+}  // namespace cdbp::serve

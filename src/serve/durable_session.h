@@ -1,0 +1,134 @@
+// DurableSession: an InteractiveSession whose every placement decision is
+// written ahead to a WAL and periodically checkpointed, so a crashed shard
+// restarts from `last checkpoint + WAL tail replay` and continues
+// bit-identically with the session that died.
+//
+// Write path (offer):
+//   1. apply the offer to the in-memory session (algorithm decides a bin);
+//   2. append the framed record to the WAL and apply the fsync policy;
+//   3. every `checkpoint_every` offers, snapshot session + algorithm state
+//      to the checkpoint file (WAL fsynced first, so the checkpoint never
+//      claims records the log might not hold).
+// A crash between (1) and (2) loses only an unacknowledged offer — exactly
+// the log-before-ack contract.
+//
+// Recovery path (resume=true):
+//   1. scan the WAL, keep the longest intact frame prefix, truncate any
+//      torn tail in place;
+//   2. if a valid checkpoint exists for this algorithm with
+//      checkpoint_seq <= surviving records: restore session and (when the
+//      algorithm is Checkpointable) algorithm state from it, then replay
+//      only the WAL tail; otherwise replay the whole log from scratch —
+//      the fallback for non-checkpointable algorithms (dfit, harmonic);
+//   3. every replayed decision is verified against the logged bin; a
+//      mismatch (non-deterministic algorithm, wrong --algo) aborts recovery
+//      with std::runtime_error rather than serving from a diverged state.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/algorithm.h"
+#include "core/session.h"
+#include "serve/wal.h"
+
+namespace cdbp::serve {
+
+/// What recovery found and did (surfaced by `cdbp recover` and ShardStats).
+struct RecoveryReport {
+  bool wal_existed = false;
+  bool torn = false;               ///< a torn tail was truncated away
+  std::uint64_t truncated_bytes = 0;
+  std::string tail_error;          ///< reader's reason, when torn
+  bool used_checkpoint = false;
+  std::uint64_t checkpoint_seq = 0;  ///< offers covered by the checkpoint
+  std::uint64_t records = 0;         ///< intact WAL records found
+  std::uint64_t replayed = 0;        ///< records replayed through the algo
+};
+
+struct DurableSessionConfig {
+  std::string wal_path;
+  std::string checkpoint_path;
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  std::size_t fsync_batch = 64;
+  /// Checkpoint every N offers; 0 disables periodic checkpoints. Ignored
+  /// (recovery falls back to full replay) when the algorithm is not
+  /// Checkpointable.
+  std::uint64_t checkpoint_every = 0;
+  /// false: start fresh (truncating any existing WAL). true: recover.
+  bool resume = false;
+};
+
+class DurableSession {
+ public:
+  /// Takes ownership of the algorithm. `algo_name` is the stable CLI name
+  /// stored in checkpoints (a resume with a different name rejects the
+  /// checkpoint and replays the full WAL). Throws std::runtime_error when
+  /// resume finds an unrecoverable log or a diverging replay.
+  DurableSession(AlgorithmPtr algo, std::string algo_name,
+                 DurableSessionConfig config);
+
+  /// Applies one offer, logs it durably, maybe checkpoints. Returns the
+  /// chosen bin. `stream_index` is the caller's global input position
+  /// (1-based; 0 = unknown), recorded for resume de-duplication.
+  /// Propagates std::invalid_argument from InteractiveSession::offer
+  /// without logging anything.
+  BinId offer(Time arrival, Time departure, Load size,
+              std::uint64_t stream_index);
+
+  /// Forces a checkpoint now (no-op when the algorithm is not
+  /// Checkpointable). Returns true when a checkpoint was written.
+  bool checkpoint_now();
+
+  /// Syncs and closes the WAL. Further offers throw. Idempotent.
+  void close();
+
+  /// Drains remaining departures and returns the final MinUsageTime cost.
+  /// (Does not close the WAL — departures are derived, not logged.)
+  [[nodiscard]] Cost finish() { return session_.finish(); }
+
+  [[nodiscard]] const RecoveryReport& recovery() const noexcept {
+    return recovery_;
+  }
+  /// Offers applied over the session's lifetime, including recovered ones.
+  [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
+  /// Highest stream_index applied (0 when none carried one).
+  [[nodiscard]] std::uint64_t last_stream_index() const noexcept {
+    return last_stream_index_;
+  }
+  [[nodiscard]] bool checkpointable() const noexcept {
+    return checkpointable_ != nullptr;
+  }
+  [[nodiscard]] const InteractiveSession& session() const noexcept {
+    return session_;
+  }
+  [[nodiscard]] const std::string& algo_name() const noexcept {
+    return algo_name_;
+  }
+
+ private:
+  void recover();
+  void replay(const std::vector<WalRecord>& records, std::uint64_t from_seq);
+
+  AlgorithmPtr algo_;
+  Checkpointable* checkpointable_ = nullptr;  // algo_ viewed as the capability
+  std::string algo_name_;
+  DurableSessionConfig config_;
+  InteractiveSession session_;
+  std::unique_ptr<WalWriter> wal_;
+  RecoveryReport recovery_;
+  std::uint64_t seq_ = 0;
+  std::uint64_t last_stream_index_ = 0;
+};
+
+/// Reads a checkpoint file header without restoring anything: returns
+/// {algo_name, checkpoint_seq} or throws std::runtime_error when missing or
+/// invalid. Used by `cdbp recover` reporting.
+struct CheckpointInfo {
+  std::string algo_name;
+  std::uint64_t seq = 0;
+};
+[[nodiscard]] CheckpointInfo read_checkpoint_info(const std::string& path);
+
+}  // namespace cdbp::serve

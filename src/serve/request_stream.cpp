@@ -1,0 +1,127 @@
+#include "serve/request_stream.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <random>
+#include <sstream>
+#include <stdexcept>
+
+#include "workloads/general_random.h"
+
+namespace cdbp::serve {
+
+namespace {
+
+constexpr const char* kHeader = "tenant,arrival,departure,size";
+
+double parse_field(const std::string& field, std::size_t line_no) {
+  const char* begin = field.c_str();
+  char* end = nullptr;
+  const double v = std::strtod(begin, &end);
+  if (end == begin || *end != '\0')
+    throw std::runtime_error("stream csv: bad numeric field '" + field +
+                             "' on line " + std::to_string(line_no));
+  return v;
+}
+
+std::string format_double(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::vector<ServeRequest> read_stream_csv(std::istream& in) {
+  std::vector<ServeRequest> out;
+  std::string line;
+  std::size_t line_no = 0;
+  Time prev_arrival = -kInfTime;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty() || line[0] == '#') continue;
+    if (line_no == 1 && line == kHeader) continue;
+
+    std::istringstream row(line);
+    std::string tenant, a, d, s, extra;
+    if (!std::getline(row, tenant, ',') || !std::getline(row, a, ',') ||
+        !std::getline(row, d, ',') || !std::getline(row, s, ',') ||
+        std::getline(row, extra, ','))
+      throw std::runtime_error(
+          "stream csv: expected 4 fields (tenant,arrival,departure,size) on "
+          "line " +
+          std::to_string(line_no));
+    if (tenant.empty())
+      throw std::runtime_error("stream csv: empty tenant on line " +
+                               std::to_string(line_no));
+    ServeRequest req;
+    req.tenant = tenant;
+    req.stream_index = out.size() + 1;  // 1-based; 0 means "unknown"
+    req.arrival = parse_field(a, line_no);
+    req.departure = parse_field(d, line_no);
+    req.size = parse_field(s, line_no);
+    if (req.arrival < prev_arrival)
+      throw std::runtime_error("stream csv: arrivals out of order on line " +
+                               std::to_string(line_no));
+    prev_arrival = req.arrival;
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+std::vector<ServeRequest> read_stream_csv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("stream csv: cannot open '" + path + "'");
+  return read_stream_csv(in);
+}
+
+void write_stream_csv(const std::vector<ServeRequest>& stream,
+                      std::ostream& out) {
+  out << kHeader << "\n";
+  for (const ServeRequest& req : stream)
+    out << req.tenant << ',' << format_double(req.arrival) << ','
+        << format_double(req.departure) << ',' << format_double(req.size)
+        << "\n";
+  if (!out)
+    throw std::runtime_error("stream csv: write failed");
+}
+
+void write_stream_csv(const std::vector<ServeRequest>& stream,
+                      const std::string& path) {
+  std::ofstream out(path);
+  if (!out)
+    throw std::runtime_error("stream csv: cannot open '" + path +
+                             "' for writing");
+  write_stream_csv(stream, out);
+}
+
+std::vector<ServeRequest> generate_stream(const StreamGenConfig& config) {
+  workloads::GeneralConfig gc;
+  gc.shape = workloads::GeneralShape::kLogUniform;
+  gc.target_items = config.target_items;
+  gc.log2_mu = config.log2_mu;
+  gc.horizon = config.horizon;
+  std::mt19937_64 rng(config.seed);
+  const Instance instance = workloads::make_general_random(gc, rng);
+
+  std::vector<ServeRequest> out;
+  out.reserve(instance.size());
+  const std::size_t tenants = std::max<std::size_t>(1, config.tenants);
+  for (std::size_t i = 0; i < instance.size(); ++i) {
+    const Item& item = instance[i];
+    ServeRequest req;
+    req.tenant = "t" + std::to_string(i % tenants);
+    req.stream_index = i + 1;
+    req.arrival = item.arrival;
+    req.departure = item.departure;
+    req.size = item.size;
+    out.push_back(std::move(req));
+  }
+  return out;
+}
+
+}  // namespace cdbp::serve

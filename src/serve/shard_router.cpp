@@ -1,0 +1,269 @@
+#include "serve/shard_router.h"
+
+#include <sys/stat.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "obs/obs.h"
+
+namespace cdbp::serve {
+
+namespace {
+
+obs::Counter& g_submitted =
+    obs::MetricsRegistry::global().counter("serve.submitted");
+obs::Counter& g_rejected =
+    obs::MetricsRegistry::global().counter("serve.rejected");
+obs::Counter& g_shed = obs::MetricsRegistry::global().counter("serve.shed");
+obs::Counter& g_skipped =
+    obs::MetricsRegistry::global().counter("serve.resume_skipped");
+
+void make_dir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return;
+  throw std::runtime_error("serve: mkdir failed for '" + path +
+                           "': " + std::strerror(errno));
+}
+
+std::string shard_file(const std::string& dir, std::size_t shard,
+                       const char* suffix) {
+  return dir + "/shard-" + std::to_string(shard) + suffix;
+}
+
+}  // namespace
+
+std::string to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kBlock:
+      return "block";
+    case AdmissionPolicy::kReject:
+      return "reject";
+    case AdmissionPolicy::kShed:
+      return "shed";
+  }
+  return "?";
+}
+
+AdmissionPolicy parse_admission_policy(const std::string& s) {
+  if (s == "block") return AdmissionPolicy::kBlock;
+  if (s == "reject") return AdmissionPolicy::kReject;
+  if (s == "shed") return AdmissionPolicy::kShed;
+  throw std::invalid_argument(
+      "admission policy must be block|reject|shed, got '" + s + "'");
+}
+
+std::uint64_t tenant_hash(std::string_view tenant) noexcept {
+  std::uint64_t h = 14695981039346656037ULL;
+  for (const char c : tenant) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+bool ShardRouter::RequestQueue::push(ServeRequest req,
+                                     AdmissionPolicy policy) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  if (closed_) throw std::logic_error("serve: submit after stop");
+  if (items_.size() >= capacity_) {
+    switch (policy) {
+      case AdmissionPolicy::kReject:
+        return false;
+      case AdmissionPolicy::kShed:
+        items_.pop_front();
+        ++shed_;
+        g_shed.add();
+        break;
+      case AdmissionPolicy::kBlock:
+        not_full_.wait(lock, [&] {
+          return closed_ || items_.size() < capacity_;
+        });
+        if (closed_) throw std::logic_error("serve: submit after stop");
+        break;
+    }
+  }
+  items_.push_back(std::move(req));
+  peak_ = std::max<std::uint64_t>(peak_, items_.size());
+  not_empty_.notify_one();
+  return true;
+}
+
+bool ShardRouter::RequestQueue::pop(ServeRequest& out) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  if (items_.empty()) return false;  // closed and drained
+  out = std::move(items_.front());
+  items_.pop_front();
+  not_full_.notify_one();
+  return true;
+}
+
+void ShardRouter::RequestQueue::close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  not_full_.notify_all();
+  not_empty_.notify_all();
+}
+
+std::uint64_t ShardRouter::RequestQueue::shed_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return shed_;
+}
+
+std::uint64_t ShardRouter::RequestQueue::peak() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peak_;
+}
+
+ShardRouter::ShardRouter(RouterConfig config,
+                         const std::function<AlgorithmPtr()>& make_algo,
+                         std::string algo_name)
+    : config_(std::move(config)) {
+  if (config_.shards == 0)
+    throw std::invalid_argument("serve: shards must be >= 1");
+  if (config_.queue_capacity == 0)
+    throw std::invalid_argument("serve: queue_capacity must be >= 1");
+  if (!make_algo) throw std::invalid_argument("serve: null algorithm factory");
+  make_dir(config_.wal_dir);
+
+  // Sessions are built (and recovered) serially here, so recovery errors
+  // surface from the constructor; workers only ever touch their own shard.
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>();
+    DurableSessionConfig sc;
+    sc.wal_path = shard_file(config_.wal_dir, i, ".wal");
+    sc.checkpoint_path = shard_file(config_.wal_dir, i, ".ckpt");
+    sc.fsync = config_.fsync;
+    sc.fsync_batch = config_.fsync_batch;
+    sc.checkpoint_every = config_.checkpoint_every;
+    sc.resume = config_.resume;
+    shard->session = std::make_unique<DurableSession>(make_algo(), algo_name,
+                                                      std::move(sc));
+    shard->queue = std::make_unique<RequestQueue>(config_.queue_capacity);
+    shard->stats.shard = i;
+    shards_.push_back(std::move(shard));
+  }
+
+  pool_ = std::make_unique<parallel::ThreadPool>(config_.shards);
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    shard->done = pool_->submit([this, s] { worker_loop(*s); });
+  }
+}
+
+ShardRouter::~ShardRouter() {
+  try {
+    stop();
+  } catch (...) {
+    // Destructor path: stop() errors were either already observed via an
+    // explicit stop() or the owner is unwinding; don't terminate.
+  }
+}
+
+std::size_t ShardRouter::shard_of(std::string_view tenant) const noexcept {
+  return static_cast<std::size_t>(tenant_hash(tenant) % shards_.size());
+}
+
+bool ShardRouter::submit(ServeRequest req) {
+  if (stopped_.load(std::memory_order_acquire))
+    throw std::logic_error("serve: submit after stop");
+  Shard& shard = *shards_[shard_of(req.tenant)];
+  g_submitted.add();
+  if (!shard.queue->push(std::move(req), config_.admission)) {
+    g_rejected.add();
+    return false;
+  }
+  return true;
+}
+
+void ShardRouter::worker_loop(Shard& shard) {
+  ServeRequest req;
+  while (shard.queue->pop(req)) {
+    if (config_.worker_delay_us > 0)
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(config_.worker_delay_us));
+    // Resume de-duplication: the WAL already holds this stream position.
+    if (config_.resume && req.stream_index != 0 &&
+        req.stream_index <= shard.session->last_stream_index()) {
+      ++shard.stats.skipped;
+      g_skipped.add();
+      continue;
+    }
+    try {
+      const std::uint64_t seq = shard.session->seq();
+      const BinId bin = shard.session->offer(req.arrival, req.departure,
+                                             req.size, req.stream_index);
+      ++shard.stats.applied;
+      shard.applied.push_back(ServeResult{req.stream_index,
+                                          std::move(req.tenant),
+                                          shard.stats.shard, seq, bin});
+    } catch (const std::invalid_argument&) {
+      ++shard.stats.invalid;  // bad request, not a shard failure
+    }
+  }
+  // Queue closed and drained: finalize. Costs/open-bin counts are part of
+  // the stats contract, so compute them before the WAL handle goes away.
+  shard.stats.open_bins = shard.session->session().open_bins();
+  shard.stats.final_cost = shard.session->finish();
+  shard.session->close();
+  shard.stats.shed = shard.queue->shed_count();
+  shard.stats.queue_peak = shard.queue->peak();
+  shard.stats.wal_records = shard.session->seq();
+  shard.stats.last_stream_index = shard.session->last_stream_index();
+  shard.stats.recovery = shard.session->recovery();
+}
+
+void ShardRouter::stop() {
+  std::lock_guard<std::mutex> lock(stop_mutex_);
+  if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
+  for (auto& shard : shards_) shard->queue->close();
+  std::exception_ptr first_error;
+  for (auto& shard : shards_) {
+    try {
+      if (shard->done.valid()) shard->done.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  pool_->stop();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+const ShardStats& ShardRouter::stats(std::size_t shard) const {
+  if (!stopped_.load(std::memory_order_acquire))
+    throw std::logic_error("serve: stats before stop");
+  return shards_.at(shard)->stats;
+}
+
+std::vector<ServeResult> ShardRouter::results() const {
+  if (!stopped_.load(std::memory_order_acquire))
+    throw std::logic_error("serve: results before stop");
+  std::vector<ServeResult> out;
+  for (const auto& shard : shards_)
+    out.insert(out.end(), shard->applied.begin(), shard->applied.end());
+  std::sort(out.begin(), out.end(),
+            [](const ServeResult& a, const ServeResult& b) {
+              if (a.stream_index != b.stream_index)
+                return a.stream_index < b.stream_index;
+              if (a.shard != b.shard) return a.shard < b.shard;
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+Cost ShardRouter::total_cost() const {
+  if (!stopped_.load(std::memory_order_acquire))
+    throw std::logic_error("serve: total_cost before stop");
+  Cost total = 0.0;
+  for (const auto& shard : shards_) total += shard->stats.final_cost;
+  return total;
+}
+
+}  // namespace cdbp::serve

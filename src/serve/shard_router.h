@@ -1,0 +1,181 @@
+// ShardRouter: the sharded front end of the streaming packing service.
+//
+// Tenant keys are hashed (FNV-1a 64, a stable hash — std::hash may differ
+// across libstdc++ versions, and shard assignment must survive restarts)
+// onto N shards. Each shard owns a DurableSession plus a bounded MPSC
+// request queue and runs on its own ThreadPool worker; items of one tenant
+// therefore always pack into one shard's bins, in submission order.
+//
+// Backpressure: a full queue is handled per the admission policy —
+//   kBlock  — submit() waits for space (lossless, applies backpressure to
+//             the producer);
+//   kReject — submit() returns false immediately (caller sees the refusal);
+//   kShed   — the oldest queued request is dropped to admit the new one
+//             (freshest-wins, for load-shedding front ends).
+//
+// Resume: with RouterConfig::resume, every shard recovers its WAL first,
+// and submit() drops requests whose stream_index the shard has already
+// applied. Feeding the same input stream again therefore continues exactly
+// where the crash happened — the skip test is a simple high-water mark,
+// which is sound because each shard applies its requests in submission
+// order (single queue, single worker).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/algorithm.h"
+#include "parallel/thread_pool.h"
+#include "serve/durable_session.h"
+#include "serve/wal.h"
+
+namespace cdbp::serve {
+
+/// What to do when a shard's request queue is full (see file comment).
+enum class AdmissionPolicy { kBlock, kReject, kShed };
+
+[[nodiscard]] std::string to_string(AdmissionPolicy policy);
+/// Parses "block" | "reject" | "shed"; throws std::invalid_argument.
+[[nodiscard]] AdmissionPolicy parse_admission_policy(const std::string& s);
+
+/// Stable 64-bit FNV-1a over the tenant key.
+[[nodiscard]] std::uint64_t tenant_hash(std::string_view tenant) noexcept;
+
+struct RouterConfig {
+  std::string wal_dir;         ///< created if missing; one WAL+ckpt per shard
+  std::size_t shards = 1;
+  std::size_t queue_capacity = 1024;
+  AdmissionPolicy admission = AdmissionPolicy::kBlock;
+  FsyncPolicy fsync = FsyncPolicy::kBatch;
+  std::size_t fsync_batch = 64;
+  std::uint64_t checkpoint_every = 0;  ///< 0 = no periodic checkpoints
+  bool resume = false;
+  /// Test/bench hook: microseconds each worker sleeps per request, to make
+  /// backpressure deterministic (a slow consumer on demand).
+  std::uint32_t worker_delay_us = 0;
+};
+
+/// One request as routed (stream_index is the 1-based global input line).
+struct ServeRequest {
+  std::string tenant;
+  std::uint64_t stream_index = 0;
+  Time arrival = 0.0;
+  Time departure = 0.0;
+  Load size = 0.0;
+};
+
+/// One applied placement, reported after stop().
+struct ServeResult {
+  std::uint64_t stream_index = 0;
+  std::string tenant;
+  std::size_t shard = 0;
+  std::uint64_t seq = 0;  ///< per-shard WAL sequence number
+  BinId bin = kNoBin;
+};
+
+/// Per-shard accounting, stable after stop().
+struct ShardStats {
+  std::size_t shard = 0;
+  std::uint64_t applied = 0;   ///< offers placed and logged this run
+  std::uint64_t skipped = 0;   ///< resume de-duplicated (already in WAL)
+  std::uint64_t invalid = 0;   ///< rejected by session validation
+  std::uint64_t shed = 0;      ///< dropped from the queue (kShed)
+  std::uint64_t queue_peak = 0;
+  std::uint64_t wal_records = 0;  ///< total, including recovered ones
+  std::uint64_t last_stream_index = 0;
+  std::size_t open_bins = 0;      ///< at finish time
+  Cost final_cost = 0.0;
+  RecoveryReport recovery;
+};
+
+class ShardRouter {
+ public:
+  /// Builds all shard sessions (recovering each when config.resume) and
+  /// starts one long-running worker per shard on a private ThreadPool.
+  /// `make_algo` must produce a fresh deterministic instance per call;
+  /// `algo_name` is the stable name stored in checkpoints.
+  ShardRouter(RouterConfig config,
+              const std::function<AlgorithmPtr()>& make_algo,
+              std::string algo_name);
+  ~ShardRouter();
+
+  ShardRouter(const ShardRouter&) = delete;
+  ShardRouter& operator=(const ShardRouter&) = delete;
+
+  /// Routes one request to its tenant's shard. Returns false only under
+  /// kReject with a full queue (the request was not admitted). Thread-safe
+  /// (multiple producers). Throws std::logic_error after stop().
+  bool submit(ServeRequest req);
+
+  /// Shard a tenant maps to (exposed for tests and `cdbp wal-dump`).
+  [[nodiscard]] std::size_t shard_of(std::string_view tenant) const noexcept;
+
+  /// Closes the queues, waits for every worker to drain, finalizes each
+  /// session (finish + WAL close), and rethrows the first worker error.
+  /// Idempotent. Stats/results are valid only after stop() returns.
+  void stop();
+
+  [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
+  /// Valid after stop().
+  [[nodiscard]] const ShardStats& stats(std::size_t shard) const;
+  /// All applied placements, merged across shards and sorted by
+  /// stream_index. Valid after stop().
+  [[nodiscard]] std::vector<ServeResult> results() const;
+  /// Sum of per-shard final costs. Valid after stop().
+  [[nodiscard]] Cost total_cost() const;
+
+ private:
+  /// Bounded MPSC queue: producers are submit() callers, the consumer is
+  /// the shard's worker. close() wakes everyone; pop() returns false once
+  /// closed and empty.
+  class RequestQueue {
+   public:
+    explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+
+    /// Returns false only under kReject with a full queue. Under kShed the
+    /// oldest entry is dropped (counted in `shed`).
+    bool push(ServeRequest req, AdmissionPolicy policy);
+    bool pop(ServeRequest& out);
+    void close();
+
+    [[nodiscard]] std::uint64_t shed_count() const;
+    [[nodiscard]] std::uint64_t peak() const;
+
+   private:
+    std::size_t capacity_;
+    std::deque<ServeRequest> items_;
+    std::uint64_t shed_ = 0;
+    std::uint64_t peak_ = 0;
+    bool closed_ = false;
+    mutable std::mutex mutex_;
+    std::condition_variable not_full_;
+    std::condition_variable not_empty_;
+  };
+
+  struct Shard {
+    std::unique_ptr<DurableSession> session;
+    std::unique_ptr<RequestQueue> queue;
+    ShardStats stats;
+    std::vector<ServeResult> applied;
+    std::future<void> done;
+  };
+
+  void worker_loop(Shard& shard);
+
+  RouterConfig config_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::unique_ptr<parallel::ThreadPool> pool_;
+  std::atomic<bool> stopped_{false};
+  std::mutex stop_mutex_;
+};
+
+}  // namespace cdbp::serve

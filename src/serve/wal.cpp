@@ -1,0 +1,215 @@
+#include "serve/wal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <stdexcept>
+
+#include "core/checkpoint.h"
+#include "obs/obs.h"
+
+namespace cdbp::serve {
+
+namespace {
+
+constexpr char kWalMagic[8] = {'C', 'D', 'B', 'P', 'W', 'A', 'L', '1'};
+constexpr std::uint8_t kRecordOffer = 1;
+// Fixed offer-record payload: type + seq + stream_index + 3 doubles + bin.
+constexpr std::size_t kOfferPayload = 1 + 8 + 8 + 8 + 8 + 8 + 8;
+
+// Namespace-scope references: no initialization-guard load per append.
+obs::Counter& g_appends =
+    obs::MetricsRegistry::global().counter("wal.appends");
+obs::Counter& g_fsyncs = obs::MetricsRegistry::global().counter("wal.fsyncs");
+obs::Histogram& g_fsync_us =
+    obs::MetricsRegistry::global().histogram("wal.fsync_us");
+
+[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
+  throw std::runtime_error("wal: " + what + " failed for '" + path +
+                           "': " + std::strerror(errno));
+}
+
+std::uint32_t read_u32_le(const unsigned char* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void write_all(int fd, const char* data, std::size_t size,
+               const std::string& path) {
+  while (size > 0) {
+    const ssize_t n = ::write(fd, data, size);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw_errno("write", path);
+    }
+    data += n;
+    size -= static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::string to_string(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNone:
+      return "none";
+    case FsyncPolicy::kBatch:
+      return "batch";
+    case FsyncPolicy::kEvery:
+      return "every";
+  }
+  return "?";
+}
+
+FsyncPolicy parse_fsync_policy(const std::string& s) {
+  if (s == "none") return FsyncPolicy::kNone;
+  if (s == "batch") return FsyncPolicy::kBatch;
+  if (s == "every") return FsyncPolicy::kEvery;
+  throw std::invalid_argument("fsync policy must be none|batch|every, got '" +
+                              s + "'");
+}
+
+WalWriter::WalWriter(std::string path, FsyncPolicy policy,
+                     std::size_t fsync_batch, bool truncate)
+    : path_(std::move(path)), policy_(policy), fsync_batch_(fsync_batch) {
+  if (policy_ == FsyncPolicy::kBatch && fsync_batch_ == 0)
+    throw std::invalid_argument("wal: fsync_batch must be >= 1");
+  int flags = O_WRONLY | O_CREAT | O_APPEND;
+  if (truncate) flags |= O_TRUNC;
+  fd_ = ::open(path_.c_str(), flags, 0644);
+  if (fd_ < 0) throw_errno("open", path_);
+  struct stat st {};
+  if (::fstat(fd_, &st) != 0) throw_errno("fstat", path_);
+  if (st.st_size == 0) write_all(fd_, kWalMagic, sizeof(kWalMagic), path_);
+}
+
+WalWriter::~WalWriter() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor path: the process is going away; close() throwing on a
+    // final fsync would terminate it. Callers that need the durability
+    // guarantee call close() explicitly.
+  }
+}
+
+void WalWriter::append(const WalRecord& rec) {
+  if (fd_ < 0) throw std::logic_error("wal: append after close");
+  StateWriter payload;
+  payload.u8(kRecordOffer);
+  payload.u64(rec.seq);
+  payload.u64(rec.stream_index);
+  payload.f64(rec.arrival);
+  payload.f64(rec.departure);
+  payload.f64(rec.size);
+  payload.i64(rec.bin);
+
+  StateWriter frame;
+  frame.u32(static_cast<std::uint32_t>(payload.size()));
+  frame.u32(crc32(payload.buffer().data(), payload.size()));
+  write_all(fd_, frame.buffer().data(), frame.size(), path_);
+  write_all(fd_, payload.buffer().data(), payload.size(), path_);
+  ++appended_;
+  ++unsynced_;
+  g_appends.add();
+
+  if (policy_ == FsyncPolicy::kEvery ||
+      (policy_ == FsyncPolicy::kBatch && unsynced_ >= fsync_batch_))
+    sync();
+}
+
+void WalWriter::sync() {
+  if (fd_ < 0) return;
+  const auto t0 = std::chrono::steady_clock::now();
+  if (::fsync(fd_) != 0) throw_errno("fsync", path_);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  g_fsyncs.add();
+  g_fsync_us.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(dt).count()));
+  unsynced_ = 0;
+}
+
+void WalWriter::close() {
+  if (fd_ < 0) return;
+  if (policy_ != FsyncPolicy::kNone && unsynced_ > 0) sync();
+  const int rc = ::close(fd_);
+  fd_ = -1;
+  if (rc != 0) throw_errno("close", path_);
+}
+
+WalReadResult read_wal(const std::string& path) {
+  WalReadResult out;
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return out;  // missing file: empty log, not an error
+  out.exists = true;
+
+  std::string data((std::istreambuf_iterator<char>(in)),
+                   std::istreambuf_iterator<char>());
+  if (data.size() < sizeof(kWalMagic) ||
+      std::memcmp(data.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+    out.torn = true;
+    out.tail_error = "missing or corrupt WAL header";
+    return out;
+  }
+
+  std::size_t pos = sizeof(kWalMagic);
+  out.valid_bytes = pos;
+  while (pos < data.size()) {
+    if (data.size() - pos < 8) {
+      out.torn = true;
+      out.tail_error = "partial frame header";
+      break;
+    }
+    const auto* p = reinterpret_cast<const unsigned char*>(data.data() + pos);
+    const std::uint32_t len = read_u32_le(p);
+    const std::uint32_t crc = read_u32_le(p + 4);
+    if (len != kOfferPayload) {
+      out.torn = true;
+      out.tail_error = "bad frame length";
+      break;
+    }
+    if (data.size() - pos - 8 < len) {
+      out.torn = true;
+      out.tail_error = "partial frame payload";
+      break;
+    }
+    const char* payload = data.data() + pos + 8;
+    if (crc32(payload, len) != crc) {
+      out.torn = true;
+      out.tail_error = "frame CRC mismatch";
+      break;
+    }
+    StateReader r(std::string_view(payload, len));
+    const std::uint8_t type = r.u8();
+    if (type != kRecordOffer) {
+      out.torn = true;
+      out.tail_error = "unknown record type";
+      break;
+    }
+    WalRecord rec;
+    rec.seq = r.u64();
+    rec.stream_index = r.u64();
+    rec.arrival = r.f64();
+    rec.departure = r.f64();
+    rec.size = r.f64();
+    rec.bin = r.i64();
+    out.records.push_back(rec);
+    pos += 8 + len;
+    out.valid_bytes = pos;
+  }
+  return out;
+}
+
+void truncate_wal(const std::string& path, std::uint64_t size) {
+  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0)
+    throw_errno("truncate", path);
+}
+
+}  // namespace cdbp::serve

@@ -1,0 +1,111 @@
+// Write-ahead log for the streaming packing service: an append-only file of
+// CRC-framed placement records, one per acknowledged offer. The WAL is the
+// shard's source of truth — recovery replays it (from the last checkpoint,
+// or from the beginning) to rebuild the exact session state.
+//
+// File layout (docs/SERVING.md has the full spec):
+//   [8-byte magic "CDBPWAL1"] frame*
+//   frame := u32 payload_len | u32 crc32(payload) | payload
+//   payload (offer record, all little-endian, doubles as bit patterns) :=
+//     u8 type(=1) | u64 seq | u64 stream_index | f64 arrival |
+//     f64 departure | f64 size | i64 bin
+//
+// Torn-write semantics: a reader accepts the longest prefix of intact
+// frames and reports everything after it (a partial frame from a crash, or
+// a corrupted one) as a torn tail. Recovery truncates the file back to the
+// intact prefix; the lost records were never acknowledged under
+// FsyncPolicy::kEvery, and under batched policies the affected requests are
+// re-fed by the resume path (stream_index de-duplication, see
+// shard_router.h).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/time_types.h"
+
+namespace cdbp::serve {
+
+/// When appends are made durable.
+///  * kNone   — never fsync; the OS flushes when it pleases (bench baseline).
+///  * kBatch  — fsync every `fsync_batch` records and on flush()/close().
+///  * kEvery  — fsync after every record: an acked placement survives
+///              kill -9 of the process and loss of the page cache.
+enum class FsyncPolicy { kNone, kBatch, kEvery };
+
+[[nodiscard]] std::string to_string(FsyncPolicy policy);
+/// Parses "none" | "batch" | "every"; throws std::invalid_argument.
+[[nodiscard]] FsyncPolicy parse_fsync_policy(const std::string& s);
+
+/// One logged placement decision.
+struct WalRecord {
+  std::uint64_t seq = 0;           ///< per-shard offer sequence number
+  std::uint64_t stream_index = 0;  ///< global input-stream line index
+  Time arrival = 0.0;
+  Time departure = 0.0;
+  Load size = 0.0;
+  BinId bin = kNoBin;
+
+  friend bool operator==(const WalRecord&, const WalRecord&) = default;
+};
+
+/// Append-side handle. Not thread-safe: each shard's WAL is written only by
+/// that shard's worker. Throws std::runtime_error on I/O failure.
+class WalWriter {
+ public:
+  /// Opens (creating if needed) `path`. `truncate` starts a fresh log with
+  /// a new header; otherwise appends to the existing file (which must carry
+  /// a valid header — recovery truncates torn tails before reopening).
+  WalWriter(std::string path, FsyncPolicy policy, std::size_t fsync_batch,
+            bool truncate);
+  ~WalWriter();
+
+  WalWriter(const WalWriter&) = delete;
+  WalWriter& operator=(const WalWriter&) = delete;
+
+  /// Appends one framed record and applies the fsync policy. Returns only
+  /// once the record is durable per the policy.
+  void append(const WalRecord& rec);
+
+  /// Forces an fsync now (no-op under kNone with nothing buffered is still
+  /// an fsync — callers use this to order a checkpoint after its WAL
+  /// prefix).
+  void sync();
+
+  /// Flush + fsync (unless kNone) + close. Idempotent; the destructor
+  /// calls it, swallowing errors.
+  void close();
+
+  [[nodiscard]] std::uint64_t appended() const noexcept { return appended_; }
+  [[nodiscard]] const std::string& path() const noexcept { return path_; }
+
+ private:
+  std::string path_;
+  FsyncPolicy policy_;
+  std::size_t fsync_batch_;
+  std::size_t unsynced_ = 0;
+  std::uint64_t appended_ = 0;
+  int fd_ = -1;
+};
+
+/// Result of scanning a WAL file.
+struct WalReadResult {
+  std::vector<WalRecord> records;  ///< longest intact prefix
+  std::uint64_t valid_bytes = 0;   ///< file offset where the prefix ends
+  bool exists = false;             ///< the file was present
+  bool torn = false;               ///< bytes beyond valid_bytes were dropped
+  std::string tail_error;          ///< why the tail was rejected (when torn)
+};
+
+/// Scans `path`, accepting the longest intact frame prefix (see file
+/// comment). A missing file yields an empty, non-torn result; a present
+/// file with a bad header yields torn with valid_bytes = 0... the caller
+/// decides whether to truncate (recovery does).
+[[nodiscard]] WalReadResult read_wal(const std::string& path);
+
+/// Truncates `path` to `size` bytes (recovery's torn-tail repair).
+/// Throws std::runtime_error on failure.
+void truncate_wal(const std::string& path, std::uint64_t size);
+
+}  // namespace cdbp::serve

@@ -328,6 +328,125 @@ TEST(Cli, RunAcceptsTraceAndMetricsFlags) {
 
 #endif  // CDBP_OBS_OFF
 
+std::string line_with(const std::string& text, const std::string& needle) {
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line))
+    if (line.find(needle) != std::string::npos) return line;
+  return "";
+}
+
+TEST(Cli, ServeRecoverWalDumpPipeline) {
+  namespace fs = std::filesystem;
+  const std::string stream = temp_file("cdbp_cli_stream.csv");
+  const fs::path wal_dir = fs::temp_directory_path() / "cdbp_cli_serve_wal";
+  fs::remove_all(wal_dir);
+
+  const CliRun gen = cli({"gen-stream", "--out", stream, "--items", "150",
+                          "--tenants", "6", "--seed", "3"});
+  EXPECT_EQ(gen.code, 0) << gen.err;
+  EXPECT_NE(gen.out.find("requests (6 tenants)"), std::string::npos);
+
+  const std::string placements = temp_file("cdbp_cli_placements.csv");
+  const CliRun serve =
+      cli({"serve", "--algo", "bf", "--in", stream, "--wal-dir",
+           wal_dir.string(), "--shards", "2", "--fsync", "none",
+           "--checkpoint-every", "16", "--out", placements});
+  EXPECT_EQ(serve.code, 0) << serve.err;
+  EXPECT_NE(serve.out.find("shard 0: applied="), std::string::npos);
+  EXPECT_NE(serve.out.find("served 150 requests on 2 shard(s)"),
+            std::string::npos);
+  const std::string served_cost = line_with(serve.out, "total cost=");
+  ASSERT_FALSE(served_cost.empty());
+  EXPECT_TRUE(fs::exists(placements));
+
+  // Recovery rebuilds the exact same state: the canonical cost line must
+  // match the live run byte for byte.
+  const CliRun recover = cli({"recover", "--algo", "bf", "--wal-dir",
+                              wal_dir.string(), "--shards", "2"});
+  EXPECT_EQ(recover.code, 0) << recover.err;
+  EXPECT_EQ(line_with(recover.out, "total cost="), served_cost);
+  EXPECT_NE(recover.out.find("digest="), std::string::npos);
+  EXPECT_NE(recover.err.find("checkpoint@"), std::string::npos);
+
+  const CliRun dump =
+      cli({"wal-dump", "--wal", (wal_dir / "shard-0.wal").string()});
+  EXPECT_EQ(dump.code, 0) << dump.err;
+  EXPECT_EQ(dump.out.rfind("seq,stream_index,arrival,departure,size,bin", 0),
+            0u);
+  EXPECT_NE(dump.out.find("# records="), std::string::npos);
+  EXPECT_EQ(dump.out.find("# torn tail"), std::string::npos);
+
+  EXPECT_EQ(cli({"wal-dump", "--wal", "/no/such.wal"}).code, 1);
+
+  std::remove(stream.c_str());
+  std::remove(placements.c_str());
+  fs::remove_all(wal_dir);
+}
+
+TEST(Cli, ServeResumeMatchesUninterruptedRun) {
+  namespace fs = std::filesystem;
+  const std::string stream = temp_file("cdbp_cli_resume_stream.csv");
+  const std::string half = temp_file("cdbp_cli_resume_half.csv");
+  const fs::path ref_dir = fs::temp_directory_path() / "cdbp_cli_resume_ref";
+  const fs::path crash_dir =
+      fs::temp_directory_path() / "cdbp_cli_resume_crash";
+  fs::remove_all(ref_dir);
+  fs::remove_all(crash_dir);
+
+  ASSERT_EQ(cli({"gen-stream", "--out", stream, "--items", "120", "--seed",
+                 "9"})
+                .code,
+            0);
+  {
+    // First half of the stream = header plus the first 60 request lines.
+    std::ifstream in(stream);
+    std::ofstream out_half(half);
+    std::string line;
+    for (int i = 0; i <= 60 && std::getline(in, line); ++i)
+      out_half << line << "\n";
+  }
+
+  const std::vector<std::string> common = {"--algo", "ha", "--shards", "2",
+                                           "--fsync", "none"};
+  auto serve_args = [&](const std::string& in_path, const fs::path& dir,
+                        bool resume) {
+    std::vector<std::string> args = {"serve", "--in", in_path, "--wal-dir",
+                                     dir.string()};
+    args.insert(args.end(), common.begin(), common.end());
+    if (resume) args.push_back("--resume");
+    return args;
+  };
+
+  ASSERT_EQ(cli(serve_args(stream, ref_dir, false)).code, 0);
+  ASSERT_EQ(cli(serve_args(half, crash_dir, false)).code, 0);
+  // Resume with the FULL stream: already-applied requests are skipped via
+  // the stream-index high-water mark, the rest are served normally.
+  const CliRun resumed = cli(serve_args(stream, crash_dir, true));
+  ASSERT_EQ(resumed.code, 0) << resumed.err;
+  EXPECT_NE(resumed.out.find("skipped=60"), std::string::npos)
+      << resumed.out;
+
+  const std::vector<std::string> rec = {"--algo", "ha", "--shards", "2"};
+  auto recover_args = [&](const fs::path& dir) {
+    std::vector<std::string> args = {"recover", "--wal-dir", dir.string()};
+    args.insert(args.end(), rec.begin(), rec.end());
+    return args;
+  };
+  const CliRun ref = cli(recover_args(ref_dir));
+  const CliRun crash = cli(recover_args(crash_dir));
+  ASSERT_EQ(ref.code, 0) << ref.err;
+  ASSERT_EQ(crash.code, 0) << crash.err;
+  // The whole canonical stdout — per-shard records, costs, digests — must
+  // be byte-identical; this is exactly what the CI crash job diffs.
+  EXPECT_EQ(crash.out, ref.out);
+
+  std::remove(stream.c_str());
+  std::remove(half.c_str());
+  fs::remove_all(ref_dir);
+  fs::remove_all(crash_dir);
+}
+
 TEST(Cli, GenerateShapesAccepted) {
   for (const std::string shape :
        {"log-uniform", "exponential", "geometric-bursts", "two-phase"}) {

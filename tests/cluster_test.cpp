@@ -140,6 +140,27 @@ TEST(Cluster, ChurnyAlgorithmsPayMoreBootEnergy) {
   EXPECT_GE(ec.servers_booted, ef.servers_booted);
 }
 
+TEST(Cluster, RejectsRunWithoutBinRecords) {
+  // keep_history = false drops the BinRecords evaluate_cluster consumes;
+  // costing such a run must fail loudly, not report an empty fleet.
+  const Instance in = make_instance({{0.0, 1.0, 0.5}, {5.0, 6.0, 0.5}});
+  algos::FirstFit ff;
+  SimulatorOptions opts;
+  opts.keep_history = false;
+  const RunResult r = Simulator{opts}.run(in, ff);
+  ASSERT_EQ(r.bins_opened, 2u);
+  ASSERT_TRUE(r.bins.empty());
+  try {
+    (void)evaluate_cluster(r, ClusterModel{});
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("keep_history"), std::string::npos);
+  }
+  // An empty run (nothing offered, nothing opened) stays valid.
+  const ClusterReport rep = evaluate_cluster(RunResult{}, ClusterModel{});
+  EXPECT_EQ(rep.servers_booted, 0u);
+}
+
 TEST(Cluster, RejectsNegativeParameters) {
   const RunResult r;
   ClusterModel model;

@@ -1,0 +1,282 @@
+// The tentpole acceptance suite: a DurableSession killed at a random cut
+// point and recovered (checkpoint + WAL tail replay) must continue
+// BIT-IDENTICALLY with the uninterrupted session — same remaining
+// placements, same final MinUsageTime cost — for every checkpointable
+// algorithm, on general and aligned inputs, across seeds.
+#include "serve/durable_session.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cli/cli.h"
+#include "workloads/aligned_random.h"
+#include "workloads/general_random.h"
+
+namespace cdbp::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class RecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("cdbp_recovery_test_" +
+            std::string(::testing::UnitTest::GetInstance()
+                            ->current_test_info()
+                            ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] DurableSessionConfig config(const std::string& tag,
+                                            bool resume,
+                                            std::uint64_t ckpt_every) const {
+    DurableSessionConfig cfg;
+    cfg.wal_path = (dir_ / (tag + ".wal")).string();
+    cfg.checkpoint_path = (dir_ / (tag + ".ckpt")).string();
+    cfg.fsync = FsyncPolicy::kNone;  // same-process test: durability moot
+    cfg.checkpoint_every = ckpt_every;
+    cfg.resume = resume;
+    return cfg;
+  }
+
+  fs::path dir_;
+};
+
+Instance general_instance(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  workloads::GeneralConfig cfg;
+  cfg.target_items = 110;
+  cfg.log2_mu = 5;
+  cfg.horizon = 64.0;
+  return workloads::make_general_random(cfg, rng);
+}
+
+Instance aligned_instance(std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  workloads::AlignedConfig cfg;
+  cfg.n = 5;
+  cfg.max_bucket = 5;
+  return workloads::make_aligned_random(cfg, rng);
+}
+
+/// Reference run -> crash at `cut` -> recover -> continue; compare
+/// everything. `checkpoint_every` = 7 exercises the checkpoint path as
+/// soon as cut >= 7 and the tail-replay path below it.
+void check_crash_recovery(const std::string& algo_name,
+                          const Instance& instance, std::size_t cut,
+                          const DurableSessionConfig& ref_cfg,
+                          const DurableSessionConfig& crash_cfg,
+                          const DurableSessionConfig& resume_cfg) {
+  ASSERT_LT(cut, instance.size());
+
+  std::vector<BinId> ref_bins;
+  Cost ref_cost = 0.0;
+  {
+    DurableSession ref(cli::make_algorithm(algo_name), algo_name, ref_cfg);
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      const Item& it = instance[i];
+      ref_bins.push_back(ref.offer(it.arrival, it.departure, it.size, i + 1));
+    }
+    ref_cost = ref.finish();
+    ref.close();
+  }
+
+  {
+    // The "crashed" run: feed a prefix, then drop the session without any
+    // orderly shutdown beyond closing the fd (appends go straight to the
+    // file, so the on-disk state is what a kill -9 would leave).
+    DurableSession crash(cli::make_algorithm(algo_name), algo_name,
+                         crash_cfg);
+    for (std::size_t i = 0; i < cut; ++i) {
+      const Item& it = instance[i];
+      ASSERT_EQ(crash.offer(it.arrival, it.departure, it.size, i + 1),
+                ref_bins[i])
+          << algo_name << ": prefix diverged at " << i;
+    }
+  }
+
+  DurableSession rec(cli::make_algorithm(algo_name), algo_name, resume_cfg);
+  const RecoveryReport& rep = rec.recovery();
+  EXPECT_TRUE(rep.wal_existed);
+  EXPECT_EQ(rec.seq(), cut) << algo_name;
+  EXPECT_EQ(rec.last_stream_index(), cut);
+  EXPECT_EQ(rep.records, cut);
+  const std::uint64_t ckpt_every = crash_cfg.checkpoint_every;
+  if (rec.checkpointable() && ckpt_every > 0 && cut >= ckpt_every) {
+    EXPECT_TRUE(rep.used_checkpoint) << algo_name << " cut=" << cut;
+    EXPECT_EQ(rep.checkpoint_seq, (cut / ckpt_every) * ckpt_every);
+    EXPECT_EQ(rep.replayed, cut - rep.checkpoint_seq);
+  } else {
+    EXPECT_EQ(rep.replayed, cut);
+  }
+
+  for (std::size_t i = cut; i < instance.size(); ++i) {
+    const Item& it = instance[i];
+    ASSERT_EQ(rec.offer(it.arrival, it.departure, it.size, i + 1),
+              ref_bins[i])
+        << algo_name << ": diverged after recovery at item " << i
+        << " (cut " << cut << ")";
+  }
+  const Cost rec_cost = rec.finish();
+  EXPECT_EQ(rec_cost, ref_cost) << algo_name << ": cost not bit-identical";
+  rec.close();
+}
+
+constexpr std::uint64_t kSeeds = 8;
+constexpr std::uint64_t kCkptEvery = 7;
+
+TEST_F(RecoveryTest, BitIdenticalOnGeneralInputs) {
+  for (const char* algo : {"ff", "bf", "wf", "cbd", "ha"}) {
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const Instance instance = general_instance(seed);
+      ASSERT_GE(instance.size(), 16u);
+      std::mt19937_64 cut_rng(seed * 1000 + 17);
+      const std::size_t cut = std::uniform_int_distribution<std::size_t>(
+          1, instance.size() - 1)(cut_rng);
+      const std::string tag = std::string(algo) + "-g" + std::to_string(seed);
+      check_crash_recovery(algo, instance, cut,
+                           config(tag + "-ref", false, kCkptEvery),
+                           config(tag, false, kCkptEvery),
+                           config(tag, true, kCkptEvery));
+    }
+  }
+}
+
+TEST_F(RecoveryTest, BitIdenticalOnAlignedInputs) {
+  for (const char* algo : {"ff", "bf", "wf", "cbd", "ha", "cdff"}) {
+    for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+      const Instance instance = aligned_instance(seed);
+      ASSERT_GE(instance.size(), 16u);
+      std::mt19937_64 cut_rng(seed * 1000 + 29);
+      const std::size_t cut = std::uniform_int_distribution<std::size_t>(
+          1, instance.size() - 1)(cut_rng);
+      const std::string tag = std::string(algo) + "-a" + std::to_string(seed);
+      check_crash_recovery(algo, instance, cut,
+                           config(tag + "-ref", false, kCkptEvery),
+                           config(tag, false, kCkptEvery),
+                           config(tag, true, kCkptEvery));
+    }
+  }
+}
+
+TEST_F(RecoveryTest, NonCheckpointableFallsBackToFullReplay) {
+  const Instance instance = general_instance(4);
+  const std::size_t cut = instance.size() / 2;
+  // dfit is deterministic but not Checkpointable: checkpoint_now() must be
+  // a no-op and recovery must replay the whole log.
+  check_crash_recovery("dfit", instance, cut,
+                       config("dfit-ref", false, 0),
+                       config("dfit", false, kCkptEvery),
+                       config("dfit", true, kCkptEvery));
+  DurableSession s(cli::make_algorithm("dfit"), "dfit",
+                   config("dfit2", false, 0));
+  EXPECT_FALSE(s.checkpointable());
+  EXPECT_FALSE(s.checkpoint_now());
+}
+
+TEST_F(RecoveryTest, CheckpointAheadOfTruncatedWalIsIgnored) {
+  const Instance instance = general_instance(5);
+  const auto cfg = config("ahead", false, 2);
+  {
+    DurableSession s(cli::make_algorithm("ff"), "ff", cfg);
+    for (std::size_t i = 0; i < 6; ++i) {
+      const Item& it = instance[i];
+      s.offer(it.arrival, it.departure, it.size, i + 1);
+    }
+    s.close();  // checkpoint now covers seq 6
+  }
+  // Lose the last 2 WAL records (but keep the checkpoint): the checkpoint
+  // now claims offers the log cannot verify, so it must be ignored.
+  const WalReadResult wal = read_wal(cfg.wal_path);
+  ASSERT_EQ(wal.records.size(), 6u);
+  const std::uint64_t frame = (wal.valid_bytes - 8) / 6;
+  truncate_wal(cfg.wal_path, 8 + 4 * frame);
+
+  DurableSession rec(cli::make_algorithm("ff"), "ff",
+                     config("ahead", true, 2));
+  EXPECT_FALSE(rec.recovery().used_checkpoint);
+  EXPECT_EQ(rec.recovery().replayed, 4u);
+  EXPECT_EQ(rec.seq(), 4u);
+}
+
+TEST_F(RecoveryTest, TornTailIsTruncatedAndReported) {
+  const Instance instance = general_instance(6);
+  const auto cfg = config("torn", false, 0);
+  {
+    DurableSession s(cli::make_algorithm("ff"), "ff", cfg);
+    for (std::size_t i = 0; i < 5; ++i) {
+      const Item& it = instance[i];
+      s.offer(it.arrival, it.departure, it.size, i + 1);
+    }
+    s.close();
+  }
+  {
+    std::ofstream f(cfg.wal_path, std::ios::binary | std::ios::app);
+    f.write("\x39\x00\x00\x00garbage-torn-frame", 22);  // half a frame
+  }
+  DurableSession rec(cli::make_algorithm("ff"), "ff",
+                     config("torn", true, 0));
+  EXPECT_TRUE(rec.recovery().torn);
+  EXPECT_GT(rec.recovery().truncated_bytes, 0u);
+  EXPECT_EQ(rec.seq(), 5u);
+  // The repaired log is clean again.
+  EXPECT_FALSE(read_wal(cfg.wal_path).torn);
+}
+
+TEST_F(RecoveryTest, ReplayWithWrongAlgorithmDiverges) {
+  // ff and wf provably differ here: with bins at loads {0.6, 0.5}, a 0.3
+  // item goes to bin 0 under First-Fit but to bin 1 under Worst-Fit.
+  const auto cfg = config("wrong", false, 0);
+  {
+    DurableSession s(cli::make_algorithm("ff"), "ff", cfg);
+    s.offer(0.0, 10.0, 0.6, 1);
+    s.offer(0.0, 10.0, 0.5, 2);   // does not fit bin 0 -> opens bin 1
+    s.offer(1.0, 10.0, 0.3, 3);   // ff: bin 0
+    s.close();
+  }
+  {
+    DurableSessionConfig bad = config("wrong", true, 0);
+    EXPECT_THROW(DurableSession(cli::make_algorithm("wf"), "wf", bad),
+                 std::runtime_error);
+  }
+}
+
+TEST_F(RecoveryTest, FreshStartRemovesStaleCheckpoint) {
+  const Instance instance = general_instance(7);
+  const auto cfg = config("stale", false, 2);
+  {
+    DurableSession s(cli::make_algorithm("ff"), "ff", cfg);
+    for (std::size_t i = 0; i < 4; ++i) {
+      const Item& it = instance[i];
+      s.offer(it.arrival, it.departure, it.size, i + 1);
+    }
+    s.close();
+  }
+  ASSERT_TRUE(fs::exists(cfg.checkpoint_path));
+  {
+    // Fresh (non-resume) session on the same paths: the stale checkpoint
+    // must go away with the truncated WAL, or a later resume would pair
+    // the new log with the old snapshot.
+    DurableSession s(cli::make_algorithm("ff"), "ff",
+                     config("stale", false, 0));
+    EXPECT_FALSE(fs::exists(cfg.checkpoint_path));
+    s.offer(0.0, 1.0, 0.5, 1);
+    s.close();
+  }
+  DurableSession rec(cli::make_algorithm("ff"), "ff",
+                     config("stale", true, 0));
+  EXPECT_EQ(rec.seq(), 1u);
+  EXPECT_FALSE(rec.recovery().used_checkpoint);
+}
+
+}  // namespace
+}  // namespace cdbp::serve

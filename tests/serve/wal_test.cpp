@@ -1,0 +1,206 @@
+#include "serve/wal.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace cdbp::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+class WalTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("cdbp_wal_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + std::string(::testing::UnitTest::GetInstance()
+                                  ->current_test_info()
+                                  ->name()));
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string path(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+std::vector<WalRecord> sample_records(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<WalRecord> out;
+  Time t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    WalRecord rec;
+    rec.seq = i;
+    rec.stream_index = i + 1;
+    t += unit(rng);
+    rec.arrival = t;
+    rec.departure = t + 1.0 + unit(rng) * 7.0;
+    rec.size = 0.01 + 0.5 * unit(rng);
+    rec.bin = static_cast<BinId>(rng() % 5);
+    out.push_back(rec);
+  }
+  return out;
+}
+
+void write_records(const std::string& file,
+                   const std::vector<WalRecord>& records,
+                   FsyncPolicy policy = FsyncPolicy::kNone) {
+  WalWriter w(file, policy, 4, /*truncate=*/true);
+  for (const WalRecord& rec : records) w.append(rec);
+  w.close();
+}
+
+TEST_F(WalTest, RoundTripsRecordsBitExactly) {
+  const std::string file = path("a.wal");
+  const std::vector<WalRecord> records = sample_records(25, 7);
+  write_records(file, records, FsyncPolicy::kBatch);
+
+  const WalReadResult r = read_wal(file);
+  EXPECT_TRUE(r.exists);
+  EXPECT_FALSE(r.torn);
+  ASSERT_EQ(r.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i)
+    EXPECT_EQ(r.records[i], records[i]) << "record " << i;
+  EXPECT_EQ(r.valid_bytes, fs::file_size(file));
+}
+
+TEST_F(WalTest, MissingFileIsEmptyNotTorn) {
+  const WalReadResult r = read_wal(path("nope.wal"));
+  EXPECT_FALSE(r.exists);
+  EXPECT_FALSE(r.torn);
+  EXPECT_TRUE(r.records.empty());
+}
+
+TEST_F(WalTest, CorruptHeaderIsTornAtZero) {
+  const std::string file = path("bad.wal");
+  std::ofstream(file, std::ios::binary) << "NOTAWAL!garbage";
+  const WalReadResult r = read_wal(file);
+  EXPECT_TRUE(r.exists);
+  EXPECT_TRUE(r.torn);
+  EXPECT_EQ(r.valid_bytes, 0u);
+  EXPECT_TRUE(r.records.empty());
+}
+
+// The satellite's torn-write property: truncate the file at EVERY byte
+// offset inside the last frame; the reader must always return exactly the
+// intact prefix and flag the tail, and never crash or return garbage.
+TEST_F(WalTest, TornWriteAtEveryByteOffsetOfLastFrame) {
+  const std::string file = path("full.wal");
+  const std::vector<WalRecord> records = sample_records(6, 42);
+  write_records(file, records);
+  const std::uint64_t full = fs::file_size(file);
+
+  // Locate the last frame's start: re-reading after truncating to one
+  // record less gives its boundary.
+  const WalReadResult whole = read_wal(file);
+  ASSERT_FALSE(whole.torn);
+  ASSERT_EQ(whole.records.size(), records.size());
+  const std::uint64_t frame_bytes = (full - 8) / records.size();
+  const std::uint64_t last_start = full - frame_bytes;
+
+  for (std::uint64_t cut = last_start; cut < full; ++cut) {
+    const std::string torn_file = path("torn.wal");
+    fs::copy_file(file, torn_file, fs::copy_options::overwrite_existing);
+    truncate_wal(torn_file, cut);
+
+    const WalReadResult r = read_wal(torn_file);
+    EXPECT_TRUE(r.exists);
+    ASSERT_EQ(r.records.size(), records.size() - 1) << "cut at " << cut;
+    EXPECT_EQ(r.valid_bytes, last_start) << "cut at " << cut;
+    if (cut == last_start) {
+      // Clean frame boundary: nothing dangles.
+      EXPECT_FALSE(r.torn);
+    } else {
+      EXPECT_TRUE(r.torn) << "cut at " << cut;
+      EXPECT_FALSE(r.tail_error.empty());
+    }
+    for (std::size_t i = 0; i + 1 < records.size(); ++i)
+      EXPECT_EQ(r.records[i], records[i]);
+
+    // Repair + append continues the log where the intact prefix ended.
+    truncate_wal(torn_file, r.valid_bytes);
+    WalWriter w(torn_file, FsyncPolicy::kNone, 1, /*truncate=*/false);
+    w.append(records.back());
+    w.close();
+    const WalReadResult healed = read_wal(torn_file);
+    EXPECT_FALSE(healed.torn);
+    ASSERT_EQ(healed.records.size(), records.size());
+    EXPECT_EQ(healed.records.back(), records.back());
+  }
+}
+
+TEST_F(WalTest, PayloadCorruptionStopsAtBadFrame) {
+  const std::string file = path("crc.wal");
+  const std::vector<WalRecord> records = sample_records(5, 9);
+  write_records(file, records);
+
+  // Flip one byte inside record 2's payload (frames are fixed-size).
+  const std::uint64_t frame_bytes = (fs::file_size(file) - 8) / 5;
+  std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(static_cast<std::streamoff>(8 + 2 * frame_bytes + 8 + 3));
+  f.put('\xFF');
+  f.close();
+
+  const WalReadResult r = read_wal(file);
+  EXPECT_TRUE(r.torn);
+  EXPECT_EQ(r.records.size(), 2u);
+  EXPECT_NE(r.tail_error.find("CRC"), std::string::npos);
+}
+
+TEST_F(WalTest, AppendModePreservesExistingRecords) {
+  const std::string file = path("app.wal");
+  const std::vector<WalRecord> records = sample_records(8, 3);
+  {
+    WalWriter w(file, FsyncPolicy::kEvery, 1, /*truncate=*/true);
+    for (std::size_t i = 0; i < 4; ++i) w.append(records[i]);
+    w.close();
+  }
+  {
+    WalWriter w(file, FsyncPolicy::kBatch, 2, /*truncate=*/false);
+    for (std::size_t i = 4; i < 8; ++i) w.append(records[i]);
+    w.close();
+  }
+  const WalReadResult r = read_wal(file);
+  ASSERT_EQ(r.records.size(), 8u);
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_EQ(r.records[i], records[i]);
+}
+
+TEST_F(WalTest, TruncateModeStartsFresh) {
+  const std::string file = path("fresh.wal");
+  write_records(file, sample_records(6, 1));
+  write_records(file, sample_records(2, 2));
+  EXPECT_EQ(read_wal(file).records.size(), 2u);
+}
+
+TEST_F(WalTest, FsyncPolicyParsing) {
+  EXPECT_EQ(parse_fsync_policy("none"), FsyncPolicy::kNone);
+  EXPECT_EQ(parse_fsync_policy("batch"), FsyncPolicy::kBatch);
+  EXPECT_EQ(parse_fsync_policy("every"), FsyncPolicy::kEvery);
+  EXPECT_THROW((void)parse_fsync_policy("often"), std::invalid_argument);
+  EXPECT_EQ(to_string(FsyncPolicy::kBatch), "batch");
+  EXPECT_THROW(WalWriter(path("z.wal"), FsyncPolicy::kBatch, 0, true),
+               std::invalid_argument);
+}
+
+TEST_F(WalTest, AppendAfterCloseThrows) {
+  const std::string file = path("closed.wal");
+  WalWriter w(file, FsyncPolicy::kNone, 1, /*truncate=*/true);
+  w.append(sample_records(1, 5)[0]);
+  w.close();
+  w.close();  // idempotent
+  EXPECT_THROW(w.append(sample_records(1, 6)[0]), std::logic_error);
+}
+
+}  // namespace
+}  // namespace cdbp::serve
