@@ -1,9 +1,12 @@
 // E18 — serving-path throughput: offers/sec through the sharded WAL-backed
 // front end, swept over shard count x fsync policy. The interesting shape:
 // with fsync=none/batch the router scales with shards until the submit
-// thread saturates; fsync=every is disk-bound and shows why group commit
-// exists. Self-checks: every accepted offer must come back placed, and the
-// single-shard cost must be independent of the fsync policy.
+// thread saturates; fsync=every used to be disk-bound (one fsync per
+// offer) — group commit + batched shard draining amortize that to roughly
+// one fsync round per drained batch, so `every` now tracks the other
+// policies much more closely. Self-checks: every accepted offer must come
+// back placed, and the single-shard cost must be independent of the fsync
+// policy.
 //
 // Flags: --quick (smaller stream), --seeds N (repetitions per cell),
 // --csv PATH (per-cell rows), --json PATH (BENCH_SERVE.json for CI).
@@ -46,6 +49,7 @@ double run_cell(const std::vector<serve::ServeRequest>& stream,
   rc.fsync = fsync;
   rc.fsync_batch = 64;
   rc.queue_capacity = 4096;
+  rc.wal_segment_bytes = 8u << 20;  // production default: rotate at 8 MiB
 
   serve::ShardRouter router(
       rc, [] { return AlgorithmPtr(std::make_unique<algos::BestFit>()); },
@@ -91,9 +95,10 @@ int main(int argc, char** argv) {
       json_path = argv[i + 1];
 
   const std::size_t items = opts.quick ? 4000 : 40000;
-  // fsync=every pays one fsync per offer; cap the stream so the disk-bound
-  // cells finish in seconds while staying statistically useful.
-  const std::size_t items_every = opts.quick ? 500 : 4000;
+  // fsync=every goes through group commit now; a shorter stream is still
+  // used so a slow disk cannot stall the whole sweep, but the old 10x cap
+  // (one fsync per offer) is gone.
+  const std::size_t items_every = opts.quick ? 2000 : 20000;
 
   serve::StreamGenConfig gen;
   gen.target_items = static_cast<int>(items);

@@ -1,5 +1,6 @@
 #include "cli/cli.h"
 
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -8,6 +9,7 @@
 #include <ostream>
 #include <random>
 #include <stdexcept>
+#include <thread>
 
 #include "adversary/lower_bound.h"
 #include "algos/any_fit.h"
@@ -32,10 +34,12 @@
 #include "opt/offline_ffd.h"
 #include "opt/reduction.h"
 #include "opt/repack.h"
+#include "parallel/thread_pool.h"
 #include "report/ascii_chart.h"
 #include "report/table.h"
 #include "serve/request_stream.h"
 #include "serve/shard_router.h"
+#include "serve/wal_segment.h"
 #include "trace/trace.h"
 #include "workloads/aligned_random.h"
 #include "workloads/binary_input.h"
@@ -157,9 +161,10 @@ void print_usage(std::ostream& out) {
       << "            [--fsync none|batch|every] [--fsync-batch K]\n"
       << "            [--checkpoint-every N] [--admission block|reject|shed]\n"
       << "            [--queue-capacity N] [--throttle-us U] [--resume]\n"
+      << "            [--wal-segment-bytes B] [--group-commit-window U]\n"
       << "            [--out FILE] [--metrics-out FILE]\n"
       << "  recover   --algo ALGO --wal-dir DIR [--shards N]\n"
-      << "  wal-dump  --wal FILE\n"
+      << "  wal-dump  --wal FILE|BASE    (single file, or segmented base)\n"
       << "algorithms:";
   for (const std::string& name : algorithm_names()) out << " " << name;
   out << "\n";
@@ -530,6 +535,11 @@ int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
   rc.worker_delay_us = static_cast<std::uint32_t>(
       to_int(flags.get("throttle-us").value_or("0"), "--throttle-us"));
   rc.resume = flags.get("resume").has_value();
+  rc.wal_segment_bytes = static_cast<std::uint64_t>(
+      to_int(flags.get("wal-segment-bytes").value_or("8388608"),
+             "--wal-segment-bytes"));
+  rc.group_commit_window_us = static_cast<std::uint32_t>(to_int(
+      flags.get("group-commit-window").value_or("0"), "--group-commit-window"));
   const double mu_hint = std::stod(flags.get("mu-hint").value_or("2"));
   const auto out_path = flags.get("out");
   const auto metrics_out = flags.get("metrics-out");
@@ -608,17 +618,23 @@ int cmd_recover(Flags& flags, std::ostream& out, std::ostream& err) {
   const double mu_hint = std::stod(flags.get("mu-hint").value_or("2"));
   flags.finish();
 
+  // Segment CRC scans of one shard fan out over this pool; replay stays
+  // sequential (it must — each decision depends on the previous state).
+  parallel::ThreadPool recovery_pool(
+      std::max<std::size_t>(2, std::thread::hardware_concurrency()));
   Cost total = 0.0;
   for (std::size_t i = 0; i < shards; ++i) {
     serve::DurableSessionConfig sc;
     sc.wal_path = wal_dir + "/shard-" + std::to_string(i) + ".wal";
     sc.checkpoint_path = wal_dir + "/shard-" + std::to_string(i) + ".ckpt";
     sc.resume = true;
+    sc.recovery_pool = &recovery_pool;
     serve::DurableSession session(make_algorithm(algo_name, mu_hint),
                                   algo_name, sc);
     const serve::RecoveryReport& r = session.recovery();
     err << "shard " << i << " recovery: records=" << r.records
         << " replayed=" << r.replayed
+        << " segments=" << r.segments_scanned
         << (r.used_checkpoint
                 ? " checkpoint@" + std::to_string(r.checkpoint_seq)
                 : " no-checkpoint")
@@ -628,7 +644,8 @@ int cmd_recover(Flags& flags, std::ostream& out, std::ostream& err) {
         << "\n";
 
     // Digest over the (repaired) decision log: exact equality witness.
-    const serve::WalReadResult wal = serve::read_wal(sc.wal_path);
+    const serve::SegmentedWalScan wal =
+        serve::scan_segmented_wal(sc.wal_path, &recovery_pool);
     StateWriter w;
     for (const serve::WalRecord& rec : wal.records) {
       w.u64(rec.seq);
@@ -655,15 +672,40 @@ int cmd_recover(Flags& flags, std::ostream& out, std::ostream& err) {
 int cmd_wal_dump(Flags& flags, std::ostream& out) {
   const std::string path = flags.require("wal");
   flags.finish();
+  const auto print_records = [&](const std::vector<serve::WalRecord>& records) {
+    out << "seq,stream_index,arrival,departure,size,bin\n";
+    for (const serve::WalRecord& rec : records)
+      out << rec.seq << ',' << rec.stream_index << ','
+          << num_exact(rec.arrival) << ',' << num_exact(rec.departure) << ','
+          << num_exact(rec.size) << ',' << rec.bin << "\n";
+  };
+  // A segment-chain base has a manifest next to it; a raw file (legacy log
+  // or an individual .seg) is dumped directly.
+  const bool raw_segment =
+      path.size() > 4 && path.compare(path.size() - 4, 4, ".seg") == 0;
+  if (!raw_segment && serve::read_wal_manifest(path)) {
+    const serve::SegmentedWalScan scan = serve::scan_segmented_wal(path);
+    print_records(scan.records);
+    out << "# records=" << scan.records.size()
+        << " segments=" << scan.segments_scanned
+        << " first_seq=" << scan.first_seq;
+    if (scan.unknown_records > 0)
+      out << " unknown_records=" << scan.unknown_records;
+    out << "\n";
+    if (scan.torn)
+      out << "# torn tail: " << scan.tail_error << " (segment "
+          << scan.torn_segment << ", " << scan.dropped_records
+          << " unreachable records)\n";
+    return 0;
+  }
   const serve::WalReadResult wal = serve::read_wal(path);
   if (!wal.exists) throw std::runtime_error("no such WAL file: " + path);
-  out << "seq,stream_index,arrival,departure,size,bin\n";
-  for (const serve::WalRecord& rec : wal.records)
-    out << rec.seq << ',' << rec.stream_index << ','
-        << num_exact(rec.arrival) << ',' << num_exact(rec.departure) << ','
-        << num_exact(rec.size) << ',' << rec.bin << "\n";
+  print_records(wal.records);
   out << "# records=" << wal.records.size()
-      << " valid_bytes=" << wal.valid_bytes << "\n";
+      << " valid_bytes=" << wal.valid_bytes;
+  if (wal.unknown_records > 0)
+    out << " unknown_records=" << wal.unknown_records;
+  out << "\n";
   if (wal.torn) out << "# torn tail: " << wal.tail_error << "\n";
   return 0;
 }

@@ -6,7 +6,6 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <fstream>
 #include <stdexcept>
 #include <utility>
 
@@ -25,6 +24,8 @@ obs::Counter& g_checkpoints =
     obs::MetricsRegistry::global().counter("serve.checkpoints");
 obs::Counter& g_replayed =
     obs::MetricsRegistry::global().counter("serve.recovery_replayed");
+obs::Counter& g_poisoned =
+    obs::MetricsRegistry::global().counter("serve.sessions_poisoned");
 obs::Histogram& g_ckpt_bytes =
     obs::MetricsRegistry::global().histogram("serve.checkpoint_bytes");
 
@@ -35,7 +36,10 @@ obs::Histogram& g_ckpt_bytes =
 }
 
 /// Durably writes `magic + u64 len + u32 crc + payload` via tmp + rename,
-/// so a crash mid-checkpoint leaves the previous checkpoint intact.
+/// so a crash mid-checkpoint leaves the previous checkpoint intact. The
+/// rename itself is directory metadata: without the parent-dir fsync a
+/// power loss could resurface the OLD checkpoint (or none) next to a WAL
+/// already compacted past it — an unrecoverable pairing.
 void write_checkpoint_file(const std::string& path,
                            const std::string& payload) {
   StateWriter header;
@@ -50,7 +54,9 @@ void write_checkpoint_file(const std::string& path,
       const ssize_t n = ::write(fd, data, size);
       if (n < 0) {
         if (errno == EINTR) continue;
+        const int saved = errno;
         ::close(fd);
+        errno = saved;
         throw_errno("write", tmp);
       }
       data += n;
@@ -61,21 +67,42 @@ void write_checkpoint_file(const std::string& path,
   write_all(header.buffer().data(), header.size());
   write_all(payload.data(), payload.size());
   if (::fsync(fd) != 0) {
+    const int saved = errno;
     ::close(fd);
+    errno = saved;
     throw_errno("fsync", tmp);
   }
   if (::close(fd) != 0) throw_errno("close", tmp);
   if (std::rename(tmp.c_str(), path.c_str()) != 0) throw_errno("rename", path);
+  fsync_parent_dir(path);
 }
 
-/// Reads and CRC-verifies a checkpoint payload. Empty optional-style
-/// contract via bool: returns false when the file is absent; throws on a
-/// present-but-invalid file.
+/// Reads and CRC-verifies a checkpoint payload. Returns false only when
+/// the file is genuinely absent (ENOENT); any OTHER open/read failure
+/// throws. Treating "unreadable" as "absent" would silently discard the
+/// checkpoint and fall back to full replay — wrong answer on a compacted
+/// log, and a masked operational error everywhere else.
 bool read_checkpoint_file(const std::string& path, std::string& payload) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return false;
-  std::string data((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return false;
+    throw_errno("open", path);
+  }
+  std::string data;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("read", path);
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
   if (data.size() < sizeof(kCkptMagic) + 12 ||
       std::memcmp(data.data(), kCkptMagic, sizeof(kCkptMagic)) != 0)
     throw std::runtime_error("checkpoint: bad header in '" + path + "'");
@@ -104,16 +131,27 @@ DurableSession::DurableSession(AlgorithmPtr algo, std::string algo_name,
       config_(std::move(config)),
       session_(*algo_) {
   checkpointable_ = dynamic_cast<Checkpointable*>(algo_.get());
+  SegmentedWal::Options opts;
+  opts.policy = config_.fsync;
+  opts.fsync_batch = config_.fsync_batch;
+  opts.segment_bytes = config_.wal_segment_bytes;
+  opts.group_commit = config_.group_commit;
+  opts.append_fault_hook = config_.wal_fault_hook;
   if (config_.resume) {
-    recover();
+    const SegmentedWalScan scan = recover();
+    wal_ = std::make_unique<SegmentedWal>(config_.wal_path, std::move(opts),
+                                          /*truncate=*/false, &scan);
   } else {
     // A fresh session must not leave a stale checkpoint behind: a later
-    // --resume would pair it with the new WAL and restore garbage.
-    std::remove(config_.checkpoint_path.c_str());
+    // --resume would pair it with the new WAL and restore garbage. The
+    // unlink must be durable — a crash right after start could otherwise
+    // resurface the stale file.
+    if (std::remove(config_.checkpoint_path.c_str()) == 0)
+      fsync_parent_dir(config_.checkpoint_path);
+    std::remove((config_.checkpoint_path + ".tmp").c_str());
+    wal_ = std::make_unique<SegmentedWal>(config_.wal_path, std::move(opts),
+                                          /*truncate=*/true);
   }
-  wal_ = std::make_unique<WalWriter>(config_.wal_path, config_.fsync,
-                                     config_.fsync_batch,
-                                     /*truncate=*/!config_.resume);
 }
 
 void DurableSession::replay(const std::vector<WalRecord>& records,
@@ -138,40 +176,37 @@ void DurableSession::replay(const std::vector<WalRecord>& records,
   }
 }
 
-void DurableSession::recover() {
-  WalReadResult wal = read_wal(config_.wal_path);
-  recovery_.wal_existed = wal.exists;
-  recovery_.torn = wal.torn;
-  recovery_.tail_error = wal.tail_error;
-  recovery_.records = wal.records.size();
-  if (wal.exists && wal.torn) {
-    // Repair in place: everything past the intact prefix is a torn write
-    // from the crash. (valid_bytes = 0 covers a corrupt header — the log
-    // restarts empty, which WalWriter handles by re-writing the magic.)
-    std::ifstream probe(config_.wal_path,
-                        std::ios::binary | std::ios::ate);
-    const std::uint64_t file_size =
-        probe ? static_cast<std::uint64_t>(probe.tellg()) : 0;
-    probe.close();
-    if (file_size > wal.valid_bytes)
-      recovery_.truncated_bytes = file_size - wal.valid_bytes;
-    truncate_wal(config_.wal_path, wal.valid_bytes);
-  }
+SegmentedWalScan DurableSession::recover() {
+  SegmentedWalScan scan =
+      scan_segmented_wal(config_.wal_path, config_.recovery_pool);
+  recovery_.wal_existed = scan.exists;
+  recovery_.torn = scan.torn;
+  recovery_.tail_error = scan.tail_error;
+  recovery_.records = scan.records.size();
+  recovery_.first_seq = scan.first_seq;
+  recovery_.segments_scanned = scan.segments_scanned;
+  recovery_.dropped_records = scan.dropped_records;
+  recovery_.unknown_records = scan.unknown_records;
+  // Repair in place: everything past the global intact prefix is a torn
+  // write (or a segment made unreachable by one) from the crash.
+  recovery_.truncated_bytes = repair_segmented_wal(config_.wal_path, scan);
 
+  const std::uint64_t log_end = scan.first_seq + scan.records.size();
   std::uint64_t from_seq = 0;
   std::string payload;
-  if (checkpointable_ && read_checkpoint_file(config_.checkpoint_path,
-                                              payload)) {
+  if (checkpointable_ &&
+      read_checkpoint_file(config_.checkpoint_path, payload)) {
     StateReader r(payload);
     const std::string name = r.str();
     const std::uint64_t ckpt_seq = r.u64();
     const std::uint64_t ckpt_stream = r.u64();
     const bool has_algo_state = r.u8() != 0;
-    // Use the checkpoint only when it describes this algorithm and does not
-    // claim offers the (possibly truncated) WAL no longer holds — a
-    // checkpoint ahead of a torn log would skip records we cannot verify.
-    if (name == algo_name_ && has_algo_state &&
-        ckpt_seq <= wal.records.size()) {
+    // Use the checkpoint only when it describes this algorithm, reaches at
+    // least the compacted-away prefix, and does not claim offers the
+    // (possibly truncated) WAL no longer holds — a checkpoint ahead of a
+    // torn log would skip records we cannot verify.
+    if (name == algo_name_ && has_algo_state && ckpt_seq >= scan.first_seq &&
+        ckpt_seq <= log_end) {
       session_.load_state(r);
       checkpointable_->load_state(r);
       if (!r.at_end())
@@ -184,13 +219,21 @@ void DurableSession::recover() {
       recovery_.checkpoint_seq = ckpt_seq;
     }
   }
-  replay(wal.records, from_seq);
+  // A compacted log's early records are GONE — only a checkpoint covering
+  // the missing prefix can stand in for them. Without one, replaying the
+  // tail alone would silently serve from a wrong state.
+  if (!recovery_.used_checkpoint && scan.first_seq > 0)
+    throw std::runtime_error(
+        "recovery: WAL was compacted to seq " +
+        std::to_string(scan.first_seq) +
+        " but no usable checkpoint covers the missing prefix ('" +
+        config_.checkpoint_path + "')");
+  replay(scan.records, from_seq);
+  return scan;
 }
 
-BinId DurableSession::offer(Time arrival, Time departure, Load size,
-                            std::uint64_t stream_index) {
-  if (!wal_) throw std::logic_error("DurableSession: offer after close");
-  const BinId bin = session_.offer(arrival, departure, size);
+WalRecord DurableSession::make_record(Time arrival, Time departure, Load size,
+                                      std::uint64_t stream_index, BinId bin) {
   WalRecord rec;
   rec.seq = seq_;
   rec.stream_index = stream_index;
@@ -198,7 +241,30 @@ BinId DurableSession::offer(Time arrival, Time departure, Load size,
   rec.departure = departure;
   rec.size = size;
   rec.bin = bin;
-  wal_->append(rec);
+  return rec;
+}
+
+void DurableSession::check_usable() const {
+  if (failed_)
+    throw std::runtime_error(
+        "DurableSession: poisoned by an earlier WAL failure — in-memory "
+        "state and durable log may disagree; restart with --resume");
+  if (!wal_) throw std::logic_error("DurableSession: offer after close");
+}
+
+BinId DurableSession::offer(Time arrival, Time departure, Load size,
+                            std::uint64_t stream_index) {
+  check_usable();
+  const BinId bin = session_.offer(arrival, departure, size);
+  try {
+    wal_->append(make_record(arrival, departure, size, stream_index, bin));
+  } catch (...) {
+    // The session already applied the offer the log will never hold:
+    // poison rather than let state and log diverge silently.
+    failed_ = true;
+    g_poisoned.add();
+    throw;
+  }
   ++seq_;
   if (stream_index > last_stream_index_) last_stream_index_ = stream_index;
   g_offers.add();
@@ -208,11 +274,56 @@ BinId DurableSession::offer(Time arrival, Time departure, Load size,
   return bin;
 }
 
+BinId DurableSession::offer_deferred(Time arrival, Time departure, Load size,
+                                     std::uint64_t stream_index) {
+  check_usable();
+  const BinId bin = session_.offer(arrival, departure, size);
+  try {
+    wal_->append_nosync(
+        make_record(arrival, departure, size, stream_index, bin));
+  } catch (...) {
+    failed_ = true;
+    g_poisoned.add();
+    throw;
+  }
+  ++seq_;
+  if (stream_index > last_stream_index_) last_stream_index_ = stream_index;
+  g_offers.add();
+  if (config_.checkpoint_every > 0 && checkpointable_ &&
+      seq_ % config_.checkpoint_every == 0)
+    checkpoint_now();
+  return bin;
+}
+
+void DurableSession::commit() {
+  if (failed_)
+    throw std::runtime_error(
+        "DurableSession: poisoned by an earlier WAL failure");
+  if (!wal_) return;
+  try {
+    wal_->commit();
+  } catch (...) {
+    // An fsync failure leaves durability indeterminate (the kernel may
+    // have dropped the dirty pages): never ack, never retry.
+    failed_ = true;
+    g_poisoned.add();
+    throw;
+  }
+}
+
 bool DurableSession::checkpoint_now() {
   if (!checkpointable_) return false;
   // WAL first: the checkpoint's seq must never exceed the durable log, or
   // recovery would trust state it cannot cross-check against records.
-  if (wal_) wal_->sync();
+  if (wal_) {
+    try {
+      wal_->sync();
+    } catch (...) {
+      failed_ = true;
+      g_poisoned.add();
+      throw;
+    }
+  }
   StateWriter w;
   w.str(algo_name_);
   w.u64(seq_);
@@ -223,6 +334,9 @@ bool DurableSession::checkpoint_now() {
   write_checkpoint_file(config_.checkpoint_path, w.buffer());
   g_checkpoints.add();
   g_ckpt_bytes.record(w.size());
+  // Every record up to seq_ is captured by the checkpoint just written:
+  // sealed segments wholly below it are dead weight.
+  if (wal_) compacted_segments_ += wal_->compact(seq_);
   return true;
 }
 

@@ -1,25 +1,38 @@
 // DurableSession: an InteractiveSession whose every placement decision is
-// written ahead to a WAL and periodically checkpointed, so a crashed shard
-// restarts from `last checkpoint + WAL tail replay` and continues
-// bit-identically with the session that died.
+// written ahead to a segmented WAL and periodically checkpointed, so a
+// crashed shard restarts from `last checkpoint + WAL tail replay` and
+// continues bit-identically with the session that died.
 //
 // Write path (offer):
 //   1. apply the offer to the in-memory session (algorithm decides a bin);
-//   2. append the framed record to the WAL and apply the fsync policy;
+//   2. append the framed record to the WAL and apply the fsync policy
+//      (under kEvery via the group-commit coordinator when configured);
 //   3. every `checkpoint_every` offers, snapshot session + algorithm state
 //      to the checkpoint file (WAL fsynced first, so the checkpoint never
-//      claims records the log might not hold).
+//      claims records the log might not hold), then compact away WAL
+//      segments the checkpoint fully covers.
 // A crash between (1) and (2) loses only an unacknowledged offer — exactly
-// the log-before-ack contract.
+// the log-before-ack contract. If (2) FAILS (ENOSPC, fsync error), the
+// in-memory state has diverged from the durable log and the session
+// poisons itself: every further offer throws. Retrying would acknowledge
+// an offer the log may never hold (the Postgres fsync-gate lesson).
+//
+// Batched write path (offer_deferred + commit): the shard worker appends a
+// drained batch without per-record durability, issues ONE commit() for the
+// batch, and only then acknowledges any of it. Same contract, one fsync.
 //
 // Recovery path (resume=true):
-//   1. scan the WAL, keep the longest intact frame prefix, truncate any
-//      torn tail in place;
-//   2. if a valid checkpoint exists for this algorithm with
-//      checkpoint_seq <= surviving records: restore session and (when the
-//      algorithm is Checkpointable) algorithm state from it, then replay
-//      only the WAL tail; otherwise replay the whole log from scratch —
-//      the fallback for non-checkpointable algorithms (dfit, harmonic);
+//   1. scan every WAL segment (in parallel on `recovery_pool` when given),
+//      keep the global intact prefix, truncate the torn segment in place
+//      and drop unreachable later segments;
+//   2. if a valid checkpoint exists for this algorithm covering at least
+//      the compacted-away prefix (first_seq <= checkpoint_seq <= end of
+//      log): restore session and (when the algorithm is Checkpointable)
+//      algorithm state from it, then replay only the WAL tail; otherwise
+//      replay the whole log from scratch — the fallback for
+//      non-checkpointable algorithms (dfit, harmonic). A compacted log
+//      (first_seq > 0) REQUIRES a usable checkpoint; recovery throws
+//      rather than silently serving from a truncated history;
 //   3. every replayed decision is verified against the logged bin; a
 //      mismatch (non-deterministic algorithm, wrong --algo) aborts recovery
 //      with std::runtime_error rather than serving from a diverged state.
@@ -32,6 +45,11 @@
 #include "core/algorithm.h"
 #include "core/session.h"
 #include "serve/wal.h"
+#include "serve/wal_segment.h"
+
+namespace cdbp::parallel {
+class ThreadPool;
+}
 
 namespace cdbp::serve {
 
@@ -45,10 +63,14 @@ struct RecoveryReport {
   std::uint64_t checkpoint_seq = 0;  ///< offers covered by the checkpoint
   std::uint64_t records = 0;         ///< intact WAL records found
   std::uint64_t replayed = 0;        ///< records replayed through the algo
+  std::uint64_t first_seq = 0;       ///< seq of the oldest surviving record
+  std::size_t segments_scanned = 0;  ///< WAL segments CRC-scanned
+  std::uint64_t dropped_records = 0;  ///< records in segments past a tear
+  std::uint64_t unknown_records = 0;  ///< skipped unknown-type frames
 };
 
 struct DurableSessionConfig {
-  std::string wal_path;
+  std::string wal_path;  ///< segment-chain base (see wal_segment.h)
   std::string checkpoint_path;
   FsyncPolicy fsync = FsyncPolicy::kBatch;
   std::size_t fsync_batch = 64;
@@ -56,8 +78,19 @@ struct DurableSessionConfig {
   /// (recovery falls back to full replay) when the algorithm is not
   /// Checkpointable.
   std::uint64_t checkpoint_every = 0;
-  /// false: start fresh (truncating any existing WAL). true: recover.
+  /// false: start fresh (removing any existing log + checkpoint durably).
+  /// true: recover.
   bool resume = false;
+  /// Rotate to a new WAL segment once the active one reaches this size;
+  /// 0 keeps a single growing segment (no rotation, no compaction).
+  std::uint64_t wal_segment_bytes = 0;
+  /// Shared group-commit coordinator for kEvery durability (one fsync
+  /// round amortized over all shards). nullptr = private fsyncs.
+  GroupCommitCoordinator* group_commit = nullptr;
+  /// Pool for segment-parallel recovery scans. nullptr = sequential.
+  parallel::ThreadPool* recovery_pool = nullptr;
+  /// Test-only fault injection on WAL appends (short write + throw).
+  WalAppendFaultHook wal_fault_hook;
 };
 
 class DurableSession {
@@ -73,12 +106,24 @@ class DurableSession {
   /// chosen bin. `stream_index` is the caller's global input position
   /// (1-based; 0 = unknown), recorded for resume de-duplication.
   /// Propagates std::invalid_argument from InteractiveSession::offer
-  /// without logging anything.
+  /// without logging anything. A WAL failure poisons the session (see
+  /// failed()) and rethrows.
   BinId offer(Time arrival, Time departure, Load size,
               std::uint64_t stream_index);
 
+  /// Like offer() but defers the per-record durability step: the record is
+  /// appended (and applied) but NOT yet guaranteed on disk. The caller
+  /// MUST call commit() before acknowledging any deferred offer.
+  BinId offer_deferred(Time arrival, Time departure, Load size,
+                       std::uint64_t stream_index);
+
+  /// Makes every deferred offer durable per the fsync policy (one group
+  /// commit under kEvery). A failure poisons the session and rethrows.
+  void commit();
+
   /// Forces a checkpoint now (no-op when the algorithm is not
-  /// Checkpointable). Returns true when a checkpoint was written.
+  /// Checkpointable), then compacts WAL segments it covers. Returns true
+  /// when a checkpoint was written.
   bool checkpoint_now();
 
   /// Syncs and closes the WAL. Further offers throw. Idempotent.
@@ -97,6 +142,9 @@ class DurableSession {
   [[nodiscard]] std::uint64_t last_stream_index() const noexcept {
     return last_stream_index_;
   }
+  /// True after a WAL append/sync failure: in-memory state and durable log
+  /// may disagree, so the session refuses all further offers.
+  [[nodiscard]] bool failed() const noexcept { return failed_; }
   [[nodiscard]] bool checkpointable() const noexcept {
     return checkpointable_ != nullptr;
   }
@@ -106,20 +154,33 @@ class DurableSession {
   [[nodiscard]] const std::string& algo_name() const noexcept {
     return algo_name_;
   }
+  /// The underlying segment chain (null after close()).
+  [[nodiscard]] const SegmentedWal* wal() const noexcept {
+    return wal_.get();
+  }
+  /// WAL segments deleted by checkpoint-anchored compaction so far.
+  [[nodiscard]] std::uint64_t compacted_segments() const noexcept {
+    return compacted_segments_;
+  }
 
  private:
-  void recover();
+  SegmentedWalScan recover();
   void replay(const std::vector<WalRecord>& records, std::uint64_t from_seq);
+  [[nodiscard]] WalRecord make_record(Time arrival, Time departure, Load size,
+                                      std::uint64_t stream_index, BinId bin);
+  void check_usable() const;
 
   AlgorithmPtr algo_;
   Checkpointable* checkpointable_ = nullptr;  // algo_ viewed as the capability
   std::string algo_name_;
   DurableSessionConfig config_;
   InteractiveSession session_;
-  std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<SegmentedWal> wal_;
   RecoveryReport recovery_;
   std::uint64_t seq_ = 0;
   std::uint64_t last_stream_index_ = 0;
+  std::uint64_t compacted_segments_ = 0;
+  bool failed_ = false;
 };
 
 /// Reads a checkpoint file header without restoring anything: returns

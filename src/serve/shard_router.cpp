@@ -103,6 +103,20 @@ bool ShardRouter::RequestQueue::pop(ServeRequest& out) {
   return true;
 }
 
+std::size_t ShardRouter::RequestQueue::pop_batch(
+    std::vector<ServeRequest>& out, std::size_t max) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  not_empty_.wait(lock, [&] { return closed_ || !items_.empty(); });
+  std::size_t n = 0;
+  while (n < max && !items_.empty()) {
+    out.push_back(std::move(items_.front()));
+    items_.pop_front();
+    ++n;
+  }
+  if (n > 0) not_full_.notify_all();
+  return n;
+}
+
 void ShardRouter::RequestQueue::close() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -133,8 +147,19 @@ ShardRouter::ShardRouter(RouterConfig config,
   if (!make_algo) throw std::invalid_argument("serve: null algorithm factory");
   make_dir(config_.wal_dir);
 
+  // One committer thread merges every shard's kEvery fsyncs into shared
+  // rounds; pointless (and pure overhead) under the other policies.
+  if (config_.fsync == FsyncPolicy::kEvery)
+    group_commit_ = std::make_unique<GroupCommitCoordinator>(
+        config_.group_commit_window_us);
+
   // Sessions are built (and recovered) serially here, so recovery errors
   // surface from the constructor; workers only ever touch their own shard.
+  // Resume gets a scratch pool so each shard's segment CRC scans fan out.
+  std::unique_ptr<parallel::ThreadPool> recovery_pool;
+  if (config_.resume)
+    recovery_pool = std::make_unique<parallel::ThreadPool>(
+        std::max<std::size_t>(2, std::thread::hardware_concurrency()));
   for (std::size_t i = 0; i < config_.shards; ++i) {
     auto shard = std::make_unique<Shard>();
     DurableSessionConfig sc;
@@ -144,6 +169,9 @@ ShardRouter::ShardRouter(RouterConfig config,
     sc.fsync_batch = config_.fsync_batch;
     sc.checkpoint_every = config_.checkpoint_every;
     sc.resume = config_.resume;
+    sc.wal_segment_bytes = config_.wal_segment_bytes;
+    sc.group_commit = group_commit_.get();
+    sc.recovery_pool = recovery_pool.get();
     shard->session = std::make_unique<DurableSession>(make_algo(), algo_name,
                                                       std::move(sc));
     shard->queue = std::make_unique<RequestQueue>(config_.queue_capacity);
@@ -184,29 +212,45 @@ bool ShardRouter::submit(ServeRequest req) {
 }
 
 void ShardRouter::worker_loop(Shard& shard) {
-  ServeRequest req;
-  while (shard.queue->pop(req)) {
-    if (config_.worker_delay_us > 0)
-      std::this_thread::sleep_for(
-          std::chrono::microseconds(config_.worker_delay_us));
-    // Resume de-duplication: the WAL already holds this stream position.
-    if (config_.resume && req.stream_index != 0 &&
-        req.stream_index <= shard.session->last_stream_index()) {
-      ++shard.stats.skipped;
-      g_skipped.add();
-      continue;
+  // Drain in batches: every offer in a batch is appended with deferred
+  // durability, then ONE commit() covers them all, and only after it
+  // returns are the results recorded (the ack). kWorkerBatch bounds the
+  // work at risk between commits, not throughput — a slow disk simply
+  // yields fuller batches.
+  constexpr std::size_t kWorkerBatch = 256;
+  std::vector<ServeRequest> batch;
+  std::vector<ServeResult> pending;
+  for (;;) {
+    batch.clear();
+    if (shard.queue->pop_batch(batch, kWorkerBatch) == 0) break;
+    pending.clear();
+    for (ServeRequest& req : batch) {
+      if (config_.worker_delay_us > 0)
+        std::this_thread::sleep_for(
+            std::chrono::microseconds(config_.worker_delay_us));
+      // Resume de-duplication: the WAL already holds this stream position.
+      if (config_.resume && req.stream_index != 0 &&
+          req.stream_index <= shard.session->last_stream_index()) {
+        ++shard.stats.skipped;
+        g_skipped.add();
+        continue;
+      }
+      try {
+        const std::uint64_t seq = shard.session->seq();
+        const BinId bin = shard.session->offer_deferred(
+            req.arrival, req.departure, req.size, req.stream_index);
+        pending.push_back(ServeResult{req.stream_index,
+                                      std::move(req.tenant),
+                                      shard.stats.shard, seq, bin});
+      } catch (const std::invalid_argument&) {
+        ++shard.stats.invalid;  // bad request, not a shard failure
+      }
     }
-    try {
-      const std::uint64_t seq = shard.session->seq();
-      const BinId bin = shard.session->offer(req.arrival, req.departure,
-                                             req.size, req.stream_index);
-      ++shard.stats.applied;
-      shard.applied.push_back(ServeResult{req.stream_index,
-                                          std::move(req.tenant),
-                                          shard.stats.shard, seq, bin});
-    } catch (const std::invalid_argument&) {
-      ++shard.stats.invalid;  // bad request, not a shard failure
-    }
+    shard.session->commit();
+    shard.stats.applied += pending.size();
+    shard.applied.insert(shard.applied.end(),
+                         std::make_move_iterator(pending.begin()),
+                         std::make_move_iterator(pending.end()));
   }
   // Queue closed and drained: finalize. Costs/open-bin counts are part of
   // the stats contract, so compute them before the WAL handle goes away.

@@ -19,6 +19,14 @@
 // where the crash happened — the skip test is a simple high-water mark,
 // which is sound because each shard applies its requests in submission
 // order (single queue, single worker).
+//
+// Durability batching: a worker drains its queue in batches (up to
+// kWorkerBatch requests), appends each offer with deferred durability,
+// then issues ONE commit() for the whole batch before recording any of
+// its results — so under fsync=every a busy shard pays one fsync per
+// drained batch, not one per offer, and that single fsync is further
+// merged across shards by the shared GroupCommitCoordinator. An offer is
+// never acknowledged (visible in results()) before its commit returned.
 #pragma once
 
 #include <atomic>
@@ -62,6 +70,11 @@ struct RouterConfig {
   /// Test/bench hook: microseconds each worker sleeps per request, to make
   /// backpressure deterministic (a slow consumer on demand).
   std::uint32_t worker_delay_us = 0;
+  /// Per-shard WAL segment rotation threshold; 0 = single growing segment.
+  std::uint64_t wal_segment_bytes = 0;
+  /// Group-commit linger (microseconds) under fsync=every; 0 commits as
+  /// soon as the committer wakes. See GroupCommitCoordinator.
+  std::uint32_t group_commit_window_us = 0;
 };
 
 /// One request as routed (stream_index is the 1-based global input line).
@@ -145,6 +158,9 @@ class ShardRouter {
     /// oldest entry is dropped (counted in `shed`).
     bool push(ServeRequest req, AdmissionPolicy policy);
     bool pop(ServeRequest& out);
+    /// Blocks until at least one request (or close), then drains up to
+    /// `max` into `out`. Returns the number drained; 0 = closed + empty.
+    std::size_t pop_batch(std::vector<ServeRequest>& out, std::size_t max);
     void close();
 
     [[nodiscard]] std::uint64_t shed_count() const;
@@ -172,6 +188,9 @@ class ShardRouter {
   void worker_loop(Shard& shard);
 
   RouterConfig config_;
+  /// Declared before shards_: sessions' WALs hold a pointer to the
+  /// coordinator, so it must be destroyed after them.
+  std::unique_ptr<GroupCommitCoordinator> group_commit_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::unique_ptr<parallel::ThreadPool> pool_;
   std::atomic<bool> stopped_{false};

@@ -17,10 +17,16 @@ namespace cdbp::serve {
 
 namespace {
 
-constexpr char kWalMagic[8] = {'C', 'D', 'B', 'P', 'W', 'A', 'L', '1'};
+constexpr char kWalMagicV1[8] = {'C', 'D', 'B', 'P', 'W', 'A', 'L', '1'};
+constexpr char kWalMagicV2[8] = {'C', 'D', 'B', 'P', 'W', 'A', 'L', '2'};
+// v2 segment header: magic + u64 base_seq + u32 crc32(base_seq bytes).
+constexpr std::size_t kSegmentHeaderBytes = 8 + 8 + 4;
 constexpr std::uint8_t kRecordOffer = 1;
 // Fixed offer-record payload: type + seq + stream_index + 3 doubles + bin.
 constexpr std::size_t kOfferPayload = 1 + 8 + 8 + 8 + 8 + 8 + 8;
+// Envelope sanity bound: no legitimate record is this large, so a length
+// beyond it is torn-tail garbage, not a future record type.
+constexpr std::uint32_t kMaxFramePayload = 1u << 20;
 
 // Namespace-scope references: no initialization-guard load per append.
 obs::Counter& g_appends =
@@ -54,6 +60,15 @@ void write_all(int fd, const char* data, std::size_t size,
   }
 }
 
+void fsync_fd(int fd, const std::string& path) {
+  const auto t0 = std::chrono::steady_clock::now();
+  if (::fsync(fd) != 0) throw_errno("fsync", path);
+  const auto dt = std::chrono::steady_clock::now() - t0;
+  g_fsyncs.add();
+  g_fsync_us.record(static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(dt).count()));
+}
+
 }  // namespace
 
 std::string to_string(FsyncPolicy policy) {
@@ -76,8 +91,25 @@ FsyncPolicy parse_fsync_policy(const std::string& s) {
                               s + "'");
 }
 
+void fsync_parent_dir(const std::string& path) {
+  const std::size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos ? std::string(".")
+                                                     : path.substr(0, slash);
+  const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
+                        O_RDONLY | O_DIRECTORY);
+  if (fd < 0) throw_errno("open directory", dir);
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fsync directory", dir);
+  }
+  if (::close(fd) != 0) throw_errno("close directory", dir);
+}
+
 WalWriter::WalWriter(std::string path, FsyncPolicy policy,
-                     std::size_t fsync_batch, bool truncate)
+                     std::size_t fsync_batch, bool truncate, WalFormat format,
+                     std::uint64_t base_seq)
     : path_(std::move(path)), policy_(policy), fsync_batch_(fsync_batch) {
   if (policy_ == FsyncPolicy::kBatch && fsync_batch_ == 0)
     throw std::invalid_argument("wal: fsync_batch must be >= 1");
@@ -87,7 +119,30 @@ WalWriter::WalWriter(std::string path, FsyncPolicy policy,
   if (fd_ < 0) throw_errno("open", path_);
   struct stat st {};
   if (::fstat(fd_, &st) != 0) throw_errno("fstat", path_);
-  if (st.st_size == 0) write_all(fd_, kWalMagic, sizeof(kWalMagic), path_);
+  bytes_ = static_cast<std::uint64_t>(st.st_size);
+  if (st.st_size == 0) {
+    if (format == WalFormat::kLegacy) {
+      write_all(fd_, kWalMagicV1, sizeof(kWalMagicV1), path_);
+      bytes_ = sizeof(kWalMagicV1);
+    } else {
+      StateWriter seq_bytes;
+      seq_bytes.u64(base_seq);
+      StateWriter header;
+      header.u64(base_seq);
+      header.u32(crc32(seq_bytes.buffer().data(), seq_bytes.size()));
+      write_all(fd_, kWalMagicV2, sizeof(kWalMagicV2), path_);
+      write_all(fd_, header.buffer().data(), header.size(), path_);
+      bytes_ = kSegmentHeaderBytes;
+    }
+    // An empty-but-created log must itself survive power loss under the
+    // durable policies, or recovery after a crash-before-first-append
+    // would see "missing file" where the writer saw "created".
+    if (policy_ != FsyncPolicy::kNone) {
+      fsync_fd(fd_, path_);
+      fsync_parent_dir(path_);
+    }
+  }
+  synced_bytes_ = bytes_;
 }
 
 WalWriter::~WalWriter() {
@@ -100,7 +155,7 @@ WalWriter::~WalWriter() {
   }
 }
 
-void WalWriter::append(const WalRecord& rec) {
+void WalWriter::write_frame(const WalRecord& rec) {
   if (fd_ < 0) throw std::logic_error("wal: append after close");
   StateWriter payload;
   payload.u8(kRecordOffer);
@@ -114,25 +169,42 @@ void WalWriter::append(const WalRecord& rec) {
   StateWriter frame;
   frame.u32(static_cast<std::uint32_t>(payload.size()));
   frame.u32(crc32(payload.buffer().data(), payload.size()));
+  for (const char c : payload.buffer()) frame.u8(static_cast<std::uint8_t>(c));
+
+  if (append_fault_hook) {
+    const std::size_t allow = append_fault_hook(appended_, frame.size());
+    if (allow < frame.size()) {
+      // Simulated ENOSPC: the kernel accepted a short write and the rest of
+      // the frame never made it — exactly the torn tail a full disk leaves.
+      write_all(fd_, frame.buffer().data(), allow, path_);
+      bytes_ += allow;
+      throw std::runtime_error("wal: write failed for '" + path_ +
+                               "': No space left on device (injected)");
+    }
+  }
   write_all(fd_, frame.buffer().data(), frame.size(), path_);
-  write_all(fd_, payload.buffer().data(), payload.size(), path_);
+  bytes_ += frame.size();
   ++appended_;
   ++unsynced_;
   g_appends.add();
+}
 
+void WalWriter::append(const WalRecord& rec) {
+  write_frame(rec);
   if (policy_ == FsyncPolicy::kEvery ||
       (policy_ == FsyncPolicy::kBatch && unsynced_ >= fsync_batch_))
     sync();
 }
 
+void WalWriter::append_nosync(const WalRecord& rec) {
+  write_frame(rec);
+  if (policy_ == FsyncPolicy::kBatch && unsynced_ >= fsync_batch_) sync();
+}
+
 void WalWriter::sync() {
   if (fd_ < 0) return;
-  const auto t0 = std::chrono::steady_clock::now();
-  if (::fsync(fd_) != 0) throw_errno("fsync", path_);
-  const auto dt = std::chrono::steady_clock::now() - t0;
-  g_fsyncs.add();
-  g_fsync_us.record(static_cast<std::uint64_t>(
-      std::chrono::duration_cast<std::chrono::microseconds>(dt).count()));
+  fsync_fd(fd_, path_);
+  synced_bytes_ = bytes_;
   unsynced_ = 0;
 }
 
@@ -152,14 +224,31 @@ WalReadResult read_wal(const std::string& path) {
 
   std::string data((std::istreambuf_iterator<char>(in)),
                    std::istreambuf_iterator<char>());
-  if (data.size() < sizeof(kWalMagic) ||
-      std::memcmp(data.data(), kWalMagic, sizeof(kWalMagic)) != 0) {
+  std::size_t pos = 0;
+  if (data.size() >= sizeof(kWalMagicV1) &&
+      std::memcmp(data.data(), kWalMagicV1, sizeof(kWalMagicV1)) == 0) {
+    pos = sizeof(kWalMagicV1);
+  } else if (data.size() >= kSegmentHeaderBytes &&
+             std::memcmp(data.data(), kWalMagicV2, sizeof(kWalMagicV2)) ==
+                 0) {
+    StateReader r(std::string_view(data).substr(sizeof(kWalMagicV2)));
+    const std::uint64_t base_seq = r.u64();
+    const std::uint32_t crc = r.u32();
+    StateWriter seq_bytes;
+    seq_bytes.u64(base_seq);
+    if (crc32(seq_bytes.buffer().data(), seq_bytes.size()) != crc) {
+      out.torn = true;
+      out.tail_error = "corrupt segment header";
+      return out;
+    }
+    out.base_seq = base_seq;
+    pos = kSegmentHeaderBytes;
+  } else {
     out.torn = true;
     out.tail_error = "missing or corrupt WAL header";
     return out;
   }
 
-  std::size_t pos = sizeof(kWalMagic);
   out.valid_bytes = pos;
   while (pos < data.size()) {
     if (data.size() - pos < 8) {
@@ -170,7 +259,7 @@ WalReadResult read_wal(const std::string& path) {
     const auto* p = reinterpret_cast<const unsigned char*>(data.data() + pos);
     const std::uint32_t len = read_u32_le(p);
     const std::uint32_t crc = read_u32_le(p + 4);
-    if (len != kOfferPayload) {
+    if (len == 0 || len > kMaxFramePayload) {
       out.torn = true;
       out.tail_error = "bad frame length";
       break;
@@ -186,21 +275,28 @@ WalReadResult read_wal(const std::string& path) {
       out.tail_error = "frame CRC mismatch";
       break;
     }
-    StateReader r(std::string_view(payload, len));
-    const std::uint8_t type = r.u8();
-    if (type != kRecordOffer) {
-      out.torn = true;
-      out.tail_error = "unknown record type";
-      break;
+    const auto type = static_cast<std::uint8_t>(payload[0]);
+    if (type == kRecordOffer) {
+      if (len != kOfferPayload) {
+        out.torn = true;
+        out.tail_error = "bad offer frame length";
+        break;
+      }
+      StateReader r(std::string_view(payload + 1, len - 1));
+      WalRecord rec;
+      rec.seq = r.u64();
+      rec.stream_index = r.u64();
+      rec.arrival = r.f64();
+      rec.departure = r.f64();
+      rec.size = r.f64();
+      rec.bin = r.i64();
+      out.records.push_back(rec);
+    } else {
+      // Envelope-valid frame of a type this reader does not know: a newer
+      // writer's record kind. Skip it — the CRC already proved it is not
+      // torn-tail garbage.
+      ++out.unknown_records;
     }
-    WalRecord rec;
-    rec.seq = r.u64();
-    rec.stream_index = r.u64();
-    rec.arrival = r.f64();
-    rec.departure = r.f64();
-    rec.size = r.f64();
-    rec.bin = r.i64();
-    out.records.push_back(rec);
     pos += 8 + len;
     out.valid_bytes = pos;
   }
@@ -208,8 +304,24 @@ WalReadResult read_wal(const std::string& path) {
 }
 
 void truncate_wal(const std::string& path, std::uint64_t size) {
-  if (::truncate(path.c_str(), static_cast<off_t>(size)) != 0)
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) throw_errno("open", path);
+  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
     throw_errno("truncate", path);
+  }
+  // The new length is inode metadata: fsync the file so the repair itself
+  // survives power loss, then the parent so a fresh directory entry does.
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fsync", path);
+  }
+  if (::close(fd) != 0) throw_errno("close", path);
+  fsync_parent_dir(path);
 }
 
 }  // namespace cdbp::serve

@@ -4,11 +4,19 @@
 // or from the beginning) to rebuild the exact session state.
 //
 // File layout (docs/SERVING.md has the full spec):
-//   [8-byte magic "CDBPWAL1"] frame*
-//   frame := u32 payload_len | u32 crc32(payload) | payload
-//   payload (offer record, all little-endian, doubles as bit patterns) :=
-//     u8 type(=1) | u64 seq | u64 stream_index | f64 arrival |
-//     f64 departure | f64 size | i64 bin
+//   header  := "CDBPWAL1"                      (legacy single-file log)
+//            | "CDBPWAL2" u64 base_seq u32 crc (segment of a segmented log,
+//                                               see wal_segment.h)
+//   frame   := u32 payload_len | u32 crc32(payload) | payload
+//   payload := u8 type | type-specific body
+//   type 1 (offer), all little-endian, doubles as bit patterns:
+//     u64 seq | u64 stream_index | f64 arrival | f64 departure
+//     | f64 size | i64 bin
+//
+// Frame-format v2 envelope rule: readers validate the (length, CRC)
+// envelope first and only then dispatch on the record type. A frame whose
+// CRC checks out but whose type is unknown is *skipped*, not fatal — newer
+// writers may add record kinds that an older reader replays through.
 //
 // Torn-write semantics: a reader accepts the longest prefix of intact
 // frames and reports everything after it (a partial frame from a crash, or
@@ -20,6 +28,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -38,6 +47,19 @@ enum class FsyncPolicy { kNone, kBatch, kEvery };
 /// Parses "none" | "batch" | "every"; throws std::invalid_argument.
 [[nodiscard]] FsyncPolicy parse_fsync_policy(const std::string& s);
 
+/// Fsyncs the directory containing `path`, making a just-completed
+/// rename/unlink/creat in it durable. Throws std::runtime_error on failure.
+/// (A file fsync persists the file's bytes; the *directory entry* pointing
+/// at them lives in the parent directory and needs its own fsync, or a
+/// power loss can forget an "acked" rename.)
+void fsync_parent_dir(const std::string& path);
+
+/// On-disk header flavor a WalWriter emits when it creates a file.
+enum class WalFormat {
+  kLegacy,   ///< "CDBPWAL1", records start at seq 0
+  kSegment,  ///< "CDBPWAL2" + u64 base_seq + u32 crc (segmented log member)
+};
+
 /// One logged placement decision.
 struct WalRecord {
   std::uint64_t seq = 0;           ///< per-shard offer sequence number
@@ -50,15 +72,29 @@ struct WalRecord {
   friend bool operator==(const WalRecord&, const WalRecord&) = default;
 };
 
-/// Append-side handle. Not thread-safe: each shard's WAL is written only by
-/// that shard's worker. Throws std::runtime_error on I/O failure.
+/// Test-only fault injection for the append path: called once per append
+/// with the 0-based append index and the encoded frame size. Returning a
+/// value < the frame size makes the writer emit only that many bytes and
+/// then fail with a simulated ENOSPC, which is exactly what a short write
+/// on a full disk leaves behind (a torn frame at the tail). Return
+/// anything >= the frame size for a normal append.
+using WalAppendFaultHook =
+    std::function<std::size_t(std::uint64_t index, std::size_t frame_bytes)>;
+
+/// Append-side handle for one physical log file. Not thread-safe: each
+/// shard's WAL is written only by that shard's worker (the group-commit
+/// committer thread only calls sync() while the owner is blocked waiting on
+/// it). Throws std::runtime_error on I/O failure.
 class WalWriter {
  public:
   /// Opens (creating if needed) `path`. `truncate` starts a fresh log with
   /// a new header; otherwise appends to the existing file (which must carry
   /// a valid header — recovery truncates torn tails before reopening).
+  /// A newly created header is fsynced (file + parent directory) under
+  /// kBatch/kEvery so an empty-but-created log survives power loss.
   WalWriter(std::string path, FsyncPolicy policy, std::size_t fsync_batch,
-            bool truncate);
+            bool truncate, WalFormat format = WalFormat::kLegacy,
+            std::uint64_t base_seq = 0);
   ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;
@@ -67,6 +103,12 @@ class WalWriter {
   /// Appends one framed record and applies the fsync policy. Returns only
   /// once the record is durable per the policy.
   void append(const WalRecord& rec);
+
+  /// Appends one framed record WITHOUT applying the per-record part of the
+  /// fsync policy (kBatch still syncs when the batch threshold is hit).
+  /// Callers that defer durability this way must pair it with sync() — or
+  /// a group commit — before acknowledging the record.
+  void append_nosync(const WalRecord& rec);
 
   /// Forces an fsync now (no-op under kNone with nothing buffered is still
   /// an fsync — callers use this to order a checkpoint after its WAL
@@ -79,13 +121,28 @@ class WalWriter {
 
   [[nodiscard]] std::uint64_t appended() const noexcept { return appended_; }
   [[nodiscard]] const std::string& path() const noexcept { return path_; }
+  /// Current file size in bytes (header + all appended frames).
+  [[nodiscard]] std::uint64_t file_bytes() const noexcept { return bytes_; }
+  /// Durability watermark: bytes guaranteed on disk as of the last fsync.
+  /// (Crash simulators truncate to this to model losing the page cache.)
+  [[nodiscard]] std::uint64_t synced_bytes() const noexcept {
+    return synced_bytes_;
+  }
+  [[nodiscard]] std::size_t unsynced() const noexcept { return unsynced_; }
+
+  /// Test-only: see WalAppendFaultHook.
+  WalAppendFaultHook append_fault_hook;
 
  private:
+  void write_frame(const WalRecord& rec);
+
   std::string path_;
   FsyncPolicy policy_;
   std::size_t fsync_batch_;
   std::size_t unsynced_ = 0;
   std::uint64_t appended_ = 0;
+  std::uint64_t bytes_ = 0;
+  std::uint64_t synced_bytes_ = 0;
   int fd_ = -1;
 };
 
@@ -93,18 +150,22 @@ class WalWriter {
 struct WalReadResult {
   std::vector<WalRecord> records;  ///< longest intact prefix
   std::uint64_t valid_bytes = 0;   ///< file offset where the prefix ends
+  std::uint64_t base_seq = 0;      ///< from a v2 segment header (0 legacy)
+  std::uint64_t unknown_records = 0;  ///< intact frames of unknown type
   bool exists = false;             ///< the file was present
   bool torn = false;               ///< bytes beyond valid_bytes were dropped
   std::string tail_error;          ///< why the tail was rejected (when torn)
 };
 
-/// Scans `path`, accepting the longest intact frame prefix (see file
-/// comment). A missing file yields an empty, non-torn result; a present
-/// file with a bad header yields torn with valid_bytes = 0... the caller
-/// decides whether to truncate (recovery does).
+/// Scans `path` (legacy "CDBPWAL1" file or "CDBPWAL2" segment), accepting
+/// the longest intact frame prefix (see file comment). A missing file
+/// yields an empty, non-torn result; a present file with a bad header
+/// yields torn with valid_bytes = 0... the caller decides whether to
+/// truncate (recovery does).
 [[nodiscard]] WalReadResult read_wal(const std::string& path);
 
-/// Truncates `path` to `size` bytes (recovery's torn-tail repair).
+/// Truncates `path` to `size` bytes (recovery's torn-tail repair) and makes
+/// the new size durable (file fsync + parent directory fsync).
 /// Throws std::runtime_error on failure.
 void truncate_wal(const std::string& path, std::uint64_t size);
 

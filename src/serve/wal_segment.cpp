@@ -1,0 +1,514 @@
+#include "serve/wal_segment.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <set>
+#include <stdexcept>
+
+#include "core/checkpoint.h"
+#include "obs/obs.h"
+#include "parallel/thread_pool.h"
+
+namespace cdbp::serve {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr char kManifestMagic[8] = {'C', 'D', 'B', 'P', 'M', 'A', 'N', '1'};
+constexpr std::uint32_t kManifestVersion = 1;
+
+obs::Counter& g_rotations =
+    obs::MetricsRegistry::global().counter("wal.rotations");
+obs::Counter& g_compacted =
+    obs::MetricsRegistry::global().counter("wal.segments_compacted");
+obs::Counter& g_orphans =
+    obs::MetricsRegistry::global().counter("wal.orphan_segments_removed");
+obs::Histogram& g_scan_segments =
+    obs::MetricsRegistry::global().histogram("wal.recovery_segments");
+
+[[noreturn]] void throw_errno(const std::string& what,
+                              const std::string& path) {
+  throw std::runtime_error("wal: " + what + " failed for '" + path +
+                           "': " + std::strerror(errno));
+}
+
+std::string dir_of(const std::string& base) {
+  const std::size_t slash = base.find_last_of('/');
+  if (slash == std::string::npos) return ".";
+  return slash == 0 ? "/" : base.substr(0, slash);
+}
+
+std::string name_of(const std::string& base) {
+  const std::size_t slash = base.find_last_of('/');
+  return slash == std::string::npos ? base : base.substr(slash + 1);
+}
+
+std::string manifest_path(const std::string& base) {
+  return base + ".manifest";
+}
+
+/// Removes a file if present, durably (dir fsync). ENOENT is fine — a
+/// crashed earlier attempt may have gotten part-way.
+bool remove_file_durable(const std::string& path) {
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) return false;
+    throw_errno("unlink", path);
+  }
+  fsync_parent_dir(path);
+  return true;
+}
+
+std::uint64_t file_size_or_zero(const std::string& path) {
+  struct stat st {};
+  if (::stat(path.c_str(), &st) != 0) return 0;
+  return static_cast<std::uint64_t>(st.st_size);
+}
+
+WalFormat format_of_entry(const std::string& base,
+                          const WalManifest::Entry& entry) {
+  // The only non-".seg" entry a manifest can hold is an adopted legacy
+  // bare file, which carries the v1 header.
+  return entry.file == name_of(base) ? WalFormat::kLegacy
+                                     : WalFormat::kSegment;
+}
+
+}  // namespace
+
+std::optional<WalManifest> read_wal_manifest(const std::string& base) {
+  const std::string path = manifest_path(base);
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return std::nullopt;
+    throw_errno("open", path);
+  }
+  std::string data;
+  char buf[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const int saved = errno;
+      ::close(fd);
+      errno = saved;
+      throw_errno("read", path);
+    }
+    if (n == 0) break;
+    data.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+
+  if (data.size() < sizeof(kManifestMagic) + 12 ||
+      std::memcmp(data.data(), kManifestMagic, sizeof(kManifestMagic)) != 0)
+    throw std::runtime_error("wal: bad manifest header in '" + path + "'");
+  StateReader outer(std::string_view(data).substr(sizeof(kManifestMagic)));
+  const std::uint64_t len = outer.u64();
+  const std::uint32_t crc = outer.u32();
+  if (outer.remaining() != len)
+    throw std::runtime_error("wal: truncated manifest '" + path + "'");
+  const std::string payload = data.substr(sizeof(kManifestMagic) + 12);
+  if (crc32(payload.data(), payload.size()) != crc)
+    throw std::runtime_error("wal: manifest CRC mismatch in '" + path + "'");
+
+  StateReader r(payload);
+  if (r.u32() != kManifestVersion)
+    throw std::runtime_error("wal: unsupported manifest version in '" + path +
+                             "'");
+  WalManifest m;
+  m.next_segment_id = r.u64();
+  const std::uint64_t count = r.u64();
+  for (std::uint64_t i = 0; i < count; ++i) {
+    WalManifest::Entry entry;
+    entry.file = r.str();
+    entry.base_seq = r.u64();
+    m.segments.push_back(std::move(entry));
+  }
+  if (!r.at_end())
+    throw std::runtime_error("wal: trailing bytes in manifest '" + path +
+                             "'");
+  return m;
+}
+
+void write_wal_manifest(const std::string& base, const WalManifest& m) {
+  StateWriter payload;
+  payload.u32(kManifestVersion);
+  payload.u64(m.next_segment_id);
+  payload.u64(m.segments.size());
+  for (const WalManifest::Entry& entry : m.segments) {
+    payload.str(entry.file);
+    payload.u64(entry.base_seq);
+  }
+  StateWriter header;
+  header.u64(payload.size());
+  header.u32(crc32(payload.buffer().data(), payload.size()));
+
+  const std::string path = manifest_path(base);
+  const std::string tmp = path + ".tmp";
+  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) throw_errno("open", tmp);
+  const auto write_all = [&](const char* data, std::size_t size) {
+    while (size > 0) {
+      const ssize_t n = ::write(fd, data, size);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        const int saved = errno;
+        ::close(fd);
+        errno = saved;
+        throw_errno("write", tmp);
+      }
+      data += n;
+      size -= static_cast<std::size_t>(n);
+    }
+  };
+  write_all(kManifestMagic, sizeof(kManifestMagic));
+  write_all(header.buffer().data(), header.size());
+  write_all(payload.buffer().data(), payload.size());
+  if (::fsync(fd) != 0) {
+    const int saved = errno;
+    ::close(fd);
+    errno = saved;
+    throw_errno("fsync", tmp);
+  }
+  if (::close(fd) != 0) throw_errno("close", tmp);
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) throw_errno("rename", path);
+  fsync_parent_dir(path);
+}
+
+std::string wal_segment_path(const std::string& base, std::uint64_t id) {
+  char suffix[24];
+  std::snprintf(suffix, sizeof(suffix), ".%06llu.seg",
+                static_cast<unsigned long long>(id));
+  return base + suffix;
+}
+
+SegmentedWalScan scan_segmented_wal(const std::string& base,
+                                    parallel::ThreadPool* pool) {
+  SegmentedWalScan out;
+  std::optional<WalManifest> manifest = read_wal_manifest(base);
+  if (manifest) {
+    out.manifest = std::move(*manifest);
+    out.exists = true;
+  } else if (fs::exists(base)) {
+    // Pre-segmentation log: adopt the bare file as the first segment.
+    out.legacy = true;
+    out.exists = true;
+    out.manifest.next_segment_id = 1;
+    out.manifest.segments.push_back({name_of(base), 0});
+  } else {
+    return out;
+  }
+  if (out.manifest.segments.empty()) return out;
+  out.first_seq = out.manifest.segments.front().base_seq;
+
+  const std::string dir = dir_of(base);
+  const std::size_t n = out.manifest.segments.size();
+  const auto scan_one = [&](std::size_t i) {
+    return read_wal(dir + "/" + out.manifest.segments[i].file);
+  };
+  std::vector<WalReadResult> scans;
+  if (pool != nullptr && n > 1) {
+    scans = parallel::parallel_map<WalReadResult>(
+        *pool, n, [&](std::size_t i) { return scan_one(i); });
+  } else {
+    scans.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) scans.push_back(scan_one(i));
+  }
+  out.segments_scanned = n;
+  g_scan_segments.record(n);
+
+  // Assemble the global prefix: stop at the first torn, missing, or
+  // chain-breaking segment; everything after it is unreachable.
+  std::uint64_t expected_seq = out.first_seq;
+  for (std::size_t i = 0; i < n; ++i) {
+    const WalReadResult& seg = scans[i];
+    const std::uint64_t declared = out.manifest.segments[i].base_seq;
+    const auto tear = [&](const std::string& why, std::uint64_t valid) {
+      out.torn = true;
+      out.tail_error = why;
+      out.torn_segment = i;
+      out.torn_valid_bytes = valid;
+      for (std::size_t j = i; j < n; ++j)
+        out.dropped_records += scans[j].records.size();
+    };
+    if (!seg.exists) {
+      tear("missing segment file " + out.manifest.segments[i].file, 0);
+      break;
+    }
+    if (seg.base_seq != declared) {
+      tear("segment base seq mismatch in " + out.manifest.segments[i].file,
+           0);
+      break;
+    }
+    if (declared != expected_seq) {
+      tear("segment chain gap at " + out.manifest.segments[i].file, 0);
+      break;
+    }
+    if (!seg.records.empty() && seg.records.front().seq != declared) {
+      tear("segment first record seq mismatch in " +
+               out.manifest.segments[i].file,
+           0);
+      break;
+    }
+    out.unknown_records += seg.unknown_records;
+    if (seg.torn) {
+      // Keep this segment's intact prefix, drop its tail and every later
+      // segment (their seqs would gap past the lost records).
+      out.records.insert(out.records.end(), seg.records.begin(),
+                         seg.records.end());
+      out.segment_records.push_back(seg.records.size());
+      out.torn = true;
+      out.tail_error = seg.tail_error;
+      out.torn_segment = i;
+      out.torn_valid_bytes = seg.valid_bytes;
+      for (std::size_t j = i + 1; j < n; ++j)
+        out.dropped_records += scans[j].records.size();
+      break;
+    }
+    out.records.insert(out.records.end(), seg.records.begin(),
+                       seg.records.end());
+    out.segment_records.push_back(seg.records.size());
+    expected_seq = declared + seg.records.size();
+  }
+  return out;
+}
+
+std::uint64_t repair_segmented_wal(const std::string& base,
+                                   SegmentedWalScan& scan) {
+  std::uint64_t removed_bytes = 0;
+  const std::string dir = dir_of(base);
+  if (scan.torn && scan.torn_segment != static_cast<std::size_t>(-1)) {
+    const bool keep_torn =
+        scan.torn_segment < scan.segment_records.size();
+    std::vector<WalManifest::Entry> survivors(
+        scan.manifest.segments.begin(),
+        scan.manifest.segments.begin() +
+            static_cast<std::ptrdiff_t>(scan.torn_segment +
+                                        (keep_torn ? 1 : 0)));
+    // Drop segments past the tear from the manifest FIRST (durable), so a
+    // crash mid-repair leaves orphan files, never a manifest pointing at
+    // repaired-away data.
+    if (survivors.size() != scan.manifest.segments.size()) {
+      WalManifest repaired = scan.manifest;
+      repaired.segments = survivors;
+      write_wal_manifest(base, repaired);
+      for (std::size_t i = survivors.size();
+           i < scan.manifest.segments.size(); ++i) {
+        const std::string path = dir + "/" + scan.manifest.segments[i].file;
+        removed_bytes += file_size_or_zero(path);
+        remove_file_durable(path);
+      }
+      scan.manifest.segments = std::move(survivors);
+    }
+    // Truncate the torn segment back to its intact prefix.
+    if (keep_torn) {
+      const std::string path =
+          dir + "/" + scan.manifest.segments[scan.torn_segment].file;
+      const std::uint64_t size = file_size_or_zero(path);
+      if (size > scan.torn_valid_bytes)
+        removed_bytes += size - scan.torn_valid_bytes;
+      truncate_wal(path, scan.torn_valid_bytes);
+    }
+    scan.torn_segment = static_cast<std::size_t>(-1);
+  }
+
+  // Orphan sweep: `.seg` files for this base the manifest does not list —
+  // left by a kill during rotation (file created, manifest not yet
+  // updated) or compaction (manifest updated, unlink not reached).
+  std::set<std::string> listed;
+  for (const WalManifest::Entry& entry : scan.manifest.segments)
+    listed.insert(entry.file);
+  const std::string prefix = name_of(base) + ".";
+  std::error_code ec;
+  for (const auto& de : fs::directory_iterator(dir, ec)) {
+    const std::string file = de.path().filename().string();
+    if (file.rfind(prefix, 0) != 0) continue;
+    const bool is_segment = file.size() > 4 &&
+                            file.compare(file.size() - 4, 4, ".seg") == 0;
+    const bool is_stale_tmp = file == name_of(base) + ".manifest.tmp";
+    if ((is_segment && listed.count(file) == 0) || is_stale_tmp) {
+      removed_bytes += file_size_or_zero(de.path().string());
+      remove_file_durable(de.path().string());
+      if (is_segment) g_orphans.add();
+    }
+  }
+  return removed_bytes;
+}
+
+SegmentedWal::SegmentedWal(std::string base, Options opts, bool truncate,
+                           const SegmentedWalScan* scan)
+    : base_(std::move(base)), opts_(std::move(opts)) {
+  if (truncate) {
+    // Fresh log: durably clear every trace of the old one first, or a
+    // crash mid-start could pair new segments with stale ones.
+    SegmentedWalScan old = scan_segmented_wal(base_);
+    for (const WalManifest::Entry& entry : old.manifest.segments)
+      remove_file_durable(full_path(entry.file));
+    old.manifest.segments.clear();
+    old.torn = false;
+    old.torn_segment = static_cast<std::size_t>(-1);
+    repair_segmented_wal(base_, old);  // orphan/tmp sweep
+    remove_file_durable(manifest_path(base_));
+    manifest_.next_segment_id = 1;
+    const std::uint64_t id = manifest_.next_segment_id++;
+    manifest_.segments.push_back(
+        {name_of(wal_segment_path(base_, id)), 0});
+    open_active(0, /*create=*/true, WalFormat::kSegment);
+    write_wal_manifest(base_, manifest_);
+    return;
+  }
+
+  SegmentedWalScan own;
+  if (scan == nullptr) {
+    own = scan_segmented_wal(base_);
+    repair_segmented_wal(base_, own);
+    scan = &own;
+  }
+  manifest_ = scan->manifest;
+  if (manifest_.segments.empty()) {
+    const std::uint64_t id = manifest_.next_segment_id++;
+    manifest_.segments.push_back(
+        {name_of(wal_segment_path(base_, id)), 0});
+    open_active(0, /*create=*/true, WalFormat::kSegment);
+    write_wal_manifest(base_, manifest_);
+    return;
+  }
+  const WalManifest::Entry& last = manifest_.segments.back();
+  open_active(last.base_seq, /*create=*/false, format_of_entry(base_, last));
+  records_in_active_ = scan->segment_records.empty()
+                           ? 0
+                           : scan->segment_records.back();
+  // Legacy adoption: give the bare file a manifest so rotation and
+  // compaction have somewhere to live.
+  if (scan->legacy) write_wal_manifest(base_, manifest_);
+}
+
+SegmentedWal::~SegmentedWal() {
+  try {
+    close();
+  } catch (...) {
+    // Destructor path: owners needing the final-sync guarantee call
+    // close() themselves.
+  }
+}
+
+std::string SegmentedWal::full_path(const std::string& file) const {
+  return dir_of(base_) + "/" + file;
+}
+
+void SegmentedWal::open_active(std::uint64_t base_seq, bool create,
+                               WalFormat format) {
+  writer_ = std::make_unique<WalWriter>(
+      full_path(manifest_.segments.back().file), opts_.policy,
+      opts_.fsync_batch, /*truncate=*/create, format, base_seq);
+  writer_->append_fault_hook = opts_.append_fault_hook;
+  records_in_active_ = 0;
+}
+
+void SegmentedWal::maybe_rotate(std::uint64_t next_seq) {
+  if (opts_.segment_bytes == 0) return;
+  if (records_in_active_ == 0) return;  // every segment holds >= 1 record
+  if (writer_->file_bytes() < opts_.segment_bytes) return;
+
+  // Seal: the old segment's bytes must be durable before the manifest
+  // stops calling it "active" (its tail would otherwise be repair fodder).
+  writer_->sync();
+  writer_->close();
+  const std::uint64_t id = manifest_.next_segment_id++;
+  manifest_.segments.push_back(
+      {name_of(wal_segment_path(base_, id)), next_seq});
+  open_active(next_seq, /*create=*/true, WalFormat::kSegment);
+  write_wal_manifest(base_, manifest_);
+  ++rotations_;
+  g_rotations.add();
+}
+
+void SegmentedWal::append(const WalRecord& rec) {
+  maybe_rotate(rec.seq);
+  writer_->append_nosync(rec);
+  ++appended_;
+  ++records_in_active_;
+  if (opts_.policy == FsyncPolicy::kEvery) commit();
+}
+
+void SegmentedWal::append_nosync(const WalRecord& rec) {
+  maybe_rotate(rec.seq);
+  writer_->append_nosync(rec);
+  ++appended_;
+  ++records_in_active_;
+}
+
+void SegmentedWal::commit() {
+  if (opts_.policy != FsyncPolicy::kEvery) return;
+  if (!writer_ || writer_->unsynced() == 0) return;
+  if (opts_.group_commit != nullptr)
+    opts_.group_commit->sync_and_wait(*this);
+  else
+    writer_->sync();
+}
+
+void SegmentedWal::sync() {
+  if (writer_) writer_->sync();
+}
+
+void SegmentedWal::sync_file() {
+  if (writer_) writer_->sync();
+}
+
+std::size_t SegmentedWal::compact(std::uint64_t covered_seq) {
+  // A sealed segment is dead once the NEXT segment's base_seq is within
+  // the checkpoint's coverage — every record it holds replays to a state
+  // the checkpoint already captures. The active segment never dies.
+  std::size_t dead = 0;
+  while (dead + 1 < manifest_.segments.size() &&
+         manifest_.segments[dead + 1].base_seq <= covered_seq)
+    ++dead;
+  if (dead == 0) return 0;
+
+  WalManifest compacted = manifest_;
+  compacted.segments.erase(compacted.segments.begin(),
+                           compacted.segments.begin() +
+                               static_cast<std::ptrdiff_t>(dead));
+  // Manifest first: a kill after this leaves orphan files (swept on next
+  // open), never a manifest naming deleted data.
+  write_wal_manifest(base_, compacted);
+  for (std::size_t i = 0; i < dead; ++i)
+    remove_file_durable(full_path(manifest_.segments[i].file));
+  manifest_ = std::move(compacted);
+  g_compacted.add(dead);
+  return dead;
+}
+
+void SegmentedWal::close() {
+  if (writer_) {
+    writer_->close();
+    writer_.reset();
+  }
+}
+
+std::string SegmentedWal::active_segment_path() const {
+  return full_path(manifest_.segments.back().file);
+}
+
+std::vector<std::pair<std::string, std::uint64_t>>
+SegmentedWal::synced_watermarks() const {
+  std::vector<std::pair<std::string, std::uint64_t>> out;
+  for (std::size_t i = 0; i < manifest_.segments.size(); ++i) {
+    const std::string path = full_path(manifest_.segments[i].file);
+    if (i + 1 == manifest_.segments.size() && writer_) {
+      out.emplace_back(path, writer_->synced_bytes());
+    } else {
+      // Sealed segments were fsynced in full at rotation time.
+      out.emplace_back(path, file_size_or_zero(path));
+    }
+  }
+  return out;
+}
+
+}  // namespace cdbp::serve

@@ -1,0 +1,194 @@
+// Segmented WAL: the shard log as an ordered chain of bounded segment
+// files plus a tiny CRC'd manifest, instead of one unbounded file.
+//
+//   <base>.manifest             CDBPMAN1 | u64 len | u32 crc | payload
+//       payload := u32 version | u64 next_segment_id | u64 count
+//                | count x (str filename | u64 base_seq)
+//   <base>.000001.seg ...       "CDBPWAL2" segment files (wal.h frames)
+//   <base>                      a bare legacy "CDBPWAL1" file is adopted
+//                               as the first segment on open
+//
+// Why segments: (1) checkpoint-anchored *compaction* — segments whose
+// every record is covered by the latest checkpoint are deleted, so the log
+// stops growing without bound; (2) *segment-parallel recovery* — the
+// CRC scan/decode of each segment is independent and fans out over a
+// ThreadPool before the (inherently sequential) replay; (3) bounded
+// torn-tail repair — a tear truncates one segment, not a giant file.
+//
+// Crash consistency (every step is fsync-ordered, docs/SERVING.md):
+//   rotation    = seal old segment (fsync) -> create new segment file
+//                 (header fsync + dir fsync) -> manifest rewrite
+//                 (tmp + fsync + rename + dir fsync).
+//   compaction  = manifest rewrite first, then unlink dead segments, then
+//                 dir fsync. A kill between the steps leaves orphan .seg
+//                 files the next open removes; the manifest is always a
+//                 consistent view.
+//   global prefix rule: the log's intact prefix ends at the first torn or
+//                 chain-breaking segment; later segments are unreachable
+//                 (their seqs would gap) and repair drops them.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "serve/group_commit.h"
+#include "serve/wal.h"
+
+namespace cdbp::parallel {
+class ThreadPool;
+}
+
+namespace cdbp::serve {
+
+/// The manifest: ordered live segments plus the next rotation id.
+struct WalManifest {
+  struct Entry {
+    std::string file;            ///< filename relative to the base's dir
+    std::uint64_t base_seq = 0;  ///< seq of the segment's first record
+    friend bool operator==(const Entry&, const Entry&) = default;
+  };
+  std::uint64_t next_segment_id = 1;
+  std::vector<Entry> segments;
+};
+
+/// Reads `<base>.manifest`. Absent file -> nullopt; a present-but-invalid
+/// or unreadable one throws std::runtime_error (manifests are written via
+/// tmp + rename, so a corrupt one is damage, not a crash artifact).
+[[nodiscard]] std::optional<WalManifest> read_wal_manifest(
+    const std::string& base);
+
+/// Durably writes `<base>.manifest` (tmp + fsync + rename + dir fsync).
+void write_wal_manifest(const std::string& base, const WalManifest& m);
+
+/// `<base>.NNNNNN.seg` path for a segment id (full path, 6-digit id).
+[[nodiscard]] std::string wal_segment_path(const std::string& base,
+                                           std::uint64_t id);
+
+/// Result of scanning a whole segmented log.
+struct SegmentedWalScan {
+  bool exists = false;  ///< a manifest or a legacy bare file was present
+  bool legacy = false;  ///< no manifest: the bare `base` file was adopted
+  WalManifest manifest;            ///< effective (synthesized when legacy)
+  std::vector<WalRecord> records;  ///< global intact prefix, in seq order
+  std::uint64_t first_seq = 0;     ///< base_seq of the first live segment
+  bool torn = false;
+  std::string tail_error;
+  /// Index into manifest.segments where the prefix ended (SIZE_MAX = no
+  /// tear). Repair truncates this segment to torn_valid_bytes and drops
+  /// every later segment.
+  std::size_t torn_segment = static_cast<std::size_t>(-1);
+  std::uint64_t torn_valid_bytes = 0;
+  std::uint64_t dropped_records = 0;  ///< records in segments past the tear
+  std::uint64_t unknown_records = 0;  ///< skipped unknown-type frames
+  std::size_t segments_scanned = 0;
+  /// Per-surviving-segment record counts (parallel to manifest.segments up
+  /// to and including torn_segment); the writer resumes from the last one.
+  std::vector<std::uint64_t> segment_records;
+};
+
+/// CRC-scans every segment (in parallel on `pool` when given and there is
+/// more than one) and assembles the global intact prefix. Read-only.
+[[nodiscard]] SegmentedWalScan scan_segmented_wal(
+    const std::string& base, parallel::ThreadPool* pool = nullptr);
+
+/// Applies the repair a scan prescribed: truncates the torn segment,
+/// deletes segments past the tear and any orphan `.seg` files the manifest
+/// does not list, and rewrites the manifest when segments were dropped.
+/// Mutates `scan` to describe the repaired log. Returns bytes removed.
+std::uint64_t repair_segmented_wal(const std::string& base,
+                                   SegmentedWalScan& scan);
+
+/// Append-side handle over the segment chain. Not thread-safe (one shard
+/// worker), except that sync_file() may be invoked by the group-commit
+/// committer while the owner is blocked inside commit().
+class SegmentedWal final : public WalSyncable {
+ public:
+  struct Options {
+    FsyncPolicy policy = FsyncPolicy::kBatch;
+    std::size_t fsync_batch = 64;
+    /// Rotate to a new segment once the active one reaches this size.
+    /// 0 = never rotate (single growing segment).
+    std::uint64_t segment_bytes = 0;
+    /// When set and policy == kEvery, per-record durability goes through
+    /// the shared coordinator instead of a private fsync.
+    GroupCommitCoordinator* group_commit = nullptr;
+    /// Test-only fault injection, forwarded to each segment's writer.
+    WalAppendFaultHook append_fault_hook;
+  };
+
+  /// truncate=true starts a fresh log: every existing segment, manifest,
+  /// and bare legacy file for `base` is removed and segment 1 is created.
+  /// truncate=false resumes: `scan` should be the (repaired) scan the
+  /// caller replayed from — pass nullptr to let the writer scan + repair
+  /// itself. A bare legacy log is adopted (manifest written, appends
+  /// continue into the legacy file until rotation).
+  SegmentedWal(std::string base, Options opts, bool truncate,
+               const SegmentedWalScan* scan = nullptr);
+  ~SegmentedWal() override;
+
+  SegmentedWal(const SegmentedWal&) = delete;
+  SegmentedWal& operator=(const SegmentedWal&) = delete;
+
+  /// Appends one record and applies the fsync policy (under kEvery via the
+  /// group-commit coordinator when configured). May rotate first.
+  void append(const WalRecord& rec);
+
+  /// Appends without the per-record durability step (kBatch thresholds
+  /// still apply). Pair with commit() before acknowledging.
+  void append_nosync(const WalRecord& rec);
+
+  /// Makes everything appended so far durable per the policy: kEvery
+  /// fsyncs (group commit when configured), kNone/kBatch are no-ops beyond
+  /// their own cadence. The shard worker calls this once per drained
+  /// batch, then acks the whole batch.
+  void commit();
+
+  /// Unconditional direct fsync of the active segment (checkpoint
+  /// ordering: WAL before checkpoint).
+  void sync();
+
+  /// WalSyncable: fsync of the active segment, called by the committer.
+  void sync_file() override;
+
+  /// Deletes sealed segments whose every record the checkpoint at
+  /// `covered_seq` covers. Returns the number of segments removed.
+  std::size_t compact(std::uint64_t covered_seq);
+
+  /// Seal + close. Idempotent; destructor calls it swallowing errors.
+  void close();
+
+  [[nodiscard]] std::uint64_t appended() const noexcept { return appended_; }
+  [[nodiscard]] std::uint64_t rotations() const noexcept {
+    return rotations_;
+  }
+  [[nodiscard]] const WalManifest& manifest() const noexcept {
+    return manifest_;
+  }
+  [[nodiscard]] const std::string& base() const noexcept { return base_; }
+  /// Full path of the segment currently being appended to.
+  [[nodiscard]] std::string active_segment_path() const;
+  /// Durability watermark per live segment file: (full path, bytes known
+  /// to be on disk). Crash simulators truncate files to these to model a
+  /// power loss that drops the page cache.
+  [[nodiscard]] std::vector<std::pair<std::string, std::uint64_t>>
+  synced_watermarks() const;
+
+ private:
+  void open_active(std::uint64_t base_seq, bool create, WalFormat format);
+  void maybe_rotate(std::uint64_t next_seq);
+  [[nodiscard]] std::string full_path(const std::string& file) const;
+
+  std::string base_;
+  Options opts_;
+  WalManifest manifest_;
+  std::unique_ptr<WalWriter> writer_;  ///< active (last) segment
+  std::uint64_t appended_ = 0;
+  std::uint64_t records_in_active_ = 0;
+  std::uint64_t rotations_ = 0;
+};
+
+}  // namespace cdbp::serve

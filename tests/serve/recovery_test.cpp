@@ -5,6 +5,9 @@
 // algorithm, on general and aligned inputs, across seeds.
 #include "serve/durable_session.h"
 
+#include <sys/stat.h>
+#include <unistd.h>
+
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -195,11 +198,13 @@ TEST_F(RecoveryTest, CheckpointAheadOfTruncatedWalIsIgnored) {
     s.close();  // checkpoint now covers seq 6
   }
   // Lose the last 2 WAL records (but keep the checkpoint): the checkpoint
-  // now claims offers the log cannot verify, so it must be ignored.
-  const WalReadResult wal = read_wal(cfg.wal_path);
+  // now claims offers the log cannot verify, so it must be ignored. The
+  // log is a fresh one-segment chain; cut the segment file itself.
+  const std::string seg = wal_segment_path(cfg.wal_path, 1);
+  const WalReadResult wal = read_wal(seg);
   ASSERT_EQ(wal.records.size(), 6u);
-  const std::uint64_t frame = (wal.valid_bytes - 8) / 6;
-  truncate_wal(cfg.wal_path, 8 + 4 * frame);
+  const std::uint64_t header = wal.valid_bytes - 57 * 6;
+  truncate_wal(seg, header + 4 * 57);
 
   DurableSession rec(cli::make_algorithm("ff"), "ff",
                      config("ahead", true, 2));
@@ -220,7 +225,8 @@ TEST_F(RecoveryTest, TornTailIsTruncatedAndReported) {
     s.close();
   }
   {
-    std::ofstream f(cfg.wal_path, std::ios::binary | std::ios::app);
+    std::ofstream f(wal_segment_path(cfg.wal_path, 1),
+                    std::ios::binary | std::ios::app);
     f.write("\x39\x00\x00\x00garbage-torn-frame", 22);  // half a frame
   }
   DurableSession rec(cli::make_algorithm("ff"), "ff",
@@ -229,7 +235,7 @@ TEST_F(RecoveryTest, TornTailIsTruncatedAndReported) {
   EXPECT_GT(rec.recovery().truncated_bytes, 0u);
   EXPECT_EQ(rec.seq(), 5u);
   // The repaired log is clean again.
-  EXPECT_FALSE(read_wal(cfg.wal_path).torn);
+  EXPECT_FALSE(scan_segmented_wal(cfg.wal_path).torn);
 }
 
 TEST_F(RecoveryTest, ReplayWithWrongAlgorithmDiverges) {
@@ -276,6 +282,206 @@ TEST_F(RecoveryTest, FreshStartRemovesStaleCheckpoint) {
                      config("stale", true, 0));
   EXPECT_EQ(rec.seq(), 1u);
   EXPECT_FALSE(rec.recovery().used_checkpoint);
+}
+
+TEST_F(RecoveryTest, SegmentedLogRecoversBitIdenticallyAcrossCuts) {
+  const Instance instance = general_instance(9);
+  ASSERT_GE(instance.size(), 40u);
+
+  std::vector<BinId> ref_bins;
+  Cost ref_cost = 0.0;
+  {
+    DurableSession ref(cli::make_algorithm("bf"), "bf",
+                       config("segref", false, 0));
+    for (std::size_t i = 0; i < instance.size(); ++i) {
+      const Item& it = instance[i];
+      ref_bins.push_back(ref.offer(it.arrival, it.departure, it.size, i + 1));
+    }
+    ref_cost = ref.finish();
+    ref.close();
+  }
+
+  for (const std::size_t cut :
+       {std::size_t{1}, instance.size() / 3, instance.size() / 2,
+        instance.size() - 1}) {
+    const std::string tag = "seg" + std::to_string(cut);
+    auto crash_cfg = config(tag, false, kCkptEvery);
+    // ~4 records per segment: the sweep crosses many rotation (and, with
+    // checkpoints every 7, compaction) boundaries.
+    crash_cfg.wal_segment_bytes = 256;
+    {
+      DurableSession crash(cli::make_algorithm("bf"), "bf", crash_cfg);
+      for (std::size_t i = 0; i < cut; ++i) {
+        const Item& it = instance[i];
+        ASSERT_EQ(crash.offer(it.arrival, it.departure, it.size, i + 1),
+                  ref_bins[i]);
+      }
+      if (cut > 8) {
+        EXPECT_GT(crash.wal()->rotations(), 0u);
+      }
+    }
+    auto resume_cfg = config(tag, true, kCkptEvery);
+    resume_cfg.wal_segment_bytes = 256;
+    DurableSession rec(cli::make_algorithm("bf"), "bf", resume_cfg);
+    EXPECT_EQ(rec.seq(), cut);
+    if (cut > 8) {
+      EXPECT_GT(rec.recovery().segments_scanned, 1u);
+    }
+    for (std::size_t i = cut; i < instance.size(); ++i) {
+      const Item& it = instance[i];
+      ASSERT_EQ(rec.offer(it.arrival, it.departure, it.size, i + 1),
+                ref_bins[i])
+          << "diverged after segmented recovery at item " << i << " (cut "
+          << cut << ")";
+    }
+    EXPECT_EQ(rec.finish(), ref_cost) << "cut " << cut;
+    rec.close();
+  }
+}
+
+TEST_F(RecoveryTest, CompactedWalWithoutCheckpointRefusesRecovery) {
+  const Instance instance = general_instance(10);
+  auto cfg = config("compact", false, 5);
+  cfg.wal_segment_bytes = 256;
+  {
+    DurableSession s(cli::make_algorithm("ff"), "ff", cfg);
+    for (std::size_t i = 0; i < 30; ++i) {
+      const Item& it = instance[i];
+      s.offer(it.arrival, it.departure, it.size, i + 1);
+    }
+    ASSERT_GT(s.compacted_segments(), 0u)
+        << "test premise: compaction must have removed covered segments";
+    s.close();
+  }
+  const SegmentedWalScan scan = scan_segmented_wal(cfg.wal_path);
+  ASSERT_GT(scan.first_seq, 0u);
+  // The compacted-away records exist ONLY inside the checkpoint now.
+  // Deleting it must make recovery refuse — replaying the surviving tail
+  // alone would silently rebuild a wrong session.
+  fs::remove(cfg.checkpoint_path);
+  auto resume_cfg = config("compact", true, 5);
+  resume_cfg.wal_segment_bytes = 256;
+  EXPECT_THROW(DurableSession(cli::make_algorithm("ff"), "ff", resume_cfg),
+               std::runtime_error);
+}
+
+TEST_F(RecoveryTest, MidCompactionOrphanSegmentIsRemovedOnRecovery) {
+  const Instance instance = general_instance(11);
+  auto cfg = config("orphan", false, 0);
+  cfg.wal_segment_bytes = 256;
+  Cost ref_cost = 0.0;
+  {
+    DurableSession s(cli::make_algorithm("ff"), "ff", cfg);
+    // One checkpoint at seq 10, then keep offering with no further
+    // checkpoints: sealed-but-uncovered segments pile up, so the manifest
+    // still lists several segments at close.
+    for (std::size_t i = 0; i < 30; ++i) {
+      const Item& it = instance[i];
+      s.offer(it.arrival, it.departure, it.size, i + 1);
+      if (i + 1 == 10) {
+        ASSERT_TRUE(s.checkpoint_now());
+      }
+    }
+    ref_cost = s.finish();
+    s.close();
+  }
+  // Replay the crash window inside compact(): the manifest rewrite
+  // completed but the unlink never ran, leaving an on-disk segment the
+  // manifest no longer lists.
+  WalManifest m = *read_wal_manifest(cfg.wal_path);
+  ASSERT_GE(m.segments.size(), 2u);
+  const fs::path orphan = fs::path(cfg.wal_path).parent_path() /
+                          m.segments.front().file;
+  m.segments.erase(m.segments.begin());
+  write_wal_manifest(cfg.wal_path, m);
+  ASSERT_TRUE(fs::exists(orphan));
+
+  auto resume_cfg = config("orphan", true, 5);
+  resume_cfg.wal_segment_bytes = 256;
+  DurableSession rec(cli::make_algorithm("ff"), "ff", resume_cfg);
+  EXPECT_FALSE(fs::exists(orphan)) << "orphan segment must be swept";
+  EXPECT_TRUE(rec.recovery().used_checkpoint);
+  EXPECT_EQ(rec.seq(), 30u);
+  EXPECT_EQ(rec.finish(), ref_cost);
+}
+
+TEST_F(RecoveryTest, WalWriteFailurePoisonsSession) {
+  const Instance instance = general_instance(12);
+  auto cfg = config("poison", false, 0);
+  // Injected ENOSPC on the 4th append, after a 10-byte short write — the
+  // torn frame a full disk leaves at the tail.
+  cfg.wal_fault_hook = [](std::uint64_t index, std::size_t frame) {
+    return index == 3 ? std::size_t{10} : frame;
+  };
+  {
+    DurableSession s(cli::make_algorithm("ff"), "ff", cfg);
+    for (std::size_t i = 0; i < 3; ++i) {
+      const Item& it = instance[i];
+      s.offer(it.arrival, it.departure, it.size, i + 1);
+    }
+    EXPECT_FALSE(s.failed());
+    const Item& it = instance[3];
+    // In-memory state has applied the offer the log will never hold: the
+    // session must refuse everything from here on, not limp along.
+    EXPECT_THROW(s.offer(it.arrival, it.departure, it.size, 4),
+                 std::runtime_error);
+    EXPECT_TRUE(s.failed());
+    EXPECT_THROW(s.offer(it.arrival, it.departure, it.size, 5),
+                 std::runtime_error);
+    EXPECT_THROW(s.commit(), std::runtime_error);
+  }
+  // Recovery sees only the 3 durable records plus a torn tail: the
+  // un-acknowledged 4th offer is gone, exactly per the log-before-ack
+  // contract.
+  DurableSession rec(cli::make_algorithm("ff"), "ff",
+                     config("poison", true, 0));
+  EXPECT_TRUE(rec.recovery().torn);
+  EXPECT_EQ(rec.seq(), 3u);
+}
+
+TEST_F(RecoveryTest, UnreadableCheckpointIsAnErrorNotAbsent) {
+  const Instance instance = general_instance(13);
+  const auto cfg = config("eloop", false, 2);
+  {
+    DurableSession s(cli::make_algorithm("ff"), "ff", cfg);
+    for (std::size_t i = 0; i < 4; ++i) {
+      const Item& it = instance[i];
+      s.offer(it.arrival, it.departure, it.size, i + 1);
+    }
+    s.close();
+  }
+  // Replace the checkpoint with a self-referencing symlink: open(2) fails
+  // with ELOOP — NOT ENOENT. Pre-fix, any unopenable file was treated as
+  // "absent" and recovery silently fell back to full replay, masking the
+  // operational error (and, on a compacted log, producing a wrong state).
+  fs::remove(cfg.checkpoint_path);
+  ASSERT_EQ(::symlink(cfg.checkpoint_path.c_str(),
+                      cfg.checkpoint_path.c_str()),
+            0);
+  EXPECT_THROW(DurableSession(cli::make_algorithm("ff"), "ff",
+                              config("eloop", true, 2)),
+               std::runtime_error);
+}
+
+TEST_F(RecoveryTest, PermissionDeniedCheckpointIsAnError) {
+  if (::geteuid() == 0)
+    GTEST_SKIP() << "root bypasses file permission checks (EACCES "
+                    "unreachable); the ELOOP variant covers the errno fix";
+  const Instance instance = general_instance(14);
+  const auto cfg = config("denied", false, 2);
+  {
+    DurableSession s(cli::make_algorithm("ff"), "ff", cfg);
+    for (std::size_t i = 0; i < 4; ++i) {
+      const Item& it = instance[i];
+      s.offer(it.arrival, it.departure, it.size, i + 1);
+    }
+    s.close();
+  }
+  ASSERT_EQ(::chmod(cfg.checkpoint_path.c_str(), 0), 0);
+  EXPECT_THROW(DurableSession(cli::make_algorithm("ff"), "ff",
+                              config("denied", true, 2)),
+               std::runtime_error);
+  ::chmod(cfg.checkpoint_path.c_str(), 0644);  // let TearDown clean up
 }
 
 }  // namespace

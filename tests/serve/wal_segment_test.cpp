@@ -1,0 +1,359 @@
+// Segment-chain semantics: rotation, manifest consistency, the global
+// intact-prefix rule under tears in NON-final segments, checkpoint-anchored
+// compaction, orphan sweeps, and legacy single-file adoption.
+#include "serve/wal_segment.h"
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "parallel/thread_pool.h"
+
+namespace cdbp::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+constexpr std::uint64_t kFrameBytes = 57;  // 8 envelope + 49 offer payload
+
+class WalSegmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("cdbp_wal_segment_test_" +
+            std::to_string(::testing::UnitTest::GetInstance()->random_seed()) +
+            "_" + std::string(::testing::UnitTest::GetInstance()
+                                  ->current_test_info()
+                                  ->name()));
+    fs::remove_all(dir_);
+    fs::create_directories(dir_);
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  [[nodiscard]] std::string base(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  fs::path dir_;
+};
+
+std::vector<WalRecord> sample_records(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> unit(0.0, 1.0);
+  std::vector<WalRecord> out;
+  Time t = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    WalRecord rec;
+    rec.seq = i;
+    rec.stream_index = i + 1;
+    t += unit(rng);
+    rec.arrival = t;
+    rec.departure = t + 1.0 + unit(rng) * 7.0;
+    rec.size = 0.01 + 0.5 * unit(rng);
+    rec.bin = static_cast<BinId>(rng() % 5);
+    out.push_back(rec);
+  }
+  return out;
+}
+
+/// Builds a chain with ~4 records per segment.
+SegmentedWal::Options tiny_segments() {
+  SegmentedWal::Options opts;
+  opts.policy = FsyncPolicy::kNone;
+  opts.segment_bytes = 20 + 4 * kFrameBytes;
+  return opts;
+}
+
+void expect_same_records(const std::vector<WalRecord>& got,
+                         const std::vector<WalRecord>& want,
+                         const std::string& what) {
+  ASSERT_EQ(got.size(), want.size()) << what;
+  for (std::size_t i = 0; i < got.size(); ++i)
+    EXPECT_EQ(got[i], want[i]) << what << " record " << i;
+}
+
+TEST_F(WalSegmentTest, ManifestRoundTripsAndRejectsCorruption) {
+  const std::string b = base("m.wal");
+  EXPECT_FALSE(read_wal_manifest(b).has_value());
+
+  WalManifest m;
+  m.next_segment_id = 4;
+  m.segments.push_back({"m.wal.000002.seg", 10});
+  m.segments.push_back({"m.wal.000003.seg", 25});
+  write_wal_manifest(b, m);
+
+  const auto back = read_wal_manifest(b);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->next_segment_id, 4u);
+  ASSERT_EQ(back->segments.size(), 2u);
+  EXPECT_EQ(back->segments[0], m.segments[0]);
+  EXPECT_EQ(back->segments[1], m.segments[1]);
+
+  // Manifests are written via tmp + rename: a corrupt one is damage, not a
+  // crash artifact, and must throw rather than be treated as absent.
+  std::fstream f(b + ".manifest",
+                 std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(14);
+  f.put('\xEE');
+  f.close();
+  EXPECT_THROW((void)read_wal_manifest(b), std::runtime_error);
+}
+
+TEST_F(WalSegmentTest, RotationChainsSegmentsAndScanReassembles) {
+  const std::string b = base("rot.wal");
+  const std::vector<WalRecord> records = sample_records(19, 5);
+  {
+    SegmentedWal wal(b, tiny_segments(), /*truncate=*/true);
+    for (const WalRecord& rec : records) wal.append(rec);
+    EXPECT_GT(wal.rotations(), 2u);
+    // Chain invariant: each entry's base_seq is the running record count.
+    std::uint64_t expected = 0;
+    for (std::size_t i = 0; i + 1 < wal.manifest().segments.size(); ++i) {
+      EXPECT_EQ(wal.manifest().segments[i].base_seq, expected);
+      expected += read_wal((dir_ / wal.manifest().segments[i].file).string())
+                      .records.size();
+    }
+    wal.close();
+  }
+  const SegmentedWalScan scan = scan_segmented_wal(b);
+  EXPECT_TRUE(scan.exists);
+  EXPECT_FALSE(scan.legacy);
+  EXPECT_FALSE(scan.torn) << scan.tail_error;
+  EXPECT_GT(scan.segments_scanned, 3u);
+  expect_same_records(scan.records, records, "scan");
+}
+
+TEST_F(WalSegmentTest, ResumeAppendsAcrossProcessBoundary) {
+  const std::string b = base("res.wal");
+  const std::vector<WalRecord> records = sample_records(13, 6);
+  {
+    SegmentedWal wal(b, tiny_segments(), /*truncate=*/true);
+    for (std::size_t i = 0; i < 7; ++i) wal.append(records[i]);
+    wal.close();
+  }
+  {
+    SegmentedWal wal(b, tiny_segments(), /*truncate=*/false);
+    EXPECT_EQ(wal.manifest().segments.back().base_seq,
+              scan_segmented_wal(b).manifest.segments.back().base_seq);
+    for (std::size_t i = 7; i < 13; ++i) wal.append(records[i]);
+    wal.close();
+  }
+  expect_same_records(scan_segmented_wal(b).records, records, "resumed");
+}
+
+// The tentpole torn-tail property, lifted to chains: kill the log at EVERY
+// byte offset inside the last frame of a NON-final segment. The scan must
+// keep exactly the intact prefix (all earlier segments + this segment's
+// surviving records), mark everything later unreachable, and repair must
+// truncate ONLY the torn segment, drop the later ones, and leave a chain a
+// writer can continue bit-identically.
+TEST_F(WalSegmentTest, TornTailInNonFinalSegmentAtEveryByteOffset) {
+  const std::string b = base("torn.wal");
+  const std::vector<WalRecord> records = sample_records(19, 42);
+  {
+    SegmentedWal wal(b, tiny_segments(), /*truncate=*/true);
+    for (const WalRecord& rec : records) wal.append(rec);
+    wal.close();
+  }
+  const SegmentedWalScan whole = scan_segmented_wal(b);
+  ASSERT_FALSE(whole.torn);
+  ASSERT_GE(whole.manifest.segments.size(), 4u);
+
+  // Victim: segment 1 (non-final). Its last frame spans the file's final
+  // kFrameBytes bytes.
+  const std::size_t victim = 1;
+  const std::string victim_file =
+      (dir_ / whole.manifest.segments[victim].file).string();
+  const std::uint64_t full = fs::file_size(victim_file);
+  const std::uint64_t records_before_victim =
+      whole.manifest.segments[victim].base_seq;
+  const std::uint64_t victim_records = whole.segment_records[victim];
+  const std::uint64_t intact_prefix =
+      records_before_victim + victim_records - 1;
+
+  const fs::path pristine = dir_ / "pristine";
+  fs::create_directories(pristine);
+  for (const auto& de : fs::directory_iterator(dir_))
+    if (de.is_regular_file())
+      fs::copy_file(de.path(), pristine / de.path().filename(),
+                    fs::copy_options::overwrite_existing);
+
+  for (std::uint64_t cut = full - kFrameBytes; cut < full; ++cut) {
+    // Restore the pristine chain, then tear the victim at `cut`.
+    for (const auto& de : fs::directory_iterator(pristine))
+      fs::copy_file(de.path(), dir_ / de.path().filename(),
+                    fs::copy_options::overwrite_existing);
+    fs::resize_file(victim_file, cut);
+
+    SegmentedWalScan scan = scan_segmented_wal(b);
+    ASSERT_EQ(scan.records.size(), intact_prefix) << "cut at " << cut;
+    if (cut == full - kFrameBytes) {
+      // Clean frame boundary inside the victim: the victim itself is
+      // whole, but the NEXT segment's base_seq now gaps past the missing
+      // record, which is itself a tear.
+      EXPECT_TRUE(scan.torn);
+    } else {
+      EXPECT_TRUE(scan.torn) << "cut at " << cut;
+      EXPECT_EQ(scan.torn_segment, victim) << "cut at " << cut;
+    }
+    EXPECT_EQ(scan.dropped_records,
+              records.size() - intact_prefix - 1)
+        << "cut at " << cut;
+
+    const std::uint64_t removed = repair_segmented_wal(b, scan);
+    EXPECT_GT(removed, 0u);
+    // Only the intact prefix survives; the chain is clean again.
+    SegmentedWalScan repaired = scan_segmented_wal(b);
+    EXPECT_FALSE(repaired.torn) << "cut at " << cut;
+    ASSERT_EQ(repaired.records.size(), intact_prefix);
+    for (std::size_t i = 0; i < intact_prefix; ++i)
+      ASSERT_EQ(repaired.records[i], records[i]) << "cut at " << cut;
+
+    // A writer resumed on the repaired chain re-appends the lost suffix
+    // and the log converges bit-identically with the never-torn one.
+    {
+      SegmentedWal wal(b, tiny_segments(), /*truncate=*/false, &repaired);
+      for (std::size_t i = intact_prefix; i < records.size(); ++i)
+        wal.append(records[i]);
+      wal.close();
+    }
+    expect_same_records(scan_segmented_wal(b).records, records,
+                        "healed at cut " + std::to_string(cut));
+  }
+}
+
+TEST_F(WalSegmentTest, CompactionDeletesOnlyCoveredSealedSegments) {
+  const std::string b = base("cmp.wal");
+  const std::vector<WalRecord> records = sample_records(19, 8);
+  SegmentedWal wal(b, tiny_segments(), /*truncate=*/true);
+  for (const WalRecord& rec : records) wal.append(rec);
+  ASSERT_GE(wal.manifest().segments.size(), 4u);
+
+  const std::uint64_t second_base = wal.manifest().segments[1].base_seq;
+  const std::string first_file =
+      (dir_ / wal.manifest().segments[0].file).string();
+
+  // A checkpoint short of the second segment's base covers nothing
+  // deletable.
+  EXPECT_EQ(wal.compact(second_base - 1), 0u);
+  EXPECT_TRUE(fs::exists(first_file));
+
+  // Covering exactly through segment 0's records kills exactly segment 0.
+  EXPECT_EQ(wal.compact(second_base), 1u);
+  EXPECT_FALSE(fs::exists(first_file));
+  EXPECT_EQ(wal.manifest().segments.front().base_seq, second_base);
+
+  // Compaction can never delete the ACTIVE segment, no matter how far the
+  // checkpoint reaches.
+  const std::size_t before = wal.manifest().segments.size();
+  EXPECT_EQ(wal.compact(records.size() + 1000), before - 1);
+  ASSERT_EQ(wal.manifest().segments.size(), 1u);
+  wal.close();
+
+  // The surviving tail still scans, with first_seq telling what is gone.
+  const SegmentedWalScan scan = scan_segmented_wal(b);
+  EXPECT_FALSE(scan.torn);
+  EXPECT_GT(scan.first_seq, 0u);
+  ASSERT_FALSE(scan.records.empty());
+  EXPECT_EQ(scan.records.front().seq, scan.first_seq);
+  EXPECT_EQ(scan.records.back(), records.back());
+}
+
+TEST_F(WalSegmentTest, LegacyBareFileIsAdoptedAndRotatesOut) {
+  const std::string b = base("leg.wal");
+  const std::vector<WalRecord> records = sample_records(11, 9);
+  {
+    // A pre-segmentation log: bare "CDBPWAL1" file at the base path.
+    WalWriter w(b, FsyncPolicy::kNone, 1, /*truncate=*/true);
+    for (std::size_t i = 0; i < 5; ++i) w.append(records[i]);
+    w.close();
+  }
+  ASSERT_FALSE(read_wal_manifest(b).has_value());
+
+  const SegmentedWalScan scan = scan_segmented_wal(b);
+  EXPECT_TRUE(scan.legacy);
+  EXPECT_EQ(scan.records.size(), 5u);
+
+  {
+    SegmentedWal wal(b, tiny_segments(), /*truncate=*/false);
+    for (std::size_t i = 5; i < records.size(); ++i) wal.append(records[i]);
+    EXPECT_GT(wal.rotations(), 0u);  // appends rotated out of the bare file
+    wal.close();
+  }
+  const auto manifest = read_wal_manifest(b);
+  ASSERT_TRUE(manifest.has_value());
+  EXPECT_EQ(manifest->segments.front().file, "leg.wal");
+  expect_same_records(scan_segmented_wal(b).records, records, "adopted");
+}
+
+TEST_F(WalSegmentTest, FreshTruncateClearsEveryTraceOfTheOldChain) {
+  const std::string b = base("fresh.wal");
+  {
+    SegmentedWal wal(b, tiny_segments(), /*truncate=*/true);
+    for (const WalRecord& rec : sample_records(19, 10)) wal.append(rec);
+    wal.close();
+  }
+  ASSERT_GE(scan_segmented_wal(b).manifest.segments.size(), 4u);
+  {
+    SegmentedWal wal(b, tiny_segments(), /*truncate=*/true);
+    wal.append(sample_records(1, 11)[0]);
+    wal.close();
+  }
+  const SegmentedWalScan scan = scan_segmented_wal(b);
+  EXPECT_EQ(scan.manifest.segments.size(), 1u);
+  EXPECT_EQ(scan.records.size(), 1u);
+  EXPECT_EQ(scan.first_seq, 0u);
+  // No stray .seg files from the old chain.
+  std::size_t seg_files = 0;
+  for (const auto& de : fs::directory_iterator(dir_))
+    if (de.path().extension() == ".seg") ++seg_files;
+  EXPECT_EQ(seg_files, 1u);
+}
+
+TEST_F(WalSegmentTest, ParallelScanMatchesSequential) {
+  const std::string b = base("par.wal");
+  const std::vector<WalRecord> records = sample_records(19, 12);
+  {
+    SegmentedWal wal(b, tiny_segments(), /*truncate=*/true);
+    for (const WalRecord& rec : records) wal.append(rec);
+    wal.close();
+  }
+  parallel::ThreadPool pool(4);
+  const SegmentedWalScan seq = scan_segmented_wal(b);
+  const SegmentedWalScan par = scan_segmented_wal(b, &pool);
+  EXPECT_EQ(par.segments_scanned, seq.segments_scanned);
+  EXPECT_EQ(par.first_seq, seq.first_seq);
+  EXPECT_EQ(par.torn, seq.torn);
+  expect_same_records(par.records, seq.records, "parallel vs sequential");
+}
+
+TEST_F(WalSegmentTest, MissingSegmentFileEndsThePrefix) {
+  const std::string b = base("miss.wal");
+  const std::vector<WalRecord> records = sample_records(19, 13);
+  {
+    SegmentedWal wal(b, tiny_segments(), /*truncate=*/true);
+    for (const WalRecord& rec : records) wal.append(rec);
+    wal.close();
+  }
+  SegmentedWalScan whole = scan_segmented_wal(b);
+  ASSERT_GE(whole.manifest.segments.size(), 3u);
+  const std::uint64_t keep = whole.manifest.segments[1].base_seq;
+  fs::remove(dir_ / whole.manifest.segments[1].file);
+
+  SegmentedWalScan scan = scan_segmented_wal(b);
+  EXPECT_TRUE(scan.torn);
+  EXPECT_EQ(scan.records.size(), keep);
+  repair_segmented_wal(b, scan);
+  const SegmentedWalScan repaired = scan_segmented_wal(b);
+  EXPECT_FALSE(repaired.torn);
+  EXPECT_EQ(repaired.records.size(), keep);
+  EXPECT_EQ(repaired.manifest.segments.size(), 1u);
+}
+
+}  // namespace
+}  // namespace cdbp::serve

@@ -9,6 +9,8 @@
 
 #include <gtest/gtest.h>
 
+#include "core/checkpoint.h"
+
 namespace cdbp::serve {
 namespace {
 
@@ -191,6 +193,85 @@ TEST_F(WalTest, FsyncPolicyParsing) {
   EXPECT_EQ(to_string(FsyncPolicy::kBatch), "batch");
   EXPECT_THROW(WalWriter(path("z.wal"), FsyncPolicy::kBatch, 0, true),
                std::invalid_argument);
+}
+
+// Frame-format v2 envelope rule: an intact frame whose type byte is
+// unknown must be SKIPPED, not treated as corruption — records appended by
+// a newer writer replay through an older reader. Pre-fix, the reader
+// hard-failed on any frame whose length differed from the offer payload.
+TEST_F(WalTest, UnknownRecordTypeIsSkippedNotFatal) {
+  const std::string file = path("future.wal");
+  const std::vector<WalRecord> records = sample_records(5, 21);
+  {
+    WalWriter w(file, FsyncPolicy::kNone, 1, /*truncate=*/true);
+    for (std::size_t i = 0; i < 3; ++i) w.append(records[i]);
+    w.close();
+  }
+  {
+    // Hand-craft an envelope-valid frame of unknown type 9.
+    StateWriter payload;
+    payload.u8(9);
+    for (const char c : std::string("future-record-kind"))
+      payload.u8(static_cast<std::uint8_t>(c));
+    StateWriter frame;
+    frame.u32(static_cast<std::uint32_t>(payload.size()));
+    frame.u32(crc32(payload.buffer().data(), payload.size()));
+    std::ofstream f(file, std::ios::binary | std::ios::app);
+    f.write(frame.buffer().data(),
+            static_cast<std::streamsize>(frame.size()));
+    f.write(payload.buffer().data(),
+            static_cast<std::streamsize>(payload.size()));
+  }
+  {
+    WalWriter w(file, FsyncPolicy::kNone, 1, /*truncate=*/false);
+    for (std::size_t i = 3; i < 5; ++i) w.append(records[i]);
+    w.close();
+  }
+  const WalReadResult r = read_wal(file);
+  EXPECT_FALSE(r.torn) << r.tail_error;
+  EXPECT_EQ(r.unknown_records, 1u);
+  ASSERT_EQ(r.records.size(), 5u);
+  for (std::size_t i = 0; i < 5; ++i) EXPECT_EQ(r.records[i], records[i]);
+  EXPECT_EQ(r.valid_bytes, fs::file_size(file));
+}
+
+TEST_F(WalTest, SegmentHeaderRoundTripsBaseSeq) {
+  const std::string file = path("seg.wal");
+  std::vector<WalRecord> records = sample_records(4, 33);
+  for (std::size_t i = 0; i < records.size(); ++i) records[i].seq = 42 + i;
+  {
+    WalWriter w(file, FsyncPolicy::kBatch, 2, /*truncate=*/true,
+                WalFormat::kSegment, 42);
+    for (const WalRecord& rec : records) w.append(rec);
+    w.close();
+  }
+  const WalReadResult r = read_wal(file);
+  EXPECT_TRUE(r.exists);
+  EXPECT_FALSE(r.torn) << r.tail_error;
+  EXPECT_EQ(r.base_seq, 42u);
+  ASSERT_EQ(r.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i)
+    EXPECT_EQ(r.records[i], records[i]);
+}
+
+TEST_F(WalTest, CorruptSegmentHeaderIsTornAtZero) {
+  const std::string file = path("seghdr.wal");
+  {
+    WalWriter w(file, FsyncPolicy::kNone, 1, /*truncate=*/true,
+                WalFormat::kSegment, 7);
+    w.append(sample_records(1, 2)[0]);
+    w.close();
+  }
+  // Flip a byte inside the header's base_seq: the header CRC must reject
+  // the whole file rather than trust a wrong base sequence.
+  std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekp(9);
+  f.put('\x55');
+  f.close();
+  const WalReadResult r = read_wal(file);
+  EXPECT_TRUE(r.torn);
+  EXPECT_EQ(r.valid_bytes, 0u);
+  EXPECT_NE(r.tail_error.find("header"), std::string::npos);
 }
 
 TEST_F(WalTest, AppendAfterCloseThrows) {
