@@ -22,6 +22,7 @@
 #include <chrono>
 #include <cstdlib>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <random>
@@ -32,6 +33,8 @@
 #include "core/instance.h"
 #include "core/simulator.h"
 #include "obs/obs.h"
+#include "serve/request_stream.h"
+#include "serve/shard_router.h"
 #include "workloads/general_random.h"
 
 namespace {
@@ -64,6 +67,42 @@ double run_items_per_sec(const Instance& instance) {
 double median(std::vector<double> v) {
   std::sort(v.begin(), v.end());
   return v[v.size() / 2];
+}
+
+/// Serve-path twin of run_items_per_sec: offers/sec through the sharded
+/// WAL-backed router (fsync=none so the disk is out of the picture and the
+/// instrumentation — admission stamps, per-batch timers, flow events — is
+/// what is being weighed). The E18-shaped stream exercises the same code
+/// the throughput bench and `cdbp serve` run.
+double run_serve_offers_per_sec(
+    const std::vector<cdbp::serve::ServeRequest>& stream) {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "cdbp_bench_obs_serve";
+  fs::remove_all(dir);
+  serve::RouterConfig rc;
+  rc.wal_dir = dir.string();
+  rc.shards = 2;
+  rc.fsync = serve::FsyncPolicy::kNone;
+  rc.queue_capacity = 4096;
+  double secs = 0.0;
+  {
+    serve::ShardRouter router(
+        rc, [] { return AlgorithmPtr(std::make_unique<algos::BestFit>()); },
+        "bf");
+    const auto start = std::chrono::steady_clock::now();
+    for (const serve::ServeRequest& req : stream)
+      if (!router.submit(req)) std::abort();
+    router.stop();
+    secs = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+               .count();
+    std::uint64_t applied = 0;
+    for (std::size_t i = 0; i < router.shards(); ++i)
+      applied += router.stats(i).applied;
+    if (applied != stream.size()) std::abort();
+  }
+  fs::remove_all(dir);
+  return static_cast<double>(stream.size()) / secs;
 }
 
 struct Mode {
@@ -145,6 +184,34 @@ int main(int argc, char** argv) {
     std::cout << "RESULT mode=" << modes[m].name
               << " items_per_sec=" << static_cast<long long>(ips)
               << " vs_baseline=" << (100.0 * ips / baseline) << "%\n";
+  }
+
+  // Serve path: same mode sweep over the sharded WAL-backed router. The
+  // `disabled` vs the off-binary's `compiled-out` gap here is the serve
+  // instrumentation's disabled-but-compiled-in overhead (<=2% acceptance).
+  serve::StreamGenConfig gen;
+  gen.target_items = static_cast<int>(std::min<std::size_t>(n, 20000));
+  gen.tenants = 64;
+  gen.seed = 7;
+  gen.log2_mu = 6;
+  gen.horizon = 256.0;
+  const std::vector<serve::ServeRequest> stream = serve::generate_stream(gen);
+
+  (void)run_serve_offers_per_sec(stream);  // warm-up
+  std::vector<std::vector<double>> serve_samples(modes.size());
+  for (int r = 0; r < reps; ++r)
+    for (std::size_t m = 0; m < modes.size(); ++m) {
+      modes[m].enter();
+      serve_samples[m].push_back(run_serve_offers_per_sec(stream));
+      modes[m].leave();
+    }
+
+  const double serve_baseline = median(serve_samples[0]);
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    const double ops = median(serve_samples[m]);
+    std::cout << "RESULT mode=serve-" << modes[m].name
+              << " offers_per_sec=" << static_cast<long long>(ops)
+              << " vs_baseline=" << (100.0 * ops / serve_baseline) << "%\n";
   }
   return 0;
 }

@@ -21,6 +21,7 @@
 
 #include "algos/any_fit.h"
 #include "bench_common.h"
+#include "obs/snapshot.h"
 #include "report/table.h"
 #include "serve/request_stream.h"
 #include "serve/shard_router.h"
@@ -37,11 +38,17 @@ struct Cell {
   double seconds = 0.0;
   double offers_per_sec = 0.0;
   Cost total_cost = 0.0;
+  /// End-to-end ack latency for the kept (fastest) rep: merged across
+  /// shards plus per-shard. Empty (count == 0) under CDBP_OBS_OFF.
+  obs::HistogramSnapshot lat;
+  std::vector<obs::HistogramSnapshot> shard_lat;
 };
 
 double run_cell(const std::vector<serve::ServeRequest>& stream,
                 std::size_t shards, serve::FsyncPolicy fsync,
-                const fs::path& dir, Cost* cost_out) {
+                const fs::path& dir, Cost* cost_out,
+                obs::HistogramSnapshot* lat_out,
+                std::vector<obs::HistogramSnapshot>* shard_lat_out) {
   fs::remove_all(dir);
   serve::RouterConfig rc;
   rc.wal_dir = dir.string();
@@ -66,8 +73,14 @@ double run_cell(const std::vector<serve::ServeRequest>& stream,
 
   // Self-check: nothing lost between submit and placement.
   std::uint64_t applied = 0;
-  for (std::size_t i = 0; i < router.shards(); ++i)
+  obs::HistogramSnapshot merged;
+  shard_lat_out->clear();
+  for (std::size_t i = 0; i < router.shards(); ++i) {
     applied += router.stats(i).applied;
+    shard_lat_out->push_back(router.stats(i).ack_latency);
+    merged = obs::merge(merged, router.stats(i).ack_latency);
+  }
+  *lat_out = merged;
   if (applied != stream.size() ||
       router.results().size() != stream.size())
     throw std::runtime_error("offer count mismatch: submitted " +
@@ -129,13 +142,20 @@ int main(int argc, char** argv) {
           fsync == serve::FsyncPolicy::kEvery ? stream_short : stream;
       double best = 0.0;
       Cost cost = 0.0;
+      obs::HistogramSnapshot lat;
+      std::vector<obs::HistogramSnapshot> shard_lat;
       for (int rep = 0; rep < std::max(1, opts.seeds / 2); ++rep) {
         Cost c = 0.0;
-        const double seconds = run_cell(input, shards, fsync, dir, &c);
+        obs::HistogramSnapshot l;
+        std::vector<obs::HistogramSnapshot> sl;
+        const double seconds =
+            run_cell(input, shards, fsync, dir, &c, &l, &sl);
         const double rate = static_cast<double>(input.size()) / seconds;
         if (rate > best) {
           best = rate;
           cost = c;
+          lat = l;
+          shard_lat = std::move(sl);
         }
       }
       Cell cell;
@@ -145,6 +165,8 @@ int main(int argc, char** argv) {
       cell.seconds = static_cast<double>(input.size()) / best;
       cell.offers_per_sec = best;
       cell.total_cost = cost;
+      cell.lat = lat;
+      cell.shard_lat = std::move(shard_lat);
       cells.push_back(cell);
 
       // Self-check: the packing outcome is a function of the stream and the
@@ -163,24 +185,40 @@ int main(int argc, char** argv) {
 
   std::cout << "== E18: serve throughput (offers/sec), " << stream.size()
             << " offers, 64 tenants ==\n";
-  report::Table table({"fsync", "shards", "offers", "offers/sec"});
+  report::Table table({"fsync", "shards", "offers", "offers/sec", "p50us",
+                       "p95us", "p99us"});
   for (const Cell& c : cells)
     table.add_row({serve::to_string(c.fsync), std::to_string(c.shards),
                    std::to_string(c.items),
-                   report::Table::num(c.offers_per_sec, 0)});
+                   report::Table::num(c.offers_per_sec, 0),
+                   std::to_string(c.lat.quantile(0.5)),
+                   std::to_string(c.lat.quantile(0.95)),
+                   std::to_string(c.lat.quantile(0.99))});
   std::cout << table.to_string();
 
   if (opts.csv_path) {
     report::CsvWriter csv(*opts.csv_path,
                           {"experiment", "fsync", "shards", "offers",
-                           "seconds", "offers_per_sec"});
+                           "seconds", "offers_per_sec", "lat_p50_us",
+                           "lat_p95_us", "lat_p99_us"});
     for (const Cell& c : cells)
       csv.add_row({"E18", serve::to_string(c.fsync),
                    std::to_string(c.shards), std::to_string(c.items),
                    report::Table::num(c.seconds, 6),
-                   report::Table::num(c.offers_per_sec, 1)});
+                   report::Table::num(c.offers_per_sec, 1),
+                   std::to_string(c.lat.quantile(0.5)),
+                   std::to_string(c.lat.quantile(0.95)),
+                   std::to_string(c.lat.quantile(0.99))});
   }
   if (json_path) {
+    const auto lat_json = [](const obs::HistogramSnapshot& h) {
+      std::string s = "{\"count\":" + std::to_string(h.count);
+      s += ",\"p50\":" + std::to_string(h.quantile(0.5));
+      s += ",\"p95\":" + std::to_string(h.quantile(0.95));
+      s += ",\"p99\":" + std::to_string(h.quantile(0.99));
+      s += ",\"max\":" + std::to_string(h.max) + "}";
+      return s;
+    };
     std::ofstream f(*json_path);
     f << "{\"experiment\":\"E18\",\"offers\":" << stream.size()
       << ",\"cells\":[";
@@ -189,7 +227,11 @@ int main(int argc, char** argv) {
       f << (i ? "," : "") << "{\"fsync\":\"" << serve::to_string(c.fsync)
         << "\",\"shards\":" << c.shards << ",\"offers\":" << c.items
         << ",\"seconds\":" << json_num(c.seconds)
-        << ",\"offers_per_sec\":" << json_num(c.offers_per_sec) << "}";
+        << ",\"offers_per_sec\":" << json_num(c.offers_per_sec)
+        << ",\"lat_us\":" << lat_json(c.lat) << ",\"shard_lat_us\":[";
+      for (std::size_t s = 0; s < c.shard_lat.size(); ++s)
+        f << (s ? "," : "") << lat_json(c.shard_lat[s]);
+      f << "]}";
     }
     f << "]}\n";
     std::cout << "json written to " << *json_path << "\n";

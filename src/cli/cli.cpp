@@ -1,6 +1,7 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -39,6 +40,7 @@
 #include "report/table.h"
 #include "serve/request_stream.h"
 #include "serve/shard_router.h"
+#include "serve/stats_exporter.h"
 #include "serve/wal_segment.h"
 #include "trace/trace.h"
 #include "workloads/aligned_random.h"
@@ -163,6 +165,10 @@ void print_usage(std::ostream& out) {
       << "            [--queue-capacity N] [--throttle-us U] [--resume]\n"
       << "            [--wal-segment-bytes B] [--group-commit-window U]\n"
       << "            [--out FILE] [--metrics-out FILE]\n"
+      << "            [--trace-out FILE] [--trace-format chrome|jsonl]\n"
+      << "            [--stats-out BASE] [--stats-interval MS]\n"
+      << "            (stats: periodic BASE.prom + BASE.json pages;\n"
+      << "             SIGUSR1 forces a dump; interval 0 = final only)\n"
       << "  recover   --algo ALGO --wal-dir DIR [--shards N]\n"
       << "  wal-dump  --wal FILE|BASE    (single file, or segmented base)\n"
       << "algorithms:";
@@ -543,17 +549,54 @@ int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
   const double mu_hint = std::stod(flags.get("mu-hint").value_or("2"));
   const auto out_path = flags.get("out");
   const auto metrics_out = flags.get("metrics-out");
+  const auto trace_out = flags.get("trace-out");
+  const auto trace_format = flags.get("trace-format");
+  const auto stats_out = flags.get("stats-out");
+  const auto stats_interval = static_cast<std::uint32_t>(to_int(
+      flags.get("stats-interval").value_or("1000"), "--stats-interval"));
   flags.finish();
   if (metrics_out) require_obs("--metrics-out");
+  if (trace_out) require_obs("--trace-out");
+  if (stats_out) require_obs("--stats-out");
 
   const std::vector<serve::ServeRequest> stream =
       serve::read_stream_csv(in_path);
+#ifndef CDBP_OBS_OFF
+  if (trace_out)
+    obs::Tracer::global().set_sink(make_trace_sink(
+        *trace_out, trace_format.value_or(infer_trace_format(*trace_out))));
+  struct SinkGuard {
+    bool armed;
+    ~SinkGuard() {
+      if (armed) obs::Tracer::global().clear_sink();
+    }
+  } sink_guard{trace_out.has_value()};
+  std::unique_ptr<serve::StatsExporter> stats;
+  if (stats_out) {
+    // A signal handler may only set a volatile sig_atomic_t; the exporter's
+    // poll loop consumes the flag.
+    std::signal(SIGUSR1,
+                [](int) { serve::StatsExporter::dump_requested = 1; });
+    stats = std::make_unique<serve::StatsExporter>(
+        serve::StatsExporterConfig{*stats_out, stats_interval});
+  }
+#else
+  (void)trace_format;
+  (void)stats_interval;
+#endif
   serve::ShardRouter router(
       rc, [&] { return make_algorithm(algo_name, mu_hint); }, algo_name);
   std::uint64_t rejected = 0;
   for (const serve::ServeRequest& req : stream)
     if (!router.submit(req)) ++rejected;
   router.stop();
+#ifndef CDBP_OBS_OFF
+  if (stats) stats->stop();  // final page covers the run's tail
+  if (trace_out) {
+    obs::Tracer::global().clear_sink();  // finalize the file
+    sink_guard.armed = false;
+  }
+#endif
 
   std::uint64_t applied = 0, skipped = 0, shed = 0, invalid = 0;
   for (std::size_t i = 0; i < router.shards(); ++i) {
@@ -568,6 +611,14 @@ int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
         << " wal-records=" << s.wal_records
         << " open-at-finish=" << s.open_bins
         << " cost=" << num_exact(s.final_cost) << "\n";
+    // End-to-end ack latency for this run (empty under CDBP_OBS_OFF, so
+    // the line vanishes there and the output stays byte-stable).
+    if (s.ack_latency.count > 0)
+      out << "shard " << i << " ack-latency-us:"
+          << " p50=" << s.ack_latency.quantile(0.5)
+          << " p95=" << s.ack_latency.quantile(0.95)
+          << " p99=" << s.ack_latency.quantile(0.99)
+          << " max=" << s.ack_latency.max << "\n";
     if (rc.resume) {
       const serve::RecoveryReport& r = s.recovery;
       err << "shard " << i << " recovery: records=" << r.records
@@ -601,6 +652,12 @@ int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
     write_metrics_file(*metrics_out);
     out << "metrics written to " << *metrics_out << "\n";
   }
+#ifndef CDBP_OBS_OFF
+  if (trace_out) out << "trace written to " << *trace_out << "\n";
+  if (stats)
+    out << "stats written to " << stats->out_base() << ".prom and "
+        << stats->out_base() << ".json (" << stats->dumps() << " dump(s))\n";
+#endif
   return 0;
 }
 
@@ -679,6 +736,17 @@ int cmd_wal_dump(Flags& flags, std::ostream& out) {
           << num_exact(rec.arrival) << ',' << num_exact(rec.departure) << ','
           << num_exact(rec.size) << ',' << rec.bin << "\n";
   };
+  // "type1=N type7=M" for a frame-type histogram; type 1 is the offer
+  // record, anything else was skipped as an unknown (newer-writer) kind.
+  const auto fmt_frame_types =
+      [](const std::map<unsigned, std::uint64_t>& counts) {
+        std::string s;
+        for (const auto& [type, n] : counts) {
+          if (!s.empty()) s += ' ';
+          s += "type" + std::to_string(type) + "=" + std::to_string(n);
+        }
+        return s.empty() ? std::string("empty") : s;
+      };
   // A segment-chain base has a manifest next to it; a raw file (legacy log
   // or an individual .seg) is dumped directly.
   const bool raw_segment =
@@ -686,6 +754,15 @@ int cmd_wal_dump(Flags& flags, std::ostream& out) {
   if (!raw_segment && serve::read_wal_manifest(path)) {
     const serve::SegmentedWalScan scan = serve::scan_segmented_wal(path);
     print_records(scan.records);
+    std::map<unsigned, std::uint64_t> totals;
+    for (std::size_t i = 0; i < scan.segment_frame_types.size(); ++i) {
+      out << "# segment " << scan.manifest.segments[i].file << ": frames "
+          << fmt_frame_types(scan.segment_frame_types[i]) << "\n";
+      for (const auto& [type, n] : scan.segment_frame_types[i])
+        totals[type] += n;
+    }
+    out << "# frames " << fmt_frame_types(totals)
+        << " skipped_unknown=" << scan.unknown_records << "\n";
     out << "# records=" << scan.records.size()
         << " segments=" << scan.segments_scanned
         << " first_seq=" << scan.first_seq;
@@ -701,6 +778,8 @@ int cmd_wal_dump(Flags& flags, std::ostream& out) {
   const serve::WalReadResult wal = serve::read_wal(path);
   if (!wal.exists) throw std::runtime_error("no such WAL file: " + path);
   print_records(wal.records);
+  out << "# frames " << fmt_frame_types(wal.frame_type_counts)
+      << " skipped_unknown=" << wal.unknown_records << "\n";
   out << "# records=" << wal.records.size()
       << " valid_bytes=" << wal.valid_bytes;
   if (wal.unknown_records > 0)

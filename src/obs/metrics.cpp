@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
-#include <numbers>
 #include <ostream>
 
 namespace cdbp::obs {
@@ -13,20 +12,27 @@ std::uint64_t HistogramSnapshot::quantile(double q) const noexcept {
   if (count == 0) return 0;
   q = std::clamp(q, 0.0, 1.0);
   // Rank of the q-th observation, 1-based.
-  const auto rank = static_cast<std::uint64_t>(
-      std::ceil(q * static_cast<double>(count)));
+  const auto rank = std::max<std::uint64_t>(
+      static_cast<std::uint64_t>(std::ceil(q * static_cast<double>(count))),
+      1);
   std::uint64_t seen = 0;
   for (std::size_t k = 0; k < buckets.size(); ++k) {
+    if (buckets[k] == 0) continue;
+    const std::uint64_t before = seen;
     seen += buckets[k];
-    if (seen >= std::max<std::uint64_t>(rank, 1)) {
-      // Geometric midpoint of bucket k = [2^(k-1), 2^k), bucket 0 = {0}.
-      const std::uint64_t est =
-          k == 0 ? 0
-                 : static_cast<std::uint64_t>(std::llround(
-                       std::ldexp(1.0, static_cast<int>(k) - 1) *
-                       std::numbers::sqrt2));
-      return std::clamp(est, min, max);
-    }
+    if (seen < rank) continue;
+    if (k == 0) return 0;  // bucket 0 holds only the value 0
+    // Linear interpolation by rank position within bucket k's value range
+    // [2^(k-1), 2^k): the bucket's observations are assumed evenly spread,
+    // with the j-th of n sitting at fraction (j - 0.5) / n of the range.
+    const double lo = std::ldexp(1.0, static_cast<int>(k) - 1);
+    const double hi = std::ldexp(1.0, static_cast<int>(k));
+    const double pos =
+        (static_cast<double>(rank - before) - 0.5) /
+        static_cast<double>(buckets[k]);
+    const auto est = static_cast<std::uint64_t>(
+        std::llround(lo + pos * (hi - lo)));
+    return std::clamp(est, min, max);
   }
   return max;
 }

@@ -52,8 +52,10 @@ struct HistogramSnapshot {
                       : static_cast<double>(sum) / static_cast<double>(count);
   }
   /// Approximate quantile (q in [0, 1]) from the log2 buckets: finds the
-  /// bucket holding the q-th observation and returns its geometric
-  /// midpoint, clamped to [min, max]. Good to a factor of sqrt(2).
+  /// bucket holding the q-th observation and interpolates linearly by rank
+  /// position within the bucket's value range [2^(k-1), 2^k), clamped to
+  /// [min, max]. Exact when the bucket holds one distinct value (count of
+  /// 1, or min == max); otherwise good to bucket resolution.
   [[nodiscard]] std::uint64_t quantile(double q) const noexcept;
 };
 

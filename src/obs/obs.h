@@ -6,5 +6,6 @@
 
 #include "obs/metrics.h"   // IWYU pragma: export
 #include "obs/progress.h"  // IWYU pragma: export
+#include "obs/snapshot.h"  // IWYU pragma: export
 #include "obs/timer.h"     // IWYU pragma: export
 #include "obs/tracer.h"    // IWYU pragma: export

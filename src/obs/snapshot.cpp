@@ -1,0 +1,245 @@
+#include "obs/snapshot.h"
+
+#include <algorithm>
+#include <cmath>
+#include <ostream>
+
+namespace cdbp::obs {
+
+namespace {
+
+std::uint64_t sat_sub(std::uint64_t a, std::uint64_t b) noexcept {
+  return a > b ? a - b : 0;
+}
+
+/// Lowest / highest value representable by bucket k (bucket 0 = {0},
+/// bucket k >= 1 = [2^(k-1), 2^k)).
+std::uint64_t bucket_lo(std::size_t k) noexcept {
+  return k == 0 ? 0 : std::uint64_t{1} << (k - 1);
+}
+
+std::uint64_t bucket_hi(std::size_t k) noexcept {
+  return k == 0 ? 0 : (std::uint64_t{1} << k) - 1;
+}
+
+void write_json_escaped(std::ostream& out, std::string_view s) {
+  out << '"';
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        out << "\\\"";
+        break;
+      case '\\':
+        out << "\\\\";
+        break;
+      case '\n':
+        out << "\\n";
+        break;
+      case '\t':
+        out << "\\t";
+        break;
+      default: {
+        const auto uc = static_cast<unsigned char>(c);
+        if (uc < 0x20)
+          out << "\\u00" << "0123456789abcdef"[uc >> 4]
+              << "0123456789abcdef"[uc & 0xf];
+        else
+          out << c;
+      }
+    }
+  }
+  out << '"';
+}
+
+void write_json_double(std::ostream& out, double v) {
+  if (!std::isfinite(v)) {
+    out << "null";
+    return;
+  }
+  out << v;
+}
+
+/// Prometheus metric name: "cdbp_" + name with every character outside
+/// [A-Za-z0-9_:] replaced by '_'.
+std::string prometheus_name(std::string_view name) {
+  std::string out = "cdbp_";
+  out.reserve(out.size() + name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+HistogramSnapshot delta(const HistogramSnapshot& cur,
+                        const HistogramSnapshot& earlier) noexcept {
+  HistogramSnapshot d;
+  d.count = sat_sub(cur.count, earlier.count);
+  d.sum = sat_sub(cur.sum, earlier.sum);
+  for (std::size_t k = 0; k < kHistogramBuckets; ++k)
+    d.buckets[k] = sat_sub(cur.buckets[k], earlier.buckets[k]);
+  if (d.count == 0) return d;
+  if (earlier.count == 0) {
+    // Nothing to subtract: the interval IS the lifetime, exact min/max.
+    d.min = cur.min;
+    d.max = cur.max;
+    return d;
+  }
+  // Interval min/max from the delta buckets, at bucket resolution. The
+  // lifetime bounds still clamp: no interval value can lie outside them.
+  std::size_t first = kHistogramBuckets, last = 0;
+  for (std::size_t k = 0; k < kHistogramBuckets; ++k)
+    if (d.buckets[k] > 0) {
+      if (first == kHistogramBuckets) first = k;
+      last = k;
+    }
+  if (first == kHistogramBuckets) {
+    // count moved but no bucket did (weak consistency): fall back.
+    d.min = cur.min;
+    d.max = cur.max;
+    return d;
+  }
+  d.min = std::max(bucket_lo(first), cur.min);
+  d.max = std::min(bucket_hi(last), cur.max);
+  if (d.min > d.max) d.min = d.max;
+  return d;
+}
+
+HistogramSnapshot merge(const HistogramSnapshot& a,
+                        const HistogramSnapshot& b) noexcept {
+  if (a.count == 0) return b;
+  if (b.count == 0) return a;
+  HistogramSnapshot m;
+  m.count = a.count + b.count;
+  m.sum = a.sum + b.sum;
+  m.min = std::min(a.min, b.min);
+  m.max = std::max(a.max, b.max);
+  for (std::size_t k = 0; k < kHistogramBuckets; ++k)
+    m.buckets[k] = a.buckets[k] + b.buckets[k];
+  return m;
+}
+
+MetricsSnapshot delta(const MetricsSnapshot& cur,
+                      const MetricsSnapshot& earlier) {
+  MetricsSnapshot d;
+  d.counters.reserve(cur.counters.size());
+  for (const auto& [name, value] : cur.counters) {
+    std::uint64_t base = 0;
+    for (const auto& [ename, evalue] : earlier.counters)
+      if (ename == name) {
+        base = evalue;
+        break;
+      }
+    d.counters.emplace_back(name, sat_sub(value, base));
+  }
+  d.gauges = cur.gauges;  // levels, not rates: current value stands
+  d.histograms.reserve(cur.histograms.size());
+  for (const auto& [name, hist] : cur.histograms) {
+    const HistogramSnapshot* base = nullptr;
+    for (const auto& [ename, ehist] : earlier.histograms)
+      if (ename == name) {
+        base = &ehist;
+        break;
+      }
+    d.histograms.emplace_back(name, base ? delta(hist, *base) : hist);
+  }
+  return d;
+}
+
+const HistogramSnapshot* find_histogram(const MetricsSnapshot& snapshot,
+                                        std::string_view name) noexcept {
+  for (const auto& [hname, hist] : snapshot.histograms)
+    if (hname == name) return &hist;
+  return nullptr;
+}
+
+std::string sanitize_metric_label(std::string_view raw) {
+  std::string out;
+  out.reserve(std::min(raw.size(), kMaxLabelLength));
+  for (const char c : raw) {
+    if (out.size() >= kMaxLabelLength) break;
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' ||
+                    c == '-';
+    out.push_back(ok ? c : '_');
+  }
+  if (out.empty()) return "_";
+  return out;
+}
+
+void render_prometheus_text(const MetricsSnapshot& cumulative,
+                            const MetricsSnapshot* interval,
+                            std::ostream& out) {
+  for (const auto& [name, value] : cumulative.counters) {
+    const std::string pn = prometheus_name(name);
+    out << "# TYPE " << pn << " counter\n" << pn << " " << value << "\n";
+  }
+  for (const auto& [name, value] : cumulative.gauges) {
+    const std::string pn = prometheus_name(name);
+    out << "# TYPE " << pn << " gauge\n" << pn << " " << value << "\n";
+  }
+  for (const auto& [name, hist] : cumulative.histograms) {
+    const std::string pn = prometheus_name(name);
+    const HistogramSnapshot* q = &hist;
+    if (interval)
+      if (const HistogramSnapshot* ih = find_histogram(*interval, name))
+        q = ih;
+    out << "# TYPE " << pn << " summary\n";
+    for (const double p : {0.5, 0.9, 0.95, 0.99})
+      out << pn << "{quantile=\"" << p << "\"} " << q->quantile(p) << "\n";
+    out << pn << "_sum " << hist.sum << "\n"
+        << pn << "_count " << hist.count << "\n"
+        << pn << "_min " << hist.min << "\n"
+        << pn << "_max " << hist.max << "\n";
+  }
+}
+
+void render_stats_json(const MetricsSnapshot& cumulative,
+                       const MetricsSnapshot* interval,
+                       double interval_seconds, std::ostream& out) {
+  out << "{\"interval_s\":";
+  write_json_double(out, interval_seconds);
+  out << ",\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : cumulative.counters) {
+    if (!first) out << ',';
+    first = false;
+    write_json_escaped(out, name);
+    out << ':' << value;
+  }
+  out << "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : cumulative.gauges) {
+    if (!first) out << ',';
+    first = false;
+    write_json_escaped(out, name);
+    out << ':';
+    write_json_double(out, value);
+  }
+  out << "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : cumulative.histograms) {
+    if (!first) out << ',';
+    first = false;
+    const HistogramSnapshot* iv = &hist;
+    if (interval)
+      if (const HistogramSnapshot* ih = find_histogram(*interval, name))
+        iv = ih;
+    write_json_escaped(out, name);
+    out << ":{\"count\":" << hist.count << ",\"sum\":" << hist.sum
+        << ",\"min\":" << hist.min << ",\"max\":" << hist.max << ",\"mean\":";
+    write_json_double(out, hist.mean());
+    out << ",\"interval\":{\"count\":" << iv->count
+        << ",\"p50\":" << iv->quantile(0.5)
+        << ",\"p90\":" << iv->quantile(0.9)
+        << ",\"p95\":" << iv->quantile(0.95)
+        << ",\"p99\":" << iv->quantile(0.99) << ",\"max\":" << iv->max
+        << "}}";
+  }
+  out << "}}\n";
+}
+
+}  // namespace cdbp::obs

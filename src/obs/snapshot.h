@@ -1,0 +1,80 @@
+// Snapshot arithmetic and rendering for the metrics registry: interval
+// (delta) computation between two weakly-consistent snapshots, cross-
+// instrument merging, metric-label sanitization, and the two exporter
+// output formats (Prometheus-style text and JSON).
+//
+// Everything here is a pure function over the snapshot structs in
+// metrics.h, which exist in BOTH build modes — so this header has no
+// CDBP_OBS_OFF variant. Under the kill switch snapshots are simply empty
+// and every function degrades to a cheap no-op on empty data.
+//
+// Delta semantics: snapshots are weakly consistent (each instrument read at
+// some recent value, no cross-instrument barrier), so `cur - earlier` can
+// transiently disagree across fields of one histogram (count moved before
+// sum, a bucket before the count). All subtraction therefore saturates at
+// zero, and an interval histogram's min/max are re-derived from its delta
+// buckets at bucket resolution (a lifetime min/max cannot be subtracted).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+
+#include "obs/metrics.h"
+
+namespace cdbp::obs {
+
+/// Interval histogram `cur - earlier` (saturating; see file comment).
+/// min/max are bucket-resolution estimates clamped into [cur.min, cur.max].
+[[nodiscard]] HistogramSnapshot delta(const HistogramSnapshot& cur,
+                                      const HistogramSnapshot& earlier) noexcept;
+
+/// Sum of two histograms (for aggregating per-shard instruments into one
+/// distribution). min/max combine exactly; quantiles stay bucket-accurate.
+[[nodiscard]] HistogramSnapshot merge(const HistogramSnapshot& a,
+                                      const HistogramSnapshot& b) noexcept;
+
+/// Interval registry snapshot: counters subtract (saturating), gauges keep
+/// the current level (a gauge is already a point-in-time value), histograms
+/// delta pairwise by name. Instruments present only in `cur` (registered
+/// since `earlier`) pass through whole.
+[[nodiscard]] MetricsSnapshot delta(const MetricsSnapshot& cur,
+                                    const MetricsSnapshot& earlier);
+
+/// The named histogram, or nullptr. Snapshot vectors are name-sorted per
+/// kind (registry maps are ordered), but this does a linear scan — callers
+/// are reporting paths, not hot paths.
+[[nodiscard]] const HistogramSnapshot* find_histogram(
+    const MetricsSnapshot& snapshot, std::string_view name) noexcept;
+
+/// Maximum length of a sanitized metric-name label component.
+inline constexpr std::size_t kMaxLabelLength = 48;
+
+/// Makes a user-controlled string (a tenant id) safe to embed in a registry
+/// metric name: every character outside [A-Za-z0-9_.-] becomes '_' (so the
+/// text dump stays line-per-metric and the CSV dump stays one-field), the
+/// result is truncated to kMaxLabelLength, and an empty input becomes "_".
+/// Distinct hostile inputs may collapse to one label; the caller's
+/// cardinality bound applies to labels, not raw inputs.
+[[nodiscard]] std::string sanitize_metric_label(std::string_view raw);
+
+/// Prometheus-style text exposition. Metric names are mangled to the
+/// Prometheus charset (every character outside [A-Za-z0-9_:] becomes '_')
+/// and prefixed "cdbp_". Counters and gauges render their cumulative
+/// values; histograms render as summaries whose count/sum/min/max are
+/// cumulative but whose quantile samples come from `interval` when given
+/// (the delta-aware exporter passes the last dump's delta so quantiles
+/// describe the interval, not the process lifetime).
+void render_prometheus_text(const MetricsSnapshot& cumulative,
+                            const MetricsSnapshot* interval,
+                            std::ostream& out);
+
+/// JSON rendering of the same data: one object with "interval_s",
+/// "counters", "gauges", and "histograms"; each histogram carries its
+/// cumulative stats plus an "interval" sub-object (count/p50/p90/p95/p99/
+/// max over `interval` when given, else over the cumulative snapshot).
+void render_stats_json(const MetricsSnapshot& cumulative,
+                       const MetricsSnapshot* interval,
+                       double interval_seconds, std::ostream& out);
+
+}  // namespace cdbp::obs

@@ -68,6 +68,12 @@ void write_event_json(std::ostream& out, const TraceEvent& e) {
   if (e.phase == 'X')
     out << ",\"dur\":" << e.dur_ns / 1000 << "." << (e.dur_ns % 1000 / 100);
   if (e.phase == 'i') out << ",\"s\":\"t\"";
+  if (e.phase == 's' || e.phase == 't' || e.phase == 'f') {
+    // Flow events carry the chain id; 'f' binds to the enclosing slice
+    // ("bp":"e") so the arrow terminates inside the ack span, not after it.
+    out << ",\"id\":\"" << e.id << "\"";
+    if (e.phase == 'f') out << ",\"bp\":\"e\"";
+  }
   out << ",\"pid\":1,\"tid\":" << e.tid;
   if (e.n_args > 0) {
     out << ",\"args\":{";
@@ -186,6 +192,48 @@ void Tracer::complete(const char* name, const char* cat, std::uint64_t ts_ns,
   e.phase = 'X';
   e.ts_ns = ts_ns;
   e.dur_ns = dur_ns;
+  for (const TraceArg& a : args)
+    if (e.n_args < kMaxTraceArgs) e.args[e.n_args++] = a;
+  emit(e);
+}
+
+void Tracer::flow_begin(const char* name, const char* cat, std::uint64_t id,
+                        std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 's';
+  e.id = id;
+  e.ts_ns = now_ns();
+  for (const TraceArg& a : args)
+    if (e.n_args < kMaxTraceArgs) e.args[e.n_args++] = a;
+  emit(e);
+}
+
+void Tracer::flow_step(const char* name, const char* cat, std::uint64_t id,
+                       std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 't';
+  e.id = id;
+  e.ts_ns = now_ns();
+  for (const TraceArg& a : args)
+    if (e.n_args < kMaxTraceArgs) e.args[e.n_args++] = a;
+  emit(e);
+}
+
+void Tracer::flow_end(const char* name, const char* cat, std::uint64_t id,
+                      std::initializer_list<TraceArg> args) {
+  if (!enabled()) return;
+  TraceEvent e;
+  e.name = name;
+  e.cat = cat;
+  e.phase = 'f';
+  e.id = id;
+  e.ts_ns = now_ns();
   for (const TraceArg& a : args)
     if (e.n_args < kMaxTraceArgs) e.args[e.n_args++] = a;
   emit(e);

@@ -66,9 +66,11 @@ struct TraceArg {
 struct TraceEvent {
   const char* name = "";
   const char* cat = "";
-  char phase = 'i';  ///< 'X' complete span, 'i' instant
+  /// 'X' complete span, 'i' instant, 's'/'t'/'f' flow start/step/end.
+  char phase = 'i';
   std::uint64_t ts_ns = 0;
   std::uint64_t dur_ns = 0;  ///< 'X' only
+  std::uint64_t id = 0;      ///< flow phases only: the chain identity
   std::uint32_t tid = 0;
   std::array<TraceArg, kMaxTraceArgs> args{};
   std::uint8_t n_args = 0;
@@ -146,6 +148,18 @@ class Tracer {
                 std::uint64_t dur_ns,
                 std::initializer_list<TraceArg> args = {});
 
+  /// Causal flow chain: events sharing (name, cat, id) are linked by an
+  /// arrow in Perfetto/chrome://tracing, start -> step* -> end. Each flow
+  /// event binds to the enclosing 'X' span on its thread, so emit these
+  /// INSIDE a live TraceSpan (or bracketing complete() call) covering the
+  /// same instant. All no-ops when disabled.
+  void flow_begin(const char* name, const char* cat, std::uint64_t id,
+                  std::initializer_list<TraceArg> args = {});
+  void flow_step(const char* name, const char* cat, std::uint64_t id,
+                 std::initializer_list<TraceArg> args = {});
+  void flow_end(const char* name, const char* cat, std::uint64_t id,
+                std::initializer_list<TraceArg> args = {});
+
   /// Nanoseconds since the epoch set by the last set_sink().
   [[nodiscard]] std::uint64_t now_ns() const noexcept;
 
@@ -206,6 +220,12 @@ class Tracer {
   void instant(const char*, const char*,
                std::initializer_list<TraceArg> = {}) noexcept {}
   void complete(const char*, const char*, std::uint64_t, std::uint64_t,
+                std::initializer_list<TraceArg> = {}) noexcept {}
+  void flow_begin(const char*, const char*, std::uint64_t,
+                  std::initializer_list<TraceArg> = {}) noexcept {}
+  void flow_step(const char*, const char*, std::uint64_t,
+                 std::initializer_list<TraceArg> = {}) noexcept {}
+  void flow_end(const char*, const char*, std::uint64_t,
                 std::initializer_list<TraceArg> = {}) noexcept {}
   [[nodiscard]] std::uint64_t now_ns() const noexcept { return 0; }
   static Tracer& global() {

@@ -29,6 +29,13 @@ obs::Counter& g_poisoned =
 obs::Histogram& g_ckpt_bytes =
     obs::MetricsRegistry::global().histogram("serve.checkpoint_bytes");
 
+/// A poisoned session is a terminal event worth a mark in the trace
+/// timeline, not just a counter bump.
+void note_poisoned() {
+  g_poisoned.add();
+  obs::Tracer::global().instant("serve.poisoned", "serve");
+}
+
 [[noreturn]] void throw_errno(const std::string& what,
                               const std::string& path) {
   throw std::runtime_error("checkpoint: " + what + " failed for '" + path +
@@ -262,7 +269,7 @@ BinId DurableSession::offer(Time arrival, Time departure, Load size,
     // The session already applied the offer the log will never hold:
     // poison rather than let state and log diverge silently.
     failed_ = true;
-    g_poisoned.add();
+    note_poisoned();
     throw;
   }
   ++seq_;
@@ -283,7 +290,7 @@ BinId DurableSession::offer_deferred(Time arrival, Time departure, Load size,
         make_record(arrival, departure, size, stream_index, bin));
   } catch (...) {
     failed_ = true;
-    g_poisoned.add();
+    note_poisoned();
     throw;
   }
   ++seq_;
@@ -306,7 +313,7 @@ void DurableSession::commit() {
     // An fsync failure leaves durability indeterminate (the kernel may
     // have dropped the dirty pages): never ack, never retry.
     failed_ = true;
-    g_poisoned.add();
+    note_poisoned();
     throw;
   }
 }
@@ -320,7 +327,7 @@ bool DurableSession::checkpoint_now() {
       wal_->sync();
     } catch (...) {
       failed_ = true;
-      g_poisoned.add();
+      note_poisoned();
       throw;
     }
   }
@@ -334,6 +341,9 @@ bool DurableSession::checkpoint_now() {
   write_checkpoint_file(config_.checkpoint_path, w.buffer());
   g_checkpoints.add();
   g_ckpt_bytes.record(w.size());
+  obs::Tracer::global().instant(
+      "serve.checkpoint", "serve",
+      {{"seq", seq_}, {"bytes", static_cast<std::uint64_t>(w.size())}});
   // Every record up to seq_ is captured by the checkpoint just written:
   // sealed segments wholly below it are dead weight.
   if (wal_) compacted_segments_ += wal_->compact(seq_);

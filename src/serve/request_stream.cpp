@@ -111,10 +111,17 @@ std::vector<ServeRequest> generate_stream(const StreamGenConfig& config) {
   std::vector<ServeRequest> out;
   out.reserve(instance.size());
   const std::size_t tenants = std::max<std::size_t>(1, config.tenants);
+  std::vector<std::string> tenant_names;
+  tenant_names.reserve(tenants);
+  for (std::size_t t = 0; t < tenants; ++t) {
+    std::string name = "t";
+    name += std::to_string(t);
+    tenant_names.push_back(std::move(name));
+  }
   for (std::size_t i = 0; i < instance.size(); ++i) {
     const Item& item = instance[i];
     ServeRequest req;
-    req.tenant = "t" + std::to_string(i % tenants);
+    req.tenant = tenant_names[i % tenants];
     req.stream_index = i + 1;
     req.arrival = item.arrival;
     req.departure = item.departure;

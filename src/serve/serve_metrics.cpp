@@ -1,0 +1,60 @@
+#include "serve/serve_metrics.h"
+
+#include <chrono>
+#include <mutex>
+
+namespace cdbp::serve {
+
+std::uint64_t mono_now_ns() noexcept {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+ServeMetrics::ServeMetrics(obs::MetricsRegistry& registry, std::size_t shards,
+                           std::size_t max_tenants)
+    : registry_(&registry),
+      max_tenants_(max_tenants),
+      other_tenants_(&registry.histogram("serve.tenant_ack_us.other")) {
+  shards_.reserve(shards);
+  for (std::size_t i = 0; i < shards; ++i) {
+    const std::string key = "shard" + std::to_string(i);
+    ShardInstruments ins;
+    ins.queue_wait_us = &registry.histogram("serve.queue_wait_us." + key);
+    ins.wal_append_us = &registry.histogram("serve.wal_append_us." + key);
+    ins.commit_us = &registry.histogram("serve.commit_us." + key);
+    ins.ack_us = &registry.histogram("serve.ack_us." + key);
+    ins.batch_size = &registry.histogram("serve.batch_size." + key);
+    ins.queue_depth = &registry.gauge("serve.queue_depth." + key);
+    ins.ack_base = ins.ack_us->snapshot();
+    // A fresh router starts with empty queues whatever an earlier router in
+    // this process left behind.
+    ins.queue_depth->set(0.0);
+    shards_.push_back(std::move(ins));
+  }
+}
+
+obs::Histogram& ServeMetrics::tenant_ack(const std::string& tenant) {
+  {
+    std::shared_lock lock(tenants_mutex_);
+    const auto it = tenants_.find(tenant);
+    if (it != tenants_.end()) return *it->second;
+    if (tenants_.size() >= max_tenants_) return *other_tenants_;
+  }
+  std::unique_lock lock(tenants_mutex_);
+  const auto it = tenants_.find(tenant);  // raced registration
+  if (it != tenants_.end()) return *it->second;
+  if (tenants_.size() >= max_tenants_) return *other_tenants_;
+  obs::Histogram& hist = registry_->histogram(
+      "serve.tenant_ack_us." + obs::sanitize_metric_label(tenant));
+  tenants_.emplace(tenant, &hist);
+  return hist;
+}
+
+std::size_t ServeMetrics::tenant_metrics() const {
+  std::shared_lock lock(tenants_mutex_);
+  return tenants_.size();
+}
+
+}  // namespace cdbp::serve

@@ -1,0 +1,80 @@
+// Per-shard and per-tenant instrument bundles for the serve plane.
+//
+// Every instrument lives in the process-wide obs::MetricsRegistry under a
+// flat name that embeds its key (`serve.ack_us.shard3`,
+// `serve.tenant_ack_us.<label>`), resolved ONCE here so the hot path pays a
+// relaxed atomic per event and no map lookup (the registry's usual
+// contract). A ShardRouter owns one ServeMetrics; because registry
+// instruments are process-lifetime and accumulate across router instances
+// (benches run many cells in one process), each shard bundle also captures
+// a baseline snapshot of its ack histogram at construction, so per-run
+// latency stats are interval deltas, not process-lifetime aggregates.
+//
+// Tenant cardinality: tenant ids are user-controlled, so (1) the label is
+// sanitized (obs::sanitize_metric_label) before it can reach a metric name
+// — hostile ids cannot break the text/CSV dump formats — and (2) at most
+// `max_tenants` distinct tenants get their own histogram; every later
+// tenant shares `serve.tenant_ack_us.other`. Distinct raw ids whose
+// sanitized labels collide share one histogram.
+//
+// Compiles identically under CDBP_OBS_OFF: every obs call is an inline
+// no-op shell and snapshots are empty.
+#pragma once
+
+#include <cstdint>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/snapshot.h"
+
+namespace cdbp::serve {
+
+/// Monotonic nanoseconds (steady clock) for request-lifecycle stamps.
+[[nodiscard]] std::uint64_t mono_now_ns() noexcept;
+
+/// Default bound on distinct per-tenant histograms (then -> "other").
+inline constexpr std::size_t kDefaultMaxTenantMetrics = 64;
+
+class ServeMetrics {
+ public:
+  struct ShardInstruments {
+    obs::Histogram* queue_wait_us;  ///< admission -> worker drain
+    obs::Histogram* wal_append_us;  ///< apply + WAL-append of one batch
+    obs::Histogram* commit_us;      ///< group-commit/fsync round per batch
+    obs::Histogram* ack_us;         ///< admission -> post-commit ack
+    obs::Histogram* batch_size;     ///< requests per drained batch
+    obs::Gauge* queue_depth;        ///< requests currently queued
+    obs::HistogramSnapshot ack_base;  ///< ack_us at router construction
+  };
+
+  ServeMetrics(obs::MetricsRegistry& registry, std::size_t shards,
+               std::size_t max_tenants = kDefaultMaxTenantMetrics);
+
+  [[nodiscard]] ShardInstruments& shard(std::size_t i) { return shards_[i]; }
+
+  /// The tenant's end-to-end ack histogram (bounded table; see file
+  /// comment). Thread-safe: shared lock on the hit path, exclusive only to
+  /// register a new tenant.
+  [[nodiscard]] obs::Histogram& tenant_ack(const std::string& tenant);
+
+  /// This run's end-to-end ack latency for one shard: the ack histogram
+  /// now, minus what it held when the router was built.
+  [[nodiscard]] obs::HistogramSnapshot ack_interval(std::size_t i) const {
+    return obs::delta(shards_[i].ack_us->snapshot(), shards_[i].ack_base);
+  }
+
+  [[nodiscard]] std::size_t tenant_metrics() const;
+
+ private:
+  obs::MetricsRegistry* registry_;
+  std::size_t max_tenants_;
+  std::vector<ShardInstruments> shards_;
+  obs::Histogram* other_tenants_;
+  mutable std::shared_mutex tenants_mutex_;
+  std::unordered_map<std::string, obs::Histogram*> tenants_;
+};
+
+}  // namespace cdbp::serve

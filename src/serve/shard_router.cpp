@@ -23,6 +23,19 @@ obs::Counter& g_rejected =
 obs::Counter& g_shed = obs::MetricsRegistry::global().counter("serve.shed");
 obs::Counter& g_skipped =
     obs::MetricsRegistry::global().counter("serve.resume_skipped");
+obs::Counter& g_batches =
+    obs::MetricsRegistry::global().counter("serve.batches");
+
+/// Admission timestamp for the request-lifecycle histograms. Under
+/// CDBP_OBS_OFF requests stay unstamped (admit_ns == 0), which disables
+/// every latency-recording path without per-call ifdefs.
+std::uint64_t admit_stamp() noexcept {
+#ifdef CDBP_OBS_OFF
+  return 0;
+#else
+  return mono_now_ns();
+#endif
+}
 
 void make_dir(const std::string& path) {
   if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return;
@@ -89,6 +102,7 @@ bool ShardRouter::RequestQueue::push(ServeRequest req,
   }
   items_.push_back(std::move(req));
   peak_ = std::max<std::uint64_t>(peak_, items_.size());
+  if (depth_) depth_->set(static_cast<double>(items_.size()));
   not_empty_.notify_one();
   return true;
 }
@@ -99,6 +113,7 @@ bool ShardRouter::RequestQueue::pop(ServeRequest& out) {
   if (items_.empty()) return false;  // closed and drained
   out = std::move(items_.front());
   items_.pop_front();
+  if (depth_) depth_->set(static_cast<double>(items_.size()));
   not_full_.notify_one();
   return true;
 }
@@ -113,6 +128,7 @@ std::size_t ShardRouter::RequestQueue::pop_batch(
     items_.pop_front();
     ++n;
   }
+  if (depth_) depth_->set(static_cast<double>(items_.size()));
   if (n > 0) not_full_.notify_all();
   return n;
 }
@@ -139,7 +155,8 @@ std::uint64_t ShardRouter::RequestQueue::peak() const {
 ShardRouter::ShardRouter(RouterConfig config,
                          const std::function<AlgorithmPtr()>& make_algo,
                          std::string algo_name)
-    : config_(std::move(config)) {
+    : config_(std::move(config)),
+      metrics_(obs::MetricsRegistry::global(), config_.shards) {
   if (config_.shards == 0)
     throw std::invalid_argument("serve: shards must be >= 1");
   if (config_.queue_capacity == 0)
@@ -174,7 +191,8 @@ ShardRouter::ShardRouter(RouterConfig config,
     sc.recovery_pool = recovery_pool.get();
     shard->session = std::make_unique<DurableSession>(make_algo(), algo_name,
                                                       std::move(sc));
-    shard->queue = std::make_unique<RequestQueue>(config_.queue_capacity);
+    shard->queue = std::make_unique<RequestQueue>(
+        config_.queue_capacity, metrics_.shard(i).queue_depth);
     shard->stats.shard = i;
     shards_.push_back(std::move(shard));
   }
@@ -202,12 +220,36 @@ std::size_t ShardRouter::shard_of(std::string_view tenant) const noexcept {
 bool ShardRouter::submit(ServeRequest req) {
   if (stopped_.load(std::memory_order_acquire))
     throw std::logic_error("serve: submit after stop");
-  Shard& shard = *shards_[shard_of(req.tenant)];
+  if (req.admit_ns == 0) req.admit_ns = admit_stamp();
+  const std::size_t idx = shard_of(req.tenant);
+  Shard& shard = *shards_[idx];
   g_submitted.add();
+  obs::Tracer& tracer = obs::Tracer::global();
+  // Flow chain start: the enclosing serve.enqueue span gives the flow
+  // arrow an anchor slice. Flow events are serialized synchronously, so
+  // the tenant string only needs to outlive this call.
+  const bool traced = tracer.enabled() && req.stream_index != 0;
+  const std::uint64_t flow_id = req.stream_index;
+  std::uint64_t trace_start = 0;
+  if (traced) {
+    trace_start = tracer.now_ns();
+    tracer.flow_begin("serve.offer", "serve", flow_id,
+                      {{"tenant", req.tenant.c_str()},
+                       {"shard", static_cast<std::uint64_t>(idx)}});
+  }
   if (!shard.queue->push(std::move(req), config_.admission)) {
     g_rejected.add();
+    if (traced)
+      tracer.complete("serve.enqueue", "serve", trace_start,
+                      tracer.now_ns() - trace_start,
+                      {{"shard", static_cast<std::uint64_t>(idx)},
+                       {"rejected", 1}});
     return false;
   }
+  if (traced)
+    tracer.complete("serve.enqueue", "serve", trace_start,
+                    tracer.now_ns() - trace_start,
+                    {{"shard", static_cast<std::uint64_t>(idx)}});
   return true;
 }
 
@@ -218,35 +260,86 @@ void ShardRouter::worker_loop(Shard& shard) {
   // work at risk between commits, not throughput — a slow disk simply
   // yields fuller batches.
   constexpr std::size_t kWorkerBatch = 256;
+  const std::size_t idx = shard.stats.shard;
+  ServeMetrics::ShardInstruments& ins = metrics_.shard(idx);
+  obs::Tracer& tracer = obs::Tracer::global();
   std::vector<ServeRequest> batch;
   std::vector<ServeResult> pending;
+  std::vector<std::uint64_t> pending_admit;
   for (;;) {
     batch.clear();
-    if (shard.queue->pop_batch(batch, kWorkerBatch) == 0) break;
+    const std::size_t drained = shard.queue->pop_batch(batch, kWorkerBatch);
+    if (drained == 0) break;
+    ins.batch_size->record(drained);
+    g_batches.add();
+    // One clock read per batch, not per offer: queue-wait and ack latency
+    // share the batch's drain/ack instants, which keeps the instrumented
+    // hot path within the disabled-overhead budget (see bench_obs_overhead).
+    const std::uint64_t drained_ns = mono_now_ns();
     pending.clear();
-    for (ServeRequest& req : batch) {
-      if (config_.worker_delay_us > 0)
-        std::this_thread::sleep_for(
-            std::chrono::microseconds(config_.worker_delay_us));
-      // Resume de-duplication: the WAL already holds this stream position.
-      if (config_.resume && req.stream_index != 0 &&
-          req.stream_index <= shard.session->last_stream_index()) {
-        ++shard.stats.skipped;
-        g_skipped.add();
-        continue;
-      }
-      try {
-        const std::uint64_t seq = shard.session->seq();
-        const BinId bin = shard.session->offer_deferred(
-            req.arrival, req.departure, req.size, req.stream_index);
-        pending.push_back(ServeResult{req.stream_index,
-                                      std::move(req.tenant),
-                                      shard.stats.shard, seq, bin});
-      } catch (const std::invalid_argument&) {
-        ++shard.stats.invalid;  // bad request, not a shard failure
+    pending_admit.clear();
+    {
+      obs::TraceSpan drain_span(
+          tracer, "serve.drain", "serve",
+          {{"shard", static_cast<std::uint64_t>(idx)},
+           {"batch", static_cast<std::uint64_t>(drained)}});
+      obs::ScopedTimer append_timer(*ins.wal_append_us);
+      for (ServeRequest& req : batch) {
+        if (config_.worker_delay_us > 0)
+          std::this_thread::sleep_for(
+              std::chrono::microseconds(config_.worker_delay_us));
+        if (req.admit_ns != 0 && drained_ns > req.admit_ns)
+          ins.queue_wait_us->record((drained_ns - req.admit_ns) / 1000);
+        if (req.stream_index != 0)
+          tracer.flow_step("serve.offer", "serve", req.stream_index,
+                           {{"shard", static_cast<std::uint64_t>(idx)}});
+        // Resume de-duplication: the WAL already holds this stream position.
+        if (config_.resume && req.stream_index != 0 &&
+            req.stream_index <= shard.session->last_stream_index()) {
+          ++shard.stats.skipped;
+          g_skipped.add();
+          continue;
+        }
+        try {
+          const std::uint64_t seq = shard.session->seq();
+          const BinId bin = shard.session->offer_deferred(
+              req.arrival, req.departure, req.size, req.stream_index);
+          pending.push_back(ServeResult{req.stream_index,
+                                        std::move(req.tenant),
+                                        shard.stats.shard, seq, bin});
+          pending_admit.push_back(req.admit_ns);
+        } catch (const std::invalid_argument&) {
+          ++shard.stats.invalid;  // bad request, not a shard failure
+        }
       }
     }
-    shard.session->commit();
+    {
+      obs::TraceSpan commit_span(
+          tracer, "serve.commit", "serve",
+          {{"shard", static_cast<std::uint64_t>(idx)},
+           {"batch", static_cast<std::uint64_t>(pending.size())}});
+      obs::ScopedTimer commit_timer(*ins.commit_us);
+      shard.session->commit();
+    }
+    // The ack instant: every offer in the batch is durable per the fsync
+    // policy and about to become visible in results().
+    const std::uint64_t ack_ns = mono_now_ns();
+    {
+      obs::TraceSpan ack_span(
+          tracer, "serve.ack", "serve",
+          {{"shard", static_cast<std::uint64_t>(idx)},
+           {"batch", static_cast<std::uint64_t>(pending.size())}});
+      for (std::size_t i = 0; i < pending.size(); ++i) {
+        if (pending_admit[i] != 0 && ack_ns > pending_admit[i]) {
+          const std::uint64_t us = (ack_ns - pending_admit[i]) / 1000;
+          ins.ack_us->record(us);
+          metrics_.tenant_ack(pending[i].tenant).record(us);
+        }
+        if (pending[i].stream_index != 0)
+          tracer.flow_end("serve.offer", "serve", pending[i].stream_index,
+                          {{"shard", static_cast<std::uint64_t>(idx)}});
+      }
+    }
     shard.stats.applied += pending.size();
     shard.applied.insert(shard.applied.end(),
                          std::make_move_iterator(pending.begin()),
@@ -257,6 +350,7 @@ void ShardRouter::worker_loop(Shard& shard) {
   shard.stats.open_bins = shard.session->session().open_bins();
   shard.stats.final_cost = shard.session->finish();
   shard.session->close();
+  shard.stats.ack_latency = metrics_.ack_interval(idx);
   shard.stats.shed = shard.queue->shed_count();
   shard.stats.queue_peak = shard.queue->peak();
   shard.stats.wal_records = shard.session->seq();

@@ -42,8 +42,10 @@
 #include <vector>
 
 #include "core/algorithm.h"
+#include "obs/metrics.h"
 #include "parallel/thread_pool.h"
 #include "serve/durable_session.h"
+#include "serve/serve_metrics.h"
 #include "serve/wal.h"
 
 namespace cdbp::serve {
@@ -84,6 +86,9 @@ struct ServeRequest {
   Time arrival = 0.0;
   Time departure = 0.0;
   Load size = 0.0;
+  /// Admission stamp (mono_now_ns), set by submit() when 0: the epoch for
+  /// this request's queue-wait and end-to-end ack latency.
+  std::uint64_t admit_ns = 0;
 };
 
 /// One applied placement, reported after stop().
@@ -108,6 +113,9 @@ struct ShardStats {
   std::size_t open_bins = 0;      ///< at finish time
   Cost final_cost = 0.0;
   RecoveryReport recovery;
+  /// This run's end-to-end (admission -> post-commit ack) latency, in
+  /// microseconds. Empty under CDBP_OBS_OFF.
+  obs::HistogramSnapshot ack_latency;
 };
 
 class ShardRouter {
@@ -152,7 +160,11 @@ class ShardRouter {
   /// closed and empty.
   class RequestQueue {
    public:
-    explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {}
+    /// `depth` (optional) tracks the live queue length; updated under the
+    /// queue mutex so shed (drop oldest + admit newest, net zero) and
+    /// batch drains stay exact.
+    explicit RequestQueue(std::size_t capacity, obs::Gauge* depth = nullptr)
+        : capacity_(capacity), depth_(depth) {}
 
     /// Returns false only under kReject with a full queue. Under kShed the
     /// oldest entry is dropped (counted in `shed`).
@@ -168,6 +180,7 @@ class ShardRouter {
 
    private:
     std::size_t capacity_;
+    obs::Gauge* depth_;
     std::deque<ServeRequest> items_;
     std::uint64_t shed_ = 0;
     std::uint64_t peak_ = 0;
@@ -188,6 +201,9 @@ class ShardRouter {
   void worker_loop(Shard& shard);
 
   RouterConfig config_;
+  /// Per-shard/per-tenant instruments (declared before shards_ so workers
+  /// never outlive it; see ServeMetrics for the naming/cardinality rules).
+  ServeMetrics metrics_;
   /// Declared before shards_: sessions' WALs hold a pointer to the
   /// coordinator, so it must be destroyed after them.
   std::unique_ptr<GroupCommitCoordinator> group_commit_;

@@ -1,0 +1,113 @@
+#include "serve/stats_exporter.h"
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#include "obs/snapshot.h"
+
+namespace cdbp::serve {
+
+volatile std::sig_atomic_t StatsExporter::dump_requested = 0;
+
+namespace {
+
+/// Atomic file publish: write to `<path>.tmp`, then rename over `path`.
+/// No fsync — stats pages are ephemeral telemetry, not durable state.
+void write_atomic(const std::string& path, const std::string& content) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream f(tmp, std::ios::trunc);
+    if (!f) throw std::runtime_error("stats: cannot open " + tmp);
+    f << content;
+    if (!f.flush())
+      throw std::runtime_error("stats: short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0)
+    throw std::runtime_error("stats: rename failed for " + path);
+}
+
+}  // namespace
+
+StatsExporter::StatsExporter(StatsExporterConfig config)
+    : config_(std::move(config)) {
+  if (config_.out_base.empty())
+    throw std::invalid_argument("stats: out_base must not be empty");
+  last_ = obs::MetricsRegistry::global().snapshot();
+  last_time_ = std::chrono::steady_clock::now();
+  thread_ = std::thread([this] { loop(); });
+}
+
+StatsExporter::~StatsExporter() {
+  try {
+    stop();
+  } catch (...) {
+    // Destructor path: a failed final dump (disk full) must not terminate.
+  }
+}
+
+void StatsExporter::stop() {
+  {
+    std::lock_guard<std::mutex> lock(stop_mutex_);
+    if (stopping_ && !thread_.joinable()) return;
+    stopping_ = true;
+  }
+  stop_cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  dump_now();  // final page covers the tail interval
+}
+
+void StatsExporter::dump_now() {
+  std::lock_guard<std::mutex> lock(dump_mutex_);
+  dump_locked();
+}
+
+void StatsExporter::dump_locked() {
+  const obs::MetricsSnapshot cur = obs::MetricsRegistry::global().snapshot();
+  const auto now = std::chrono::steady_clock::now();
+  const obs::MetricsSnapshot interval = obs::delta(cur, last_);
+  const double interval_s =
+      std::chrono::duration<double>(now - last_time_).count();
+
+  std::ostringstream prom;
+  obs::render_prometheus_text(cur, &interval, prom);
+  std::ostringstream json;
+  obs::render_stats_json(cur, &interval, interval_s, json);
+  write_atomic(config_.out_base + ".prom", prom.str());
+  write_atomic(config_.out_base + ".json", json.str());
+
+  last_ = cur;
+  last_time_ = now;
+  dumps_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void StatsExporter::loop() {
+  // Poll tick: short enough that SIGUSR1 feels immediate, long enough to
+  // cost nothing. Periodic dumps fire on the configured cadence on top.
+  constexpr auto kPoll = std::chrono::milliseconds(50);
+  auto next_periodic = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(config_.interval_ms);
+  std::unique_lock<std::mutex> lock(stop_mutex_);
+  while (!stopping_) {
+    stop_cv_.wait_for(lock, kPoll, [this] { return stopping_; });
+    if (stopping_) break;
+    bool want_dump = false;
+    if (dump_requested) {
+      dump_requested = 0;
+      want_dump = true;
+    }
+    const auto now = std::chrono::steady_clock::now();
+    if (config_.interval_ms > 0 && now >= next_periodic) {
+      want_dump = true;
+      next_periodic = now + std::chrono::milliseconds(config_.interval_ms);
+    }
+    if (want_dump) {
+      lock.unlock();
+      dump_now();
+      lock.lock();
+    }
+  }
+}
+
+}  // namespace cdbp::serve

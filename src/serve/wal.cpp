@@ -32,6 +32,8 @@ constexpr std::uint32_t kMaxFramePayload = 1u << 20;
 obs::Counter& g_appends =
     obs::MetricsRegistry::global().counter("wal.appends");
 obs::Counter& g_fsyncs = obs::MetricsRegistry::global().counter("wal.fsyncs");
+obs::Counter& g_unknown_frames =
+    obs::MetricsRegistry::global().counter("wal.unknown_frames");
 obs::Histogram& g_fsync_us =
     obs::MetricsRegistry::global().histogram("wal.fsync_us");
 
@@ -296,7 +298,11 @@ WalReadResult read_wal(const std::string& path) {
       // writer's record kind. Skip it — the CRC already proved it is not
       // torn-tail garbage.
       ++out.unknown_records;
+      g_unknown_frames.add();
     }
+    // Counted only once the frame is fully accepted (an offer frame with a
+    // bad length is torn tail, not a frame of that type).
+    ++out.frame_type_counts[type];
     pos += 8 + len;
     out.valid_bytes = pos;
   }

@@ -29,6 +29,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -152,6 +153,9 @@ struct WalReadResult {
   std::uint64_t valid_bytes = 0;   ///< file offset where the prefix ends
   std::uint64_t base_seq = 0;      ///< from a v2 segment header (0 legacy)
   std::uint64_t unknown_records = 0;  ///< intact frames of unknown type
+  /// Intact frames by on-disk record type (offer = 1), including the
+  /// unknown ones — `cdbp wal-dump` reports this per segment.
+  std::map<unsigned, std::uint64_t> frame_type_counts;
   bool exists = false;             ///< the file was present
   bool torn = false;               ///< bytes beyond valid_bytes were dropped
   std::string tail_error;          ///< why the tail was rejected (when torn)

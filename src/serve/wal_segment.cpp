@@ -263,6 +263,7 @@ SegmentedWalScan scan_segmented_wal(const std::string& base,
       out.records.insert(out.records.end(), seg.records.begin(),
                          seg.records.end());
       out.segment_records.push_back(seg.records.size());
+      out.segment_frame_types.push_back(seg.frame_type_counts);
       out.torn = true;
       out.tail_error = seg.tail_error;
       out.torn_segment = i;
@@ -274,6 +275,7 @@ SegmentedWalScan scan_segmented_wal(const std::string& base,
     out.records.insert(out.records.end(), seg.records.begin(),
                        seg.records.end());
     out.segment_records.push_back(seg.records.size());
+    out.segment_frame_types.push_back(seg.frame_type_counts);
     expected_seq = declared + seg.records.size();
   }
   return out;

@@ -29,6 +29,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <optional>
 #include <string>
@@ -88,6 +89,9 @@ struct SegmentedWalScan {
   /// Per-surviving-segment record counts (parallel to manifest.segments up
   /// to and including torn_segment); the writer resumes from the last one.
   std::vector<std::uint64_t> segment_records;
+  /// Per-surviving-segment intact-frame counts by record type (parallel to
+  /// segment_records) — `cdbp wal-dump` footer material.
+  std::vector<std::map<unsigned, std::uint64_t>> segment_frame_types;
 };
 
 /// CRC-scans every segment (in parallel on `pool` when given and there is

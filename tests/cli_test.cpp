@@ -356,6 +356,12 @@ TEST(Cli, ServeRecoverWalDumpPipeline) {
   EXPECT_NE(serve.out.find("shard 0: applied="), std::string::npos);
   EXPECT_NE(serve.out.find("served 150 requests on 2 shard(s)"),
             std::string::npos);
+#ifndef CDBP_OBS_OFF
+  // Per-shard end-to-end latency percentiles ride along on every serve run.
+  EXPECT_NE(serve.out.find("ack-latency-us: p50="), std::string::npos);
+#else
+  EXPECT_EQ(serve.out.find("ack-latency-us"), std::string::npos);
+#endif
   const std::string served_cost = line_with(serve.out, "total cost=");
   ASSERT_FALSE(served_cost.empty());
   EXPECT_TRUE(fs::exists(placements));
@@ -376,11 +382,53 @@ TEST(Cli, ServeRecoverWalDumpPipeline) {
             0u);
   EXPECT_NE(dump.out.find("# records="), std::string::npos);
   EXPECT_EQ(dump.out.find("# torn tail"), std::string::npos);
+  // Frame-type census: 150 requests on 2 shards -> this shard holds offer
+  // (type1) frames, and a clean WAL skips nothing.
+  EXPECT_NE(dump.out.find("# frames type1="), std::string::npos);
+  EXPECT_NE(dump.out.find("skipped_unknown=0"), std::string::npos);
 
   EXPECT_EQ(cli({"wal-dump", "--wal", "/no/such.wal"}).code, 1);
 
   std::remove(stream.c_str());
   std::remove(placements.c_str());
+  fs::remove_all(wal_dir);
+}
+
+TEST(Cli, ServeStatsExporterFlags) {
+  namespace fs = std::filesystem;
+  const std::string stream = temp_file("cdbp_cli_stats_stream.csv");
+  const fs::path wal_dir = fs::temp_directory_path() / "cdbp_cli_stats_wal";
+  const std::string base = temp_file("cdbp_cli_stats");
+  fs::remove_all(wal_dir);
+  ASSERT_EQ(cli({"gen-stream", "--out", stream, "--items", "80", "--tenants",
+                 "4", "--seed", "9"})
+                .code,
+            0);
+
+  const CliRun serve =
+      cli({"serve", "--algo", "bf", "--in", stream, "--wal-dir",
+           wal_dir.string(), "--shards", "1", "--fsync", "none",
+           "--stats-out", base, "--stats-interval", "0"});
+#ifdef CDBP_OBS_OFF
+  // The flag is a clean CLI error when the build cannot honor it.
+  EXPECT_EQ(serve.code, 1);
+  EXPECT_NE(serve.err.find("compiled out"), std::string::npos);
+#else
+  EXPECT_EQ(serve.code, 0) << serve.err;
+  EXPECT_NE(serve.out.find("stats written to " + base + ".prom"),
+            std::string::npos);
+  const std::string prom = read_file(base + ".prom");
+  EXPECT_NE(prom.find("cdbp_serve_ack_us_shard0{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("cdbp_serve_submitted"), std::string::npos);
+  const std::string json = read_file(base + ".json");
+  EXPECT_EQ(json.rfind("{\"interval_s\":", 0), 0u);
+  EXPECT_NE(json.find("\"serve.ack_us.shard0\""), std::string::npos);
+  std::remove((base + ".prom").c_str());
+  std::remove((base + ".json").c_str());
+#endif
+
+  std::remove(stream.c_str());
   fs::remove_all(wal_dir);
 }
 

@@ -1,0 +1,320 @@
+#include "obs/snapshot.h"
+
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics.h"
+
+namespace cdbp::obs {
+namespace {
+
+#ifdef CDBP_OBS_OFF
+
+// The snapshot/render layer exists in BOTH build modes (it is pure
+// arithmetic over the snapshot structs); under the kill switch instruments
+// simply never fill anything in, so everything degrades to empty data.
+TEST(ObsSnapshot, CompiledOutInstrumentsYieldEmptySnapshots) {
+  MetricsRegistry registry;
+  registry.histogram("h").record(1234);
+  const HistogramSnapshot snap = registry.histogram("h").snapshot();
+  EXPECT_EQ(snap.count, 0u);
+  EXPECT_EQ(snap.quantile(0.5), 0u);
+  const HistogramSnapshot d = delta(snap, HistogramSnapshot{});
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_EQ(merge(snap, snap).count, 0u);
+  // Pure string functions are identical in both modes.
+  EXPECT_EQ(sanitize_metric_label("a,b"), "a_b");
+}
+
+#else
+
+HistogramSnapshot snap_of(const std::vector<std::uint64_t>& values) {
+  Histogram h;
+  for (const std::uint64_t v : values) h.record(v);
+  return h.snapshot();
+}
+
+// --- quantile extraction --------------------------------------------------
+
+TEST(ObsSnapshot, QuantileOfEmptyHistogramIsZero) {
+  const HistogramSnapshot empty;
+  EXPECT_EQ(empty.quantile(0.0), 0u);
+  EXPECT_EQ(empty.quantile(0.5), 0u);
+  EXPECT_EQ(empty.quantile(1.0), 0u);
+}
+
+TEST(ObsSnapshot, QuantileIsExactForSingleDistinctValue) {
+  // min == max clamps interpolation: every quantile is the value itself.
+  const HistogramSnapshot one = snap_of({5});
+  for (const double q : {0.0, 0.25, 0.5, 0.99, 1.0})
+    EXPECT_EQ(one.quantile(q), 5u) << "q=" << q;
+
+  const HistogramSnapshot many = snap_of({12, 12, 12, 12});
+  for (const double q : {0.0, 0.5, 1.0}) EXPECT_EQ(many.quantile(q), 12u);
+}
+
+TEST(ObsSnapshot, QuantileOfZeroBucketIsZero) {
+  const HistogramSnapshot zeros = snap_of({0, 0, 0});
+  EXPECT_EQ(zeros.quantile(0.5), 0u);
+  EXPECT_EQ(zeros.quantile(1.0), 0u);
+}
+
+TEST(ObsSnapshot, QuantileInterpolatesWithinOneBucket) {
+  // Two observations in bucket 4 ([8, 16)): rank j of n sits at fraction
+  // (j - 0.5) / n, so rank 1 -> 8 + 0.25 * 8 = 10 and rank 2 -> 8 + 6 = 14.
+  const HistogramSnapshot snap = snap_of({8, 15});
+  EXPECT_EQ(snap.quantile(0.0), 10u);   // rank clamps up to 1
+  EXPECT_EQ(snap.quantile(0.25), 10u);  // rank 1
+  EXPECT_EQ(snap.quantile(1.0), 14u);   // rank 2
+}
+
+TEST(ObsSnapshot, QuantileIsBucketAccurateOnUniformData) {
+  std::vector<std::uint64_t> values;
+  for (std::uint64_t v = 1; v <= 100; ++v) values.push_back(v);
+  const HistogramSnapshot snap = snap_of(values);
+  ASSERT_EQ(snap.count, 100u);
+  ASSERT_EQ(snap.min, 1u);
+  ASSERT_EQ(snap.max, 100u);
+  // Rank 50 lands in bucket 6 ([32, 64), 32 obs, 31 before):
+  // 32 + (50 - 31 - 0.5) / 32 * 32 = 50.5, rounded half away -> 51.
+  EXPECT_EQ(snap.quantile(0.5), 51u);
+  // Rank 99 lands in bucket 7 ([64, 128)), whose upper half is empty: the
+  // interpolated estimate overshoots and the [min, max] clamp catches it.
+  EXPECT_EQ(snap.quantile(0.99), 100u);
+  EXPECT_EQ(snap.quantile(1.0), 100u);
+}
+
+// --- interval (delta) subtraction -----------------------------------------
+
+TEST(ObsSnapshot, DeltaAgainstEmptyBaselineIsExact) {
+  const HistogramSnapshot cur = snap_of({7, 9});
+  const HistogramSnapshot d = delta(cur, HistogramSnapshot{});
+  EXPECT_EQ(d.count, 2u);
+  EXPECT_EQ(d.sum, 16u);
+  EXPECT_EQ(d.min, 7u);  // nothing subtracted: lifetime bounds are exact
+  EXPECT_EQ(d.max, 9u);
+}
+
+TEST(ObsSnapshot, DeltaRederivesMinMaxFromIntervalBuckets) {
+  Histogram h;
+  h.record(1);
+  h.record(2);
+  h.record(3);
+  const HistogramSnapshot before = h.snapshot();
+  h.record(4);
+  h.record(5);
+  const HistogramSnapshot d = delta(h.snapshot(), before);
+  EXPECT_EQ(d.count, 2u);
+  EXPECT_EQ(d.sum, 9u);
+  // Both interval values live in bucket 3 ([4, 8)): the interval min is the
+  // bucket floor (the lifetime min of 1 must NOT leak in), the interval max
+  // clamps to the lifetime max.
+  EXPECT_EQ(d.min, 4u);
+  EXPECT_EQ(d.max, 5u);
+  EXPECT_GE(d.quantile(0.5), 4u);
+  EXPECT_LE(d.quantile(0.5), 5u);
+}
+
+TEST(ObsSnapshot, DeltaBoundsClampToLifetimeExtremes) {
+  Histogram h;
+  h.record(1);
+  const HistogramSnapshot before = h.snapshot();
+  h.record(1000);
+  const HistogramSnapshot d = delta(h.snapshot(), before);
+  EXPECT_EQ(d.count, 1u);
+  // 1000 is in bucket 10 ([512, 1024)): floor 512 from the bucket, ceiling
+  // 1000 from the lifetime max (the bucket's 1023 would overstate it).
+  EXPECT_EQ(d.min, 512u);
+  EXPECT_EQ(d.max, 1000u);
+}
+
+TEST(ObsSnapshot, DeltaCountMovedWithoutBucketFallsBack) {
+  // Weak consistency: a concurrent snapshot can see the count incremented
+  // before any bucket. The delta must not invent bounds — it falls back to
+  // the lifetime min/max.
+  HistogramSnapshot cur = snap_of({10, 20});
+  HistogramSnapshot earlier = cur;
+  earlier.count -= 1;  // count moved, buckets identical
+  const HistogramSnapshot d = delta(cur, earlier);
+  EXPECT_EQ(d.count, 1u);
+  EXPECT_EQ(d.min, cur.min);
+  EXPECT_EQ(d.max, cur.max);
+}
+
+TEST(ObsSnapshot, DeltaSaturatesInsteadOfUnderflowing) {
+  const HistogramSnapshot cur = snap_of({4});
+  const HistogramSnapshot later = snap_of({4, 4});
+  const HistogramSnapshot d = delta(cur, later);  // arguments swapped
+  EXPECT_EQ(d.count, 0u);
+  EXPECT_EQ(d.sum, 0u);
+}
+
+TEST(ObsSnapshot, SuccessiveDeltasPartitionConcurrentWrites) {
+  // One writer hammers the histogram while the reader takes rolling
+  // snapshots (the exporter's loop). Counts and sums are monotonic, so the
+  // interval deltas must partition the total exactly — no observation
+  // counted twice or dropped, even mid-write.
+  constexpr std::uint64_t kWrites = 200000;
+  constexpr std::uint64_t kValue = 3;
+  Histogram h;
+  std::thread writer([&h] {
+    for (std::uint64_t i = 0; i < kWrites; ++i) h.record(kValue);
+  });
+
+  std::uint64_t delta_count = 0;
+  std::uint64_t delta_sum = 0;
+  HistogramSnapshot last;
+  while (last.count < kWrites) {
+    const HistogramSnapshot now = h.snapshot();
+    const HistogramSnapshot d = delta(now, last);
+    delta_count += d.count;
+    delta_sum += d.sum;
+    last = now;
+  }
+  writer.join();
+
+  const HistogramSnapshot final_snap = h.snapshot();
+  EXPECT_EQ(final_snap.count, kWrites);
+  EXPECT_EQ(delta_count, kWrites);
+  EXPECT_EQ(delta_sum, kWrites * kValue);
+}
+
+TEST(ObsSnapshot, RegistryDeltaSubtractsCountersAndKeepsGauges) {
+  MetricsRegistry registry;
+  registry.counter("reqs").add(10);
+  registry.gauge("depth").set(2.5);
+  const MetricsSnapshot before = registry.snapshot();
+  registry.counter("reqs").add(5);
+  registry.counter("late").add(3);  // registered after the baseline
+  registry.gauge("depth").set(7.5);
+  const MetricsSnapshot d = delta(registry.snapshot(), before);
+
+  std::uint64_t reqs = 0, late = 0;
+  for (const auto& [name, v] : d.counters) {
+    if (name == "reqs") reqs = v;
+    if (name == "late") late = v;
+  }
+  EXPECT_EQ(reqs, 5u);   // interval increment
+  EXPECT_EQ(late, 3u);   // missing from baseline: passes through whole
+  ASSERT_EQ(d.gauges.size(), 1u);
+  EXPECT_EQ(d.gauges[0].second, 7.5);  // levels are not rates
+}
+
+// --- merge ----------------------------------------------------------------
+
+TEST(ObsSnapshot, MergeWithEmptyReturnsTheOther) {
+  const HistogramSnapshot a = snap_of({3, 5});
+  const HistogramSnapshot empty;
+  EXPECT_EQ(merge(a, empty).count, 2u);
+  EXPECT_EQ(merge(empty, a).min, 3u);
+  EXPECT_EQ(merge(empty, empty).count, 0u);
+}
+
+TEST(ObsSnapshot, MergeCombinesCountsAndExtremes) {
+  const HistogramSnapshot a = snap_of({2, 4});
+  const HistogramSnapshot b = snap_of({100});
+  const HistogramSnapshot m = merge(a, b);
+  EXPECT_EQ(m.count, 3u);
+  EXPECT_EQ(m.sum, 106u);
+  EXPECT_EQ(m.min, 2u);
+  EXPECT_EQ(m.max, 100u);
+}
+
+// --- label sanitization ---------------------------------------------------
+
+TEST(ObsSnapshot, SanitizeKeepsSafeCharactersVerbatim) {
+  EXPECT_EQ(sanitize_metric_label("tenant-7"), "tenant-7");
+  EXPECT_EQ(sanitize_metric_label("a.b_C-9"), "a.b_C-9");
+}
+
+TEST(ObsSnapshot, SanitizeNeutralizesHostileTenantIds) {
+  // Commas would split the CSV dump, newlines the text dump, braces a
+  // Prometheus label; all collapse to '_'.
+  EXPECT_EQ(sanitize_metric_label("evil,id\nx y{z}"), "evil_id_x_y_z_");
+  EXPECT_EQ(sanitize_metric_label("\"quoted\""), "_quoted_");
+  // Multi-byte UTF-8 degrades to one '_' per byte — ugly but format-safe.
+  EXPECT_EQ(sanitize_metric_label("\xc3\xa9"), "__");
+}
+
+TEST(ObsSnapshot, SanitizeTruncatesAndNeverReturnsEmpty) {
+  const std::string long_id(200, 'a');
+  EXPECT_EQ(sanitize_metric_label(long_id), std::string(kMaxLabelLength, 'a'));
+  EXPECT_EQ(sanitize_metric_label(""), "_");
+}
+
+// --- exporter renderings --------------------------------------------------
+
+MetricsSnapshot sample_snapshot() {
+  MetricsSnapshot s;
+  s.counters.emplace_back("serve.submitted", 42);
+  s.gauges.emplace_back("serve.queue_depth.shard0", 3.0);
+  s.histograms.emplace_back("serve.ack_us.shard0", snap_of({8, 8, 8, 8}));
+  return s;
+}
+
+TEST(ObsSnapshot, PrometheusTextMixesIntervalQuantilesWithCumulativeTotals) {
+  const MetricsSnapshot cumulative = sample_snapshot();
+  MetricsSnapshot interval = cumulative;
+  interval.histograms[0].second = snap_of({500});  // last interval's delta
+
+  std::ostringstream out;
+  render_prometheus_text(cumulative, &interval, out);
+  const std::string text = out.str();
+
+  EXPECT_NE(text.find("# TYPE cdbp_serve_submitted counter\n"
+                      "cdbp_serve_submitted 42\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("# TYPE cdbp_serve_queue_depth_shard0 gauge"),
+            std::string::npos);
+  // Quantiles come from the interval snapshot (one value: exact)...
+  EXPECT_NE(text.find("cdbp_serve_ack_us_shard0{quantile=\"0.5\"} 500"),
+            std::string::npos);
+  // ...while _sum/_count/_min/_max stay cumulative.
+  EXPECT_NE(text.find("cdbp_serve_ack_us_shard0_count 4"), std::string::npos);
+  EXPECT_NE(text.find("cdbp_serve_ack_us_shard0_sum 32"), std::string::npos);
+}
+
+TEST(ObsSnapshot, PrometheusTextWithoutIntervalUsesCumulativeQuantiles) {
+  std::ostringstream out;
+  render_prometheus_text(sample_snapshot(), nullptr, out);
+  EXPECT_NE(out.str().find("cdbp_serve_ack_us_shard0{quantile=\"0.99\"} 8"),
+            std::string::npos);
+}
+
+TEST(ObsSnapshot, JsonRenderingCarriesIntervalSubObject) {
+  const MetricsSnapshot cumulative = sample_snapshot();
+  MetricsSnapshot interval = cumulative;
+  interval.histograms[0].second = snap_of({500});
+
+  std::ostringstream out;
+  render_stats_json(cumulative, &interval, 1.5, out);
+  const std::string text = out.str();
+
+  EXPECT_EQ(text.rfind("{\"interval_s\":1.5,", 0), 0u);
+  EXPECT_EQ(text.substr(text.size() - 3), "}}\n");
+  EXPECT_NE(text.find("\"serve.submitted\":42"), std::string::npos);
+  EXPECT_NE(text.find("\"count\":4,\"sum\":32,\"min\":8,\"max\":8"),
+            std::string::npos);
+  EXPECT_NE(text.find("\"interval\":{\"count\":1,\"p50\":500"),
+            std::string::npos);
+}
+
+TEST(ObsSnapshot, JsonRenderingEscapesHostileMetricNames) {
+  // Registry names are code-controlled, but the renderer must still never
+  // emit broken JSON if one embeds a sanitizer-escaped-but-odd label.
+  MetricsSnapshot s;
+  s.counters.emplace_back("bad\"name\\with\nnoise", 1);
+  std::ostringstream out;
+  render_stats_json(s, nullptr, 0.0, out);
+  EXPECT_NE(out.str().find("\"bad\\\"name\\\\with\\nnoise\":1"),
+            std::string::npos);
+}
+
+#endif  // CDBP_OBS_OFF
+
+}  // namespace
+}  // namespace cdbp::obs

@@ -18,6 +18,9 @@ TEST(ObsTracer, CompiledOutShellsAreInertNoOps) {
   EXPECT_FALSE(tracer.enabled());
   tracer.instant("e", "cat", {{"k", 1}});
   tracer.complete("e", "cat", 0, 1, {{"k", 2.0}});
+  tracer.flow_begin("f", "cat", 1, {{"k", 1}});
+  tracer.flow_step("f", "cat", 1);
+  tracer.flow_end("f", "cat", 1);
   EXPECT_EQ(tracer.now_ns(), 0u);
   TraceSpan span(tracer, "s", "cat", {{"k", "v"}});
   span.add_arg({"late", 3});
@@ -218,6 +221,48 @@ TEST(ObsTracer, ConcurrentEmitsProduceWholeLines) {
     EXPECT_EQ(line.front(), '{');
     EXPECT_EQ(line.back(), '}');
   }
+}
+
+TEST(ObsTracer, FlowEventsSerializeChromePhasesAndStringId) {
+  std::ostringstream out;
+  Tracer tracer;
+  tracer.set_sink(std::make_shared<JsonlSink>(out));
+  {
+    TraceSpan span(tracer, "host", "test");  // flow events bind to a span
+    tracer.flow_begin("req", "test", 7, {{"shard", 1}});
+    tracer.flow_step("req", "test", 7);
+    tracer.flow_end("req", "test", 7);
+  }
+  tracer.clear_sink();
+
+  const auto lines = lines_of(out.str());
+  ASSERT_EQ(lines.size(), 4u);  // s, t, f, then the host span's X
+  // Chrome trace format: flow ids are decimal STRINGS (a bare number would
+  // be rejected), and only the 'f' event carries the enclosing-slice
+  // binding point "bp":"e".
+  EXPECT_NE(lines[0].find("\"ph\":\"s\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"id\":\"7\""), std::string::npos);
+  EXPECT_NE(lines[0].find("\"shard\":1"), std::string::npos);
+  EXPECT_EQ(lines[0].find("\"bp\""), std::string::npos);
+  EXPECT_NE(lines[1].find("\"ph\":\"t\""), std::string::npos);
+  EXPECT_EQ(lines[1].find("\"bp\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"ph\":\"f\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"id\":\"7\""), std::string::npos);
+  EXPECT_NE(lines[2].find("\"bp\":\"e\""), std::string::npos);
+  EXPECT_NE(lines[3].find("\"ph\":\"X\""), std::string::npos);
+  for (int i = 0; i < 3; ++i)
+    EXPECT_NE(lines[static_cast<std::size_t>(i)].find("\"name\":\"req\""),
+              std::string::npos);
+}
+
+TEST(ObsTracer, FlowEventsWhileDisabledAreDropped) {
+  std::ostringstream out;
+  Tracer tracer;
+  tracer.flow_begin("req", "test", 1);
+  tracer.flow_end("req", "test", 1);
+  tracer.set_sink(std::make_shared<JsonlSink>(out));
+  tracer.clear_sink();
+  EXPECT_TRUE(lines_of(out.str()).empty());
 }
 
 TEST(ObsTracer, GlobalTracerIsASingleton) {
