@@ -10,6 +10,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <cstdlib>
 #include <cstring>
 #include <functional>
@@ -17,6 +18,12 @@
 #include <optional>
 #include <string>
 #include <vector>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+#endif
 
 #include "analysis/ratio.h"
 #include "analysis/stats.h"
@@ -52,6 +59,87 @@ inline BenchOptions parse_options(int argc, char** argv) {
     }
   }
   return opts;
+}
+
+/// Peak resident set size of this process so far, in bytes; 0 when the
+/// platform offers no getrusage. (Linux reports ru_maxrss in KiB.)
+inline std::size_t peak_rss_bytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage {};
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<std::size_t>(usage.ru_maxrss);
+#else
+  return static_cast<std::size_t>(usage.ru_maxrss) * 1024;
+#endif
+#else
+  return 0;
+#endif
+}
+
+/// Runs `fn` in a forked child and hands back the doubles it returned (via
+/// a pipe), or nullopt if the child crashed or the platform cannot fork.
+///
+/// This exists for peak-RSS comparisons: ru_maxrss is a process-lifetime
+/// high-water mark that can never be reset, so each measured workload needs
+/// its own process. The child still *starts* from the parent's current
+/// footprint — keep the parent slim (e.g. generate big input files in a
+/// throwaway child too, not in the parent).
+inline std::optional<std::vector<double>> run_in_subprocess(
+    const std::function<std::vector<double>()>& fn) {
+#if defined(__unix__) || defined(__APPLE__)
+  int fds[2];
+  if (pipe(fds) != 0) return std::nullopt;
+  const pid_t pid = fork();
+  if (pid < 0) {
+    close(fds[0]);
+    close(fds[1]);
+    return std::nullopt;
+  }
+  if (pid == 0) {
+    close(fds[0]);
+    bool ok = true;
+    std::vector<double> values;
+    try {
+      values = fn();
+    } catch (...) {
+      ok = false;
+    }
+    const std::uint64_t n = values.size();
+    ok = ok && write(fds[1], &n, sizeof n) == static_cast<ssize_t>(sizeof n);
+    for (const double v : values)
+      ok = ok && write(fds[1], &v, sizeof v) == static_cast<ssize_t>(sizeof v);
+    close(fds[1]);
+    _exit(ok ? 0 : 1);
+  }
+  close(fds[1]);
+  const auto read_exact = [&](void* buf, std::size_t len) {
+    auto* p = static_cast<char*>(buf);
+    while (len > 0) {
+      const ssize_t got = read(fds[0], p, len);
+      if (got <= 0) return false;
+      p += got;
+      len -= static_cast<std::size_t>(got);
+    }
+    return true;
+  };
+  std::uint64_t n = 0;
+  std::vector<double> values;
+  bool ok = read_exact(&n, sizeof n) && n < (std::uint64_t{1} << 20);
+  if (ok) {
+    values.resize(n);
+    for (double& v : values) ok = ok && read_exact(&v, sizeof v);
+  }
+  close(fds[0]);
+  int status = 0;
+  ok = waitpid(pid, &status, 0) == pid && WIFEXITED(status) &&
+       WEXITSTATUS(status) == 0 && ok;
+  if (!ok) return std::nullopt;
+  return values;
+#else
+  (void)fn;
+  return std::nullopt;
+#endif
 }
 
 using analysis::SweepPoint;

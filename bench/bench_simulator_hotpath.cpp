@@ -1,16 +1,29 @@
-// Simulator hot-path throughput: items/sec for FF/BF/WF/CDFF/HA at
-// n in {1e4, 1e5, 1e6}, indexed selection vs the seed linear scan
-// (SelectMode::kLinearScan). This is the before/after evidence for the
-// capacity-index rewrite; numbers are recorded in EXPERIMENTS.md.
+// Simulator hot-path throughput (E15): items/sec for FF/BF/WF/CDFF/HA
+// across n up to 1e7, for the three execution tiers:
 //
-// The workload keeps thousands of items concurrently active (hundreds of
-// open bins), so the seed per-arrival scan is genuinely linear in B.
-// --quick trims the sizes for CI smoke runs; --legacy-max N caps the
-// largest n the linear reference runs at (it is O(n * B) and dominates
-// wall time otherwise).
+//   soa        SoA ledger columns + flat active-item map (the data plane)
+//   reference  the original AoS ledger (the bit-identical oracle)
+//   linear     reference ledger + the seed per-arrival linear scan
+//              (O(n * B); only run at n <= --linear-max-n)
+//
+// plus two scale probes:
+//
+//   * peak-RSS of a streamed .cdbpi replay vs the same run on the
+//     materialized instance, each in its own forked child (ru_maxrss is a
+//     process high-water mark, so the comparison needs fresh processes);
+//   * sharded-simulator wall time for a small algorithm sweep at 1, 2, and
+//     hardware threads.
+//
+// Besides the human tables, results land in a machine-readable JSON file
+// (--json PATH, default BENCH_HOTPATH.json) that is committed alongside
+// EXPERIMENTS.md as the before/after evidence. --quick trims every size for
+// CI smoke runs.
 
 #include <chrono>
+#include <cstdio>
 #include <cstdlib>
+#include <filesystem>
+#include <fstream>
 #include <iostream>
 #include <memory>
 #include <random>
@@ -23,23 +36,33 @@
 #include "bench_common.h"
 #include "core/instance.h"
 #include "core/simulator.h"
+#include "parallel/sharded_sim.h"
 #include "report/table.h"
 #include "workloads/aligned_random.h"
 #include "workloads/general_random.h"
+#include "workloads/instance_file.h"
 
 namespace {
 
 using namespace cdbp;
 
-double run_items_per_sec(const Instance& instance, Algorithm& algo,
-                         Cost* cost_out) {
-  Simulator sim{SimulatorOptions{.keep_history = false}};
+struct Timed {
+  Cost cost = 0.0;
+  double seconds = 0.0;
+  double items_per_sec = 0.0;
+};
+
+Timed run_once(const Instance& instance, Algorithm& algo,
+               LedgerStorage storage) {
+  Simulator sim{SimulatorOptions{.keep_history = false, .storage = storage}};
   const auto start = std::chrono::steady_clock::now();
   const RunResult result = sim.run(instance, algo);
   const auto stop = std::chrono::steady_clock::now();
-  const double secs = std::chrono::duration<double>(stop - start).count();
-  if (cost_out) *cost_out = result.cost;
-  return static_cast<double>(instance.size()) / secs;
+  Timed t;
+  t.cost = result.cost;
+  t.seconds = std::chrono::duration<double>(stop - start).count();
+  t.items_per_sec = static_cast<double>(instance.size()) / t.seconds;
+  return t;
 }
 
 Instance make_general(std::size_t n) {
@@ -69,22 +92,162 @@ std::string human(double v) {
   return report::Table::num(v / 1e6, 2) + "M";
 }
 
+std::string json_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  return buf;
+}
+
+struct ThroughputRow {
+  std::string algorithm;
+  std::string workload;
+  std::size_t n = 0;
+  std::string storage;
+  Timed timed;
+};
+
+struct RssProbe {
+  std::size_t n = 0;
+  bool ok = false;
+  Cost in_ram_cost = 0.0, streamed_cost = 0.0;
+  double in_ram_secs = 0.0, streamed_secs = 0.0;
+  double in_ram_rss = 0.0, streamed_rss = 0.0;
+};
+
+struct ShardPoint {
+  std::size_t threads = 0;
+  double wall_seconds = 0.0;
+  std::size_t tasks = 0;
+  std::size_t items = 0;
+};
+
+/// Streamed-vs-in-RAM peak RSS, everything heavyweight in forked children
+/// so the parent (and therefore each child's inherited high-water mark)
+/// stays small.
+RssProbe probe_rss(std::size_t n) {
+  namespace fs = std::filesystem;
+  RssProbe probe;
+  probe.n = n;
+  const std::string path =
+      (fs::temp_directory_path() / "cdbp_bench_hotpath.cdbpi").string();
+
+  const auto generated = cdbp::bench::run_in_subprocess([&] {
+    const Instance instance = make_general(n);
+    workloads::write_instance_file(path, instance);
+    return std::vector<double>{static_cast<double>(instance.size())};
+  });
+  if (!generated) {
+    std::remove(path.c_str());
+    return probe;
+  }
+
+  const auto in_ram = cdbp::bench::run_in_subprocess([&] {
+    const Instance instance = workloads::read_instance_file(path);
+    algos::FirstFit ff;
+    const Timed t = run_once(instance, ff, LedgerStorage::kSoa);
+    return std::vector<double>{
+        t.cost, t.seconds, static_cast<double>(cdbp::bench::peak_rss_bytes())};
+  });
+  const auto streamed = cdbp::bench::run_in_subprocess([&] {
+    Simulator sim{SimulatorOptions{.keep_history = false,
+                                   .storage = LedgerStorage::kSoa}};
+    algos::FirstFit ff;
+    workloads::InstanceFileReader source(path);
+    const auto start = std::chrono::steady_clock::now();
+    const RunResult result = sim.run_source(source, ff);
+    const auto stop = std::chrono::steady_clock::now();
+    return std::vector<double>{
+        result.cost, std::chrono::duration<double>(stop - start).count(),
+        static_cast<double>(cdbp::bench::peak_rss_bytes())};
+  });
+  std::remove(path.c_str());
+  if (!in_ram || !streamed || in_ram->size() != 3 || streamed->size() != 3)
+    return probe;
+  probe.ok = true;
+  probe.in_ram_cost = (*in_ram)[0];
+  probe.in_ram_secs = (*in_ram)[1];
+  probe.in_ram_rss = (*in_ram)[2];
+  probe.streamed_cost = (*streamed)[0];
+  probe.streamed_secs = (*streamed)[1];
+  probe.streamed_rss = (*streamed)[2];
+  return probe;
+}
+
+void write_json(const std::string& path, bool quick, std::size_t linear_max_n,
+                const std::vector<ThroughputRow>& rows, const RssProbe& rss,
+                const std::vector<ShardPoint>& sharded) {
+  std::ofstream out(path);
+  out << "{\n  \"bench\": \"simulator_hotpath\",\n  \"quick\": "
+      << (quick ? "true" : "false")
+      << ",\n  \"linear_max_n\": " << linear_max_n << ",\n  \"throughput\": [";
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const ThroughputRow& r = rows[i];
+    out << (i ? "," : "") << "\n    {\"algorithm\": \"" << r.algorithm
+        << "\", \"workload\": \"" << r.workload << "\", \"n\": " << r.n
+        << ", \"storage\": \"" << r.storage
+        << "\", \"items_per_sec\": " << json_num(r.timed.items_per_sec)
+        << ", \"seconds\": " << json_num(r.timed.seconds)
+        << ", \"cost\": " << json_num(r.timed.cost) << "}";
+  }
+  out << "\n  ],\n  \"rss\": ";
+  if (rss.ok) {
+    out << "{\"n\": " << rss.n
+        << ", \"in_ram_peak_rss_bytes\": " << json_num(rss.in_ram_rss)
+        << ", \"streamed_peak_rss_bytes\": " << json_num(rss.streamed_rss)
+        << ", \"streamed_rss_fraction\": "
+        << json_num(rss.streamed_rss / rss.in_ram_rss)
+        << ", \"in_ram_seconds\": " << json_num(rss.in_ram_secs)
+        << ", \"streamed_seconds\": " << json_num(rss.streamed_secs)
+        << ", \"costs_equal\": "
+        << (rss.in_ram_cost == rss.streamed_cost ? "true" : "false") << "}";
+  } else {
+    out << "null";
+  }
+  out << ",\n  \"sharded\": [";
+  for (std::size_t i = 0; i < sharded.size(); ++i) {
+    const ShardPoint& p = sharded[i];
+    out << (i ? "," : "") << "\n    {\"threads\": " << p.threads
+        << ", \"tasks\": " << p.tasks << ", \"total_items\": " << p.items
+        << ", \"wall_seconds\": " << json_num(p.wall_seconds) << "}";
+  }
+  out << "\n  ]\n}\n";
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const auto opts = cdbp::bench::parse_options(argc, argv);
-  std::size_t legacy_max = 100000;
-  for (int i = 1; i < argc; ++i)
-    if (std::string(argv[i]) == "--legacy-max" && i + 1 < argc)
-      legacy_max = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+  std::size_t linear_max_n = 100000;
+  std::string json_path = "BENCH_HOTPATH.json";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--linear-max-n" && i + 1 < argc)
+      linear_max_n = static_cast<std::size_t>(std::atoll(argv[i + 1]));
+    else if (arg == "--json" && i + 1 < argc)
+      json_path = argv[i + 1];
+  }
 
   std::vector<std::size_t> sizes = {10000, 100000, 1000000};
-  if (opts.quick) sizes = {2000, 10000};
+  std::size_t rss_n = 10000000;
+  std::size_t big_n = 10000000;  // FF-only tier, soa + reference
+  std::size_t shard_n = 1000000;
+  if (opts.quick) {
+    sizes = {2000, 10000};
+    rss_n = 100000;
+    big_n = 0;
+    shard_n = 50000;
+  }
 
-  std::cout << "== simulator hot path: items/sec, indexed vs linear scan "
-               "==\n";
-  report::Table table({"algorithm", "n", "indexed items/s", "linear items/s",
-                       "speedup", "cost equal"});
+  // Part B first: the forked RSS children inherit the parent's current
+  // high-water mark, so it must run before the parent touches any large
+  // instance.
+  const RssProbe rss = probe_rss(rss_n);
+
+  std::vector<ThroughputRow> rows;
+  std::cout << "== simulator hot path: items/sec by storage backend ==\n";
+  report::Table table({"algorithm", "n", "soa items/s", "reference items/s",
+                       "soa speedup", "linear items/s", "vs linear",
+                       "cost equal"});
 
   for (const std::size_t n : sizes) {
     const Instance general = make_general(n);
@@ -92,54 +255,155 @@ int main(int argc, char** argv) {
 
     struct Entry {
       std::string label;
+      std::string workload;
       AlgorithmPtr indexed;
       AlgorithmPtr linear;
       const Instance* instance;
     };
     std::vector<Entry> entries;
     entries.push_back(
-        {"FirstFit", std::make_unique<algos::FirstFit>(),
+        {"FirstFit", "general", std::make_unique<algos::FirstFit>(),
          std::make_unique<algos::FirstFit>(algos::SelectMode::kLinearScan),
          &general});
     entries.push_back(
-        {"BestFit", std::make_unique<algos::BestFit>(),
+        {"BestFit", "general", std::make_unique<algos::BestFit>(),
          std::make_unique<algos::BestFit>(algos::SelectMode::kLinearScan),
          &general});
     entries.push_back(
-        {"WorstFit", std::make_unique<algos::WorstFit>(),
+        {"WorstFit", "general", std::make_unique<algos::WorstFit>(),
          std::make_unique<algos::WorstFit>(algos::SelectMode::kLinearScan),
          &general});
     entries.push_back(
-        {"CDFF", std::make_unique<algos::Cdff>(),
+        {"CDFF", "aligned", std::make_unique<algos::Cdff>(),
          std::make_unique<algos::Cdff>(algos::FitRule::kFirst,
                                        algos::SelectMode::kLinearScan),
          &aligned});
     entries.push_back(
-        {"HA", std::make_unique<algos::Hybrid>(),
+        {"HA", "general", std::make_unique<algos::Hybrid>(),
          std::make_unique<algos::Hybrid>(&algos::Hybrid::paper_threshold,
                                          "HA", algos::FitRule::kFirst,
                                          algos::SelectMode::kLinearScan),
          &general});
 
     for (Entry& e : entries) {
-      Cost cost_indexed = 0.0, cost_linear = 0.0;
-      const double ips =
-          run_items_per_sec(*e.instance, *e.indexed, &cost_indexed);
-      std::string linear_cell = "-", speedup_cell = "-", equal_cell = "-";
-      if (n <= legacy_max) {
-        const double lps =
-            run_items_per_sec(*e.instance, *e.linear, &cost_linear);
-        linear_cell = human(lps);
-        speedup_cell = report::Table::num(ips / lps, 1) + "x";
-        equal_cell = cost_indexed == cost_linear ? "yes" : "NO";
+      const Timed soa = run_once(*e.instance, *e.indexed,
+                                 LedgerStorage::kSoa);
+      const Timed ref = run_once(*e.instance, *e.indexed,
+                                 LedgerStorage::kReference);
+      rows.push_back(
+          {e.label, e.workload, e.instance->size(), "soa", soa});
+      rows.push_back(
+          {e.label, e.workload, e.instance->size(), "reference", ref});
+
+      std::string linear_cell = "-", vs_linear_cell = "-";
+      bool equal = soa.cost == ref.cost;
+      if (e.instance->size() <= linear_max_n) {
+        const Timed lin = run_once(*e.instance, *e.linear,
+                                   LedgerStorage::kReference);
+        rows.push_back(
+            {e.label, e.workload, e.instance->size(), "linear", lin});
+        linear_cell = human(lin.items_per_sec);
+        vs_linear_cell =
+            report::Table::num(soa.items_per_sec / lin.items_per_sec, 1) + "x";
+        equal = equal && soa.cost == lin.cost;
       }
-      table.add_row({e.label, std::to_string(e.instance->size()), human(ips),
-                     linear_cell, speedup_cell, equal_cell});
+      table.add_row({e.label, std::to_string(e.instance->size()),
+                     human(soa.items_per_sec), human(ref.items_per_sec),
+                     report::Table::num(
+                         soa.items_per_sec / ref.items_per_sec, 2) + "x",
+                     linear_cell, vs_linear_cell, equal ? "yes" : "NO"});
     }
   }
+
+  if (big_n != 0) {
+    const Instance general = make_general(big_n);
+    algos::FirstFit ff;
+    const Timed soa = run_once(general, ff, LedgerStorage::kSoa);
+    const Timed ref = run_once(general, ff, LedgerStorage::kReference);
+    rows.push_back({"FirstFit", "general", general.size(), "soa", soa});
+    rows.push_back({"FirstFit", "general", general.size(), "reference", ref});
+    table.add_row({"FirstFit", std::to_string(general.size()),
+                   human(soa.items_per_sec), human(ref.items_per_sec),
+                   report::Table::num(
+                       soa.items_per_sec / ref.items_per_sec, 2) + "x",
+                   "-", "-", soa.cost == ref.cost ? "yes" : "NO"});
+  }
   std::cout << table.to_string();
-  std::cout << "\n(linear reference capped at n <= " << legacy_max
-            << " items; 'cost equal' checks the indexed run reproduces the "
-               "seed cost bit for bit)\n";
+  std::cout << "\n(linear reference capped at n <= " << linear_max_n
+            << " items [--linear-max-n]; 'cost equal' checks every backend "
+               "reproduces the same cost bit for bit)\n";
+
+  std::cout << "\n== streamed .cdbpi replay vs in-RAM instance, FirstFit/soa "
+               "==\n";
+  if (rss.ok) {
+    report::Table rss_table({"input", "peak RSS", "seconds", "cost equal"});
+    const auto mib = [](double b) {
+      return report::Table::num(b / (1024.0 * 1024.0), 1) + " MiB";
+    };
+    rss_table.add_row({"in-RAM (n=" + std::to_string(rss.n) + ")",
+                       mib(rss.in_ram_rss),
+                       report::Table::num(rss.in_ram_secs, 2), "-"});
+    rss_table.add_row({"streamed", mib(rss.streamed_rss),
+                       report::Table::num(rss.streamed_secs, 2),
+                       rss.in_ram_cost == rss.streamed_cost ? "yes" : "NO"});
+    std::cout << rss_table.to_string()
+              << "streamed peak RSS = "
+              << report::Table::num(
+                     100.0 * rss.streamed_rss / rss.in_ram_rss, 1)
+              << "% of in-RAM\n";
+  } else {
+    std::cout << "(skipped: fork/getrusage unavailable)\n";
+  }
+
+  // Part C: sharded wall-clock scaling on an algorithm sweep of one
+  // instance. Thread counts beyond the hardware shrink nothing, but the
+  // 1-vs-2 point still shows the overhead of the sharding machinery itself.
+  std::vector<ShardPoint> shard_points;
+  {
+    const Instance instance = make_general(shard_n);
+    std::vector<parallel::ShardTask> tasks;
+    const auto add = [&](const std::string& label,
+                         parallel::AlgorithmFactory make) {
+      tasks.push_back({label, std::move(make), &instance, {}});
+    };
+    for (int rep = 0; rep < 2; ++rep) {
+      add("ff", [] { return std::make_unique<algos::FirstFit>(); });
+      add("bf", [] { return std::make_unique<algos::BestFit>(); });
+      add("wf", [] { return std::make_unique<algos::WorstFit>(); });
+      add("ha", [] { return std::make_unique<algos::Hybrid>(); });
+    }
+    std::vector<std::size_t> thread_counts = {1, 2};
+    const std::size_t hw = parallel::ThreadPool{}.thread_count();
+    if (hw > 2) thread_counts.push_back(hw);
+    std::cout << "\n== sharded simulator: " << tasks.size()
+              << " independent runs of n=" << instance.size() << " ==\n";
+    report::Table shard_table({"threads", "wall s", "sum of run s"});
+    for (const std::size_t threads : thread_counts) {
+      parallel::ShardedSimOptions shard_opts;
+      shard_opts.threads = threads;
+      const auto start = std::chrono::steady_clock::now();
+      const parallel::ShardedSimReport report =
+          parallel::run_sharded(tasks, shard_opts);
+      const auto stop = std::chrono::steady_clock::now();
+      ShardPoint point;
+      point.threads = threads;
+      point.wall_seconds =
+          std::chrono::duration<double>(stop - start).count();
+      point.tasks = tasks.size();
+      double run_sum = 0.0;
+      for (const auto& r : report.results) {
+        point.items += r.items;
+        run_sum += r.seconds;
+      }
+      shard_points.push_back(point);
+      shard_table.add_row({std::to_string(threads),
+                           report::Table::num(point.wall_seconds, 2),
+                           report::Table::num(run_sum, 2)});
+    }
+    std::cout << shard_table.to_string();
+  }
+
+  write_json(json_path, opts.quick, linear_max_n, rows, rss, shard_points);
+  std::cout << "\nJSON written to " << json_path << "\n";
   return 0;
 }

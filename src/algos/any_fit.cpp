@@ -103,9 +103,8 @@ BinId AnyFit::on_arrival(const Item& item, Ledger& ledger) {
     // All AnyFit bins live in pool 0.
     bin = pick_bin_indexed(ledger, /*pool=*/0, item.size, rule_);
   } else {
-    const std::vector<BinId> open(ledger.open_bins().begin(),
-                                  ledger.open_bins().end());
-    bin = pick_bin(ledger, open, item.size, rule_);
+    ledger.open_bins_into(scratch_);
+    bin = pick_bin(ledger, scratch_, item.size, rule_);
   }
   const bool opened = bin == kNoBin;
   if (opened) bin = ledger.open_bin(item.arrival);

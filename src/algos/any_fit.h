@@ -55,6 +55,7 @@ class AnyFit : public Algorithm, public Checkpointable {
  private:
   FitRule rule_;
   SelectMode mode_;
+  std::vector<BinId> scratch_;  ///< linear-scan candidate buffer, reused
 };
 
 /// Picks a bin from `candidates` (opening order) according to `rule`, or

@@ -36,7 +36,8 @@ BinId DurationAwareFit::on_arrival(const Item& item, Ledger& ledger) {
   double chosen_cost = item.length();  // cost of a fresh bin
   Load chosen_load = -1.0;
 
-  for (BinId b : ledger.open_bins()) {
+  ledger.open_bins_into(scratch_);
+  for (BinId b : scratch_) {
     if (!ledger.fits(b, item.size)) continue;
     const double cost = extension_cost(b, item.departure);
     switch (policy_) {

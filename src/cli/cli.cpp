@@ -35,6 +35,7 @@
 #include "opt/offline_ffd.h"
 #include "opt/reduction.h"
 #include "opt/repack.h"
+#include "parallel/sharded_sim.h"
 #include "parallel/thread_pool.h"
 #include "report/ascii_chart.h"
 #include "report/table.h"
@@ -47,6 +48,7 @@
 #include "workloads/binary_input.h"
 #include "workloads/cloud_gaming.h"
 #include "workloads/general_random.h"
+#include "workloads/instance_file.h"
 
 namespace cdbp::cli {
 
@@ -61,7 +63,8 @@ class Flags {
       if (it->rfind("--", 0) != 0)
         throw std::invalid_argument("expected --flag, got '" + *it + "'");
       const std::string key = it->substr(2);
-      if (key == "gantt" || key == "validate" || key == "resume") {
+      if (key == "gantt" || key == "validate" || key == "resume" ||
+          key == "stream") {
         values_[key] = "true";
       } else {
         if (++it == end)
@@ -100,6 +103,33 @@ int to_int(const std::string& s, const std::string& what) {
   } catch (const std::exception&) {
     throw std::invalid_argument("bad integer for " + what + ": " + s);
   }
+}
+
+/// Full round-trip precision for values that must diff-compare exactly
+/// across processes (`cdbp recover` and `cdbp sim-sweep` outputs are CI
+/// oracles).
+std::string num_exact(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+bool is_cdbpi_path(const std::string& path) {
+  return path.size() >= 6 &&
+         path.compare(path.size() - 6, 6, ".cdbpi") == 0;
+}
+
+LedgerStorage parse_storage(const std::string& s) {
+  if (s == "soa") return LedgerStorage::kSoa;
+  if (s == "reference") return LedgerStorage::kReference;
+  throw std::invalid_argument("unknown storage '" + s +
+                              "' (expected soa|reference)");
+}
+
+/// Reads an instance file of either format by extension.
+Instance read_instance_any(const std::string& path) {
+  return is_cdbpi_path(path) ? workloads::read_instance_file(path)
+                             : trace::read_instance_csv(path);
 }
 
 /// Trace format from an explicit flag or the output file extension:
@@ -144,9 +174,16 @@ void print_usage(std::ostream& out) {
   out << "usage: cdbp <command> [flags]\n"
       << "  generate  --kind binary|aligned|general|cloud [--n N]\n"
       << "            [--seed S] [--items K] [--shape NAME] --out FILE\n"
+      << "            (FILE ending .cdbpi writes the binary format)\n"
+      << "  pack-instance --in FILE --out FILE  (.csv <-> .cdbpi by\n"
+      << "            extension; exactly one side must be .cdbpi)\n"
       << "  run       --algo ALGO --in FILE [--gantt] [--validate]\n"
+      << "            [--storage soa|reference] [--stream] [--mu-hint M]\n"
       << "            [--timeline FILE] [--trace-out FILE]\n"
       << "            [--trace-format chrome|jsonl] [--metrics-out FILE]\n"
+      << "            (--stream replays a .cdbpi in O(1) memory)\n"
+      << "  sim-sweep --algos A[,B...] --in FILE [--threads T]\n"
+      << "            [--storage soa|reference] [--stream] [--mu-hint M]\n"
       << "  trace     --algo ALGO --in FILE --out FILE\n"
       << "            [--format chrome|jsonl] [--metrics-out FILE]\n"
       << "  bounds    --in FILE\n"
@@ -216,9 +253,32 @@ int cmd_generate(Flags& flags, std::ostream& out) {
   } else {
     throw std::invalid_argument("unknown kind '" + kind + "'");
   }
-  trace::write_instance_csv(instance, path);
+  if (is_cdbpi_path(path))
+    workloads::write_instance_file(path, instance);
+  else
+    trace::write_instance_csv(instance, path);
   out << "wrote " << instance.size() << " items to " << path << "  ("
       << instance.summary() << ")\n";
+  return 0;
+}
+
+/// `cdbp pack-instance`: convert between the CSV interchange format and the
+/// flat binary .cdbpi format (direction inferred from the extensions).
+int cmd_pack_instance(Flags& flags, std::ostream& out) {
+  const std::string in_path = flags.require("in");
+  const std::string out_path = flags.require("out");
+  flags.finish();
+  const bool to_binary = is_cdbpi_path(out_path);
+  if (to_binary == is_cdbpi_path(in_path))
+    throw std::invalid_argument(
+        "pack-instance: exactly one of --in/--out must end in .cdbpi");
+  const Instance instance = read_instance_any(in_path);
+  if (to_binary)
+    workloads::write_instance_file(out_path, instance);
+  else
+    trace::write_instance_csv(instance, out_path);
+  out << (to_binary ? "packed " : "unpacked ") << instance.size()
+      << " items to " << out_path << "\n";
   return 0;
 }
 
@@ -227,6 +287,10 @@ int cmd_run(Flags& flags, std::ostream& out) {
   const std::string path = flags.require("in");
   const bool gantt = flags.get("gantt").has_value();
   const bool validate = flags.get("validate").has_value();
+  const bool stream = flags.get("stream").has_value();
+  const LedgerStorage storage =
+      parse_storage(flags.get("storage").value_or("reference"));
+  const double mu_hint = std::stod(flags.get("mu-hint").value_or("2"));
   const auto timeline = flags.get("timeline");
   const auto trace_out = flags.get("trace-out");
   const auto trace_format = flags.get("trace-format");
@@ -234,7 +298,33 @@ int cmd_run(Flags& flags, std::ostream& out) {
   flags.finish();
   if (trace_out || metrics_out) require_obs("--trace-out/--metrics-out");
 
-  const Instance instance = trace::read_instance_csv(path);
+  if (stream) {
+    // Streamed replay never materializes the instance, so everything that
+    // needs the full item list (bounds, gantt, validation, timeline) is off
+    // the table; this is the constant-memory path for multi-million-item
+    // files.
+    if (!is_cdbpi_path(path))
+      throw std::invalid_argument("--stream requires a .cdbpi input");
+    if (gantt || validate || timeline)
+      throw std::invalid_argument(
+          "--stream cannot be combined with --gantt/--validate/--timeline");
+    if (metrics_out) obs::MetricsRegistry::global().reset();
+    const AlgorithmPtr algo = make_algorithm(algo_name, mu_hint);
+    workloads::InstanceFileReader source(path);
+    const Simulator sim{
+        SimulatorOptions{.keep_history = false, .storage = storage}};
+    const RunResult result = sim.run_source(source, *algo);
+    out << algo->name() << ": cost=" << num_exact(result.cost)
+        << " bins=" << result.bins_opened << " peak=" << result.max_open
+        << " items=" << result.items << "\n";
+    if (metrics_out) {
+      write_metrics_file(*metrics_out);
+      out << "metrics written to " << *metrics_out << "\n";
+    }
+    return 0;
+  }
+
+  const Instance instance = read_instance_any(path);
   const AlgorithmPtr algo = make_algorithm(algo_name, instance.mu());
   if (metrics_out) obs::MetricsRegistry::global().reset();
 #ifndef CDBP_OBS_OFF
@@ -248,7 +338,9 @@ int cmd_run(Flags& flags, std::ostream& out) {
     }
   } sink_guard{trace_out.has_value()};
 #endif
-  const RunResult result = Simulator{}.run(instance, *algo);
+  const RunResult result =
+      Simulator{SimulatorOptions{.keep_history = true, .storage = storage}}
+          .run(instance, *algo);
 #ifndef CDBP_OBS_OFF
   if (trace_out) {
     obs::Tracer::global().clear_sink();  // finalize the file
@@ -258,7 +350,7 @@ int cmd_run(Flags& flags, std::ostream& out) {
   const opt::Bounds bounds = opt::compute_bounds(instance);
 
   out << instance.summary() << "\n"
-      << algo->name() << ": cost=" << result.cost
+      << algo->name() << ": cost=" << num_exact(result.cost)
       << " bins=" << result.bins_opened << " peak=" << result.max_open
       << "  ratio vs LB(OPT)=" << report::Table::num(
              bounds.lower() > 0 ? result.cost / bounds.lower() : 1.0, 3)
@@ -276,6 +368,72 @@ int cmd_run(Flags& flags, std::ostream& out) {
     write_metrics_file(*metrics_out);
     out << "metrics written to " << *metrics_out << "\n";
   }
+  return 0;
+}
+
+/// `cdbp sim-sweep`: one instance, several algorithms, one independent run
+/// per algorithm sharded across the thread pool. Result lines are
+/// deterministic (task order, %.17g costs); timing/config lines are
+/// '#'-prefixed so CI can `grep -v '^#'` and diff the rest byte-for-byte
+/// between in-RAM and streamed (or soa and reference) runs.
+int cmd_sim_sweep(Flags& flags, std::ostream& out) {
+  const std::string algos_csv = flags.require("algos");
+  const std::string path = flags.require("in");
+  const int threads = to_int(flags.get("threads").value_or("0"), "--threads");
+  const LedgerStorage storage =
+      parse_storage(flags.get("storage").value_or("soa"));
+  const bool stream = flags.get("stream").has_value();
+  const double mu_hint = std::stod(flags.get("mu-hint").value_or("2"));
+  flags.finish();
+
+  std::vector<std::string> names;
+  for (std::size_t pos = 0; pos <= algos_csv.size();) {
+    const std::size_t comma = std::min(algos_csv.find(',', pos),
+                                       algos_csv.size());
+    if (comma > pos) names.push_back(algos_csv.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  if (names.empty())
+    throw std::invalid_argument("sim-sweep: --algos names nothing");
+
+  Instance instance;
+  double mu = mu_hint;
+  if (stream) {
+    if (!is_cdbpi_path(path))
+      throw std::invalid_argument("--stream requires a .cdbpi input");
+  } else {
+    instance = read_instance_any(path);
+    mu = std::max(2.0, instance.mu());
+  }
+
+  std::vector<parallel::ShardTask> tasks;
+  tasks.reserve(names.size());
+  for (const std::string& name : names) {
+    parallel::ShardTask t;
+    t.label = name;
+    t.make = [name, mu]() { return make_algorithm(name, mu); };
+    if (stream)
+      t.path = path;
+    else
+      t.instance = &instance;
+    tasks.push_back(std::move(t));
+  }
+
+  parallel::ShardedSimOptions opts;
+  opts.threads = static_cast<std::size_t>(std::max(0, threads));
+  opts.storage = storage;
+  const parallel::ShardedSimReport report = parallel::run_sharded(tasks, opts);
+
+  for (const parallel::ShardTaskResult& r : report.results)
+    out << r.label << ": cost=" << num_exact(r.cost)
+        << " bins=" << r.bins_opened << " peak=" << r.max_open
+        << " items=" << r.items << "\n";
+  out << "# shards=" << report.shards << " storage=" << to_string(storage)
+      << " input=" << (stream ? "streamed" : "in-ram") << "\n";
+  if (report.merged_run_us.count > 0)
+    out << "# run-us: p50=" << report.merged_run_us.quantile(0.5)
+        << " p95=" << report.merged_run_us.quantile(0.95)
+        << " max=" << report.merged_run_us.max << "\n";
   return 0;
 }
 
@@ -494,14 +652,6 @@ int cmd_adversary(Flags& flags, std::ostream& out) {
       << "  certified ratio=" << report::Table::num(m.ratio_vs_upper(), 3)
       << "\n";
   return 0;
-}
-
-/// Full round-trip precision for values that must diff-compare exactly
-/// across a crash/recover cycle (`cdbp recover` output is the CI oracle).
-std::string num_exact(double v) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%.17g", v);
-  return buf;
 }
 
 int cmd_gen_stream(Flags& flags, std::ostream& out) {
@@ -826,7 +976,9 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   try {
     Flags flags(args.begin() + 1, args.end());
     if (args[0] == "generate") return cmd_generate(flags, out);
+    if (args[0] == "pack-instance") return cmd_pack_instance(flags, out);
     if (args[0] == "run") return cmd_run(flags, out);
+    if (args[0] == "sim-sweep") return cmd_sim_sweep(flags, out);
     if (args[0] == "trace") return cmd_trace(flags, out);
     if (args[0] == "bounds") return cmd_bounds(flags, out);
     if (args[0] == "compare") return cmd_compare(flags, out);

@@ -42,21 +42,31 @@ std::size_t BinCapacityIndex::add_bin(BinId bin) {
   const std::size_t slot = size_++;
   bins_.push_back(bin);
   update_leaf(slot, 0.0);
-  by_load_.emplace(0.0, bin);
+  if (by_load_active_) by_load_.emplace(0.0, bin);
   ++open_count_;
   return slot;
 }
 
 void BinCapacityIndex::set_load(std::size_t slot, Load load) {
-  by_load_.erase({leaf(slot), bins_[slot]});
+  if (by_load_active_) {
+    by_load_.erase({leaf(slot), bins_[slot]});
+    by_load_.emplace(load, bins_[slot]);
+  }
   update_leaf(slot, load);
-  by_load_.emplace(load, bins_[slot]);
 }
 
 void BinCapacityIndex::close(std::size_t slot) {
-  by_load_.erase({leaf(slot), bins_[slot]});
+  if (by_load_active_) by_load_.erase({leaf(slot), bins_[slot]});
   update_leaf(slot, kClosedLoad);
   --open_count_;
+}
+
+void BinCapacityIndex::activate_by_load() const {
+  // Loads never reach kClosedLoad legitimately (capacity is 1), so a
+  // kClosedLoad leaf is exactly "closed or unused".
+  for (std::size_t s = 0; s < size_; ++s)
+    if (leaf(s) != kClosedLoad) by_load_.emplace(leaf(s), bins_[s]);
+  by_load_active_ = true;
 }
 
 BinId BinCapacityIndex::first_fit(Load size) const {
@@ -74,6 +84,7 @@ BinId BinCapacityIndex::first_fit(Load size) const {
 
 BinId BinCapacityIndex::best_fit(Load size) const {
   g_probes.add();
+  if (!by_load_active_) activate_by_load();
   if (by_load_.empty()) return kNoBin;
   const Load bound = max_load_admitting(size);
   auto it = by_load_.upper_bound(
@@ -107,10 +118,15 @@ BinId BinCapacityIndex::newest_open() const {
 
 std::vector<BinId> BinCapacityIndex::open_bins() const {
   std::vector<BinId> out;
+  open_bins_into(out);
+  return out;
+}
+
+void BinCapacityIndex::open_bins_into(std::vector<BinId>& out) const {
+  out.clear();
   out.reserve(open_count_);
   for (std::size_t s = 0; s < size_; ++s)
     if (leaf(s) != kClosedLoad) out.push_back(bins_[s]);
-  return out;
 }
 
 }  // namespace cdbp

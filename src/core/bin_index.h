@@ -12,7 +12,10 @@
 //    minimum admits the size, some leaf in it does.
 //  * an ordered set of (load, bin) pairs — answers "maximum load admitting
 //    `size`, smallest bin id among ties" (Best-Fit) in O(log B) via the
-//    exact key bound max_load_admitting(size).
+//    exact key bound max_load_admitting(size). The set is built lazily on
+//    the first best_fit() call (from the tree leaves, O(B log B)) and
+//    maintained incrementally from then on — First/Worst/Next-Fit runs
+//    never pay its node allocations and rebalancing.
 //
 // Closed bins keep their slot but are parked at kClosedLoad, a sentinel
 // above any admissible load, so they can never be selected. Tie-breaking
@@ -66,12 +69,17 @@ class BinCapacityIndex {
   /// the linear-scan reference paths, not for per-arrival use.
   [[nodiscard]] std::vector<BinId> open_bins() const;
 
+  /// open_bins() into a caller-owned buffer (cleared first): no per-call
+  /// allocation once the buffer has warmed up.
+  void open_bins_into(std::vector<BinId>& out) const;
+
  private:
   [[nodiscard]] Load leaf(std::size_t slot) const {
     return tree_[cap_ + slot];
   }
   void update_leaf(std::size_t slot, Load load);
   void grow();
+  void activate_by_load() const;
 
   // Implicit binary tournament tree: tree_[1] is the root, tree_[cap_ ..
   // cap_ + size_) the slot leaves; every interior node holds the minimum
@@ -81,7 +89,10 @@ class BinCapacityIndex {
   std::size_t size_ = 0;     // slots in use
   std::size_t cap_ = 0;      // leaf capacity (power of two)
   std::size_t open_count_ = 0;
-  std::set<std::pair<Load, BinId>> by_load_;  // open bins only
+  // Open bins only; built on first best_fit() (see activate_by_load), then
+  // kept in sync by add_bin/set_load/close.
+  mutable bool by_load_active_ = false;
+  mutable std::set<std::pair<Load, BinId>> by_load_;
 };
 
 }  // namespace cdbp

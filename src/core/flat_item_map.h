@@ -1,0 +1,150 @@
+// Flat open-addressing map from active ItemId to its placement (bin, size):
+// the SoA ledger's replacement for the node-based std::unordered_map on the
+// place/remove hot path. One contiguous slot array, fibonacci hashing,
+// linear probing, and backward-shift deletion (no tombstones), so a
+// place/remove pair costs a couple of cache lines instead of a node
+// allocation plus pointer chases. Memory is O(peak concurrently-active
+// items), not O(items ever seen) — the property the 1e7+ streamed runs
+// depend on.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <stdexcept>
+#include <vector>
+
+#include "core/time_types.h"
+
+namespace cdbp {
+
+class FlatItemMap {
+ public:
+  struct Slot {
+    ItemId id = kEmptyKey;
+    BinId bin = kNoBin;
+    Load size = 0.0;
+  };
+
+  /// Reserved key marking an empty slot; insert() rejects it.
+  static constexpr ItemId kEmptyKey = std::numeric_limits<ItemId>::min();
+
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] bool empty() const noexcept { return size_ == 0; }
+  [[nodiscard]] std::size_t capacity() const noexcept { return slots_.size(); }
+
+  /// Inserts id -> (bin, size); returns false when id is already present.
+  bool insert(ItemId id, BinId bin, Load size) {
+    if (id == kEmptyKey)
+      throw std::invalid_argument("FlatItemMap: reserved key");
+    if ((size_ + 1) * 10 > slots_.size() * 7) grow();
+    std::size_t i = home(id);
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.id == kEmptyKey) {
+        s.id = id;
+        s.bin = bin;
+        s.size = size;
+        ++size_;
+        return true;
+      }
+      if (s.id == id) return false;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// The slot holding `id`, or nullptr.
+  [[nodiscard]] const Slot* find(ItemId id) const {
+    if (slots_.empty()) return nullptr;
+    std::size_t i = home(id);
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.id == id) return &s;
+      if (s.id == kEmptyKey) return nullptr;
+      i = (i + 1) & mask_;
+    }
+  }
+
+  /// Removes `id`, handing back its placement in one probe; false if absent.
+  bool take(ItemId id, BinId& bin, Load& size) {
+    if (slots_.empty()) return false;
+    std::size_t i = home(id);
+    while (true) {
+      Slot& s = slots_[i];
+      if (s.id == kEmptyKey) return false;
+      if (s.id == id) {
+        bin = s.bin;
+        size = s.size;
+        shift_out(i);
+        --size_;
+        return true;
+      }
+      i = (i + 1) & mask_;
+    }
+  }
+
+  bool erase(ItemId id) {
+    BinId bin;
+    Load size;
+    return take(id, bin, size);
+  }
+
+  void clear() {
+    slots_.clear();
+    size_ = 0;
+    mask_ = 0;
+    shift_ = 0;
+  }
+
+  /// Visits every occupied slot in unspecified order.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const Slot& s : slots_)
+      if (s.id != kEmptyKey) fn(s);
+  }
+
+ private:
+  [[nodiscard]] std::size_t home(ItemId id) const noexcept {
+    // Fibonacci hashing: multiply by 2^64/phi, keep the top log2(cap) bits.
+    return static_cast<std::size_t>(
+        (static_cast<std::uint64_t>(id) * 0x9E3779B97F4A7C15ull) >> shift_);
+  }
+
+  void grow() {
+    const std::size_t new_cap = slots_.empty() ? 64 : slots_.size() * 2;
+    std::vector<Slot> old = std::move(slots_);
+    slots_.assign(new_cap, Slot{});
+    mask_ = new_cap - 1;
+    shift_ = 64;
+    for (std::size_t c = new_cap; c > 1; c /= 2) --shift_;
+    size_ = 0;
+    for (const Slot& s : old)
+      if (s.id != kEmptyKey) insert(s.id, s.bin, s.size);
+  }
+
+  /// Backward-shift deletion: refill the hole at `hole` by sliding back
+  /// every displaced entry of the probe run, preserving the invariant that
+  /// each key is reachable from its home slot without crossing an empty one.
+  void shift_out(std::size_t hole) {
+    std::size_t i = (hole + 1) & mask_;
+    while (true) {
+      const Slot& s = slots_[i];
+      if (s.id == kEmptyKey) break;
+      // s may move into the hole iff the hole lies within its probe run,
+      // i.e. home(s) .. i (cyclically) covers the hole.
+      if (((i - home(s.id)) & mask_) >= ((i - hole) & mask_)) {
+        slots_[hole] = s;
+        hole = i;
+      }
+      i = (i + 1) & mask_;
+    }
+    slots_[hole] = Slot{};
+  }
+
+  std::vector<Slot> slots_;
+  std::size_t size_ = 0;
+  std::size_t mask_ = 0;
+  unsigned shift_ = 0;
+};
+
+}  // namespace cdbp

@@ -1,0 +1,49 @@
+// Pull-based item stream: the simulator-facing abstraction behind streamed
+// (on-disk) instances. A source yields items in non-decreasing arrival
+// order with dense ids, exactly like Instance::items() — Simulator::run_source
+// replays one without ever materializing the whole sequence in RAM (the
+// .cdbpi chunked reader in src/workloads/instance_file.h is the main
+// implementation).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/item.h"
+
+namespace cdbp {
+
+class ItemSource {
+ public:
+  virtual ~ItemSource() = default;
+
+  /// Writes the next item into `out` and returns true, or returns false at
+  /// end of stream. Implementations must yield non-decreasing arrivals.
+  virtual bool next(Item& out) = 0;
+
+  /// Total items the source will yield, when known (0 = unknown). Used only
+  /// for progress/trace annotations, never for control flow.
+  [[nodiscard]] virtual std::size_t size_hint() const { return 0; }
+};
+
+/// Adapter over an in-memory item vector (finalized-Instance order).
+class VectorItemSource final : public ItemSource {
+ public:
+  explicit VectorItemSource(const std::vector<Item>& items) : items_(&items) {}
+
+  bool next(Item& out) override {
+    if (pos_ == items_->size()) return false;
+    out = (*items_)[pos_++];
+    return true;
+  }
+
+  [[nodiscard]] std::size_t size_hint() const override {
+    return items_->size();
+  }
+
+ private:
+  const std::vector<Item>* items_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace cdbp

@@ -22,6 +22,10 @@ obs::Gauge& g_open_bins =
 
 }  // namespace
 
+const char* to_string(LedgerStorage storage) noexcept {
+  return storage == LedgerStorage::kSoa ? "soa" : "reference";
+}
+
 void Ledger::advance_clock(Time now) {
   if (now < clock_) throw std::logic_error("Ledger: time moved backwards");
   clock_ = now;
@@ -33,10 +37,67 @@ BinRecord& Ledger::mutable_record(BinId bin) {
   return bins_[static_cast<std::size_t>(bin)];
 }
 
+void Ledger::soa_check(BinId bin) const {
+  if (bin < 0 || static_cast<std::size_t>(bin) >= soa_opened_.size())
+    throw std::out_of_range("Ledger: unknown bin id");
+}
+
+std::uint32_t Ledger::soa_pool_index(PoolId pool) {
+  const auto it = std::lower_bound(
+      soa_pool_ids_.begin(), soa_pool_ids_.end(), pool,
+      [](const auto& e, PoolId p) { return e.first < p; });
+  if (it != soa_pool_ids_.end() && it->first == pool) return it->second;
+  const auto idx = static_cast<std::uint32_t>(soa_pools_.size());
+  soa_pools_.emplace_back();
+  soa_pool_ids_.insert(it, {pool, idx});
+  return idx;
+}
+
+const BinCapacityIndex* Ledger::soa_pool_find(PoolId pool) const {
+  const auto it = std::lower_bound(
+      soa_pool_ids_.begin(), soa_pool_ids_.end(), pool,
+      [](const auto& e, PoolId p) { return e.first < p; });
+  if (it == soa_pool_ids_.end() || it->first != pool) return nullptr;
+  return &soa_pools_[it->second];
+}
+
 const BinRecord& Ledger::record(BinId bin) const {
+  if (storage_ == LedgerStorage::kSoa) {
+    soa_check(bin);
+    soa_materialize();
+    return soa_records_[static_cast<std::size_t>(bin)];
+  }
   if (bin < 0 || static_cast<std::size_t>(bin) >= bins_.size())
     throw std::out_of_range("Ledger: unknown bin id");
   return bins_[static_cast<std::size_t>(bin)];
+}
+
+const std::vector<BinRecord>& Ledger::records() const {
+  if (storage_ == LedgerStorage::kSoa) {
+    soa_materialize();
+    return soa_records_;
+  }
+  return bins_;
+}
+
+void Ledger::soa_materialize() const {
+  if (soa_records_version_ == soa_version_) return;
+  const std::size_t n = soa_opened_.size();
+  soa_records_.assign(n, BinRecord{});
+  for (std::size_t i = 0; i < n; ++i) {
+    BinRecord& rec = soa_records_[i];
+    rec.id = static_cast<BinId>(i);
+    rec.group = soa_group_[i];
+    rec.opened = soa_opened_[i];
+    rec.closed = soa_closed_[i];
+    rec.load = soa_load_[i];
+    rec.active_items = soa_active_count_[i];
+  }
+  // Scatter the global placement log: a stable partition by bin, so each
+  // record's all_items keeps its placement order.
+  for (const auto& [item, bin] : soa_placements_)
+    soa_records_[static_cast<std::size_t>(bin)].all_items.push_back(item);
+  soa_records_version_ = soa_version_;
 }
 
 BinId Ledger::open_bin(Time now, BinGroup group) {
@@ -45,13 +106,29 @@ BinId Ledger::open_bin(Time now, BinGroup group) {
 
 BinId Ledger::open_bin(Time now, BinGroup group, PoolId pool) {
   advance_clock(now);
-  const BinId id = static_cast<BinId>(bins_.size());
-  BinRecord rec;
-  rec.id = id;
-  rec.group = group;
-  rec.opened = now;
-  bins_.push_back(std::move(rec));
-  index_ref_.push_back(IndexRef{pool, pools_[pool].add_bin(id)});
+  BinId id;
+  if (storage_ == LedgerStorage::kSoa) {
+    id = static_cast<BinId>(soa_opened_.size());
+    const std::uint32_t pidx = soa_pool_index(pool);
+    soa_group_.push_back(group);
+    soa_opened_.push_back(now);
+    soa_closed_.push_back(kInfTime);
+    soa_load_.push_back(0.0);
+    soa_active_count_.push_back(0);
+    soa_pool_.push_back(pool);
+    soa_pool_idx_.push_back(pidx);
+    soa_slot_.push_back(
+        static_cast<std::uint32_t>(soa_pools_[pidx].add_bin(id)));
+    ++soa_version_;
+  } else {
+    id = static_cast<BinId>(bins_.size());
+    BinRecord rec;
+    rec.id = id;
+    rec.group = group;
+    rec.opened = now;
+    bins_.push_back(std::move(rec));
+    index_ref_.push_back(IndexRef{pool, pools_[pool].add_bin(id)});
+  }
   open_.insert(id);
   max_open_ = std::max(max_open_, open_.size());
   g_bins_opened.add();
@@ -61,6 +138,22 @@ BinId Ledger::open_bin(Time now, BinGroup group, PoolId pool) {
 
 void Ledger::place(ItemId id, Load size, BinId bin, Time now) {
   advance_clock(now);
+  if (storage_ == LedgerStorage::kSoa) {
+    soa_check(bin);
+    const auto b = static_cast<std::size_t>(bin);
+    if (soa_closed_[b] != kInfTime)
+      throw std::logic_error("Ledger: place into closed bin");
+    if (!fits_in_bin(soa_load_[b], size))
+      throw std::logic_error("Ledger: bin capacity exceeded");
+    if (!soa_active_.insert(id, bin, size))
+      throw std::logic_error("Ledger: item placed twice");
+    soa_load_[b] += size;
+    soa_active_count_[b] += 1;
+    if (track_items_) soa_placements_.emplace_back(id, bin);
+    soa_pools_[soa_pool_idx_[b]].set_load(soa_slot_[b], soa_load_[b]);
+    ++soa_version_;
+    return;
+  }
   BinRecord& rec = mutable_record(bin);
   if (!rec.is_open()) throw std::logic_error("Ledger: place into closed bin");
   if (!fits_in_bin(rec.load, size))
@@ -68,7 +161,7 @@ void Ledger::place(ItemId id, Load size, BinId bin, Time now) {
   if (active_.contains(id)) throw std::logic_error("Ledger: item placed twice");
   rec.load += size;
   rec.active_items += 1;
-  rec.all_items.push_back(id);
+  if (track_items_) rec.all_items.push_back(id);
   active_.emplace(id, ActivePlacement{bin, size});
 
   const IndexRef& ref = index_ref_[static_cast<std::size_t>(bin)];
@@ -77,6 +170,32 @@ void Ledger::place(ItemId id, Load size, BinId bin, Time now) {
 
 BinId Ledger::remove(ItemId id, Time now) {
   advance_clock(now);
+  if (storage_ == LedgerStorage::kSoa) {
+    BinId bin = kNoBin;
+    Load size = 0.0;
+    if (!soa_active_.take(id, bin, size))
+      throw std::logic_error("Ledger: removing item that is not placed");
+    const auto b = static_cast<std::size_t>(bin);
+    soa_active_count_[b] -= 1;
+    soa_load_[b] -= size;
+    // Subtraction can leave a negative residue when the removed size was
+    // rounded into the sum differently than it rounds out; clamp it so load
+    // stays a valid Load and fits() never sees a phantom deficit.
+    if (soa_load_[b] < 0.0 && soa_load_[b] >= -kLoadEps) soa_load_[b] = 0.0;
+    if (soa_active_count_[b] == 0) {
+      soa_load_[b] = 0.0;  // clear any floating-point residue
+      soa_closed_[b] = now;
+      closed_usage_ += soa_closed_[b] - soa_opened_[b];
+      open_.erase(bin);
+      soa_pools_[soa_pool_idx_[b]].close(soa_slot_[b]);
+      g_bins_closed.add();
+      g_open_bins.set(static_cast<double>(open_.size()));
+    } else {
+      soa_pools_[soa_pool_idx_[b]].set_load(soa_slot_[b], soa_load_[b]);
+    }
+    ++soa_version_;
+    return bin;
+  }
   const auto it = active_.find(id);
   if (it == active_.end())
     throw std::logic_error("Ledger: removing item that is not placed");
@@ -106,36 +225,76 @@ BinId Ledger::remove(ItemId id, Time now) {
 }
 
 bool Ledger::fits(BinId bin, Load size) const {
+  if (storage_ == LedgerStorage::kSoa) {
+    soa_check(bin);
+    const auto b = static_cast<std::size_t>(bin);
+    return soa_closed_[b] == kInfTime && fits_in_bin(soa_load_[b], size);
+  }
   const BinRecord& rec = record(bin);
   return rec.is_open() && fits_in_bin(rec.load, size);
 }
 
-Load Ledger::load(BinId bin) const { return record(bin).load; }
+Load Ledger::load(BinId bin) const {
+  if (storage_ == LedgerStorage::kSoa) {
+    soa_check(bin);
+    return soa_load_[static_cast<std::size_t>(bin)];
+  }
+  return record(bin).load;
+}
 
-BinGroup Ledger::group_of(BinId bin) const { return record(bin).group; }
+BinGroup Ledger::group_of(BinId bin) const {
+  if (storage_ == LedgerStorage::kSoa) {
+    soa_check(bin);
+    return soa_group_[static_cast<std::size_t>(bin)];
+  }
+  return record(bin).group;
+}
 
-bool Ledger::is_open(BinId bin) const { return record(bin).is_open(); }
+bool Ledger::is_open(BinId bin) const {
+  if (storage_ == LedgerStorage::kSoa) {
+    soa_check(bin);
+    return soa_closed_[static_cast<std::size_t>(bin)] == kInfTime;
+  }
+  return record(bin).is_open();
+}
 
 BinId Ledger::bin_of(ItemId id) const {
+  if (storage_ == LedgerStorage::kSoa) {
+    const FlatItemMap::Slot* slot = soa_active_.find(id);
+    return slot ? slot->bin : kNoBin;
+  }
   const auto it = active_.find(id);
   return it == active_.end() ? kNoBin : it->second.bin;
 }
 
+void Ledger::open_bins_into(std::vector<BinId>& out) const {
+  out.clear();
+  out.reserve(open_.size());
+  out.assign(open_.begin(), open_.end());
+}
+
 std::vector<BinId> Ledger::open_bins_in_group(BinGroup g) const {
   std::vector<BinId> out;
-  for (BinId b : open_)
-    if (record(b).group == g) out.push_back(b);
+  open_bins_in_group_into(g, out);
   return out;
+}
+
+void Ledger::open_bins_in_group_into(BinGroup g,
+                                     std::vector<BinId>& out) const {
+  out.clear();
+  for (BinId b : open_)
+    if (group_of_unchecked(b) == g) out.push_back(b);
 }
 
 std::size_t Ledger::open_count_in_group(BinGroup g) const {
   std::size_t n = 0;
   for (BinId b : open_)
-    if (record(b).group == g) ++n;
+    if (group_of_unchecked(b) == g) ++n;
   return n;
 }
 
 const BinCapacityIndex* Ledger::pool_index(PoolId pool) const {
+  if (storage_ == LedgerStorage::kSoa) return soa_pool_find(pool);
   const auto it = pools_.find(pool);
   return it == pools_.end() ? nullptr : &it->second;
 }
@@ -161,8 +320,19 @@ BinId Ledger::newest_open_in_pool(PoolId pool) const {
 }
 
 std::vector<BinId> Ledger::open_bins_in_pool(PoolId pool) const {
+  std::vector<BinId> out;
+  open_bins_in_pool_into(pool, out);
+  return out;
+}
+
+void Ledger::open_bins_in_pool_into(PoolId pool,
+                                    std::vector<BinId>& out) const {
   const BinCapacityIndex* idx = pool_index(pool);
-  return idx ? idx->open_bins() : std::vector<BinId>{};
+  if (!idx) {
+    out.clear();
+    return;
+  }
+  idx->open_bins_into(out);
 }
 
 std::size_t Ledger::open_count_in_pool(PoolId pool) const {
@@ -171,6 +341,10 @@ std::size_t Ledger::open_count_in_pool(PoolId pool) const {
 }
 
 PoolId Ledger::pool_of(BinId bin) const {
+  if (storage_ == LedgerStorage::kSoa) {
+    soa_check(bin);
+    return soa_pool_[static_cast<std::size_t>(bin)];
+  }
   if (bin < 0 || static_cast<std::size_t>(bin) >= index_ref_.size())
     throw std::out_of_range("Ledger: unknown bin id");
   return index_ref_[static_cast<std::size_t>(bin)].pool;
@@ -178,22 +352,47 @@ PoolId Ledger::pool_of(BinId bin) const {
 
 Cost Ledger::total_usage(Time now) const {
   Cost acc = closed_usage_;
-  for (BinId b : open_) acc += now - record(b).opened;
+  for (BinId b : open_) acc += now - opened_of(b);
   return acc;
 }
 
 std::vector<ItemId> Ledger::active_item_ids() const {
   std::vector<ItemId> out;
-  out.reserve(active_.size());
-  for (const auto& [id, placement] : active_) out.push_back(id);
-  std::sort(out.begin(), out.end());
+  active_item_ids_into(out);
   return out;
 }
 
+void Ledger::active_item_ids_into(std::vector<ItemId>& out) const {
+  out.clear();
+  if (storage_ == LedgerStorage::kSoa) {
+    out.reserve(soa_active_.size());
+    soa_active_.for_each(
+        [&](const FlatItemMap::Slot& s) { out.push_back(s.id); });
+  } else {
+    out.reserve(active_.size());
+    for (const auto& [id, placement] : active_) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+}
+
 void Ledger::save_state(StateWriter& w) const {
-  w.u64(bins_.size());
-  for (std::size_t i = 0; i < bins_.size(); ++i) {
-    const BinRecord& rec = bins_[i];
+  if (!track_items_)
+    throw std::logic_error(
+        "Ledger::save_state: item tracking is disabled (track_items=false)");
+  // Both backends serialize through the same logical-record loop, so the
+  // buffers are byte-identical regardless of the in-memory layout.
+  const std::vector<BinRecord>& recs = records();
+  const auto pool_of_bin = [&](std::size_t i) {
+    return storage_ == LedgerStorage::kSoa ? soa_pool_[i] : index_ref_[i].pool;
+  };
+  const auto slot_of_bin = [&](std::size_t i) {
+    return storage_ == LedgerStorage::kSoa
+               ? static_cast<std::uint64_t>(soa_slot_[i])
+               : static_cast<std::uint64_t>(index_ref_[i].slot);
+  };
+  w.u64(recs.size());
+  for (std::size_t i = 0; i < recs.size(); ++i) {
+    const BinRecord& rec = recs[i];
     w.i64(rec.group);
     w.f64(rec.opened);
     w.f64(rec.closed);
@@ -201,16 +400,26 @@ void Ledger::save_state(StateWriter& w) const {
     w.u64(rec.active_items);
     w.u64(rec.all_items.size());
     for (ItemId item : rec.all_items) w.i64(item);
-    w.i64(index_ref_[i].pool);
-    w.u64(index_ref_[i].slot);
+    w.i64(pool_of_bin(i));
+    w.u64(slot_of_bin(i));
   }
   const std::vector<ItemId> active = active_item_ids();
   w.u64(active.size());
   for (ItemId id : active) {
-    const ActivePlacement& p = active_.at(id);
+    BinId bin;
+    Load size;
+    if (storage_ == LedgerStorage::kSoa) {
+      const FlatItemMap::Slot* slot = soa_active_.find(id);
+      bin = slot->bin;
+      size = slot->size;
+    } else {
+      const ActivePlacement& p = active_.at(id);
+      bin = p.bin;
+      size = p.size;
+    }
     w.i64(id);
-    w.i64(p.bin);
-    w.f64(p.size);
+    w.i64(bin);
+    w.f64(size);
   }
   w.f64(closed_usage_);
   w.u64(max_open_);
@@ -218,11 +427,26 @@ void Ledger::save_state(StateWriter& w) const {
 }
 
 void Ledger::load_state(StateReader& r) {
-  if (!bins_.empty() || !active_.empty() || clock_ != -kInfTime)
+  if (bins_opened() != 0 || active_items() != 0 || clock_ != -kInfTime)
     throw std::logic_error("Ledger::load_state: ledger is not fresh");
+  if (!track_items_)
+    throw std::logic_error(
+        "Ledger::load_state: item tracking is disabled (track_items=false)");
+  const bool soa = storage_ == LedgerStorage::kSoa;
   const std::uint64_t n_bins = r.u64();
-  bins_.reserve(n_bins);
-  index_ref_.reserve(n_bins);
+  if (soa) {
+    soa_group_.reserve(n_bins);
+    soa_opened_.reserve(n_bins);
+    soa_closed_.reserve(n_bins);
+    soa_load_.reserve(n_bins);
+    soa_active_count_.reserve(n_bins);
+    soa_pool_.reserve(n_bins);
+    soa_pool_idx_.reserve(n_bins);
+    soa_slot_.reserve(n_bins);
+  } else {
+    bins_.reserve(n_bins);
+    index_ref_.reserve(n_bins);
+  }
   for (std::uint64_t i = 0; i < n_bins; ++i) {
     BinRecord rec;
     rec.id = static_cast<BinId>(i);
@@ -233,31 +457,62 @@ void Ledger::load_state(StateReader& r) {
     rec.active_items = r.u64();
     const std::uint64_t n_items = r.u64();
     rec.all_items.reserve(n_items);
-    for (std::uint64_t k = 0; k < n_items; ++k) rec.all_items.push_back(r.i64());
+    for (std::uint64_t k = 0; k < n_items; ++k)
+      rec.all_items.push_back(r.i64());
     const PoolId pool = r.i64();
     const std::uint64_t slot = r.u64();
     // Bins are replayed in id order, which within a pool is opening order,
     // so the capacity index hands out the same slots it originally did and
     // ends up value-identical (same leaves, same (load, bin) set, same
     // tournament shape) to the uninterrupted index.
-    const std::size_t got = pools_[pool].add_bin(rec.id);
-    if (got != slot)
-      throw std::runtime_error("Ledger::load_state: slot mismatch");
-    if (rec.is_open()) {
-      open_.insert(rec.id);
-      pools_[pool].set_load(got, rec.load);
+    std::size_t got;
+    if (soa) {
+      const std::uint32_t pidx = soa_pool_index(pool);
+      got = soa_pools_[pidx].add_bin(rec.id);
+      if (got != slot)
+        throw std::runtime_error("Ledger::load_state: slot mismatch");
+      if (rec.is_open()) {
+        open_.insert(rec.id);
+        soa_pools_[pidx].set_load(got, rec.load);
+      } else {
+        soa_pools_[pidx].close(got);
+      }
+      soa_group_.push_back(rec.group);
+      soa_opened_.push_back(rec.opened);
+      soa_closed_.push_back(rec.closed);
+      soa_load_.push_back(rec.load);
+      soa_active_count_.push_back(
+          static_cast<std::uint32_t>(rec.active_items));
+      soa_pool_.push_back(pool);
+      soa_pool_idx_.push_back(pidx);
+      soa_slot_.push_back(static_cast<std::uint32_t>(got));
+      // Bin-major replay of the placement log preserves each bin's item
+      // order, which is all save_state's partition observes.
+      for (ItemId item : rec.all_items) soa_placements_.emplace_back(item, rec.id);
+      ++soa_version_;
     } else {
-      pools_[pool].close(got);
+      got = pools_[pool].add_bin(rec.id);
+      if (got != slot)
+        throw std::runtime_error("Ledger::load_state: slot mismatch");
+      if (rec.is_open()) {
+        open_.insert(rec.id);
+        pools_[pool].set_load(got, rec.load);
+      } else {
+        pools_[pool].close(got);
+      }
+      index_ref_.push_back(IndexRef{pool, got});
+      bins_.push_back(std::move(rec));
     }
-    index_ref_.push_back(IndexRef{pool, got});
-    bins_.push_back(std::move(rec));
   }
   const std::uint64_t n_active = r.u64();
   for (std::uint64_t i = 0; i < n_active; ++i) {
     const ItemId id = r.i64();
     const BinId bin = r.i64();
     const Load size = r.f64();
-    active_.emplace(id, ActivePlacement{bin, size});
+    if (soa)
+      soa_active_.insert(id, bin, size);
+    else
+      active_.emplace(id, ActivePlacement{bin, size});
   }
   closed_usage_ = r.f64();
   max_open_ = r.u64();
@@ -267,6 +522,12 @@ void Ledger::load_state(StateReader& r) {
 
 StepFunction Ledger::open_bins_profile(Time now) const {
   StepFunction f;
+  if (storage_ == LedgerStorage::kSoa) {
+    for (std::size_t i = 0; i < soa_opened_.size(); ++i)
+      f.add(soa_opened_[i],
+            soa_closed_[i] == kInfTime ? now : soa_closed_[i], 1.0);
+    return f;
+  }
   for (const BinRecord& rec : bins_)
     f.add(rec.opened, rec.is_open() ? now : rec.closed, 1.0);
   return f;

@@ -91,7 +91,8 @@ void InteractiveSession::load_state(StateReader& r) {
   // The departure queue is exactly the still-active items: drain_until
   // pops every departure <= clock_ before an offer completes, so each
   // pending departure belongs to an active placement and vice versa.
-  for (ItemId id : ledger_.active_item_ids())
+  ledger_.active_item_ids_into(active_scratch_);
+  for (ItemId id : active_scratch_)
     dq_.push(Departure{offered_[static_cast<std::size_t>(id)].departure, id});
 }
 

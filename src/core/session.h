@@ -74,6 +74,7 @@ class InteractiveSession {
   Ledger ledger_;
   std::vector<Item> offered_;
   std::priority_queue<Departure, std::vector<Departure>, std::greater<>> dq_;
+  std::vector<ItemId> active_scratch_;  ///< load_state rebuild buffer
   Time clock_ = 0.0;
 };
 

@@ -10,14 +10,15 @@ namespace cdbp {
 
 namespace {
 
-/// Departure queue entry: (time, item id). Orders by time, then by id for
-/// determinism.
+/// Departure queue entry: the full item, so the algorithm callback works
+/// for streamed sources too (no items[] array to index back into). Orders
+/// by (departure time, id) for determinism.
 struct Departure {
-  Time time;
-  ItemId item;
+  Item item;
   friend bool operator>(const Departure& a, const Departure& b) {
-    if (a.time != b.time) return a.time > b.time;
-    return a.item > b.item;
+    if (a.item.departure != b.item.departure)
+      return a.item.departure > b.item.departure;
+    return a.item.id > b.item.id;
   }
 };
 
@@ -28,30 +29,29 @@ obs::Counter& g_arrivals =
 obs::Counter& g_departures =
     obs::MetricsRegistry::global().counter("sim.departures");
 
-}  // namespace
-
-RunResult Simulator::run(const Instance& instance, Algorithm& algo) const {
+/// One replay loop for both entry points: `next(Item&)` pulls the arrival
+/// sequence (non-decreasing arrival order).
+template <typename NextFn>
+RunResult run_simulation(const SimulatorOptions& opts, NextFn&& next,
+                         std::size_t size_hint, Algorithm& algo) {
   algo.reset();
-  Ledger ledger;
+  Ledger ledger(opts.storage, /*track_items=*/opts.keep_history);
 
   obs::Tracer& tracer = obs::Tracer::global();
 
   std::priority_queue<Departure, std::vector<Departure>, std::greater<>> dq;
 
-  const std::vector<Item>& items = instance.items();
-
   auto drain_departures_until = [&](Time t_inclusive) {
-    if (dq.empty() || dq.top().time > t_inclusive) return;
+    if (dq.empty() || dq.top().item.departure > t_inclusive) return;
     obs::TraceSpan span(tracer, "sim.drain", "sim",
-                        {{"until", dq.top().time}});
+                        {{"until", dq.top().item.departure}});
     std::uint64_t drained = 0;
-    while (!dq.empty() && dq.top().time <= t_inclusive) {
+    while (!dq.empty() && dq.top().item.departure <= t_inclusive) {
       const Departure d = dq.top();
       dq.pop();
-      const BinId bin = ledger.remove(d.item, d.time);
+      const BinId bin = ledger.remove(d.item.id, d.item.departure);
       const bool closed = !ledger.is_open(bin);
-      algo.on_departure(items[static_cast<std::size_t>(d.item)], bin, closed,
-                        ledger);
+      algo.on_departure(d.item, bin, closed, ledger);
       ++drained;
     }
     g_departures.add(drained);
@@ -60,9 +60,11 @@ RunResult Simulator::run(const Instance& instance, Algorithm& algo) const {
 
   obs::TraceSpan run_span(
       tracer, "sim.run", "sim",
-      {{"items", static_cast<std::uint64_t>(items.size())}});
+      {{"items", static_cast<std::uint64_t>(size_hint)}});
 
-  for (const Item& r : items) {
+  std::size_t n_items = 0;
+  Item r;
+  while (next(r)) {
     // Process all departures at times <= this arrival first (t^- before t^+).
     drain_departures_until(r.arrival);
 
@@ -78,11 +80,12 @@ RunResult Simulator::run(const Instance& instance, Algorithm& algo) const {
                       {"bin", bin},
                       {"open_bins",
                        static_cast<std::uint64_t>(ledger.open_count())}});
-    dq.push(Departure{r.departure, r.id});
+    dq.push(Departure{r});
+    ++n_items;
   }
   drain_departures_until(kInfTime);
   // Batched: one atomic op for the whole run, not one per arrival.
-  g_arrivals.add(items.size());
+  g_arrivals.add(n_items);
 
   if (ledger.active_items() != 0)
     throw std::logic_error("Simulator: items left active after drain");
@@ -93,10 +96,11 @@ RunResult Simulator::run(const Instance& instance, Algorithm& algo) const {
   result.cost = ledger.total_usage(ledger.clock());
   result.bins_opened = ledger.bins_opened();
   result.max_open = ledger.max_open();
-  if (opts_.keep_history) {
+  result.items = n_items;
+  if (opts.keep_history) {
     result.open_bins = ledger.open_bins_profile(ledger.clock());
     result.bins = ledger.records();
-    result.placements.reserve(items.size());
+    result.placements.reserve(n_items);
     for (const BinRecord& rec : ledger.records())
       for (ItemId id : rec.all_items)
         result.placements.push_back(PlacementRecord{id, rec.id});
@@ -106,6 +110,26 @@ RunResult Simulator::run(const Instance& instance, Algorithm& algo) const {
               });
   }
   return result;
+}
+
+}  // namespace
+
+RunResult Simulator::run(const Instance& instance, Algorithm& algo) const {
+  const std::vector<Item>& items = instance.items();
+  std::size_t pos = 0;
+  return run_simulation(
+      opts_,
+      [&](Item& out) {
+        if (pos == items.size()) return false;
+        out = items[pos++];
+        return true;
+      },
+      items.size(), algo);
+}
+
+RunResult Simulator::run_source(ItemSource& source, Algorithm& algo) const {
+  return run_simulation(opts_, [&](Item& out) { return source.next(out); },
+                        source.size_hint(), algo);
 }
 
 Cost run_cost(const Instance& instance, Algorithm& algo) {

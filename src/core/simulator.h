@@ -12,6 +12,7 @@
 
 #include "core/algorithm.h"
 #include "core/instance.h"
+#include "core/item_source.h"
 #include "core/ledger.h"
 #include "core/step_function.h"
 
@@ -28,6 +29,7 @@ struct RunResult {
   Cost cost = 0.0;              ///< MinUsageTime: sum of bin spans
   std::size_t bins_opened = 0;  ///< total bins ever opened
   std::size_t max_open = 0;     ///< peak simultaneously-open bins
+  std::size_t items = 0;        ///< items replayed
   StepFunction open_bins;       ///< #open bins as a function of time
   std::vector<PlacementRecord> placements;  ///< item -> bin
   std::vector<BinRecord> bins;              ///< full per-bin records
@@ -36,9 +38,11 @@ struct RunResult {
 /// Options controlling a run.
 struct SimulatorOptions {
   /// When true (default), keep per-bin records and the open-bins profile in
-  /// the result. Disable for throughput benchmarks on multi-million-item
-  /// instances.
+  /// the result (and have the ledger track per-item placements). Disable
+  /// for throughput benchmarks on multi-million-item instances.
   bool keep_history = true;
+  /// Ledger backend; identical costs/placements either way (see ledger.h).
+  LedgerStorage storage = LedgerStorage::kReference;
 };
 
 class Simulator {
@@ -49,6 +53,11 @@ class Simulator {
   /// Throws std::logic_error if the algorithm misbehaves (returned a bin it
   /// did not place into, skipped a placement, overflowed a bin, ...).
   RunResult run(const Instance& instance, Algorithm& algo) const;
+
+  /// Replays a pull-based item stream (e.g. an on-disk .cdbpi instance)
+  /// without materializing it: peak memory is O(open bins + active items),
+  /// independent of stream length. Same semantics and results as run().
+  RunResult run_source(ItemSource& source, Algorithm& algo) const;
 
  private:
   SimulatorOptions opts_;

@@ -1,0 +1,240 @@
+#include "workloads/instance_file.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <stdexcept>
+
+#include "core/checkpoint.h"
+#include "core/time_types.h"
+
+namespace cdbp::workloads {
+
+namespace {
+
+// Frame geometry (see the header-file layout comment).
+constexpr std::size_t kHeaderPayloadBytes = 4 + 4 + 8 + 8;
+constexpr std::size_t kChunkPayloadOverhead = 8 + 4;  // first_id + count
+constexpr std::size_t kBytesPerItem = 3 * 8;
+// Upper bound on any frame the reader will buffer: guards against a
+// corrupted/hostile length field committing us to a multi-GB allocation
+// before the CRC check can reject the frame.
+constexpr std::size_t kMaxChunkItems = std::size_t{1} << 24;
+constexpr std::size_t kMaxFramePayload =
+    kChunkPayloadOverhead + kMaxChunkItems * kBytesPerItem;
+
+[[noreturn]] void fail(const std::string& path, const std::string& what) {
+  throw std::runtime_error("cdbpi: " + what + " (" + path + ")");
+}
+
+void check_item(Time arrival, Time departure, Load size) {
+  if (!std::isfinite(arrival) || !std::isfinite(departure))
+    throw std::invalid_argument("cdbpi: non-finite time");
+  if (!(departure > arrival))
+    throw std::invalid_argument("cdbpi: departure <= arrival");
+  if (!(size > 0.0) || size > kBinCapacity + kLoadEps)
+    throw std::invalid_argument("cdbpi: item size outside (0, 1]");
+}
+
+void write_frame(std::ofstream& out, const StateWriter& payload) {
+  StateWriter head;
+  head.u32(static_cast<std::uint32_t>(payload.size()));
+  head.u32(crc32(payload.buffer().data(), payload.size()));
+  out.write(head.buffer().data(),
+            static_cast<std::streamsize>(head.size()));
+  out.write(payload.buffer().data(),
+            static_cast<std::streamsize>(payload.size()));
+}
+
+StateWriter header_payload(std::uint64_t item_count,
+                           std::uint64_t chunk_items) {
+  StateWriter w;
+  w.u32(kInstanceFileVersion);
+  w.u32(0);  // reserved
+  w.u64(item_count);
+  w.u64(chunk_items);
+  return w;
+}
+
+}  // namespace
+
+// --- Writer ----------------------------------------------------------------
+
+InstanceFileWriter::InstanceFileWriter(const std::string& path,
+                                       std::size_t chunk_items)
+    : out_(path, std::ios::binary | std::ios::trunc),
+      path_(path),
+      chunk_items_(chunk_items),
+      last_arrival_(-kInfTime) {
+  if (chunk_items_ == 0 || chunk_items_ > kMaxChunkItems)
+    throw std::invalid_argument("cdbpi: invalid chunk_items");
+  if (!out_) fail(path_, "cannot open for writing");
+  out_.write(kInstanceFileMagic, sizeof(kInstanceFileMagic));
+  // Placeholder header (count 0) of the same fixed size as the final one,
+  // so close() can patch it in place once the count is known.
+  write_frame(out_, header_payload(0, chunk_items_));
+  pending_.reserve(chunk_items_);
+}
+
+InstanceFileWriter::~InstanceFileWriter() {
+  if (closed_) return;
+  try {
+    close();
+  } catch (...) {
+    // Destructors must not throw; an explicit close() reports failures.
+  }
+}
+
+void InstanceFileWriter::add(Time arrival, Time departure, Load size) {
+  if (closed_) throw std::logic_error("cdbpi: add after close");
+  check_item(arrival, departure, size);
+  if (arrival < last_arrival_)
+    throw std::invalid_argument("cdbpi: arrivals must be non-decreasing");
+  last_arrival_ = arrival;
+  pending_.push_back(
+      Item{static_cast<ItemId>(count_), arrival, departure, size});
+  ++count_;
+  if (pending_.size() == chunk_items_) flush_chunk();
+}
+
+void InstanceFileWriter::flush_chunk() {
+  if (pending_.empty()) return;
+  StateWriter w;
+  w.u64(static_cast<std::uint64_t>(pending_.front().id));
+  w.u32(static_cast<std::uint32_t>(pending_.size()));
+  for (const Item& r : pending_) {
+    w.f64(r.arrival);
+    w.f64(r.departure);
+    w.f64(r.size);
+  }
+  write_frame(out_, w);
+  pending_.clear();
+}
+
+void InstanceFileWriter::close() {
+  if (closed_) return;
+  flush_chunk();
+  out_.seekp(sizeof(kInstanceFileMagic));
+  write_frame(out_, header_payload(count_, chunk_items_));
+  out_.flush();
+  if (!out_) fail(path_, "write failed");
+  out_.close();
+  closed_ = true;
+}
+
+// --- Reader ----------------------------------------------------------------
+
+InstanceFileReader::InstanceFileReader(const std::string& path)
+    : in_(path, std::ios::binary), path_(path), last_arrival_(-kInfTime) {
+  if (!in_) fail(path_, "cannot open");
+  char magic[sizeof(kInstanceFileMagic)];
+  in_.read(magic, sizeof(magic));
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof(magic)) ||
+      std::memcmp(magic, kInstanceFileMagic, sizeof(magic)) != 0)
+    fail(path_, "bad magic");
+
+  char head[8];
+  in_.read(head, sizeof(head));
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof(head)))
+    fail(path_, "truncated header");
+  StateReader hr(std::string_view(head, sizeof(head)));
+  const std::uint32_t len = hr.u32();
+  const std::uint32_t crc = hr.u32();
+  if (len != kHeaderPayloadBytes) fail(path_, "bad header size");
+  char payload[kHeaderPayloadBytes];
+  in_.read(payload, sizeof(payload));
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof(payload)))
+    fail(path_, "truncated header");
+  if (crc32(payload, sizeof(payload)) != crc) fail(path_, "header CRC mismatch");
+  StateReader pr(std::string_view(payload, sizeof(payload)));
+  const std::uint32_t version = pr.u32();
+  if (version != kInstanceFileVersion) fail(path_, "unsupported version");
+  (void)pr.u32();  // reserved
+  const std::uint64_t count = pr.u64();
+  const std::uint64_t chunk_items = pr.u64();
+  if (chunk_items == 0 || chunk_items > kMaxChunkItems)
+    fail(path_, "bad chunk size");
+  item_count_ = static_cast<std::size_t>(count);
+  chunk_items_ = static_cast<std::size_t>(chunk_items);
+}
+
+bool InstanceFileReader::next(Item& out) {
+  if (chunk_pos_ == chunk_.size()) {
+    if (yielded_ == item_count_) {
+      // Exactly the declared items were read; anything further is junk.
+      if (in_.peek() != std::ifstream::traits_type::eof())
+        fail(path_, "trailing data after last chunk");
+      return false;
+    }
+    load_next_chunk();
+  }
+  out = chunk_[chunk_pos_++];
+  ++yielded_;
+  return true;
+}
+
+void InstanceFileReader::load_next_chunk() {
+  char head[8];
+  in_.read(head, sizeof(head));
+  if (in_.gcount() != static_cast<std::streamsize>(sizeof(head)))
+    fail(path_, "truncated chunk");
+  StateReader hr(std::string_view(head, sizeof(head)));
+  const std::uint32_t len = hr.u32();
+  const std::uint32_t crc = hr.u32();
+  if (len < kChunkPayloadOverhead + kBytesPerItem || len > kMaxFramePayload)
+    fail(path_, "bad chunk size");
+  std::string payload(len, '\0');
+  in_.read(payload.data(), static_cast<std::streamsize>(len));
+  if (in_.gcount() != static_cast<std::streamsize>(len))
+    fail(path_, "truncated chunk");
+  if (crc32(payload.data(), payload.size()) != crc)
+    fail(path_, "chunk CRC mismatch");
+
+  StateReader pr(payload);
+  const std::uint64_t first_id = pr.u64();
+  const std::uint32_t count = pr.u32();
+  if (first_id != yielded_) fail(path_, "chunk id discontinuity");
+  if (count == 0 || count > chunk_items_ ||
+      len != kChunkPayloadOverhead + std::size_t{count} * kBytesPerItem)
+    fail(path_, "bad chunk item count");
+  if (yielded_ + count > item_count_) fail(path_, "more items than declared");
+
+  chunk_.clear();
+  chunk_.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    Item r;
+    r.id = static_cast<ItemId>(first_id + i);
+    r.arrival = pr.f64();
+    r.departure = pr.f64();
+    r.size = pr.f64();
+    try {
+      check_item(r.arrival, r.departure, r.size);
+    } catch (const std::invalid_argument& e) {
+      fail(path_, e.what());
+    }
+    if (r.arrival < last_arrival_) fail(path_, "arrivals out of order");
+    last_arrival_ = r.arrival;
+    chunk_.push_back(r);
+  }
+  chunk_pos_ = 0;
+}
+
+// --- Whole-instance convenience wrappers -----------------------------------
+
+void write_instance_file(const std::string& path, const Instance& instance,
+                         std::size_t chunk_items) {
+  InstanceFileWriter w(path, chunk_items);
+  for (const Item& r : instance.items()) w.add(r.arrival, r.departure, r.size);
+  w.close();
+}
+
+Instance read_instance_file(const std::string& path) {
+  InstanceFileReader reader(path);
+  Instance instance;
+  Item r;
+  while (reader.next(r)) instance.add(r.arrival, r.departure, r.size);
+  instance.finalize();
+  return instance;
+}
+
+}  // namespace cdbp::workloads

@@ -495,6 +495,117 @@ TEST(Cli, ServeResumeMatchesUninterruptedRun) {
   fs::remove_all(crash_dir);
 }
 
+TEST(Cli, PackInstanceRoundTripsThroughBinary) {
+  const std::string csv = temp_file("cdbp_cli_pack.csv");
+  const std::string packed = temp_file("cdbp_cli_pack.cdbpi");
+  const std::string back = temp_file("cdbp_cli_pack_back.csv");
+  ASSERT_EQ(cli({"generate", "--kind", "general", "--n", "5", "--items",
+                 "80", "--out", csv})
+                .code,
+            0);
+
+  const CliRun pack = cli({"pack-instance", "--in", csv, "--out", packed});
+  EXPECT_EQ(pack.code, 0) << pack.err;
+  EXPECT_NE(pack.out.find("packed 80 items"), std::string::npos);
+
+  const CliRun unpack = cli({"pack-instance", "--in", packed, "--out", back});
+  EXPECT_EQ(unpack.code, 0) << unpack.err;
+
+  // CSV -> .cdbpi -> CSV is exact: 17-sig-digit CSV and the binary doubles
+  // both round-trip, so the final CSV is byte-identical to the original.
+  std::ifstream a(csv), b(back);
+  const std::string sa((std::istreambuf_iterator<char>(a)),
+                       std::istreambuf_iterator<char>());
+  const std::string sb((std::istreambuf_iterator<char>(b)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(sa, sb);
+
+  // Same-extension conversions are refused.
+  EXPECT_EQ(cli({"pack-instance", "--in", csv, "--out", back}).code, 1);
+
+  std::remove(csv.c_str());
+  std::remove(packed.c_str());
+  std::remove(back.c_str());
+}
+
+TEST(Cli, RunStreamMatchesInRamRun) {
+  const std::string packed = temp_file("cdbp_cli_stream_run.cdbpi");
+  ASSERT_EQ(cli({"generate", "--kind", "general", "--n", "5", "--items",
+                 "120", "--out", packed})
+                .code,
+            0);
+
+  const CliRun streamed = cli({"run", "--algo", "ff", "--in", packed,
+                               "--stream", "--storage", "soa"});
+  ASSERT_EQ(streamed.code, 0) << streamed.err;
+  const CliRun streamed_ref = cli({"run", "--algo", "ff", "--in", packed,
+                                   "--stream", "--storage", "reference"});
+  ASSERT_EQ(streamed_ref.code, 0) << streamed_ref.err;
+  // Backend choice changes nothing observable.
+  EXPECT_EQ(streamed.out, streamed_ref.out);
+  EXPECT_NE(streamed.out.find("items=120"), std::string::npos)
+      << streamed.out;
+
+  // The in-RAM run of the same file reports the same exact cost.
+  const CliRun in_ram = cli({"run", "--algo", "ff", "--in", packed});
+  ASSERT_EQ(in_ram.code, 0) << in_ram.err;
+  const auto cost_of = [](const std::string& s) {
+    const std::size_t at = s.find("cost=");
+    return s.substr(at, s.find(' ', at) - at);
+  };
+  EXPECT_EQ(cost_of(streamed.out), cost_of(in_ram.out));
+
+  // Streaming needs a .cdbpi and excludes full-history reports.
+  EXPECT_EQ(cli({"run", "--algo", "ff", "--in", "x.csv", "--stream"}).code,
+            1);
+  EXPECT_EQ(
+      cli({"run", "--algo", "ff", "--in", packed, "--stream", "--gantt"})
+          .code,
+      1);
+
+  std::remove(packed.c_str());
+}
+
+TEST(Cli, SimSweepDeterministicAcrossBackendsAndStreaming) {
+  const std::string csv = temp_file("cdbp_cli_sweep.csv");
+  const std::string packed = temp_file("cdbp_cli_sweep.cdbpi");
+  ASSERT_EQ(cli({"generate", "--kind", "general", "--n", "5", "--items",
+                 "100", "--out", csv})
+                .code,
+            0);
+  ASSERT_EQ(cli({"pack-instance", "--in", csv, "--out", packed}).code, 0);
+
+  const auto payload = [](const std::string& s) {
+    // Drop the '#'-prefixed config/timing lines, as the CI diff does.
+    std::istringstream in(s);
+    std::string line, kept;
+    while (std::getline(in, line))
+      if (line.empty() || line[0] != '#') kept += line + "\n";
+    return kept;
+  };
+
+  const CliRun in_ram = cli({"sim-sweep", "--algos", "ff,bf,wf", "--in", csv,
+                             "--threads", "2", "--storage", "reference"});
+  ASSERT_EQ(in_ram.code, 0) << in_ram.err;
+  const CliRun streamed =
+      cli({"sim-sweep", "--algos", "ff,bf,wf", "--in", packed, "--threads",
+           "2", "--storage", "soa", "--stream"});
+  ASSERT_EQ(streamed.code, 0) << streamed.err;
+
+  EXPECT_EQ(payload(streamed.out), payload(in_ram.out));
+  EXPECT_NE(in_ram.out.find("ff: cost="), std::string::npos) << in_ram.out;
+  EXPECT_NE(streamed.out.find("# shards=2 storage=soa input=streamed"),
+            std::string::npos)
+      << streamed.out;
+
+  EXPECT_EQ(cli({"sim-sweep", "--algos", ",", "--in", csv}).code, 1);
+  EXPECT_EQ(cli({"sim-sweep", "--algos", "ff", "--in", csv, "--stream"}).code,
+            1);
+
+  std::remove(csv.c_str());
+  std::remove(packed.c_str());
+}
+
 TEST(Cli, GenerateShapesAccepted) {
   for (const std::string shape :
        {"log-uniform", "exponential", "geometric-bursts", "two-phase"}) {

@@ -165,6 +165,70 @@ TEST_P(SelectionEquivalence, IndexedMatchesLinearScanOnAlignedInstances) {
 INSTANTIATE_TEST_SUITE_P(Seeds, SelectionEquivalence,
                          ::testing::Range<std::uint64_t>(0, 18));
 
+// --- SoA storage vs the reference AoS ledger layout ------------------------
+//
+// LedgerStorage::kSoa must be a pure data-layout change: every algorithm
+// must produce bitwise-identical costs, the same placements, and the same
+// per-bin records whether the ledger stores BinRecord structs or flat
+// columns. Exercised on the same seed matrix as SelectionEquivalence, with
+// both ledgers driven through the default (indexed) selection mode.
+
+void expect_same_storage_run(const Instance& in,
+                             const testutil::NamedFactory& f) {
+  auto ref_algo = f.make();
+  auto soa_algo = f.make();
+  const RunResult ref =
+      Simulator{SimulatorOptions{.storage = LedgerStorage::kReference}}.run(
+          in, *ref_algo);
+  const RunResult soa =
+      Simulator{SimulatorOptions{.storage = LedgerStorage::kSoa}}.run(
+          in, *soa_algo);
+  // Bitwise, not NEAR: the SoA backend performs the identical FP ops in
+  // the identical order.
+  EXPECT_EQ(ref.cost, soa.cost) << f.name;
+  EXPECT_EQ(ref.bins_opened, soa.bins_opened) << f.name;
+  EXPECT_EQ(ref.max_open, soa.max_open) << f.name;
+  ASSERT_EQ(ref.placements.size(), soa.placements.size()) << f.name;
+  for (std::size_t k = 0; k < ref.placements.size(); ++k)
+    ASSERT_EQ(ref.placements[k].bin, soa.placements[k].bin)
+        << f.name << " item " << k;
+  ASSERT_EQ(ref.bins.size(), soa.bins.size()) << f.name;
+  for (std::size_t b = 0; b < ref.bins.size(); ++b) {
+    EXPECT_EQ(ref.bins[b].group, soa.bins[b].group) << f.name << " bin " << b;
+    EXPECT_EQ(ref.bins[b].opened, soa.bins[b].opened) << f.name << " bin " << b;
+    EXPECT_EQ(ref.bins[b].closed, soa.bins[b].closed) << f.name << " bin " << b;
+    EXPECT_EQ(ref.bins[b].load, soa.bins[b].load) << f.name << " bin " << b;
+    EXPECT_EQ(ref.bins[b].all_items, soa.bins[b].all_items)
+        << f.name << " bin " << b;
+  }
+}
+
+class StorageEquivalence : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(StorageEquivalence, SoaMatchesReferenceOnGeneralInstances) {
+  std::mt19937_64 rng(GetParam());
+  workloads::GeneralConfig cfg;
+  cfg.target_items = 220;
+  cfg.log2_mu = 6;
+  cfg.horizon = 40.0;  // dense enough to keep many bins open
+  const Instance in = workloads::make_general_random(cfg, rng);
+  for (const auto& f : testutil::online_factories())
+    expect_same_storage_run(in, f);
+}
+
+TEST_P(StorageEquivalence, SoaMatchesReferenceOnAlignedInstances) {
+  std::mt19937_64 rng(GetParam() + 1000);
+  workloads::AlignedConfig cfg;
+  cfg.max_bucket = 5;
+  cfg.n = 6;
+  const Instance in = workloads::make_aligned_random(cfg, rng);
+  for (const auto& f : testutil::aligned_factories())
+    expect_same_storage_run(in, f);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StorageEquivalence,
+                         ::testing::Range<std::uint64_t>(0, 18));
+
 class BoundsInvariance : public ::testing::TestWithParam<std::uint64_t> {};
 
 TEST_P(BoundsInvariance, ReorderingSameInstantItemsChangesNoBound) {
