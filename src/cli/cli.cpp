@@ -39,6 +39,7 @@
 #include "parallel/thread_pool.h"
 #include "report/ascii_chart.h"
 #include "report/table.h"
+#include "serve/chaos.h"
 #include "serve/request_stream.h"
 #include "serve/shard_router.h"
 #include "serve/stats_exporter.h"
@@ -208,6 +209,12 @@ void print_usage(std::ostream& out) {
       << "             SIGUSR1 forces a dump; interval 0 = final only)\n"
       << "  recover   --algo ALGO --wal-dir DIR [--shards N]\n"
       << "  wal-dump  --wal FILE|BASE    (single file, or segmented base)\n"
+      << "  chaos     --dir DIR [--seeds S1,S2,...] [--random N]\n"
+      << "            [--algo ALGO] [--offers N] [--checkpoint-every N]\n"
+      << "            [--wal-segment-bytes B] [--max-points N]\n"
+      << "            (fault-injection matrix over the serve plane; every\n"
+      << "             failure prints its seed for replay; exit 1 on any\n"
+      << "             durability-contract violation)\n"
       << "algorithms:";
   for (const std::string& name : algorithm_names()) out << " " << name;
   out << "\n";
@@ -749,6 +756,7 @@ int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
 #endif
 
   std::uint64_t applied = 0, skipped = 0, shed = 0, invalid = 0;
+  std::size_t degraded = 0;
   for (std::size_t i = 0; i < router.shards(); ++i) {
     const serve::ShardStats& s = router.stats(i);
     applied += s.applied;
@@ -761,6 +769,13 @@ int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
         << " wal-records=" << s.wal_records
         << " open-at-finish=" << s.open_bins
         << " cost=" << num_exact(s.final_cost) << "\n";
+    // Only degraded runs print these lines, keeping healthy output
+    // byte-stable for the CI diffs.
+    if (s.degraded) {
+      ++degraded;
+      out << "shard " << i << " DEGRADED: " << s.degrade_reason
+          << " (dropped=" << s.degraded_dropped << ")\n";
+    }
     // End-to-end ack latency for this run (empty under CDBP_OBS_OFF, so
     // the line vanishes there and the output stays byte-stable).
     if (s.ack_latency.count > 0)
@@ -785,7 +800,9 @@ int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
   out << "served " << stream.size() << " requests on " << router.shards()
       << " shard(s): applied=" << applied << " skipped=" << skipped
       << " rejected=" << rejected << " shed=" << shed
-      << " invalid=" << invalid << "\n"
+      << " invalid=" << invalid;
+  if (degraded > 0) out << " degraded-shards=" << degraded;
+  out << "\n"
       << "total cost=" << num_exact(router.total_cost()) << "\n";
 
   if (out_path) {
@@ -939,6 +956,65 @@ int cmd_wal_dump(Flags& flags, std::ostream& out) {
   return 0;
 }
 
+/// `cdbp chaos`: the fault-injection matrix as a command — the same engine
+/// the tier-1 fault_matrix_test runs on fixed seeds, here pointed at
+/// arbitrary or randomized seeds for CI soaking. Any violation prints the
+/// seed (the whole matrix is deterministic in it) so a red soak reproduces
+/// locally with `--seeds <seed>`.
+int cmd_chaos(Flags& flags, std::ostream& out, std::ostream& err) {
+  serve::ChaosConfig cc;
+  cc.dir = flags.require("dir");
+  const std::string algo_name = flags.get("algo").value_or("ff");
+  const auto seeds_csv = flags.get("seeds");
+  const int random_n = to_int(flags.get("random").value_or("0"), "--random");
+  cc.offers = static_cast<std::size_t>(
+      to_int(flags.get("offers").value_or("48"), "--offers"));
+  cc.checkpoint_every = static_cast<std::uint64_t>(to_int(
+      flags.get("checkpoint-every").value_or("16"), "--checkpoint-every"));
+  cc.wal_segment_bytes = static_cast<std::uint64_t>(
+      to_int(flags.get("wal-segment-bytes").value_or("512"),
+             "--wal-segment-bytes"));
+  cc.max_points_per_kind = static_cast<std::size_t>(
+      to_int(flags.get("max-points").value_or("16"), "--max-points"));
+  flags.finish();
+
+  cc.seeds.clear();
+  if (seeds_csv) {
+    for (std::size_t pos = 0; pos <= seeds_csv->size();) {
+      const std::size_t comma =
+          std::min(seeds_csv->find(',', pos), seeds_csv->size());
+      if (comma > pos)
+        cc.seeds.push_back(static_cast<std::uint64_t>(
+            to_int(seeds_csv->substr(pos, comma - pos), "--seeds")));
+      pos = comma + 1;
+    }
+  }
+  if (random_n > 0) {
+    std::random_device rd;
+    for (int i = 0; i < random_n; ++i)
+      cc.seeds.push_back((static_cast<std::uint64_t>(rd()) << 32) | rd());
+  }
+  if (cc.seeds.empty()) cc.seeds = {1, 2, 3};
+  cc.algo_name = algo_name;
+  cc.make_algo = [algo_name] { return make_algorithm(algo_name); };
+  cc.log = &err;
+
+  out << "chaos: seeds";
+  for (const std::uint64_t s : cc.seeds) out << " " << s;
+  out << "\n";
+  const serve::ChaosReport report = serve::run_chaos_matrix(cc);
+  for (const serve::ChaosFailure& f : report.failures)
+    out << "FAIL seed=" << f.seed << " fault=" << f.fault << " op=" << f.op
+        << ": " << f.detail << "\n"
+        << "  reproduce: cdbp chaos --dir " << cc.dir << " --seeds " << f.seed
+        << "\n";
+  out << "chaos: " << report.cases << " cases, " << report.faulted
+      << " faulted, " << report.recoveries << " recoveries, "
+      << report.transparent << " transparent, " << report.failures.size()
+      << " violations\n";
+  return report.ok() ? 0 : 1;
+}
+
 }  // namespace
 
 AlgorithmPtr make_algorithm(const std::string& name, double mu_hint) {
@@ -992,6 +1068,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (args[0] == "serve") return cmd_serve(flags, out, err);
     if (args[0] == "recover") return cmd_recover(flags, out, err);
     if (args[0] == "wal-dump") return cmd_wal_dump(flags, out);
+    if (args[0] == "chaos") return cmd_chaos(flags, out, err);
     err << "unknown command '" << args[0] << "'\n";
     print_usage(err);
     return 2;

@@ -1,10 +1,6 @@
 #include "serve/durable_session.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
 #include <cerrno>
-#include <cstdio>
 #include <cstring>
 #include <stdexcept>
 #include <utility>
@@ -36,52 +32,38 @@ void note_poisoned() {
   obs::Tracer::global().instant("serve.poisoned", "serve");
 }
 
-[[noreturn]] void throw_errno(const std::string& what,
-                              const std::string& path) {
+[[noreturn]] void throw_err(const std::string& what, const std::string& path,
+                            int err) {
   throw std::runtime_error("checkpoint: " + what + " failed for '" + path +
-                           "': " + std::strerror(errno));
+                           "': " + std::strerror(err));
 }
 
 /// Durably writes `magic + u64 len + u32 crc + payload` via tmp + rename,
 /// so a crash mid-checkpoint leaves the previous checkpoint intact. The
 /// rename itself is directory metadata: without the parent-dir fsync a
 /// power loss could resurface the OLD checkpoint (or none) next to a WAL
-/// already compacted past it — an unrecoverable pairing.
-void write_checkpoint_file(const std::string& path,
+/// already compacted past it — an unrecoverable pairing. Every step flows
+/// through `env`, making each one a scheduled fault point.
+void write_checkpoint_file(io::Env& env, const std::string& path,
                            const std::string& payload) {
   StateWriter header;
   header.u64(payload.size());
   header.u32(crc32(payload.data(), payload.size()));
 
   const std::string tmp = path + ".tmp";
-  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) throw_errno("open", tmp);
-  const auto write_all = [&](const char* data, std::size_t size) {
-    while (size > 0) {
-      const ssize_t n = ::write(fd, data, size);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        const int saved = errno;
-        ::close(fd);
-        errno = saved;
-        throw_errno("write", tmp);
-      }
-      data += n;
-      size -= static_cast<std::size_t>(n);
-    }
-  };
-  write_all(kCkptMagic, sizeof(kCkptMagic));
-  write_all(header.buffer().data(), header.size());
-  write_all(payload.data(), payload.size());
-  if (::fsync(fd) != 0) {
-    const int saved = errno;
-    ::close(fd);
-    errno = saved;
-    throw_errno("fsync", tmp);
+  {
+    std::unique_ptr<io::File> f =
+        io::open_file(env, tmp, io::OpenMode::kTruncate);
+    io::write_all(*f, kCkptMagic, sizeof(kCkptMagic), tmp);
+    io::write_all(*f, header.buffer().data(), header.size(), tmp);
+    io::write_all(*f, payload.data(), payload.size(), tmp);
+    io::sync_file(*f, tmp);
+    int err = 0;
+    if (f->close(err) != 0) throw_err("close", tmp, err);
   }
-  if (::close(fd) != 0) throw_errno("close", tmp);
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) throw_errno("rename", path);
-  fsync_parent_dir(path);
+  int err = 0;
+  if (env.rename(tmp, path, err) != 0) throw_err("rename", path, err);
+  io::sync_parent_dir(env, path);
 }
 
 /// Reads and CRC-verifies a checkpoint payload. Returns false only when
@@ -89,27 +71,10 @@ void write_checkpoint_file(const std::string& path,
 /// throws. Treating "unreadable" as "absent" would silently discard the
 /// checkpoint and fall back to full replay — wrong answer on a compacted
 /// log, and a masked operational error everywhere else.
-bool read_checkpoint_file(const std::string& path, std::string& payload) {
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    if (errno == ENOENT) return false;
-    throw_errno("open", path);
-  }
+bool read_checkpoint_file(io::Env& env, const std::string& path,
+                          std::string& payload) {
   std::string data;
-  char buf[1 << 16];
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const int saved = errno;
-      ::close(fd);
-      errno = saved;
-      throw_errno("read", path);
-    }
-    if (n == 0) break;
-    data.append(buf, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
+  if (!io::read_file(env, path, data)) return false;
   if (data.size() < sizeof(kCkptMagic) + 12 ||
       std::memcmp(data.data(), kCkptMagic, sizeof(kCkptMagic)) != 0)
     throw std::runtime_error("checkpoint: bad header in '" + path + "'");
@@ -143,7 +108,7 @@ DurableSession::DurableSession(AlgorithmPtr algo, std::string algo_name,
   opts.fsync_batch = config_.fsync_batch;
   opts.segment_bytes = config_.wal_segment_bytes;
   opts.group_commit = config_.group_commit;
-  opts.append_fault_hook = config_.wal_fault_hook;
+  opts.env = config_.env;
   if (config_.resume) {
     const SegmentedWalScan scan = recover();
     wal_ = std::make_unique<SegmentedWal>(config_.wal_path, std::move(opts),
@@ -153,9 +118,11 @@ DurableSession::DurableSession(AlgorithmPtr algo, std::string algo_name,
     // --resume would pair it with the new WAL and restore garbage. The
     // unlink must be durable — a crash right after start could otherwise
     // resurface the stale file.
-    if (std::remove(config_.checkpoint_path.c_str()) == 0)
-      fsync_parent_dir(config_.checkpoint_path);
-    std::remove((config_.checkpoint_path + ".tmp").c_str());
+    io::Env& env = io::env_or_posix(config_.env);
+    int err = 0;
+    if (env.unlink(config_.checkpoint_path, err) == 0)
+      io::sync_parent_dir(env, config_.checkpoint_path);
+    env.unlink(config_.checkpoint_path + ".tmp", err);
     wal_ = std::make_unique<SegmentedWal>(config_.wal_path, std::move(opts),
                                           /*truncate=*/true);
   }
@@ -185,7 +152,7 @@ void DurableSession::replay(const std::vector<WalRecord>& records,
 
 SegmentedWalScan DurableSession::recover() {
   SegmentedWalScan scan =
-      scan_segmented_wal(config_.wal_path, config_.recovery_pool);
+      scan_segmented_wal(config_.wal_path, config_.recovery_pool, config_.env);
   recovery_.wal_existed = scan.exists;
   recovery_.torn = scan.torn;
   recovery_.tail_error = scan.tail_error;
@@ -196,13 +163,15 @@ SegmentedWalScan DurableSession::recover() {
   recovery_.unknown_records = scan.unknown_records;
   // Repair in place: everything past the global intact prefix is a torn
   // write (or a segment made unreachable by one) from the crash.
-  recovery_.truncated_bytes = repair_segmented_wal(config_.wal_path, scan);
+  recovery_.truncated_bytes =
+      repair_segmented_wal(config_.wal_path, scan, config_.env);
 
   const std::uint64_t log_end = scan.first_seq + scan.records.size();
   std::uint64_t from_seq = 0;
   std::string payload;
   if (checkpointable_ &&
-      read_checkpoint_file(config_.checkpoint_path, payload)) {
+      read_checkpoint_file(io::env_or_posix(config_.env),
+                           config_.checkpoint_path, payload)) {
     StateReader r(payload);
     const std::string name = r.str();
     const std::uint64_t ckpt_seq = r.u64();
@@ -338,7 +307,10 @@ bool DurableSession::checkpoint_now() {
   w.u8(1);
   session_.save_state(w);
   checkpointable_->save_state(w);
-  write_checkpoint_file(config_.checkpoint_path, w.buffer());
+  // A failed publish here leaves the previous checkpoint (or none) intact —
+  // the WAL still covers everything, so a throw does NOT poison the session.
+  write_checkpoint_file(io::env_or_posix(config_.env),
+                        config_.checkpoint_path, w.buffer());
   g_checkpoints.add();
   g_ckpt_bytes.record(w.size());
   obs::Tracer::global().instant(
@@ -356,9 +328,9 @@ void DurableSession::close() {
   wal_.reset();
 }
 
-CheckpointInfo read_checkpoint_info(const std::string& path) {
+CheckpointInfo read_checkpoint_info(const std::string& path, io::Env* env) {
   std::string payload;
-  if (!read_checkpoint_file(path, payload))
+  if (!read_checkpoint_file(io::env_or_posix(env), path, payload))
     throw std::runtime_error("checkpoint: no such file '" + path + "'");
   StateReader r(payload);
   CheckpointInfo info;

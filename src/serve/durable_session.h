@@ -89,8 +89,10 @@ struct DurableSessionConfig {
   GroupCommitCoordinator* group_commit = nullptr;
   /// Pool for segment-parallel recovery scans. nullptr = sequential.
   parallel::ThreadPool* recovery_pool = nullptr;
-  /// Test-only fault injection on WAL appends (short write + throw).
-  WalAppendFaultHook wal_fault_hook;
+  /// I/O environment every durability-critical byte flows through (WAL
+  /// segments, manifest, checkpoint file). nullptr = the real filesystem;
+  /// tests pass a FaultInjectingEnv (core/io_env.h) to schedule faults.
+  io::Env* env = nullptr;
 };
 
 class DurableSession {
@@ -190,6 +192,7 @@ struct CheckpointInfo {
   std::string algo_name;
   std::uint64_t seq = 0;
 };
-[[nodiscard]] CheckpointInfo read_checkpoint_info(const std::string& path);
+[[nodiscard]] CheckpointInfo read_checkpoint_info(const std::string& path,
+                                                  io::Env* env = nullptr);
 
 }  // namespace cdbp::serve

@@ -1,7 +1,5 @@
 #include "serve/shard_router.h"
 
-#include <sys/stat.h>
-
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
@@ -25,6 +23,14 @@ obs::Counter& g_skipped =
     obs::MetricsRegistry::global().counter("serve.resume_skipped");
 obs::Counter& g_batches =
     obs::MetricsRegistry::global().counter("serve.batches");
+// Degraded-mode surface: shards that lost their durability path, requests
+// they refused, and queued work discarded unacknowledged when they flipped.
+obs::Gauge& g_degraded_shards =
+    obs::MetricsRegistry::global().gauge("serve.degraded.shards");
+obs::Counter& g_degraded_rejected =
+    obs::MetricsRegistry::global().counter("serve.degraded.rejected");
+obs::Counter& g_degraded_dropped =
+    obs::MetricsRegistry::global().counter("serve.degraded.dropped");
 
 /// Admission timestamp for the request-lifecycle histograms. Under
 /// CDBP_OBS_OFF requests stay unstamped (admit_ns == 0), which disables
@@ -37,10 +43,11 @@ std::uint64_t admit_stamp() noexcept {
 #endif
 }
 
-void make_dir(const std::string& path) {
-  if (::mkdir(path.c_str(), 0755) == 0 || errno == EEXIST) return;
+void make_dir(io::Env& env, const std::string& path) {
+  int err = 0;
+  if (env.mkdir(path, err) == 0 || err == EEXIST) return;
   throw std::runtime_error("serve: mkdir failed for '" + path +
-                           "': " + std::strerror(errno));
+                           "': " + std::strerror(err));
 }
 
 std::string shard_file(const std::string& dir, std::size_t shard,
@@ -58,6 +65,18 @@ std::string to_string(AdmissionPolicy policy) {
       return "reject";
     case AdmissionPolicy::kShed:
       return "shed";
+  }
+  return "?";
+}
+
+std::string to_string(SubmitStatus status) {
+  switch (status) {
+    case SubmitStatus::kAccepted:
+      return "accepted";
+    case SubmitStatus::kQueueFull:
+      return "queue-full";
+    case SubmitStatus::kShardDegraded:
+      return "shard-degraded";
   }
   return "?";
 }
@@ -162,7 +181,7 @@ ShardRouter::ShardRouter(RouterConfig config,
   if (config_.queue_capacity == 0)
     throw std::invalid_argument("serve: queue_capacity must be >= 1");
   if (!make_algo) throw std::invalid_argument("serve: null algorithm factory");
-  make_dir(config_.wal_dir);
+  make_dir(io::env_or_posix(config_.env), config_.wal_dir);
 
   // One committer thread merges every shard's kEvery fsyncs into shared
   // rounds; pointless (and pure overhead) under the other policies.
@@ -189,6 +208,7 @@ ShardRouter::ShardRouter(RouterConfig config,
     sc.wal_segment_bytes = config_.wal_segment_bytes;
     sc.group_commit = group_commit_.get();
     sc.recovery_pool = recovery_pool.get();
+    sc.env = config_.env;
     shard->session = std::make_unique<DurableSession>(make_algo(), algo_name,
                                                       std::move(sc));
     shard->queue = std::make_unique<RequestQueue>(
@@ -217,12 +237,20 @@ std::size_t ShardRouter::shard_of(std::string_view tenant) const noexcept {
   return static_cast<std::size_t>(tenant_hash(tenant) % shards_.size());
 }
 
-bool ShardRouter::submit(ServeRequest req) {
+SubmitStatus ShardRouter::try_submit(ServeRequest req) {
   if (stopped_.load(std::memory_order_acquire))
     throw std::logic_error("serve: submit after stop");
   if (req.admit_ns == 0) req.admit_ns = admit_stamp();
   const std::size_t idx = shard_of(req.tenant);
   Shard& shard = *shards_[idx];
+  // A degraded shard refuses at the door, regardless of admission policy:
+  // enqueueing would either block the producer forever (kBlock, worker
+  // only discards) or dress a permanent failure up as transient
+  // backpressure. The refusal is distinct so callers can stop retrying.
+  if (shard.degraded.load(std::memory_order_acquire)) {
+    g_degraded_rejected.add();
+    return SubmitStatus::kShardDegraded;
+  }
   g_submitted.add();
   obs::Tracer& tracer = obs::Tracer::global();
   // Flow chain start: the enclosing serve.enqueue span gives the flow
@@ -244,13 +272,32 @@ bool ShardRouter::submit(ServeRequest req) {
                       tracer.now_ns() - trace_start,
                       {{"shard", static_cast<std::uint64_t>(idx)},
                        {"rejected", 1}});
-    return false;
+    return SubmitStatus::kQueueFull;
   }
   if (traced)
     tracer.complete("serve.enqueue", "serve", trace_start,
                     tracer.now_ns() - trace_start,
                     {{"shard", static_cast<std::uint64_t>(idx)}});
-  return true;
+  return SubmitStatus::kAccepted;
+}
+
+std::size_t ShardRouter::degraded_shards() const noexcept {
+  std::size_t n = 0;
+  for (const auto& shard : shards_)
+    if (shard->degraded.load(std::memory_order_acquire)) ++n;
+  return n;
+}
+
+void ShardRouter::mark_degraded(Shard& shard, const std::string& reason) {
+  // Worker-thread only. Reason before flag (release): a producer that sees
+  // degraded==true may read the reason from stats after stop().
+  shard.stats.degraded = true;
+  shard.stats.degrade_reason = reason;
+  shard.degraded.store(true, std::memory_order_release);
+  g_degraded_shards.add(1.0);
+  obs::Tracer::global().instant(
+      "serve.shard_degraded", "serve",
+      {{"shard", static_cast<std::uint64_t>(shard.stats.shard)}});
 }
 
 void ShardRouter::worker_loop(Shard& shard) {
@@ -270,6 +317,14 @@ void ShardRouter::worker_loop(Shard& shard) {
     batch.clear();
     const std::size_t drained = shard.queue->pop_batch(batch, kWorkerBatch);
     if (drained == 0) break;
+    // Degraded: keep draining so kBlock producers that raced past the
+    // front-door check never wedge on a full queue, but ack nothing —
+    // every discarded request is counted, not silently lost.
+    if (shard.degraded.load(std::memory_order_relaxed)) {
+      shard.stats.degraded_dropped += drained;
+      g_degraded_dropped.add(drained);
+      continue;
+    }
     ins.batch_size->record(drained);
     g_batches.add();
     // One clock read per batch, not per offer: queue-wait and ack latency
@@ -278,6 +333,9 @@ void ShardRouter::worker_loop(Shard& shard) {
     const std::uint64_t drained_ns = mono_now_ns();
     pending.clear();
     pending_admit.clear();
+    const std::uint64_t skipped_before = shard.stats.skipped;
+    const std::uint64_t invalid_before = shard.stats.invalid;
+    try {
     {
       obs::TraceSpan drain_span(
           tracer, "serve.drain", "serve",
@@ -321,6 +379,21 @@ void ShardRouter::worker_loop(Shard& shard) {
       obs::ScopedTimer commit_timer(*ins.commit_us);
       shard.session->commit();
     }
+    } catch (const std::exception& e) {
+      // A WAL append/sync failure poisoned the session (in-memory state
+      // and durable log may disagree). Flip the shard to degraded: nothing
+      // in this batch was acked, so dropping it keeps the contract — an
+      // un-acked offer may be lost, an acked one never is. Healthy shards
+      // are untouched; the process keeps serving.
+      mark_degraded(shard, e.what());
+      const std::uint64_t handled =
+          (shard.stats.skipped - skipped_before) +
+          (shard.stats.invalid - invalid_before);
+      const std::uint64_t dropped = drained - handled;
+      shard.stats.degraded_dropped += dropped;
+      g_degraded_dropped.add(dropped);
+      continue;
+    }
     // The ack instant: every offer in the batch is durable per the fsync
     // policy and about to become visible in results().
     const std::uint64_t ack_ns = mono_now_ns();
@@ -347,9 +420,26 @@ void ShardRouter::worker_loop(Shard& shard) {
   }
   // Queue closed and drained: finalize. Costs/open-bin counts are part of
   // the stats contract, so compute them before the WAL handle goes away.
-  shard.stats.open_bins = shard.session->session().open_bins();
-  shard.stats.final_cost = shard.session->finish();
-  shard.session->close();
+  if (shard.degraded.load(std::memory_order_relaxed)) {
+    // Poisoned durability path: in-memory totals are not trustworthy and
+    // the final sync may fail again. Best-effort close, cost stays 0.
+    try {
+      shard.session->close();
+    } catch (const std::exception&) {
+    }
+  } else {
+    try {
+      shard.stats.open_bins = shard.session->session().open_bins();
+      shard.stats.final_cost = shard.session->finish();
+      shard.session->close();
+    } catch (const std::exception& e) {
+      // The final WAL sync failed: records already acked under kEvery are
+      // durable (their fsync happened at commit time); what is lost is
+      // only batched-policy tail durability, which acks never promised.
+      // Still a degraded shard — its log may end short of memory.
+      mark_degraded(shard, e.what());
+    }
+  }
   shard.stats.ack_latency = metrics_.ack_interval(idx);
   shard.stats.shed = shard.queue->shed_count();
   shard.stats.queue_peak = shard.queue->peak();
@@ -362,6 +452,9 @@ void ShardRouter::stop() {
   std::lock_guard<std::mutex> lock(stop_mutex_);
   if (stopped_.exchange(true, std::memory_order_acq_rel)) return;
   for (auto& shard : shards_) shard->queue->close();
+  // I/O failures were absorbed as per-shard degradation inside the worker
+  // loop; anything escaping a worker future here is an unexpected bug and
+  // still propagates.
   std::exception_ptr first_error;
   for (auto& shard : shards_) {
     try {

@@ -53,6 +53,15 @@ namespace cdbp::serve {
 /// What to do when a shard's request queue is full (see file comment).
 enum class AdmissionPolicy { kBlock, kReject, kShed };
 
+/// Outcome of try_submit(). kQueueFull is transient backpressure (retry
+/// later); kShardDegraded is sticky — the shard's durability path failed
+/// (ENOSPC, poisoned fsync) and it refuses all further work until the
+/// process restarts and recovers. Callers that only need admitted-or-not
+/// can keep using submit().
+enum class SubmitStatus { kAccepted, kQueueFull, kShardDegraded };
+
+[[nodiscard]] std::string to_string(SubmitStatus status);
+
 [[nodiscard]] std::string to_string(AdmissionPolicy policy);
 /// Parses "block" | "reject" | "shed"; throws std::invalid_argument.
 [[nodiscard]] AdmissionPolicy parse_admission_policy(const std::string& s);
@@ -77,6 +86,10 @@ struct RouterConfig {
   /// Group-commit linger (microseconds) under fsync=every; 0 commits as
   /// soon as the committer wakes. See GroupCommitCoordinator.
   std::uint32_t group_commit_window_us = 0;
+  /// I/O environment every shard's durability path flows through. nullptr =
+  /// the real filesystem; chaos tests pass a FaultInjectingEnv to fail one
+  /// shard's disk while the others keep serving.
+  io::Env* env = nullptr;
 };
 
 /// One request as routed (stream_index is the 1-based global input line).
@@ -113,6 +126,12 @@ struct ShardStats {
   std::size_t open_bins = 0;      ///< at finish time
   Cost final_cost = 0.0;
   RecoveryReport recovery;
+  /// True when the shard's durability path failed mid-run and it flipped
+  /// to degraded mode (rejecting instead of serving). final_cost/open_bins
+  /// are meaningless for a degraded shard.
+  bool degraded = false;
+  std::string degrade_reason;        ///< first failure's what(), when degraded
+  std::uint64_t degraded_dropped = 0;  ///< queued requests discarded unacked
   /// This run's end-to-end (admission -> post-commit ack) latency, in
   /// microseconds. Empty under CDBP_OBS_OFF.
   obs::HistogramSnapshot ack_latency;
@@ -132,17 +151,32 @@ class ShardRouter {
   ShardRouter(const ShardRouter&) = delete;
   ShardRouter& operator=(const ShardRouter&) = delete;
 
-  /// Routes one request to its tenant's shard. Returns false only under
-  /// kReject with a full queue (the request was not admitted). Thread-safe
-  /// (multiple producers). Throws std::logic_error after stop().
-  bool submit(ServeRequest req);
+  /// Routes one request to its tenant's shard. Returns false when the
+  /// request was not admitted — kReject with a full queue, or a degraded
+  /// shard. Thread-safe (multiple producers). Throws std::logic_error
+  /// after stop().
+  bool submit(ServeRequest req) {
+    return try_submit(std::move(req)) == SubmitStatus::kAccepted;
+  }
+
+  /// Like submit() but reports WHY a request was refused: transient
+  /// backpressure (kQueueFull) vs a degraded shard (kShardDegraded, sticky
+  /// — see ShardStats::degraded). Healthy shards are unaffected by a
+  /// sibling's degradation.
+  SubmitStatus try_submit(ServeRequest req);
+
+  /// Shards currently degraded (sticky once set; live, readable any time).
+  [[nodiscard]] std::size_t degraded_shards() const noexcept;
 
   /// Shard a tenant maps to (exposed for tests and `cdbp wal-dump`).
   [[nodiscard]] std::size_t shard_of(std::string_view tenant) const noexcept;
 
   /// Closes the queues, waits for every worker to drain, finalizes each
-  /// session (finish + WAL close), and rethrows the first worker error.
-  /// Idempotent. Stats/results are valid only after stop() returns.
+  /// session (finish + WAL close), and rethrows the first unexpected
+  /// worker error. I/O failures do NOT surface here — they flip the
+  /// failing shard to degraded mode (see ShardStats::degraded) while the
+  /// rest keep serving. Idempotent. Stats/results are valid only after
+  /// stop() returns.
   void stop();
 
   [[nodiscard]] std::size_t shards() const noexcept { return shards_.size(); }
@@ -196,9 +230,13 @@ class ShardRouter {
     ShardStats stats;
     std::vector<ServeResult> applied;
     std::future<void> done;
+    /// Set (release) by the worker after stats.degrade_reason is written;
+    /// producers read it (acquire) in try_submit. Sticky.
+    std::atomic<bool> degraded{false};
   };
 
   void worker_loop(Shard& shard);
+  void mark_degraded(Shard& shard, const std::string& reason);
 
   RouterConfig config_;
   /// Per-shard/per-tenant instruments (declared before shards_ so workers

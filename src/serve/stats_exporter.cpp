@@ -1,7 +1,6 @@
 #include "serve/stats_exporter.h"
 
-#include <cstdio>
-#include <fstream>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 
@@ -13,27 +12,52 @@ volatile std::sig_atomic_t StatsExporter::dump_requested = 0;
 
 namespace {
 
+obs::Counter& g_dump_errors =
+    obs::MetricsRegistry::global().counter("serve.stats_dump_errors");
+
 /// Atomic file publish: write to `<path>.tmp`, then rename over `path`.
-/// No fsync — stats pages are ephemeral telemetry, not durable state.
-void write_atomic(const std::string& path, const std::string& content) {
+/// No fsync — stats pages are ephemeral telemetry, not durable state. On a
+/// failed rename the tmp file is unlinked, so a transient error does not
+/// strand a `.tmp` next to every page for the rest of the run.
+void write_atomic(io::Env& env, const std::string& path,
+                  const std::string& content) {
   const std::string tmp = path + ".tmp";
   {
-    std::ofstream f(tmp, std::ios::trunc);
-    if (!f) throw std::runtime_error("stats: cannot open " + tmp);
-    f << content;
-    if (!f.flush())
-      throw std::runtime_error("stats: short write to " + tmp);
+    std::unique_ptr<io::File> f =
+        io::open_file(env, tmp, io::OpenMode::kTruncate);
+    io::write_all(*f, content.data(), content.size(), tmp);
+    int err = 0;
+    if (f->close(err) != 0)
+      throw std::runtime_error("stats: close failed for " + tmp + ": " +
+                               std::strerror(err));
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0)
-    throw std::runtime_error("stats: rename failed for " + path);
+  int err = 0;
+  if (env.rename(tmp, path, err) != 0) {
+    int ignored = 0;
+    env.unlink(tmp, ignored);
+    throw std::runtime_error("stats: rename failed for " + path + ": " +
+                             std::strerror(err));
+  }
+}
+
+/// Startup sweep: a previous process killed mid-publish (or one whose
+/// rename failed before this code unlinked on failure) leaves stale
+/// `<page>.tmp` files behind. They are garbage from a dead run — remove
+/// them so the output directory holds only live pages.
+void sweep_stale_tmp(io::Env& env, const std::string& out_base) {
+  for (const char* ext : {".prom.tmp", ".json.tmp"}) {
+    int err = 0;
+    env.unlink(out_base + ext, err);
+  }
 }
 
 }  // namespace
 
 StatsExporter::StatsExporter(StatsExporterConfig config)
-    : config_(std::move(config)) {
+    : config_(std::move(config)), env_(&io::env_or_posix(config_.env)) {
   if (config_.out_base.empty())
     throw std::invalid_argument("stats: out_base must not be empty");
+  sweep_stale_tmp(*env_, config_.out_base);
   last_ = obs::MetricsRegistry::global().snapshot();
   last_time_ = std::chrono::steady_clock::now();
   thread_ = std::thread([this] { loop(); });
@@ -74,8 +98,8 @@ void StatsExporter::dump_locked() {
   obs::render_prometheus_text(cur, &interval, prom);
   std::ostringstream json;
   obs::render_stats_json(cur, &interval, interval_s, json);
-  write_atomic(config_.out_base + ".prom", prom.str());
-  write_atomic(config_.out_base + ".json", json.str());
+  write_atomic(*env_, config_.out_base + ".prom", prom.str());
+  write_atomic(*env_, config_.out_base + ".json", json.str());
 
   last_ = cur;
   last_time_ = now;
@@ -104,7 +128,15 @@ void StatsExporter::loop() {
     }
     if (want_dump) {
       lock.unlock();
-      dump_now();
+      // An I/O failure on the background thread must never escape: an
+      // uncaught exception here would std::terminate the whole process
+      // over a telemetry page. Count it and keep serving.
+      try {
+        dump_now();
+      } catch (const std::exception&) {
+        dump_errors_.fetch_add(1, std::memory_order_relaxed);
+        g_dump_errors.add();
+      }
       lock.lock();
     }
   }

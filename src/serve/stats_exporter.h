@@ -26,6 +26,7 @@
 #include <string>
 #include <thread>
 
+#include "core/io_env.h"
 #include "obs/metrics.h"
 
 namespace cdbp::serve {
@@ -36,6 +37,9 @@ struct StatsExporterConfig {
   /// Milliseconds between periodic dumps; 0 = no periodic dumps (only
   /// SIGUSR1-triggered ones and the final dump at stop()).
   std::uint32_t interval_ms = 1000;
+  /// I/O environment pages are written through. nullptr = the real
+  /// filesystem; tests inject faults against the tmp-write/rename steps.
+  io::Env* env = nullptr;
 };
 
 class StatsExporter {
@@ -60,6 +64,13 @@ class StatsExporter {
     return dumps_.load(std::memory_order_relaxed);
   }
 
+  /// Dumps that failed (I/O error writing or publishing a page). Failed
+  /// dumps are logged and counted, never fatal: stats are telemetry, and a
+  /// full disk must not take the serve loop down with it.
+  [[nodiscard]] std::uint64_t dump_errors() const noexcept {
+    return dump_errors_.load(std::memory_order_relaxed);
+  }
+
   [[nodiscard]] const std::string& out_base() const noexcept {
     return config_.out_base;
   }
@@ -72,10 +83,12 @@ class StatsExporter {
   void dump_locked();
 
   StatsExporterConfig config_;
-  std::mutex dump_mutex_;  ///< serializes dump_now() vs the loop
+  io::Env* env_ = nullptr;  ///< resolved (never null after construction)
+  std::mutex dump_mutex_;   ///< serializes dump_now() vs the loop
   obs::MetricsSnapshot last_;
   std::chrono::steady_clock::time_point last_time_;
   std::atomic<std::uint64_t> dumps_{0};
+  std::atomic<std::uint64_t> dump_errors_{0};
 
   std::mutex stop_mutex_;
   std::condition_variable stop_cv_;

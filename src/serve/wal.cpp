@@ -1,14 +1,9 @@
 #include "serve/wal.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <chrono>
 #include <cstring>
-#include <fstream>
 #include <stdexcept>
+#include <utility>
 
 #include "core/checkpoint.h"
 #include "obs/obs.h"
@@ -37,11 +32,6 @@ obs::Counter& g_unknown_frames =
 obs::Histogram& g_fsync_us =
     obs::MetricsRegistry::global().histogram("wal.fsync_us");
 
-[[noreturn]] void throw_errno(const std::string& what, const std::string& path) {
-  throw std::runtime_error("wal: " + what + " failed for '" + path +
-                           "': " + std::strerror(errno));
-}
-
 std::uint32_t read_u32_le(const unsigned char* p) {
   return static_cast<std::uint32_t>(p[0]) |
          (static_cast<std::uint32_t>(p[1]) << 8) |
@@ -49,22 +39,10 @@ std::uint32_t read_u32_le(const unsigned char* p) {
          (static_cast<std::uint32_t>(p[3]) << 24);
 }
 
-void write_all(int fd, const char* data, std::size_t size,
-               const std::string& path) {
-  while (size > 0) {
-    const ssize_t n = ::write(fd, data, size);
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      throw_errno("write", path);
-    }
-    data += n;
-    size -= static_cast<std::size_t>(n);
-  }
-}
-
-void fsync_fd(int fd, const std::string& path) {
+// io::sync_file (EINTR-retrying) wrapped with the fsync metrics.
+void fsync_file(io::File& f, const std::string& path) {
   const auto t0 = std::chrono::steady_clock::now();
-  if (::fsync(fd) != 0) throw_errno("fsync", path);
+  io::sync_file(f, path);
   const auto dt = std::chrono::steady_clock::now() - t0;
   g_fsyncs.add();
   g_fsync_us.record(static_cast<std::uint64_t>(
@@ -93,38 +71,30 @@ FsyncPolicy parse_fsync_policy(const std::string& s) {
                               s + "'");
 }
 
-void fsync_parent_dir(const std::string& path) {
-  const std::size_t slash = path.find_last_of('/');
-  const std::string dir = slash == std::string::npos ? std::string(".")
-                                                     : path.substr(0, slash);
-  const int fd = ::open(dir.empty() ? "/" : dir.c_str(),
-                        O_RDONLY | O_DIRECTORY);
-  if (fd < 0) throw_errno("open directory", dir);
-  if (::fsync(fd) != 0) {
-    const int saved = errno;
-    ::close(fd);
-    errno = saved;
-    throw_errno("fsync directory", dir);
-  }
-  if (::close(fd) != 0) throw_errno("close directory", dir);
+void fsync_parent_dir(const std::string& path, io::Env* env) {
+  io::sync_parent_dir(io::env_or_posix(env), path);
 }
 
 WalWriter::WalWriter(std::string path, FsyncPolicy policy,
                      std::size_t fsync_batch, bool truncate, WalFormat format,
-                     std::uint64_t base_seq)
-    : path_(std::move(path)), policy_(policy), fsync_batch_(fsync_batch) {
+                     std::uint64_t base_seq, io::Env* env)
+    : path_(std::move(path)),
+      policy_(policy),
+      fsync_batch_(fsync_batch),
+      env_(&io::env_or_posix(env)) {
   if (policy_ == FsyncPolicy::kBatch && fsync_batch_ == 0)
     throw std::invalid_argument("wal: fsync_batch must be >= 1");
-  int flags = O_WRONLY | O_CREAT | O_APPEND;
-  if (truncate) flags |= O_TRUNC;
-  fd_ = ::open(path_.c_str(), flags, 0644);
-  if (fd_ < 0) throw_errno("open", path_);
-  struct stat st {};
-  if (::fstat(fd_, &st) != 0) throw_errno("fstat", path_);
-  bytes_ = static_cast<std::uint64_t>(st.st_size);
-  if (st.st_size == 0) {
+  file_ = io::open_file(*env_, path_,
+                        truncate ? io::OpenMode::kTruncate
+                                 : io::OpenMode::kAppend);
+  int err = 0;
+  const std::int64_t size = file_->size(err);
+  if (size < 0)
+    throw std::runtime_error("wal: stat failed for '" + path_ + "'");
+  bytes_ = static_cast<std::uint64_t>(size);
+  if (size == 0) {
     if (format == WalFormat::kLegacy) {
-      write_all(fd_, kWalMagicV1, sizeof(kWalMagicV1), path_);
+      io::write_all(*file_, kWalMagicV1, sizeof(kWalMagicV1), path_);
       bytes_ = sizeof(kWalMagicV1);
     } else {
       StateWriter seq_bytes;
@@ -132,16 +102,16 @@ WalWriter::WalWriter(std::string path, FsyncPolicy policy,
       StateWriter header;
       header.u64(base_seq);
       header.u32(crc32(seq_bytes.buffer().data(), seq_bytes.size()));
-      write_all(fd_, kWalMagicV2, sizeof(kWalMagicV2), path_);
-      write_all(fd_, header.buffer().data(), header.size(), path_);
+      io::write_all(*file_, kWalMagicV2, sizeof(kWalMagicV2), path_);
+      io::write_all(*file_, header.buffer().data(), header.size(), path_);
       bytes_ = kSegmentHeaderBytes;
     }
     // An empty-but-created log must itself survive power loss under the
     // durable policies, or recovery after a crash-before-first-append
     // would see "missing file" where the writer saw "created".
     if (policy_ != FsyncPolicy::kNone) {
-      fsync_fd(fd_, path_);
-      fsync_parent_dir(path_);
+      fsync_file(*file_, path_);
+      io::sync_parent_dir(*env_, path_);
     }
   }
   synced_bytes_ = bytes_;
@@ -158,7 +128,7 @@ WalWriter::~WalWriter() {
 }
 
 void WalWriter::write_frame(const WalRecord& rec) {
-  if (fd_ < 0) throw std::logic_error("wal: append after close");
+  if (!file_) throw std::logic_error("wal: append after close");
   StateWriter payload;
   payload.u8(kRecordOffer);
   payload.u64(rec.seq);
@@ -173,18 +143,9 @@ void WalWriter::write_frame(const WalRecord& rec) {
   frame.u32(crc32(payload.buffer().data(), payload.size()));
   for (const char c : payload.buffer()) frame.u8(static_cast<std::uint8_t>(c));
 
-  if (append_fault_hook) {
-    const std::size_t allow = append_fault_hook(appended_, frame.size());
-    if (allow < frame.size()) {
-      // Simulated ENOSPC: the kernel accepted a short write and the rest of
-      // the frame never made it — exactly the torn tail a full disk leaves.
-      write_all(fd_, frame.buffer().data(), allow, path_);
-      bytes_ += allow;
-      throw std::runtime_error("wal: write failed for '" + path_ +
-                               "': No space left on device (injected)");
-    }
-  }
-  write_all(fd_, frame.buffer().data(), frame.size(), path_);
+  // On a hard write failure (e.g. ENOSPC after a short write) this throws
+  // with part of the frame on disk — a torn tail that recovery truncates.
+  io::write_all(*file_, frame.buffer().data(), frame.size(), path_);
   bytes_ += frame.size();
   ++appended_;
   ++unsynced_;
@@ -204,28 +165,30 @@ void WalWriter::append_nosync(const WalRecord& rec) {
 }
 
 void WalWriter::sync() {
-  if (fd_ < 0) return;
-  fsync_fd(fd_, path_);
+  if (!file_) return;
+  fsync_file(*file_, path_);
   synced_bytes_ = bytes_;
   unsynced_ = 0;
 }
 
 void WalWriter::close() {
-  if (fd_ < 0) return;
+  if (!file_) return;
   if (policy_ != FsyncPolicy::kNone && unsynced_ > 0) sync();
-  const int rc = ::close(fd_);
-  fd_ = -1;
-  if (rc != 0) throw_errno("close", path_);
+  int err = 0;
+  const int rc = file_->close(err);
+  file_.reset();
+  if (rc != 0)
+    throw std::runtime_error("wal: close failed for '" + path_ +
+                             "': " + std::strerror(err));
 }
 
-WalReadResult read_wal(const std::string& path) {
+WalReadResult read_wal(const std::string& path, io::Env* env) {
   WalReadResult out;
-  std::ifstream in(path, std::ios::binary);
-  if (!in) return out;  // missing file: empty log, not an error
+  std::string data;
+  if (!io::read_file(io::env_or_posix(env), path, data))
+    return out;  // missing file: empty log, not an error
   out.exists = true;
 
-  std::string data((std::istreambuf_iterator<char>(in)),
-                   std::istreambuf_iterator<char>());
   std::size_t pos = 0;
   if (data.size() >= sizeof(kWalMagicV1) &&
       std::memcmp(data.data(), kWalMagicV1, sizeof(kWalMagicV1)) == 0) {
@@ -309,25 +272,18 @@ WalReadResult read_wal(const std::string& path) {
   return out;
 }
 
-void truncate_wal(const std::string& path, std::uint64_t size) {
-  const int fd = ::open(path.c_str(), O_WRONLY);
-  if (fd < 0) throw_errno("open", path);
-  if (::ftruncate(fd, static_cast<off_t>(size)) != 0) {
-    const int saved = errno;
-    ::close(fd);
-    errno = saved;
-    throw_errno("truncate", path);
-  }
+void truncate_wal(const std::string& path, std::uint64_t size, io::Env* env) {
+  io::Env& e = io::env_or_posix(env);
+  std::unique_ptr<io::File> f = io::open_file(e, path, io::OpenMode::kWrite);
+  io::truncate_file(*f, size, path);
   // The new length is inode metadata: fsync the file so the repair itself
   // survives power loss, then the parent so a fresh directory entry does.
-  if (::fsync(fd) != 0) {
-    const int saved = errno;
-    ::close(fd);
-    errno = saved;
-    throw_errno("fsync", path);
-  }
-  if (::close(fd) != 0) throw_errno("close", path);
-  fsync_parent_dir(path);
+  io::sync_file(*f, path);
+  int err = 0;
+  if (f->close(err) != 0)
+    throw std::runtime_error("wal: close failed for '" + path +
+                             "': " + std::strerror(err));
+  io::sync_parent_dir(e, path);
 }
 
 }  // namespace cdbp::serve

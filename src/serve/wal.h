@@ -28,11 +28,12 @@
 #pragma once
 
 #include <cstdint>
-#include <functional>
 #include <map>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "core/io_env.h"
 #include "core/time_types.h"
 
 namespace cdbp::serve {
@@ -52,8 +53,9 @@ enum class FsyncPolicy { kNone, kBatch, kEvery };
 /// rename/unlink/creat in it durable. Throws std::runtime_error on failure.
 /// (A file fsync persists the file's bytes; the *directory entry* pointing
 /// at them lives in the parent directory and needs its own fsync, or a
-/// power loss can forget an "acked" rename.)
-void fsync_parent_dir(const std::string& path);
+/// power loss can forget an "acked" rename.) `env` = nullptr uses the real
+/// filesystem; a FaultInjectingEnv makes this a scheduled fault point.
+void fsync_parent_dir(const std::string& path, io::Env* env = nullptr);
 
 /// On-disk header flavor a WalWriter emits when it creates a file.
 enum class WalFormat {
@@ -73,15 +75,6 @@ struct WalRecord {
   friend bool operator==(const WalRecord&, const WalRecord&) = default;
 };
 
-/// Test-only fault injection for the append path: called once per append
-/// with the 0-based append index and the encoded frame size. Returning a
-/// value < the frame size makes the writer emit only that many bytes and
-/// then fail with a simulated ENOSPC, which is exactly what a short write
-/// on a full disk leaves behind (a torn frame at the tail). Return
-/// anything >= the frame size for a normal append.
-using WalAppendFaultHook =
-    std::function<std::size_t(std::uint64_t index, std::size_t frame_bytes)>;
-
 /// Append-side handle for one physical log file. Not thread-safe: each
 /// shard's WAL is written only by that shard's worker (the group-commit
 /// committer thread only calls sync() while the owner is blocked waiting on
@@ -93,9 +86,12 @@ class WalWriter {
   /// a valid header — recovery truncates torn tails before reopening).
   /// A newly created header is fsynced (file + parent directory) under
   /// kBatch/kEvery so an empty-but-created log survives power loss.
+  /// All I/O flows through `env` (nullptr = the real filesystem), so a
+  /// FaultInjectingEnv can schedule short writes, ENOSPC, and fsync faults
+  /// against every byte this writer emits.
   WalWriter(std::string path, FsyncPolicy policy, std::size_t fsync_batch,
             bool truncate, WalFormat format = WalFormat::kLegacy,
-            std::uint64_t base_seq = 0);
+            std::uint64_t base_seq = 0, io::Env* env = nullptr);
   ~WalWriter();
 
   WalWriter(const WalWriter&) = delete;
@@ -131,20 +127,18 @@ class WalWriter {
   }
   [[nodiscard]] std::size_t unsynced() const noexcept { return unsynced_; }
 
-  /// Test-only: see WalAppendFaultHook.
-  WalAppendFaultHook append_fault_hook;
-
  private:
   void write_frame(const WalRecord& rec);
 
   std::string path_;
   FsyncPolicy policy_;
   std::size_t fsync_batch_;
+  io::Env* env_;
+  std::unique_ptr<io::File> file_;
   std::size_t unsynced_ = 0;
   std::uint64_t appended_ = 0;
   std::uint64_t bytes_ = 0;
   std::uint64_t synced_bytes_ = 0;
-  int fd_ = -1;
 };
 
 /// Result of scanning a WAL file.
@@ -166,11 +160,13 @@ struct WalReadResult {
 /// yields an empty, non-torn result; a present file with a bad header
 /// yields torn with valid_bytes = 0... the caller decides whether to
 /// truncate (recovery does).
-[[nodiscard]] WalReadResult read_wal(const std::string& path);
+[[nodiscard]] WalReadResult read_wal(const std::string& path,
+                                     io::Env* env = nullptr);
 
 /// Truncates `path` to `size` bytes (recovery's torn-tail repair) and makes
 /// the new size durable (file fsync + parent directory fsync).
 /// Throws std::runtime_error on failure.
-void truncate_wal(const std::string& path, std::uint64_t size);
+void truncate_wal(const std::string& path, std::uint64_t size,
+                  io::Env* env = nullptr);
 
 }  // namespace cdbp::serve

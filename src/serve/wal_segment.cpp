@@ -1,14 +1,9 @@
 #include "serve/wal_segment.h"
 
-#include <fcntl.h>
-#include <sys/stat.h>
-#include <unistd.h>
-
 #include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
 #include <set>
 #include <stdexcept>
 
@@ -19,8 +14,6 @@
 namespace cdbp::serve {
 
 namespace {
-
-namespace fs = std::filesystem;
 
 constexpr char kManifestMagic[8] = {'C', 'D', 'B', 'P', 'M', 'A', 'N', '1'};
 constexpr std::uint32_t kManifestVersion = 1;
@@ -34,10 +27,10 @@ obs::Counter& g_orphans =
 obs::Histogram& g_scan_segments =
     obs::MetricsRegistry::global().histogram("wal.recovery_segments");
 
-[[noreturn]] void throw_errno(const std::string& what,
-                              const std::string& path) {
+[[noreturn]] void throw_err(const std::string& what, const std::string& path,
+                            int err) {
   throw std::runtime_error("wal: " + what + " failed for '" + path +
-                           "': " + std::strerror(errno));
+                           "': " + std::strerror(err));
 }
 
 std::string dir_of(const std::string& base) {
@@ -57,19 +50,19 @@ std::string manifest_path(const std::string& base) {
 
 /// Removes a file if present, durably (dir fsync). ENOENT is fine — a
 /// crashed earlier attempt may have gotten part-way.
-bool remove_file_durable(const std::string& path) {
-  if (::unlink(path.c_str()) != 0) {
-    if (errno == ENOENT) return false;
-    throw_errno("unlink", path);
+bool remove_file_durable(io::Env& env, const std::string& path) {
+  int err = 0;
+  if (env.unlink(path, err) != 0) {
+    if (err == ENOENT) return false;
+    throw_err("unlink", path, err);
   }
-  fsync_parent_dir(path);
+  io::sync_parent_dir(env, path);
   return true;
 }
 
-std::uint64_t file_size_or_zero(const std::string& path) {
-  struct stat st {};
-  if (::stat(path.c_str(), &st) != 0) return 0;
-  return static_cast<std::uint64_t>(st.st_size);
+std::uint64_t file_size_or_zero(io::Env& env, const std::string& path) {
+  const std::int64_t size = env.file_size(path);
+  return size < 0 ? 0 : static_cast<std::uint64_t>(size);
 }
 
 WalFormat format_of_entry(const std::string& base,
@@ -82,28 +75,11 @@ WalFormat format_of_entry(const std::string& base,
 
 }  // namespace
 
-std::optional<WalManifest> read_wal_manifest(const std::string& base) {
+std::optional<WalManifest> read_wal_manifest(const std::string& base,
+                                             io::Env* env) {
   const std::string path = manifest_path(base);
-  const int fd = ::open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    if (errno == ENOENT) return std::nullopt;
-    throw_errno("open", path);
-  }
   std::string data;
-  char buf[4096];
-  for (;;) {
-    const ssize_t n = ::read(fd, buf, sizeof(buf));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      const int saved = errno;
-      ::close(fd);
-      errno = saved;
-      throw_errno("read", path);
-    }
-    if (n == 0) break;
-    data.append(buf, static_cast<std::size_t>(n));
-  }
-  ::close(fd);
+  if (!io::read_file(io::env_or_posix(env), path, data)) return std::nullopt;
 
   if (data.size() < sizeof(kManifestMagic) + 12 ||
       std::memcmp(data.data(), kManifestMagic, sizeof(kManifestMagic)) != 0)
@@ -136,7 +112,8 @@ std::optional<WalManifest> read_wal_manifest(const std::string& base) {
   return m;
 }
 
-void write_wal_manifest(const std::string& base, const WalManifest& m) {
+void write_wal_manifest(const std::string& base, const WalManifest& m,
+                        io::Env* env) {
   StateWriter payload;
   payload.u32(kManifestVersion);
   payload.u64(m.next_segment_id);
@@ -151,34 +128,20 @@ void write_wal_manifest(const std::string& base, const WalManifest& m) {
 
   const std::string path = manifest_path(base);
   const std::string tmp = path + ".tmp";
-  const int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
-  if (fd < 0) throw_errno("open", tmp);
-  const auto write_all = [&](const char* data, std::size_t size) {
-    while (size > 0) {
-      const ssize_t n = ::write(fd, data, size);
-      if (n < 0) {
-        if (errno == EINTR) continue;
-        const int saved = errno;
-        ::close(fd);
-        errno = saved;
-        throw_errno("write", tmp);
-      }
-      data += n;
-      size -= static_cast<std::size_t>(n);
-    }
-  };
-  write_all(kManifestMagic, sizeof(kManifestMagic));
-  write_all(header.buffer().data(), header.size());
-  write_all(payload.buffer().data(), payload.size());
-  if (::fsync(fd) != 0) {
-    const int saved = errno;
-    ::close(fd);
-    errno = saved;
-    throw_errno("fsync", tmp);
+  io::Env& e = io::env_or_posix(env);
+  {
+    std::unique_ptr<io::File> f =
+        io::open_file(e, tmp, io::OpenMode::kTruncate);
+    io::write_all(*f, kManifestMagic, sizeof(kManifestMagic), tmp);
+    io::write_all(*f, header.buffer().data(), header.size(), tmp);
+    io::write_all(*f, payload.buffer().data(), payload.size(), tmp);
+    io::sync_file(*f, tmp);
+    int err = 0;
+    if (f->close(err) != 0) throw_err("close", tmp, err);
   }
-  if (::close(fd) != 0) throw_errno("close", tmp);
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) throw_errno("rename", path);
-  fsync_parent_dir(path);
+  int err = 0;
+  if (e.rename(tmp, path, err) != 0) throw_err("rename", path, err);
+  io::sync_parent_dir(e, path);
 }
 
 std::string wal_segment_path(const std::string& base, std::uint64_t id) {
@@ -189,13 +152,15 @@ std::string wal_segment_path(const std::string& base, std::uint64_t id) {
 }
 
 SegmentedWalScan scan_segmented_wal(const std::string& base,
-                                    parallel::ThreadPool* pool) {
+                                    parallel::ThreadPool* pool,
+                                    io::Env* env) {
   SegmentedWalScan out;
-  std::optional<WalManifest> manifest = read_wal_manifest(base);
+  io::Env& e = io::env_or_posix(env);
+  std::optional<WalManifest> manifest = read_wal_manifest(base, &e);
   if (manifest) {
     out.manifest = std::move(*manifest);
     out.exists = true;
-  } else if (fs::exists(base)) {
+  } else if (e.exists(base)) {
     // Pre-segmentation log: adopt the bare file as the first segment.
     out.legacy = true;
     out.exists = true;
@@ -210,7 +175,7 @@ SegmentedWalScan scan_segmented_wal(const std::string& base,
   const std::string dir = dir_of(base);
   const std::size_t n = out.manifest.segments.size();
   const auto scan_one = [&](std::size_t i) {
-    return read_wal(dir + "/" + out.manifest.segments[i].file);
+    return read_wal(dir + "/" + out.manifest.segments[i].file, &e);
   };
   std::vector<WalReadResult> scans;
   if (pool != nullptr && n > 1) {
@@ -282,7 +247,8 @@ SegmentedWalScan scan_segmented_wal(const std::string& base,
 }
 
 std::uint64_t repair_segmented_wal(const std::string& base,
-                                   SegmentedWalScan& scan) {
+                                   SegmentedWalScan& scan, io::Env* env) {
+  io::Env& e = io::env_or_posix(env);
   std::uint64_t removed_bytes = 0;
   const std::string dir = dir_of(base);
   if (scan.torn && scan.torn_segment != static_cast<std::size_t>(-1)) {
@@ -299,12 +265,12 @@ std::uint64_t repair_segmented_wal(const std::string& base,
     if (survivors.size() != scan.manifest.segments.size()) {
       WalManifest repaired = scan.manifest;
       repaired.segments = survivors;
-      write_wal_manifest(base, repaired);
+      write_wal_manifest(base, repaired, &e);
       for (std::size_t i = survivors.size();
            i < scan.manifest.segments.size(); ++i) {
         const std::string path = dir + "/" + scan.manifest.segments[i].file;
-        removed_bytes += file_size_or_zero(path);
-        remove_file_durable(path);
+        removed_bytes += file_size_or_zero(e, path);
+        remove_file_durable(e, path);
       }
       scan.manifest.segments = std::move(survivors);
     }
@@ -312,10 +278,10 @@ std::uint64_t repair_segmented_wal(const std::string& base,
     if (keep_torn) {
       const std::string path =
           dir + "/" + scan.manifest.segments[scan.torn_segment].file;
-      const std::uint64_t size = file_size_or_zero(path);
+      const std::uint64_t size = file_size_or_zero(e, path);
       if (size > scan.torn_valid_bytes)
         removed_bytes += size - scan.torn_valid_bytes;
-      truncate_wal(path, scan.torn_valid_bytes);
+      truncate_wal(path, scan.torn_valid_bytes, &e);
     }
     scan.torn_segment = static_cast<std::size_t>(-1);
   }
@@ -327,16 +293,15 @@ std::uint64_t repair_segmented_wal(const std::string& base,
   for (const WalManifest::Entry& entry : scan.manifest.segments)
     listed.insert(entry.file);
   const std::string prefix = name_of(base) + ".";
-  std::error_code ec;
-  for (const auto& de : fs::directory_iterator(dir, ec)) {
-    const std::string file = de.path().filename().string();
+  for (const std::string& file : e.list_dir(dir)) {
     if (file.rfind(prefix, 0) != 0) continue;
     const bool is_segment = file.size() > 4 &&
                             file.compare(file.size() - 4, 4, ".seg") == 0;
     const bool is_stale_tmp = file == name_of(base) + ".manifest.tmp";
     if ((is_segment && listed.count(file) == 0) || is_stale_tmp) {
-      removed_bytes += file_size_or_zero(de.path().string());
-      remove_file_durable(de.path().string());
+      const std::string path = dir + "/" + file;
+      removed_bytes += file_size_or_zero(e, path);
+      remove_file_durable(e, path);
       if (is_segment) g_orphans.add();
     }
   }
@@ -345,31 +310,33 @@ std::uint64_t repair_segmented_wal(const std::string& base,
 
 SegmentedWal::SegmentedWal(std::string base, Options opts, bool truncate,
                            const SegmentedWalScan* scan)
-    : base_(std::move(base)), opts_(std::move(opts)) {
+    : base_(std::move(base)),
+      opts_(std::move(opts)),
+      env_(&io::env_or_posix(opts_.env)) {
   if (truncate) {
     // Fresh log: durably clear every trace of the old one first, or a
     // crash mid-start could pair new segments with stale ones.
-    SegmentedWalScan old = scan_segmented_wal(base_);
+    SegmentedWalScan old = scan_segmented_wal(base_, nullptr, env_);
     for (const WalManifest::Entry& entry : old.manifest.segments)
-      remove_file_durable(full_path(entry.file));
+      remove_file_durable(*env_, full_path(entry.file));
     old.manifest.segments.clear();
     old.torn = false;
     old.torn_segment = static_cast<std::size_t>(-1);
-    repair_segmented_wal(base_, old);  // orphan/tmp sweep
-    remove_file_durable(manifest_path(base_));
+    repair_segmented_wal(base_, old, env_);  // orphan/tmp sweep
+    remove_file_durable(*env_, manifest_path(base_));
     manifest_.next_segment_id = 1;
     const std::uint64_t id = manifest_.next_segment_id++;
     manifest_.segments.push_back(
         {name_of(wal_segment_path(base_, id)), 0});
     open_active(0, /*create=*/true, WalFormat::kSegment);
-    write_wal_manifest(base_, manifest_);
+    write_wal_manifest(base_, manifest_, env_);
     return;
   }
 
   SegmentedWalScan own;
   if (scan == nullptr) {
-    own = scan_segmented_wal(base_);
-    repair_segmented_wal(base_, own);
+    own = scan_segmented_wal(base_, nullptr, env_);
+    repair_segmented_wal(base_, own, env_);
     scan = &own;
   }
   manifest_ = scan->manifest;
@@ -378,7 +345,7 @@ SegmentedWal::SegmentedWal(std::string base, Options opts, bool truncate,
     manifest_.segments.push_back(
         {name_of(wal_segment_path(base_, id)), 0});
     open_active(0, /*create=*/true, WalFormat::kSegment);
-    write_wal_manifest(base_, manifest_);
+    write_wal_manifest(base_, manifest_, env_);
     return;
   }
   const WalManifest::Entry& last = manifest_.segments.back();
@@ -388,7 +355,7 @@ SegmentedWal::SegmentedWal(std::string base, Options opts, bool truncate,
                            : scan->segment_records.back();
   // Legacy adoption: give the bare file a manifest so rotation and
   // compaction have somewhere to live.
-  if (scan->legacy) write_wal_manifest(base_, manifest_);
+  if (scan->legacy) write_wal_manifest(base_, manifest_, env_);
 }
 
 SegmentedWal::~SegmentedWal() {
@@ -408,8 +375,7 @@ void SegmentedWal::open_active(std::uint64_t base_seq, bool create,
                                WalFormat format) {
   writer_ = std::make_unique<WalWriter>(
       full_path(manifest_.segments.back().file), opts_.policy,
-      opts_.fsync_batch, /*truncate=*/create, format, base_seq);
-  writer_->append_fault_hook = opts_.append_fault_hook;
+      opts_.fsync_batch, /*truncate=*/create, format, base_seq, env_);
   records_in_active_ = 0;
 }
 
@@ -426,7 +392,7 @@ void SegmentedWal::maybe_rotate(std::uint64_t next_seq) {
   manifest_.segments.push_back(
       {name_of(wal_segment_path(base_, id)), next_seq});
   open_active(next_seq, /*create=*/true, WalFormat::kSegment);
-  write_wal_manifest(base_, manifest_);
+  write_wal_manifest(base_, manifest_, env_);
   ++rotations_;
   g_rotations.add();
 }
@@ -479,9 +445,9 @@ std::size_t SegmentedWal::compact(std::uint64_t covered_seq) {
                                static_cast<std::ptrdiff_t>(dead));
   // Manifest first: a kill after this leaves orphan files (swept on next
   // open), never a manifest naming deleted data.
-  write_wal_manifest(base_, compacted);
+  write_wal_manifest(base_, compacted, env_);
   for (std::size_t i = 0; i < dead; ++i)
-    remove_file_durable(full_path(manifest_.segments[i].file));
+    remove_file_durable(*env_, full_path(manifest_.segments[i].file));
   manifest_ = std::move(compacted);
   g_compacted.add(dead);
   return dead;
@@ -507,7 +473,7 @@ SegmentedWal::synced_watermarks() const {
       out.emplace_back(path, writer_->synced_bytes());
     } else {
       // Sealed segments were fsynced in full at rotation time.
-      out.emplace_back(path, file_size_or_zero(path));
+      out.emplace_back(path, file_size_or_zero(*env_, path));
     }
   }
   return out;

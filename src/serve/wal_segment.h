@@ -60,10 +60,13 @@ struct WalManifest {
 /// or unreadable one throws std::runtime_error (manifests are written via
 /// tmp + rename, so a corrupt one is damage, not a crash artifact).
 [[nodiscard]] std::optional<WalManifest> read_wal_manifest(
-    const std::string& base);
+    const std::string& base, io::Env* env = nullptr);
 
 /// Durably writes `<base>.manifest` (tmp + fsync + rename + dir fsync).
-void write_wal_manifest(const std::string& base, const WalManifest& m);
+/// Every step flows through `env`, so each of the four ops is a scheduled
+/// fault point for torn-rename / power-loss testing.
+void write_wal_manifest(const std::string& base, const WalManifest& m,
+                        io::Env* env = nullptr);
 
 /// `<base>.NNNNNN.seg` path for a segment id (full path, 6-digit id).
 [[nodiscard]] std::string wal_segment_path(const std::string& base,
@@ -97,14 +100,16 @@ struct SegmentedWalScan {
 /// CRC-scans every segment (in parallel on `pool` when given and there is
 /// more than one) and assembles the global intact prefix. Read-only.
 [[nodiscard]] SegmentedWalScan scan_segmented_wal(
-    const std::string& base, parallel::ThreadPool* pool = nullptr);
+    const std::string& base, parallel::ThreadPool* pool = nullptr,
+    io::Env* env = nullptr);
 
 /// Applies the repair a scan prescribed: truncates the torn segment,
 /// deletes segments past the tear and any orphan `.seg` files the manifest
 /// does not list, and rewrites the manifest when segments were dropped.
 /// Mutates `scan` to describe the repaired log. Returns bytes removed.
 std::uint64_t repair_segmented_wal(const std::string& base,
-                                   SegmentedWalScan& scan);
+                                   SegmentedWalScan& scan,
+                                   io::Env* env = nullptr);
 
 /// Append-side handle over the segment chain. Not thread-safe (one shard
 /// worker), except that sync_file() may be invoked by the group-commit
@@ -120,8 +125,10 @@ class SegmentedWal final : public WalSyncable {
     /// When set and policy == kEvery, per-record durability goes through
     /// the shared coordinator instead of a private fsync.
     GroupCommitCoordinator* group_commit = nullptr;
-    /// Test-only fault injection, forwarded to each segment's writer.
-    WalAppendFaultHook append_fault_hook;
+    /// I/O environment for every byte this log touches (segments, manifest,
+    /// repairs). nullptr = the real filesystem; tests pass a
+    /// FaultInjectingEnv to schedule faults against any operation.
+    io::Env* env = nullptr;
   };
 
   /// truncate=true starts a fresh log: every existing segment, manifest,
@@ -188,6 +195,7 @@ class SegmentedWal final : public WalSyncable {
 
   std::string base_;
   Options opts_;
+  io::Env* env_ = nullptr;  ///< resolved (never null after construction)
   WalManifest manifest_;
   std::unique_ptr<WalWriter> writer_;  ///< active (last) segment
   std::uint64_t appended_ = 0;

@@ -409,10 +409,19 @@ TEST_F(RecoveryTest, WalWriteFailurePoisonsSession) {
   const Instance instance = general_instance(12);
   auto cfg = config("poison", false, 0);
   // Injected ENOSPC on the 4th append, after a 10-byte short write — the
-  // torn frame a full disk leaves at the tail.
-  cfg.wal_fault_hook = [](std::uint64_t index, std::size_t frame) {
-    return index == 3 ? std::size_t{10} : frame;
-  };
+  // torn frame a full disk leaves at the tail. Segment write ops 0 and 1
+  // are the v2 magic + header, so frame appends start at match 2 and the
+  // 4th frame is match 5: a 10-byte short write there, hard ENOSPC on
+  // every later write (the disk stays full).
+  io::FaultInjectingEnv fault_env(io::Env::posix());
+  io::FaultRule rule;
+  rule.ops = io::kOpWrite;
+  rule.path_contains = ".seg";
+  rule.after = 5;
+  rule.kind = io::FaultKind::kEnospc;
+  rule.param = 10;
+  fault_env.add_rule(rule);
+  cfg.env = &fault_env;
   {
     DurableSession s(cli::make_algorithm("ff"), "ff", cfg);
     for (std::size_t i = 0; i < 3; ++i) {
