@@ -1,6 +1,7 @@
 #include "cli/cli.h"
 
 #include <algorithm>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <fstream>
@@ -9,6 +10,7 @@
 #include <optional>
 #include <ostream>
 #include <random>
+#include <set>
 #include <stdexcept>
 #include <thread>
 
@@ -23,6 +25,10 @@
 #include "analysis/ratio.h"
 #include "cluster/cluster.h"
 #include "core/checkpoint.h"
+#include "net/client.h"
+#include "net/listener.h"
+#include "net/net_chaos.h"
+#include "net/protocol.h"
 #include "core/simulator.h"
 #include "core/transforms.h"
 #include "core/validation.h"
@@ -65,7 +71,8 @@ class Flags {
         throw std::invalid_argument("expected --flag, got '" + *it + "'");
       const std::string key = it->substr(2);
       if (key == "gantt" || key == "validate" || key == "resume" ||
-          key == "stream") {
+          key == "stream" || key == "force-poll" || key == "allow-loss" ||
+          key == "net") {
         values_[key] = "true";
       } else {
         if (++it == end)
@@ -104,6 +111,30 @@ int to_int(const std::string& s, const std::string& what) {
   } catch (const std::exception&) {
     throw std::invalid_argument("bad integer for " + what + ": " + s);
   }
+}
+
+/// "HOST:PORT" (":PORT" and bare "PORT" default the host to 127.0.0.1).
+std::pair<std::string, std::uint16_t> parse_hostport(const std::string& s) {
+  const std::size_t colon = s.rfind(':');
+  std::string host =
+      colon == std::string::npos ? "127.0.0.1" : s.substr(0, colon);
+  if (host.empty()) host = "127.0.0.1";
+  const std::string port_str =
+      colon == std::string::npos ? s : s.substr(colon + 1);
+  const int port = to_int(port_str, "port in '" + s + "'");
+  if (port < 0 || port > 65535)
+    throw std::invalid_argument("port out of range in '" + s + "'");
+  return {host, static_cast<std::uint16_t>(port)};
+}
+
+/// SIGINT/SIGTERM request a graceful shutdown: a handler may only flip a
+/// volatile sig_atomic_t; the serve loops poll it.
+volatile std::sig_atomic_t g_shutdown = 0;
+
+void install_shutdown_handlers() {
+  g_shutdown = 0;
+  std::signal(SIGINT, [](int) { g_shutdown = 1; });
+  std::signal(SIGTERM, [](int) { g_shutdown = 1; });
 }
 
 /// Full round-trip precision for values that must diff-compare exactly
@@ -206,15 +237,29 @@ void print_usage(std::ostream& out) {
       << "            [--trace-out FILE] [--trace-format chrome|jsonl]\n"
       << "            [--stats-out BASE] [--stats-interval MS]\n"
       << "            (stats: periodic BASE.prom + BASE.json pages;\n"
-      << "             SIGUSR1 forces a dump; interval 0 = final only)\n"
+      << "             SIGUSR1 forces a dump; interval 0 = final only;\n"
+      << "             SIGINT/SIGTERM shut down gracefully)\n"
+      << "  serve     --algo ALGO --listen HOST:PORT --wal-dir DIR  (networked\n"
+      << "            mode: CDBPNET1 over TCP instead of --in; port 0 picks\n"
+      << "            an ephemeral port, printed as 'listening on ...')\n"
+      << "            [--loops N] [--quota-rate R] [--quota-burst B]\n"
+      << "            [--max-offers N] [--drain-ms MS] [--force-poll]\n"
+      << "            + all file-fed flags except --in\n"
+      << "  client    --connect HOST:PORT [--in STREAM | --items N\n"
+      << "            --tenants T --seed S --mu-log2 M]\n"
+      << "            [--shard-window W] [--pipeline K] [--connect-batch C]\n"
+      << "            [--timeout-ms MS] [--allow-loss]\n"
+      << "            (load generator: one connection per tenant; exit 1 on\n"
+      << "             unexpected loss unless --allow-loss)\n"
       << "  recover   --algo ALGO --wal-dir DIR [--shards N]\n"
       << "  wal-dump  --wal FILE|BASE    (single file, or segmented base)\n"
       << "  chaos     --dir DIR [--seeds S1,S2,...] [--random N]\n"
       << "            [--algo ALGO] [--offers N] [--checkpoint-every N]\n"
-      << "            [--wal-segment-bytes B] [--max-points N]\n"
+      << "            [--wal-segment-bytes B] [--max-points N] [--net]\n"
       << "            (fault-injection matrix over the serve plane; every\n"
       << "             failure prints its seed for replay; exit 1 on any\n"
-      << "             durability-contract violation)\n"
+      << "             durability-contract violation; --net swaps in the\n"
+      << "             socket-fault matrix against a live loopback listener)\n"
       << "algorithms:";
   for (const std::string& name : algorithm_names()) out << " " << name;
   out << "\n";
@@ -679,82 +724,12 @@ int cmd_gen_stream(Flags& flags, std::ostream& out) {
   return 0;
 }
 
-int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
-  const std::string algo_name = flags.require("algo");
-  const std::string in_path = flags.require("in");
-  serve::RouterConfig rc;
-  rc.wal_dir = flags.require("wal-dir");
-  rc.shards = static_cast<std::size_t>(
-      to_int(flags.get("shards").value_or("1"), "--shards"));
-  rc.fsync = serve::parse_fsync_policy(flags.get("fsync").value_or("batch"));
-  rc.fsync_batch = static_cast<std::size_t>(
-      to_int(flags.get("fsync-batch").value_or("64"), "--fsync-batch"));
-  rc.checkpoint_every = static_cast<std::uint64_t>(to_int(
-      flags.get("checkpoint-every").value_or("0"), "--checkpoint-every"));
-  rc.admission = serve::parse_admission_policy(
-      flags.get("admission").value_or("block"));
-  rc.queue_capacity = static_cast<std::size_t>(
-      to_int(flags.get("queue-capacity").value_or("1024"), "--queue-capacity"));
-  rc.worker_delay_us = static_cast<std::uint32_t>(
-      to_int(flags.get("throttle-us").value_or("0"), "--throttle-us"));
-  rc.resume = flags.get("resume").has_value();
-  rc.wal_segment_bytes = static_cast<std::uint64_t>(
-      to_int(flags.get("wal-segment-bytes").value_or("8388608"),
-             "--wal-segment-bytes"));
-  rc.group_commit_window_us = static_cast<std::uint32_t>(to_int(
-      flags.get("group-commit-window").value_or("0"), "--group-commit-window"));
-  const double mu_hint = std::stod(flags.get("mu-hint").value_or("2"));
-  const auto out_path = flags.get("out");
-  const auto metrics_out = flags.get("metrics-out");
-  const auto trace_out = flags.get("trace-out");
-  const auto trace_format = flags.get("trace-format");
-  const auto stats_out = flags.get("stats-out");
-  const auto stats_interval = static_cast<std::uint32_t>(to_int(
-      flags.get("stats-interval").value_or("1000"), "--stats-interval"));
-  flags.finish();
-  if (metrics_out) require_obs("--metrics-out");
-  if (trace_out) require_obs("--trace-out");
-  if (stats_out) require_obs("--stats-out");
-
-  const std::vector<serve::ServeRequest> stream =
-      serve::read_stream_csv(in_path);
-#ifndef CDBP_OBS_OFF
-  if (trace_out)
-    obs::Tracer::global().set_sink(make_trace_sink(
-        *trace_out, trace_format.value_or(infer_trace_format(*trace_out))));
-  struct SinkGuard {
-    bool armed;
-    ~SinkGuard() {
-      if (armed) obs::Tracer::global().clear_sink();
-    }
-  } sink_guard{trace_out.has_value()};
-  std::unique_ptr<serve::StatsExporter> stats;
-  if (stats_out) {
-    // A signal handler may only set a volatile sig_atomic_t; the exporter's
-    // poll loop consumes the flag.
-    std::signal(SIGUSR1,
-                [](int) { serve::StatsExporter::dump_requested = 1; });
-    stats = std::make_unique<serve::StatsExporter>(
-        serve::StatsExporterConfig{*stats_out, stats_interval});
-  }
-#else
-  (void)trace_format;
-  (void)stats_interval;
-#endif
-  serve::ShardRouter router(
-      rc, [&] { return make_algorithm(algo_name, mu_hint); }, algo_name);
-  std::uint64_t rejected = 0;
-  for (const serve::ServeRequest& req : stream)
-    if (!router.submit(req)) ++rejected;
-  router.stop();
-#ifndef CDBP_OBS_OFF
-  if (stats) stats->stop();  // final page covers the run's tail
-  if (trace_out) {
-    obs::Tracer::global().clear_sink();  // finalize the file
-    sink_guard.armed = false;
-  }
-#endif
-
+/// Post-stop() per-shard + total report, shared by the file-fed and
+/// networked serve paths. `submitted` is how many requests reached
+/// submit(); healthy output stays byte-stable for the CI diffs.
+void print_serve_summary(const serve::ShardRouter& router, bool resume,
+                         std::uint64_t submitted, std::uint64_t rejected,
+                         std::ostream& out, std::ostream& err) {
   std::uint64_t applied = 0, skipped = 0, shed = 0, invalid = 0;
   std::size_t degraded = 0;
   for (std::size_t i = 0; i < router.shards(); ++i) {
@@ -784,7 +759,7 @@ int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
           << " p95=" << s.ack_latency.quantile(0.95)
           << " p99=" << s.ack_latency.quantile(0.99)
           << " max=" << s.ack_latency.max << "\n";
-    if (rc.resume) {
+    if (resume) {
       const serve::RecoveryReport& r = s.recovery;
       err << "shard " << i << " recovery: records=" << r.records
           << " replayed=" << r.replayed
@@ -797,24 +772,177 @@ int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
           << "\n";
     }
   }
-  out << "served " << stream.size() << " requests on " << router.shards()
+  out << "served " << submitted << " requests on " << router.shards()
       << " shard(s): applied=" << applied << " skipped=" << skipped
       << " rejected=" << rejected << " shed=" << shed
       << " invalid=" << invalid;
   if (degraded > 0) out << " degraded-shards=" << degraded;
   out << "\n"
       << "total cost=" << num_exact(router.total_cost()) << "\n";
+}
 
-  if (out_path) {
-    std::ofstream f(*out_path);
-    if (!f)
-      throw std::runtime_error("cannot open placements file: " + *out_path);
-    f << "stream_index,tenant,shard,seq,bin\n";
-    for (const serve::ServeResult& r : router.results())
-      f << r.stream_index << ',' << r.tenant << ',' << r.shard << ','
-        << r.seq << ',' << r.bin << "\n";
-    out << "placements written to " << *out_path << "\n";
+void write_placements(const serve::ShardRouter& router,
+                      const std::string& path, std::ostream& out) {
+  std::ofstream f(path);
+  if (!f) throw std::runtime_error("cannot open placements file: " + path);
+  f << "stream_index,tenant,shard,seq,bin\n";
+  for (const serve::ServeResult& r : router.results())
+    f << r.stream_index << ',' << r.tenant << ',' << r.shard << ',' << r.seq
+      << ',' << r.bin << "\n";
+  out << "placements written to " << path << "\n";
+}
+
+int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
+  const std::string algo_name = flags.require("algo");
+  const auto listen = flags.get("listen");
+  const auto in_flag = flags.get("in");
+  if (listen.has_value() == in_flag.has_value())
+    throw std::invalid_argument(
+        "serve: exactly one of --in (file-fed) or --listen (networked) "
+        "is required");
+  const std::string in_path = in_flag.value_or("");
+  serve::RouterConfig rc;
+  rc.wal_dir = flags.require("wal-dir");
+  rc.shards = static_cast<std::size_t>(
+      to_int(flags.get("shards").value_or("1"), "--shards"));
+  rc.fsync = serve::parse_fsync_policy(flags.get("fsync").value_or("batch"));
+  rc.fsync_batch = static_cast<std::size_t>(
+      to_int(flags.get("fsync-batch").value_or("64"), "--fsync-batch"));
+  rc.checkpoint_every = static_cast<std::uint64_t>(to_int(
+      flags.get("checkpoint-every").value_or("0"), "--checkpoint-every"));
+  rc.admission = serve::parse_admission_policy(
+      flags.get("admission").value_or("block"));
+  rc.queue_capacity = static_cast<std::size_t>(
+      to_int(flags.get("queue-capacity").value_or("1024"), "--queue-capacity"));
+  rc.worker_delay_us = static_cast<std::uint32_t>(
+      to_int(flags.get("throttle-us").value_or("0"), "--throttle-us"));
+  rc.resume = flags.get("resume").has_value();
+  rc.wal_segment_bytes = static_cast<std::uint64_t>(
+      to_int(flags.get("wal-segment-bytes").value_or("8388608"),
+             "--wal-segment-bytes"));
+  rc.group_commit_window_us = static_cast<std::uint32_t>(to_int(
+      flags.get("group-commit-window").value_or("0"), "--group-commit-window"));
+  const double mu_hint = std::stod(flags.get("mu-hint").value_or("2"));
+  const auto out_path = flags.get("out");
+  const auto metrics_out = flags.get("metrics-out");
+  const auto trace_out = flags.get("trace-out");
+  const auto trace_format = flags.get("trace-format");
+  const auto stats_out = flags.get("stats-out");
+  const auto stats_interval = static_cast<std::uint32_t>(to_int(
+      flags.get("stats-interval").value_or("1000"), "--stats-interval"));
+  // Networked-mode knobs (--listen).
+  const auto loops = static_cast<std::size_t>(
+      to_int(flags.get("loops").value_or("2"), "--loops"));
+  const double quota_rate = std::stod(flags.get("quota-rate").value_or("0"));
+  const double quota_burst = std::stod(flags.get("quota-burst").value_or("0"));
+  const auto max_offers = static_cast<std::uint64_t>(
+      to_int(flags.get("max-offers").value_or("0"), "--max-offers"));
+  const auto drain_ms = static_cast<std::uint32_t>(
+      to_int(flags.get("drain-ms").value_or("5000"), "--drain-ms"));
+  const bool force_poll = flags.get("force-poll").has_value();
+  flags.finish();
+  if (metrics_out) require_obs("--metrics-out");
+  if (trace_out) require_obs("--trace-out");
+  if (stats_out) require_obs("--stats-out");
+  // Graceful shutdown of a networked serve checkpoints each shard so the
+  // next start replays a WAL tail, not the whole log.
+  rc.final_checkpoint = listen.has_value();
+#ifndef CDBP_OBS_OFF
+  if (trace_out)
+    obs::Tracer::global().set_sink(make_trace_sink(
+        *trace_out, trace_format.value_or(infer_trace_format(*trace_out))));
+  struct SinkGuard {
+    bool armed;
+    ~SinkGuard() {
+      if (armed) obs::Tracer::global().clear_sink();
+    }
+  } sink_guard{trace_out.has_value()};
+  std::unique_ptr<serve::StatsExporter> stats;
+  if (stats_out) {
+    // A signal handler may only set a volatile sig_atomic_t; the exporter's
+    // poll loop consumes the flag.
+    std::signal(SIGUSR1,
+                [](int) { serve::StatsExporter::dump_requested = 1; });
+    stats = std::make_unique<serve::StatsExporter>(
+        serve::StatsExporterConfig{*stats_out, stats_interval});
   }
+#else
+  (void)trace_format;
+  (void)stats_interval;
+#endif
+  serve::ShardRouter router(
+      rc, [&] { return make_algorithm(algo_name, mu_hint); }, algo_name);
+  std::uint64_t submitted = 0;
+  std::uint64_t rejected = 0;
+  bool interrupted = false;
+  if (listen) {
+    net::ListenerConfig lc;
+    std::tie(lc.host, lc.port) = parse_hostport(*listen);
+    lc.loops = std::max<std::size_t>(loops, 1);
+    lc.quota_rate = quota_rate;
+    lc.quota_burst = quota_burst;
+    lc.admission = rc.admission;
+    lc.force_poll = force_poll;
+    net::NetListener listener(lc, router);
+    // The bound port resolves --listen :0; print it first and flush so a
+    // parent process (the CI soak, the bench driver) can connect.
+    out << "listening on " << lc.host << ":" << listener.port() << "\n"
+        << std::flush;
+    install_shutdown_handlers();
+    while (g_shutdown == 0) {
+      if (max_offers > 0 && listener.terminal_offers() >= max_offers) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+    interrupted = g_shutdown != 0;
+    // Graceful shutdown: stop accepting, answer stragglers kShutdown,
+    // flush every admitted offer's response, then stop the shards (which
+    // checkpoints and finalizes each session).
+    listener.begin_drain();
+    if (!listener.drain(drain_ms))
+      err << "serve: listener drain timed out after " << drain_ms << " ms\n";
+    listener.stop();
+    router.stop();
+    const net::ListenerCounters c = listener.counters();
+    submitted = c.offers_admitted;
+    out << "listener: accepted=" << c.accepted << " active=" << c.active
+        << " closed=" << c.closed << " accept-errors=" << c.accept_errors
+        << "\n"
+        << "listener: frames-in=" << c.frames_in << " bytes-in=" << c.bytes_in
+        << " bytes-out=" << c.bytes_out
+        << " protocol-errors=" << c.protocol_errors << "\n"
+        << "listener: quota-rejected=" << c.quota_rejected
+        << " backpressured=" << c.backpressured
+        << " read-throttles=" << c.read_throttles << "\n"
+        << "listener: offers admitted=" << c.offers_admitted
+        << " applied=" << c.offers_applied
+        << " skipped=" << c.offers_skipped
+        << " failed=" << c.offers_failed << "\n";
+  } else {
+    const std::vector<serve::ServeRequest> stream =
+        serve::read_stream_csv(in_path);
+    install_shutdown_handlers();
+    for (const serve::ServeRequest& req : stream) {
+      if (g_shutdown != 0) break;
+      if (!router.submit(req)) ++rejected;
+      ++submitted;
+    }
+    interrupted = g_shutdown != 0;
+    router.stop();
+    if (interrupted)
+      out << "interrupted: submitted " << submitted << " of "
+          << stream.size() << " requests\n";
+  }
+#ifndef CDBP_OBS_OFF
+  if (stats) stats->stop();  // final page covers the run's tail
+  if (trace_out) {
+    obs::Tracer::global().clear_sink();  // finalize the file
+    sink_guard.armed = false;
+  }
+#endif
+
+  print_serve_summary(router, rc.resume, submitted, rejected, out, err);
+
+  if (out_path) write_placements(router, *out_path, out);
   if (metrics_out) {
     write_metrics_file(*metrics_out);
     out << "metrics written to " << *metrics_out << "\n";
@@ -826,6 +954,71 @@ int cmd_serve(Flags& flags, std::ostream& out, std::ostream& err) {
         << stats->out_base() << ".json (" << stats->dumps() << " dump(s))\n";
 #endif
   return 0;
+}
+
+/// `cdbp client`: the CDBPNET1 load generator — one connection per tenant,
+/// offers replayed in stream order, exact client-observed ack latency
+/// percentiles. Exit 1 on any unexpected loss (lost offers, typed errors,
+/// failed connects, timeout) unless --allow-loss.
+int cmd_client(Flags& flags, std::ostream& out) {
+  net::ClientConfig cc;
+  std::tie(cc.host, cc.port) = parse_hostport(flags.require("connect"));
+  cc.shard_window = static_cast<std::size_t>(
+      to_int(flags.get("shard-window").value_or("1"), "--shard-window"));
+  cc.pipeline = static_cast<std::size_t>(
+      to_int(flags.get("pipeline").value_or("1"), "--pipeline"));
+  cc.connect_batch = static_cast<std::size_t>(std::max(
+      1, to_int(flags.get("connect-batch").value_or("512"), "--connect-batch")));
+  cc.timeout_ms = static_cast<std::uint32_t>(
+      to_int(flags.get("timeout-ms").value_or("60000"), "--timeout-ms"));
+  const bool allow_loss = flags.get("allow-loss").has_value();
+  const auto in_path = flags.get("in");
+  serve::StreamGenConfig gc;
+  gc.target_items = to_int(flags.get("items").value_or("400"), "--items");
+  gc.tenants = static_cast<std::size_t>(
+      to_int(flags.get("tenants").value_or("8"), "--tenants"));
+  gc.seed = static_cast<std::uint64_t>(
+      to_int(flags.get("seed").value_or("1"), "--seed"));
+  gc.log2_mu = to_int(flags.get("mu-log2").value_or("6"), "--mu-log2");
+  flags.finish();
+
+  const std::vector<serve::ServeRequest> stream =
+      in_path ? serve::read_stream_csv(*in_path) : serve::generate_stream(gc);
+  std::size_t tenants = 0;
+  {
+    std::set<std::string> distinct;
+    for (const serve::ServeRequest& r : stream) distinct.insert(r.tenant);
+    tenants = distinct.size();
+  }
+  // One fd per connection plus the poller/wake-pipe overhead.
+  (void)net::raise_nofile_limit(static_cast<std::uint64_t>(tenants) + 64);
+
+  const net::ClientReport rep = net::run_load(cc, stream);
+
+  out << "client: conns opened=" << rep.conns_opened
+      << " failed=" << rep.conns_failed << " (tenants=" << tenants << ")\n"
+      << "client: sent=" << rep.sent << " applied=" << rep.applied
+      << " skipped=" << rep.skipped << " errored=" << rep.errored
+      << " lost=" << rep.lost << (rep.timed_out ? " TIMED-OUT" : "") << "\n";
+  for (const auto& [code, n] : rep.errors_by_code)
+    out << "client: error " << code << " ("
+        << net::err_name(static_cast<net::ErrCode>(code)) << ") x" << n
+        << "\n";
+  if (!rep.latencies_us.empty())
+    out << "client: ack-latency-us p50="
+        << net::latency_percentile_us(rep.latencies_us, 50.0)
+        << " p95=" << net::latency_percentile_us(rep.latencies_us, 95.0)
+        << " p99=" << net::latency_percentile_us(rep.latencies_us, 99.0)
+        << " max=" << net::latency_percentile_us(rep.latencies_us, 100.0)
+        << "\n";
+  if (rep.wall_seconds > 0.0)
+    out << "client: " << report::Table::num(
+               static_cast<double>(rep.resolved()) / rep.wall_seconds, 0)
+        << " offers/s over " << report::Table::num(rep.wall_seconds, 2)
+        << " s\n";
+  const bool clean = rep.lost == 0 && rep.errored == 0 &&
+                     rep.conns_failed == 0 && !rep.timed_out;
+  return clean || allow_loss ? 0 : 1;
 }
 
 /// `cdbp recover`: rebuild every shard from its WAL (+checkpoint), repair
@@ -976,6 +1169,7 @@ int cmd_chaos(Flags& flags, std::ostream& out, std::ostream& err) {
              "--wal-segment-bytes"));
   cc.max_points_per_kind = static_cast<std::size_t>(
       to_int(flags.get("max-points").value_or("16"), "--max-points"));
+  const bool net_mode = flags.get("net").has_value();
   flags.finish();
 
   cc.seeds.clear();
@@ -998,6 +1192,32 @@ int cmd_chaos(Flags& flags, std::ostream& out, std::ostream& err) {
   cc.algo_name = algo_name;
   cc.make_algo = [algo_name] { return make_algorithm(algo_name); };
   cc.log = &err;
+
+  if (net_mode) {
+    // `--net`: the socket-fault matrix (src/net/net_chaos.h) instead of the
+    // disk matrix — faults on accept/read/write of a live loopback listener.
+    net::NetChaosConfig nc;
+    nc.dir = cc.dir;
+    nc.seeds = cc.seeds;
+    nc.make_algo = cc.make_algo;
+    nc.algo_name = cc.algo_name;
+    nc.offers = cc.offers;
+    nc.log = &err;
+    out << "chaos[net]: seeds";
+    for (const std::uint64_t s : nc.seeds) out << " " << s;
+    out << "\n";
+    const net::NetChaosReport rep = net::run_net_chaos(nc);
+    for (const net::NetChaosFailure& f : rep.failures)
+      out << "FAIL seed=" << f.seed << " fault=" << f.fault << ": "
+          << f.detail << "\n"
+          << "  reproduce: cdbp chaos --net --dir " << nc.dir << " --seeds "
+          << f.seed << "\n";
+    out << "chaos[net]: " << rep.cases << " cases, " << rep.faulted
+        << " faulted, " << rep.transparent << " transparent, "
+        << rep.conns_killed << " conns-killed, " << rep.failures.size()
+        << " violations\n";
+    return rep.ok() ? 0 : 1;
+  }
 
   out << "chaos: seeds";
   for (const std::uint64_t s : cc.seeds) out << " " << s;
@@ -1066,6 +1286,7 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     if (args[0] == "adversary") return cmd_adversary(flags, out);
     if (args[0] == "gen-stream") return cmd_gen_stream(flags, out);
     if (args[0] == "serve") return cmd_serve(flags, out, err);
+    if (args[0] == "client") return cmd_client(flags, out);
     if (args[0] == "recover") return cmd_recover(flags, out, err);
     if (args[0] == "wal-dump") return cmd_wal_dump(flags, out);
     if (args[0] == "chaos") return cmd_chaos(flags, out, err);

@@ -1,6 +1,10 @@
 #include "core/io_env.h"
 
+#include <arpa/inet.h>
 #include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/types.h>
 #include <unistd.h>
@@ -353,6 +357,171 @@ class PosixEnv final : public Env {
 Env& Env::posix() {
   static PosixEnv env;
   return env;
+}
+
+// ---------------------------------------------------------------------------
+// Socket plane: the base-class implementations are the real syscalls, shared
+// by every Env (PosixEnv inherits them; FaultInjectingEnv delegates to its
+// base after counting the op). IPv4 only — the serve plane's listener is a
+// loopback/test front end first, and "0.0.0.0"/"127.0.0.1"/"localhost" cover
+// every deployment the CLI exposes.
+
+namespace {
+
+[[maybe_unused]] int set_nonblocking(int fd) noexcept {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return -1;
+  return ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+bool parse_ipv4(const std::string& host, std::uint16_t port,
+                ::sockaddr_in& out) noexcept {
+  std::memset(&out, 0, sizeof(out));
+  out.sin_family = AF_INET;
+  out.sin_port = htons(port);
+  if (host.empty() || host == "0.0.0.0") {
+    out.sin_addr.s_addr = htonl(INADDR_ANY);
+    return true;
+  }
+  const char* addr = (host == "localhost") ? "127.0.0.1" : host.c_str();
+  return ::inet_pton(AF_INET, addr, &out.sin_addr) == 1;
+}
+
+int new_tcp_socket(int& err) noexcept {
+#if defined(SOCK_NONBLOCK) && defined(SOCK_CLOEXEC)
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    err = errno;
+    return -1;
+  }
+#else
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    err = errno;
+    return -1;
+  }
+  if (set_nonblocking(fd) != 0) {
+    err = errno;
+    ::close(fd);
+    return -1;
+  }
+#endif
+  // The wire protocol is many small frames (a ~56-byte offer, a ~29-byte
+  // ack); Nagle + delayed ACK turns a partially filled batch into a ~40ms
+  // stall, which is death for a request/response plane. Throughput relies
+  // on application-level batching (write buffers), not the kernel's.
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+}  // namespace
+
+int Env::net_listen(const std::string& host, std::uint16_t port, int backlog,
+                    int& err) {
+  ::sockaddr_in addr{};
+  if (!parse_ipv4(host, port, addr)) {
+    err = EINVAL;
+    return -1;
+  }
+  const int fd = new_tcp_socket(err);
+  if (fd < 0) return -1;
+  const int one = 1;
+  (void)::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  if (::bind(fd, reinterpret_cast<const ::sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(fd, backlog) != 0) {
+    err = errno;
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+int Env::net_connect(const std::string& host, std::uint16_t port, int& err) {
+  ::sockaddr_in addr{};
+  if (!parse_ipv4(host, port, addr)) {
+    err = EINVAL;
+    return -1;
+  }
+  const int fd = new_tcp_socket(err);
+  if (fd < 0) return -1;
+  for (;;) {
+    if (::connect(fd, reinterpret_cast<const ::sockaddr*>(&addr),
+                  sizeof(addr)) == 0)
+      return fd;
+    if (errno == EINPROGRESS) return fd;  // completes asynchronously
+    if (errno == EINTR) continue;
+    err = errno;
+    ::close(fd);
+    return -1;
+  }
+}
+
+int Env::net_accept(int listen_fd, int& err) {
+#if defined(__linux__)
+  const int fd = ::accept4(listen_fd, nullptr, nullptr,
+                           SOCK_NONBLOCK | SOCK_CLOEXEC);
+  if (fd < 0) {
+    err = errno;
+    return -1;
+  }
+#else
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) {
+    err = errno;
+    return -1;
+  }
+  if (set_nonblocking(fd) != 0) {
+    err = errno;
+    ::close(fd);
+    return -1;
+  }
+#endif
+  // Accepted sockets don't reliably inherit options: disable Nagle here
+  // too (see new_tcp_socket for why small frames need it off).
+  const int one = 1;
+  (void)::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return fd;
+}
+
+std::int64_t Env::net_read(int fd, void* buf, std::size_t n,
+                           int& err) noexcept {
+  const ::ssize_t r = ::recv(fd, buf, n, 0);
+  if (r < 0) {
+    err = errno;
+    return -1;
+  }
+  return static_cast<std::int64_t>(r);
+}
+
+std::int64_t Env::net_write(int fd, const void* buf, std::size_t n,
+                            int& err) noexcept {
+#if defined(MSG_NOSIGNAL)
+  const ::ssize_t w = ::send(fd, buf, n, MSG_NOSIGNAL);
+#else
+  const ::ssize_t w = ::send(fd, buf, n, 0);
+#endif
+  if (w < 0) {
+    err = errno;
+    return -1;
+  }
+  return static_cast<std::int64_t>(w);
+}
+
+int Env::net_close(int fd) noexcept {
+  if (fd < 0) return 0;
+  return ::close(fd);
+}
+
+std::uint16_t Env::net_bound_port(int fd, int& err) {
+  ::sockaddr_in addr{};
+  ::socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<::sockaddr*>(&addr), &len) != 0) {
+    err = errno;
+    return 0;
+  }
+  return ntohs(addr.sin_port);
 }
 
 // ---------------------------------------------------------------------------
@@ -738,6 +907,60 @@ std::int64_t FaultInjectingEnv::file_size(const std::string& path) {
 
 std::vector<std::string> FaultInjectingEnv::list_dir(const std::string& dir) {
   return base_.list_dir(dir);
+}
+
+int FaultInjectingEnv::net_accept(int listen_fd, int& err) {
+  FaultDecision d;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    d = next_op_locked(kOpNetAccept, "net:" + std::to_string(listen_fd));
+  }
+  if (d.delay_us > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
+  if (d.fail) {
+    err = d.err;
+    return -1;
+  }
+  return base_.net_accept(listen_fd, err);
+}
+
+std::int64_t FaultInjectingEnv::net_read(int fd, void* buf, std::size_t n,
+                                         int& err) noexcept {
+  FaultDecision d;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    d = next_op_locked(kOpNetRead, "net:" + std::to_string(fd));
+  }
+  if (d.delay_us > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
+  if (d.fail) {
+    err = d.err;
+    return -1;
+  }
+  return base_.net_read(fd, buf, n, err);
+}
+
+std::int64_t FaultInjectingEnv::net_write(int fd, const void* buf,
+                                          std::size_t n, int& err) noexcept {
+  FaultDecision d;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    d = next_op_locked(kOpNetWrite, "net:" + std::to_string(fd));
+  }
+  if (d.delay_us > 0)
+    std::this_thread::sleep_for(std::chrono::microseconds(d.delay_us));
+  if (d.fail) {
+    err = d.err;
+    return -1;
+  }
+  // kShortWrite / kEnospc map to a short send: the kernel accepts only the
+  // capped prefix and the caller's flush loop must cope, exactly the torn
+  // TCP-write case. Sockets are not tracked in the durable image.
+  std::size_t allow = n;
+  if (d.halve_write) allow = std::max<std::size_t>(1, n / 2);
+  if (d.write_limit < allow)
+    allow = std::max<std::size_t>(1, static_cast<std::size_t>(d.write_limit));
+  return base_.net_write(fd, buf, allow, err);
 }
 
 std::int64_t FaultInjectingEnv::file_write(const std::string& path, File& base,

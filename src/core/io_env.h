@@ -67,7 +67,17 @@ enum FaultOp : unsigned {
   kOpTruncate = 1u << 6,
   kOpDirFsync = 1u << 7,
   kOpMkdir = 1u << 8,
-  kOpAll = (1u << 9) - 1,
+  // Network path (src/net/). Counted with path "net:<fd>" ("net:listen" /
+  // "net:connect" before an fd exists) so rules can target the socket plane
+  // without also matching WAL files. Readiness polling (epoll/poll) is *not*
+  // a fault point: the reactor only learns "maybe ready", and every
+  // observable failure mode is reachable through accept/read/write.
+  kOpNetAccept = 1u << 9,
+  kOpNetRead = 1u << 10,
+  kOpNetWrite = 1u << 11,
+  kOpAll = (1u << 12) - 1,
+  /// Filesystem ops only — what `kOpAll` meant before the network plane.
+  kOpAllFs = (1u << 9) - 1,
 };
 
 /// An open file handle. POSIX semantics: `read`/`write` may be short, return
@@ -106,6 +116,35 @@ class Env {
   virtual std::int64_t file_size(const std::string& path) = 0;
   /// Entry names (not full paths); empty if the directory is missing.
   virtual std::vector<std::string> list_dir(const std::string& dir) = 0;
+
+  // -------------------------------------------------------------------------
+  // Socket plane (src/net/). Same non-throwing POSIX error model as the file
+  // primitives: -1 + errno out-parameter on failure. All sockets are created
+  // non-blocking; `net_read`/`net_write` return -1/EAGAIN when the kernel
+  // would block, `net_read` returns 0 on orderly peer shutdown. The base
+  // implementations are the real syscalls, so every Env subclass (including
+  // FaultInjectingEnv's base delegate) serves real TCP; FaultInjectingEnv
+  // overrides accept/read/write to count them as fault points.
+
+  /// TCP listener bound to host:port (port 0 = kernel-assigned ephemeral).
+  /// Returns the non-blocking listening fd, or -1.
+  virtual int net_listen(const std::string& host, std::uint16_t port,
+                         int backlog, int& err);
+  /// Begins a non-blocking connect; returns the fd immediately (connection
+  /// may still be in progress — poll for writability), or -1.
+  virtual int net_connect(const std::string& host, std::uint16_t port,
+                          int& err);
+  /// Accepts one pending connection as a non-blocking fd; -1/EAGAIN when the
+  /// backlog is empty.
+  virtual int net_accept(int listen_fd, int& err);
+  virtual std::int64_t net_read(int fd, void* buf, std::size_t n,
+                                int& err) noexcept;
+  virtual std::int64_t net_write(int fd, const void* buf, std::size_t n,
+                                 int& err) noexcept;
+  /// Idempotent; never a fault point (mirrors File::close).
+  virtual int net_close(int fd) noexcept;
+  /// Local port an fd is bound to (resolves port-0 listens); 0 on error.
+  virtual std::uint16_t net_bound_port(int fd, int& err);
 
   /// The shared stateless production environment.
   static Env& posix();
@@ -255,6 +294,18 @@ class FaultInjectingEnv final : public Env {
   bool exists(const std::string& path) override;
   std::int64_t file_size(const std::string& path) override;
   std::vector<std::string> list_dir(const std::string& dir) override;
+
+  // Socket plane: accept/read/write are counted fault points (path
+  // "net:<fd>"); listen/connect/close/bound_port pass straight through.
+  // Sockets are not part of the durable image — a power cut kills them
+  // (every op fails EIO until simulate_power_loss()) but leaves no residue.
+  // kShortWrite/kEnospc map to a short send; kEagain/kEintr/kEio/kLatency
+  // behave as on files; fsync kinds never match (sockets have no fsync).
+  int net_accept(int listen_fd, int& err) override;
+  std::int64_t net_read(int fd, void* buf, std::size_t n,
+                        int& err) noexcept override;
+  std::int64_t net_write(int fd, const void* buf, std::size_t n,
+                         int& err) noexcept override;
 
   // Fault scheduling.
   void add_rule(FaultRule rule);

@@ -1,0 +1,180 @@
+// NetListener: the serve plane's socket front end.
+//
+// Threads: one acceptor plus `loops` reader/writer event loops, each owning
+// a Poller (epoll, or poll when forced/unavailable) and a wake pipe.
+// Accepted connections are assigned round-robin to loops; from then on all
+// of a connection's socket I/O happens on its loop thread. Shard workers
+// never touch sockets: their completion callbacks (ShardRouter::set_on_ack)
+// encode the response into the connection's mutex-guarded outbox and wake
+// the owning loop, which splices it into the loop-owned write buffer.
+//
+// Backpressure, layered:
+//  - write side: a connection whose write buffer crosses `wbuf_high` stops
+//    being read (its poller read interest is dropped) until the buffer
+//    drains below `wbuf_low` — a slow-reading client throttles itself, not
+//    the server;
+//  - shard side: admission follows RouterConfig::admission. kReject/kShed
+//    map a full queue to the typed kBackpressure error (shed admits, the
+//    victim is acked kDropped by the router). kBlock must not block an
+//    event loop, so the listener parks the offer on its connection, pauses
+//    reads from it, and retries on loop ticks — the blocking producer,
+//    reconstructed non-blockingly.
+//  - tenant side: a per-tenant token bucket (quota_rate/quota_burst) maps
+//    over-limit tenants to the typed kQuota error; the connection stays
+//    usable.
+//
+// All socket I/O flows through io::Env (net_accept/net_read/net_write are
+// FaultInjectingEnv fault points), so the chaos driver can storm EAGAIN,
+// cut writes short, or power-cut the network path.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/io_env.h"
+#include "net/poller.h"
+#include "net/protocol.h"
+#include "net/token_bucket.h"
+#include "serve/shard_router.h"
+
+namespace cdbp::net {
+
+struct ListenerConfig {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;  ///< 0 = ephemeral; see NetListener::port()
+  std::size_t loops = 2;   ///< reader event loops (>= 1)
+  int backlog = 1024;
+  /// Tenant ids above this are rejected with kBadTenant (and the metric
+  /// label path caps harder — obs::sanitize_metric_label truncates at 48).
+  std::size_t max_tenant_bytes = 64;
+  double quota_rate = 0.0;   ///< offers/sec/tenant; 0 = unlimited
+  double quota_burst = 0.0;  ///< bucket cap; 0 = same as rate
+  /// Admission behavior on a full shard queue (see file comment). Should
+  /// match the router's policy; kBlock is emulated by parking.
+  serve::AdmissionPolicy admission = serve::AdmissionPolicy::kBlock;
+  std::size_t wbuf_high = 256 * 1024;
+  std::size_t wbuf_low = 64 * 1024;
+  bool force_poll = false;  ///< exercise the poll(2) fallback
+  io::Env* env = nullptr;   ///< nullptr = Env::posix()
+};
+
+/// Listener-level accounting, exported three ways: this snapshot (CLI serve
+/// summary), obs counters `serve.net.*` (stats exporter), and the kStats
+/// protocol reply. Works under CDBP_OBS_OFF (plain atomics).
+struct ListenerCounters {
+  std::uint64_t accepted = 0;
+  std::uint64_t active = 0;
+  std::uint64_t closed = 0;
+  std::uint64_t accept_errors = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t frames_in = 0;
+  std::uint64_t protocol_errors = 0;  ///< kError frames sent, any code
+  std::uint64_t quota_rejected = 0;
+  std::uint64_t backpressured = 0;
+  std::uint64_t read_throttles = 0;
+  std::uint64_t offers_admitted = 0;
+  std::uint64_t offers_applied = 0;
+  std::uint64_t offers_skipped = 0;
+  std::uint64_t offers_failed = 0;  ///< invalid + dropped + refused
+};
+
+class NetListener {
+ public:
+  /// Binds and starts the acceptor + loop threads. Installs itself as the
+  /// router's ack callback (set_on_ack) — the router must not have another
+  /// producer submitting concurrently. Throws on bind failure.
+  NetListener(ListenerConfig config, serve::ShardRouter& router);
+  ~NetListener();
+
+  NetListener(const NetListener&) = delete;
+  NetListener& operator=(const NetListener&) = delete;
+
+  /// Actual bound port (resolves port 0).
+  [[nodiscard]] std::uint16_t port() const noexcept { return port_; }
+
+  /// Stops accepting; every subsequent offer is answered kShutdown and
+  /// parked offers are flushed as kShutdown. Idempotent.
+  void begin_drain();
+
+  /// Waits until every admitted offer has its terminal response written and
+  /// flushed (or the deadline passes). Returns true when fully drained.
+  bool drain(std::uint32_t timeout_ms);
+
+  /// Closes every connection and joins all threads. Idempotent. Does NOT
+  /// stop the router (the owner stops it after, so in-queue work still
+  /// commits).
+  void stop();
+
+  [[nodiscard]] ListenerCounters counters() const;
+  /// Offers that reached a terminal outcome (ack or typed error). The CLI's
+  /// --max-offers exit condition.
+  [[nodiscard]] std::uint64_t terminal_offers() const noexcept;
+
+ private:
+  struct Connection;
+  struct Loop;
+
+  void accept_loop();
+  void event_loop(Loop& loop);
+  void handle_ack(const serve::ServeResult& result, serve::AckKind kind);
+
+  // Loop-thread helpers (all run on the connection's owning loop).
+  void on_readable(Loop& loop, const std::shared_ptr<Connection>& conn);
+  void process_frames(Loop& loop, const std::shared_ptr<Connection>& conn);
+  void handle_request(Loop& loop, const std::shared_ptr<Connection>& conn,
+                      Request& req);
+  void handle_offer(Loop& loop, const std::shared_ptr<Connection>& conn,
+                    const Request& req);
+  /// False = shard queue full under kBlock; the caller parks the offer.
+  bool submit_offer(Loop& loop, const std::shared_ptr<Connection>& conn,
+                    const Request& req);
+  void retry_parked(Loop& loop, const std::shared_ptr<Connection>& conn);
+  void send_response(Connection& conn, const Response& resp);
+  void send_error(Loop& loop, Connection& conn, std::uint64_t id, ErrCode code,
+                  const std::string& msg);
+  void flush_conn(Loop& loop, const std::shared_ptr<Connection>& conn);
+  void update_interest(Loop& loop, Connection& conn);
+  void close_conn(Loop& loop, const std::shared_ptr<Connection>& conn);
+  void drain_outbox(Connection& conn);
+  [[nodiscard]] std::string stats_text() const;
+
+  ListenerConfig config_;
+  serve::ShardRouter& router_;
+  io::Env& env_;
+  int listen_fd_ = -1;
+  std::uint16_t port_ = 0;
+
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::thread acceptor_;
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<std::uint64_t> terminal_offers_{0};
+
+  /// stream_index -> connection awaiting its ack. Guarded by inflight_mu_;
+  /// written by loop threads (submit) and shard workers (ack).
+  std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> inflight_;
+  mutable std::mutex inflight_mu_;
+
+  /// tenant -> bucket; shared across that tenant's connections.
+  std::unordered_map<std::string, TokenBucket> buckets_;
+  std::mutex buckets_mu_;
+
+  struct AtomicCounters;
+  std::unique_ptr<AtomicCounters> ctr_;
+
+  /// Detachable indirection behind the router's ack callback: the callback
+  /// holds this (type-erased) relay, and the destructor nulls the
+  /// back-pointer inside it, so acks arriving after the listener is gone
+  /// (drain timeout, router stopped later) no-op instead of dangling.
+  std::shared_ptr<void> ack_relay_;
+};
+
+}  // namespace cdbp::net

@@ -1,0 +1,50 @@
+// Readiness multiplexer for the listener's event loops: epoll on Linux, a
+// poll(2) fallback everywhere else (and on Linux when force_poll is set, so
+// the fallback path has test coverage on the platform CI actually runs).
+//
+// Deliberately NOT routed through io::Env: the poller only reports "maybe
+// ready", so faulting it adds no failure mode that faulting the subsequent
+// accept/read/write (which ARE io::Env fault points) doesn't already cover.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace cdbp::net {
+
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Error/hangup — the owner should read until EOF/error and close.
+  bool broken = false;
+};
+
+class Poller {
+ public:
+  explicit Poller(bool force_poll = false);
+  ~Poller();
+
+  Poller(const Poller&) = delete;
+  Poller& operator=(const Poller&) = delete;
+
+  void add(int fd, bool want_read, bool want_write);
+  void modify(int fd, bool want_read, bool want_write);
+  void remove(int fd);
+
+  /// Blocks up to timeout_ms (-1 = forever) and appends ready fds to `out`
+  /// (cleared first). Returns the number of events; EINTR returns 0.
+  std::size_t wait(std::vector<PollEvent>& out, int timeout_ms);
+
+ private:
+  struct Watch {
+    int fd = -1;
+    bool want_read = false;
+    bool want_write = false;
+  };
+
+  int epfd_ = -1;               // -1 = poll fallback
+  std::vector<Watch> watches_;  // poll fallback's interest list
+};
+
+}  // namespace cdbp::net

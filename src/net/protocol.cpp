@@ -1,0 +1,267 @@
+#include "net/protocol.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace cdbp::net {
+
+const char* err_name(ErrCode c) noexcept {
+  switch (c) {
+    case ErrCode::kBadFrame:
+      return "bad-frame";
+    case ErrCode::kBadMagic:
+      return "bad-magic";
+    case ErrCode::kNoHello:
+      return "no-hello";
+    case ErrCode::kBadTenant:
+      return "bad-tenant";
+    case ErrCode::kQuota:
+      return "quota";
+    case ErrCode::kBackpressure:
+      return "backpressure";
+    case ErrCode::kDegraded:
+      return "degraded";
+    case ErrCode::kInvalid:
+      return "invalid";
+    case ErrCode::kTimeOrder:
+      return "time-order";
+    case ErrCode::kUnknownId:
+      return "unknown-id";
+    case ErrCode::kTooLarge:
+      return "too-large";
+    case ErrCode::kShutdown:
+      return "shutdown";
+    case ErrCode::kDropped:
+      return "dropped";
+    case ErrCode::kDuplicate:
+      return "duplicate";
+  }
+  return "unknown";
+}
+
+void frame_payload(const std::string& payload, std::string& out) {
+  StateWriter header;
+  header.u32(static_cast<std::uint32_t>(payload.size()));
+  header.u32(crc32(payload.data(), payload.size()));
+  out.append(header.buffer());
+  out.append(payload);
+}
+
+void encode_request(const Request& req, std::string& out) {
+  StateWriter w;
+  w.u8(static_cast<std::uint8_t>(req.type));
+  switch (req.type) {
+    case MsgType::kHello:
+      w.str(req.tenant);
+      break;
+    case MsgType::kOffer:
+      w.u64(req.id);
+      w.f64(req.arrival);
+      w.f64(req.departure);
+      w.f64(req.size);
+      break;
+    case MsgType::kDepart:
+    case MsgType::kAdvance:
+      w.u64(req.id);
+      w.f64(req.time);
+      break;
+    case MsgType::kStats:
+    case MsgType::kPing:
+      w.u64(req.id);
+      break;
+    default:
+      w.u64(req.id);  // forward-compat: unknown request types carry an id
+      break;
+  }
+  frame_payload(w.buffer(), out);
+}
+
+void encode_response(const Response& resp, std::string& out) {
+  StateWriter w;
+  w.u8(static_cast<std::uint8_t>(resp.type));
+  switch (resp.type) {
+    case MsgType::kAck:
+      w.u64(resp.id);
+      w.u8(static_cast<std::uint8_t>(resp.ack));
+      w.u64(resp.seq);
+      w.i64(resp.bin);
+      w.u64(resp.shard);
+      break;
+    case MsgType::kError:
+      w.u64(resp.id);
+      w.u32(static_cast<std::uint32_t>(resp.code));
+      w.str(resp.text);
+      break;
+    case MsgType::kPong:
+      w.u64(resp.id);
+      break;
+    case MsgType::kStatsReply:
+      w.u64(resp.id);
+      w.str(resp.text);
+      break;
+    default:
+      w.u64(resp.id);
+      break;
+  }
+  frame_payload(w.buffer(), out);
+}
+
+// ---------------------------------------------------------------------------
+// FrameDecoder
+
+namespace {
+
+std::uint32_t read_u32_le(const char* p) noexcept {
+  std::uint32_t v = 0;
+  for (std::size_t i = 0; i < 4; ++i)
+    v |= static_cast<std::uint32_t>(static_cast<unsigned char>(p[i]))
+         << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+void FrameDecoder::feed(const char* data, std::size_t n) {
+  if (poisoned_) return;
+  // Compact once the consumed prefix dominates — keeps the buffer bounded
+  // by (one frame + one read) without copying on every frame.
+  if (pos_ > 0 && pos_ >= buf_.size() / 2) {
+    buf_.erase(0, pos_);
+    pos_ = 0;
+  }
+  buf_.append(data, n);
+}
+
+DecodeStatus FrameDecoder::next(std::string& payload) {
+  if (poisoned_) return DecodeStatus::kBad;
+  const std::size_t avail = buf_.size() - pos_;
+  if (avail < kFrameHeaderBytes) return DecodeStatus::kNeedMore;
+  const char* base = buf_.data() + pos_;
+  const std::uint32_t len = read_u32_le(base);
+  if (len > kMaxFrameBytes) {
+    poisoned_ = true;
+    error_ = "frame payload " + std::to_string(len) + " bytes exceeds cap " +
+             std::to_string(kMaxFrameBytes);
+    return DecodeStatus::kBad;
+  }
+  if (len == 0) {
+    poisoned_ = true;
+    error_ = "empty frame payload";
+    return DecodeStatus::kBad;
+  }
+  if (avail < kFrameHeaderBytes + len) return DecodeStatus::kNeedMore;
+  const std::uint32_t want_crc = read_u32_le(base + 4);
+  const char* body = base + kFrameHeaderBytes;
+  const std::uint32_t got_crc = crc32(body, len);
+  if (got_crc != want_crc) {
+    poisoned_ = true;
+    error_ = "frame CRC mismatch";
+    return DecodeStatus::kBad;
+  }
+  payload.assign(body, len);
+  pos_ += kFrameHeaderBytes + len;
+  return DecodeStatus::kFrame;
+}
+
+// ---------------------------------------------------------------------------
+// Payload parsing
+
+namespace {
+
+bool finite(double v) noexcept { return std::isfinite(v); }
+
+}  // namespace
+
+std::optional<Request> parse_request(const std::string& payload,
+                                     std::string& why) {
+  try {
+    StateReader r(payload);
+    Request req;
+    req.type = static_cast<MsgType>(r.u8());
+    switch (req.type) {
+      case MsgType::kHello:
+        req.tenant = r.str();
+        break;
+      case MsgType::kOffer:
+        req.id = r.u64();
+        req.arrival = r.f64();
+        req.departure = r.f64();
+        req.size = r.f64();
+        if (!finite(req.arrival) || !finite(req.departure) ||
+            !finite(req.size)) {
+          why = "non-finite offer field";
+          return std::nullopt;
+        }
+        break;
+      case MsgType::kDepart:
+      case MsgType::kAdvance:
+        req.id = r.u64();
+        req.time = r.f64();
+        if (!finite(req.time)) {
+          why = "non-finite time";
+          return std::nullopt;
+        }
+        break;
+      case MsgType::kStats:
+      case MsgType::kPing:
+        req.id = r.u64();
+        break;
+      default:
+        why = "unknown request type " +
+              std::to_string(static_cast<unsigned>(req.type));
+        return std::nullopt;
+    }
+    if (!r.at_end()) {
+      why = "trailing bytes after request body";
+      return std::nullopt;
+    }
+    return req;
+  } catch (const std::exception&) {
+    why = "truncated request body";
+    return std::nullopt;
+  }
+}
+
+std::optional<Response> parse_response(const std::string& payload,
+                                       std::string& why) {
+  try {
+    StateReader r(payload);
+    Response resp;
+    resp.type = static_cast<MsgType>(r.u8());
+    switch (resp.type) {
+      case MsgType::kAck:
+        resp.id = r.u64();
+        resp.ack = static_cast<AckStatus>(r.u8());
+        resp.seq = r.u64();
+        resp.bin = r.i64();
+        resp.shard = r.u64();
+        break;
+      case MsgType::kError:
+        resp.id = r.u64();
+        resp.code = static_cast<ErrCode>(r.u32());
+        resp.text = r.str();
+        break;
+      case MsgType::kPong:
+        resp.id = r.u64();
+        break;
+      case MsgType::kStatsReply:
+        resp.id = r.u64();
+        resp.text = r.str();
+        break;
+      default:
+        why = "unknown response type " +
+              std::to_string(static_cast<unsigned>(resp.type));
+        return std::nullopt;
+    }
+    if (!r.at_end()) {
+      why = "trailing bytes after response body";
+      return std::nullopt;
+    }
+    return resp;
+  } catch (const std::exception&) {
+    why = "truncated response body";
+    return std::nullopt;
+  }
+}
+
+}  // namespace cdbp::net

@@ -1,0 +1,51 @@
+// Per-tenant offer-rate limiting for the network listener.
+//
+// Classic token bucket: `rate` tokens/second refill up to a `burst` cap;
+// one offer costs one token. An empty bucket maps to the typed kQuota
+// protocol error — never a disconnect — so an over-limit tenant degrades to
+// polite retries instead of a reconnect storm. rate <= 0 disables limiting.
+//
+// Time is caller-supplied monotonic nanoseconds (serve_metrics'
+// mono_now_ns), which keeps the bucket trivially testable.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+namespace cdbp::net {
+
+class TokenBucket {
+ public:
+  TokenBucket() = default;
+  TokenBucket(double rate_per_sec, double burst, std::uint64_t now_ns)
+      : rate_(rate_per_sec),
+        burst_(std::max(burst, 1.0)),
+        tokens_(std::max(burst, 1.0)),
+        last_ns_(now_ns) {}
+
+  /// Takes one token; false = over limit right now.
+  bool try_take(std::uint64_t now_ns) {
+    if (rate_ <= 0.0) return true;
+    refill(now_ns);
+    if (tokens_ < 1.0) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  [[nodiscard]] double tokens() const noexcept { return tokens_; }
+
+ private:
+  void refill(std::uint64_t now_ns) {
+    if (now_ns <= last_ns_) return;
+    const double dt = static_cast<double>(now_ns - last_ns_) * 1e-9;
+    tokens_ = std::min(burst_, tokens_ + dt * rate_);
+    last_ns_ = now_ns;
+  }
+
+  double rate_ = 0.0;  // <= 0: unlimited
+  double burst_ = 1.0;
+  double tokens_ = 1.0;
+  std::uint64_t last_ns_ = 0;
+};
+
+}  // namespace cdbp::net

@@ -99,7 +99,8 @@ std::uint64_t tenant_hash(std::string_view tenant) noexcept {
 }
 
 bool ShardRouter::RequestQueue::push(ServeRequest req,
-                                     AdmissionPolicy policy) {
+                                     AdmissionPolicy policy,
+                                     std::optional<ServeRequest>* victim) {
   std::unique_lock<std::mutex> lock(mutex_);
   if (closed_) throw std::logic_error("serve: submit after stop");
   if (items_.size() >= capacity_) {
@@ -107,6 +108,7 @@ bool ShardRouter::RequestQueue::push(ServeRequest req,
       case AdmissionPolicy::kReject:
         return false;
       case AdmissionPolicy::kShed:
+        if (victim != nullptr) *victim = std::move(items_.front());
         items_.pop_front();
         ++shed_;
         g_shed.add();
@@ -237,7 +239,10 @@ std::size_t ShardRouter::shard_of(std::string_view tenant) const noexcept {
   return static_cast<std::size_t>(tenant_hash(tenant) % shards_.size());
 }
 
-SubmitStatus ShardRouter::try_submit(ServeRequest req) {
+void ShardRouter::set_on_ack(AckCallback cb) { on_ack_ = std::move(cb); }
+
+SubmitStatus ShardRouter::try_submit_as(ServeRequest req,
+                                        AdmissionPolicy policy) {
   if (stopped_.load(std::memory_order_acquire))
     throw std::logic_error("serve: submit after stop");
   if (req.admit_ns == 0) req.admit_ns = admit_stamp();
@@ -265,7 +270,9 @@ SubmitStatus ShardRouter::try_submit(ServeRequest req) {
                       {{"tenant", req.tenant.c_str()},
                        {"shard", static_cast<std::uint64_t>(idx)}});
   }
-  if (!shard.queue->push(std::move(req), config_.admission)) {
+  std::optional<ServeRequest> victim;
+  const bool pushed = shard.queue->push(std::move(req), policy, &victim);
+  if (!pushed) {
     g_rejected.add();
     if (traced)
       tracer.complete("serve.enqueue", "serve", trace_start,
@@ -274,6 +281,13 @@ SubmitStatus ShardRouter::try_submit(ServeRequest req) {
                        {"rejected", 1}});
     return SubmitStatus::kQueueFull;
   }
+  // A shed victim (kShed, full queue) left the queue without ever reaching
+  // the worker: give it its terminal ack here, from the producer thread, so
+  // push-style front ends (src/net/) can resolve the in-flight offer
+  // instead of leaking it until drain timeout.
+  if (on_ack_ && victim.has_value())
+    on_ack_(ServeResult{victim->stream_index, victim->tenant, idx, 0, kNoBin},
+            AckKind::kDropped);
   if (traced)
     tracer.complete("serve.enqueue", "serve", trace_start,
                     tracer.now_ns() - trace_start,
@@ -310,6 +324,12 @@ void ShardRouter::worker_loop(Shard& shard) {
   const std::size_t idx = shard.stats.shard;
   ServeMetrics::ShardInstruments& ins = metrics_.shard(idx);
   obs::Tracer& tracer = obs::Tracer::global();
+  // Non-applied terminal outcomes carry stream_index + tenant + shard only.
+  const AckCallback& ack_cb = on_ack_;
+  const auto notify = [&](std::uint64_t stream_index,
+                          const std::string& tenant, AckKind kind) {
+    if (ack_cb) ack_cb(ServeResult{stream_index, tenant, idx, 0, kNoBin}, kind);
+  };
   std::vector<ServeRequest> batch;
   std::vector<ServeResult> pending;
   std::vector<std::uint64_t> pending_admit;
@@ -323,6 +343,8 @@ void ShardRouter::worker_loop(Shard& shard) {
     if (shard.degraded.load(std::memory_order_relaxed)) {
       shard.stats.degraded_dropped += drained;
       g_degraded_dropped.add(drained);
+      for (const ServeRequest& req : batch)
+        notify(req.stream_index, req.tenant, AckKind::kDropped);
       continue;
     }
     ins.batch_size->record(drained);
@@ -335,6 +357,10 @@ void ShardRouter::worker_loop(Shard& shard) {
     pending_admit.clear();
     const std::uint64_t skipped_before = shard.stats.skipped;
     const std::uint64_t invalid_before = shard.stats.invalid;
+    // Index (not range) loop so the degrade path below knows exactly which
+    // requests never reached the session: batch[processed..) plus
+    // everything appended-but-uncommitted in `pending`.
+    std::size_t processed = 0;
     try {
     {
       obs::TraceSpan drain_span(
@@ -342,7 +368,8 @@ void ShardRouter::worker_loop(Shard& shard) {
           {{"shard", static_cast<std::uint64_t>(idx)},
            {"batch", static_cast<std::uint64_t>(drained)}});
       obs::ScopedTimer append_timer(*ins.wal_append_us);
-      for (ServeRequest& req : batch) {
+      for (; processed < batch.size(); ++processed) {
+        ServeRequest& req = batch[processed];
         if (config_.worker_delay_us > 0)
           std::this_thread::sleep_for(
               std::chrono::microseconds(config_.worker_delay_us));
@@ -356,6 +383,7 @@ void ShardRouter::worker_loop(Shard& shard) {
             req.stream_index <= shard.session->last_stream_index()) {
           ++shard.stats.skipped;
           g_skipped.add();
+          notify(req.stream_index, req.tenant, AckKind::kSkipped);
           continue;
         }
         try {
@@ -368,6 +396,7 @@ void ShardRouter::worker_loop(Shard& shard) {
           pending_admit.push_back(req.admit_ns);
         } catch (const std::invalid_argument&) {
           ++shard.stats.invalid;  // bad request, not a shard failure
+          notify(req.stream_index, req.tenant, AckKind::kInvalid);
         }
       }
     }
@@ -392,6 +421,14 @@ void ShardRouter::worker_loop(Shard& shard) {
       const std::uint64_t dropped = drained - handled;
       shard.stats.degraded_dropped += dropped;
       g_degraded_dropped.add(dropped);
+      // Terminal acks for everything the failure swallowed: appended but
+      // never committed (pending — tenants already moved in there), plus
+      // the thrower and everything after it (batch[processed..), tenants
+      // intact). Together they are exactly `dropped` requests.
+      for (const ServeResult& p : pending)
+        notify(p.stream_index, p.tenant, AckKind::kDropped);
+      for (std::size_t j = processed; j < batch.size(); ++j)
+        notify(batch[j].stream_index, batch[j].tenant, AckKind::kDropped);
       continue;
     }
     // The ack instant: every offer in the batch is durable per the fsync
@@ -411,6 +448,7 @@ void ShardRouter::worker_loop(Shard& shard) {
         if (pending[i].stream_index != 0)
           tracer.flow_end("serve.offer", "serve", pending[i].stream_index,
                           {{"shard", static_cast<std::uint64_t>(idx)}});
+        if (ack_cb) ack_cb(pending[i], AckKind::kApplied);
       }
     }
     shard.stats.applied += pending.size();
@@ -429,6 +467,7 @@ void ShardRouter::worker_loop(Shard& shard) {
     }
   } else {
     try {
+      if (config_.final_checkpoint) shard.session->checkpoint_now();
       shard.stats.open_bins = shard.session->session().open_bins();
       shard.stats.final_cost = shard.session->finish();
       shard.session->close();

@@ -37,6 +37,7 @@
 #include <future>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -86,6 +87,11 @@ struct RouterConfig {
   /// Group-commit linger (microseconds) under fsync=every; 0 commits as
   /// soon as the committer wakes. See GroupCommitCoordinator.
   std::uint32_t group_commit_window_us = 0;
+  /// Write a checkpoint per shard during stop(), after the queue drained
+  /// and before the session finishes — the graceful-shutdown path of
+  /// `cdbp serve --listen`, so a restart replays a WAL tail instead of the
+  /// whole log. No-op for non-checkpointable algorithms.
+  bool final_checkpoint = false;
   /// I/O environment every shard's durability path flows through. nullptr =
   /// the real filesystem; chaos tests pass a FaultInjectingEnv to fail one
   /// shard's disk while the others keep serving.
@@ -112,6 +118,24 @@ struct ServeResult {
   std::uint64_t seq = 0;  ///< per-shard WAL sequence number
   BinId bin = kNoBin;
 };
+
+/// Terminal outcome of one admitted request, as reported to the ack
+/// callback. Mirrors the worker-loop paths: kApplied fires only after the
+/// batch's commit() returned (the durability ack), the rest are the ways an
+/// admitted request ends without being placed.
+enum class AckKind {
+  kApplied,  ///< placed + committed; ServeResult fields all meaningful
+  kSkipped,  ///< resume dedup — already durable from an earlier run
+  kInvalid,  ///< rejected by session validation (bad interval)
+  kDropped,  ///< discarded by a degrading/degraded shard, never acked
+};
+
+/// Per-request completion hook for push-style front ends (src/net/). Invoked
+/// from shard worker threads — possibly several concurrently — after the
+/// request reached its terminal state. For kSkipped/kInvalid/kDropped the
+/// ServeResult carries stream_index + tenant + shard with seq/bin zeroed.
+/// Callbacks must be fast and must not call back into the router.
+using AckCallback = std::function<void(const ServeResult&, AckKind)>;
 
 /// Per-shard accounting, stable after stop().
 struct ShardStats {
@@ -163,7 +187,20 @@ class ShardRouter {
   /// backpressure (kQueueFull) vs a degraded shard (kShardDegraded, sticky
   /// — see ShardStats::degraded). Healthy shards are unaffected by a
   /// sibling's degradation.
-  SubmitStatus try_submit(ServeRequest req);
+  SubmitStatus try_submit(ServeRequest req) {
+    return try_submit_as(std::move(req), config_.admission);
+  }
+
+  /// try_submit with an explicit admission policy for THIS call, overriding
+  /// RouterConfig::admission. The network listener runs its event loop
+  /// non-blockingly (kReject) even when the router is configured kBlock —
+  /// it implements blocking itself by parking offers and throttling reads.
+  SubmitStatus try_submit_as(ServeRequest req, AdmissionPolicy policy);
+
+  /// Installs the per-request completion hook. Must be called before the
+  /// first submit (the happens-before edge is the queue mutex; installing
+  /// while workers are already draining is a race). Pass {} to clear.
+  void set_on_ack(AckCallback cb);
 
   /// Shards currently degraded (sticky once set; live, readable any time).
   [[nodiscard]] std::size_t degraded_shards() const noexcept;
@@ -201,8 +238,11 @@ class ShardRouter {
         : capacity_(capacity), depth_(depth) {}
 
     /// Returns false only under kReject with a full queue. Under kShed the
-    /// oldest entry is dropped (counted in `shed`).
-    bool push(ServeRequest req, AdmissionPolicy policy);
+    /// oldest entry is dropped (counted in `shed`) and moved into `victim`
+    /// when the caller passes one, so push-style front ends can still send
+    /// the victim a terminal kDropped ack.
+    bool push(ServeRequest req, AdmissionPolicy policy,
+              std::optional<ServeRequest>* victim = nullptr);
     bool pop(ServeRequest& out);
     /// Blocks until at least one request (or close), then drains up to
     /// `max` into `out`. Returns the number drained; 0 = closed + empty.
@@ -239,6 +279,9 @@ class ShardRouter {
   void mark_degraded(Shard& shard, const std::string& reason);
 
   RouterConfig config_;
+  /// Per-request completion hook; written before workers start consuming
+  /// (set_on_ack contract), read by shard workers.
+  AckCallback on_ack_;
   /// Per-shard/per-tenant instruments (declared before shards_ so workers
   /// never outlive it; see ServeMetrics for the naming/cardinality rules).
   ServeMetrics metrics_;
