@@ -75,7 +75,7 @@ struct ClientReport {
 /// Runs the load: groups `items` by tenant, opens one connection per
 /// tenant, replays each tenant's offers in stream order, waits for every
 /// terminal response. Item stream_index fields must be nonzero and unique;
-/// per shard they must be monotone in arrival order (generate_stream's
+/// per tenant they must be monotone in arrival order (generate_stream's
 /// global 1-based indices satisfy both).
 ClientReport run_load(const ClientConfig& config,
                       const std::vector<serve::ServeRequest>& items);

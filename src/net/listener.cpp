@@ -13,7 +13,6 @@
 #include <utility>
 
 #include "obs/metrics.h"
-#include "obs/snapshot.h"
 #include "serve/serve_metrics.h"
 
 namespace cdbp::net {
@@ -52,6 +51,34 @@ struct AckRelay {
   NetListener* listener = nullptr;
 };
 
+/// Tenant-id charset gate: the raw id is the canonical identity for
+/// routing, quotas, the WAL tenant field, and resume dedup, so it must be
+/// safe as-is in metric names, log lines, and dump formats. Restricting to
+/// obs::sanitize_metric_label's allowed set ([A-Za-z0-9_.-]) means the
+/// identity IS its own sanitized form — distinct raw ids can never alias
+/// into one quota bucket / shard / WAL tenant the way sanitize-and-merge
+/// would ('acme/prod' and 'acme:prod' both becoming 'acme_prod').
+bool valid_tenant_id(std::string_view tenant) noexcept {
+  for (const char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-';
+    if (!ok) return false;
+  }
+  return true;
+}
+
+/// Key for the in-flight offer map: offer ids are connection-local and
+/// client-chosen, so only (tenant, id) is unique server-wide. '#' cannot
+/// appear in a validated tenant id, so the encoding is unambiguous.
+std::string inflight_key(std::string_view tenant, std::uint64_t id) {
+  std::string key;
+  key.reserve(tenant.size() + 21);
+  key.append(tenant);
+  key.push_back('#');
+  key.append(std::to_string(id));
+  return key;
+}
+
 }  // namespace
 
 struct NetListener::AtomicCounters {
@@ -79,7 +106,7 @@ struct NetListener::Connection {
   // Loop-thread-owned (only the owning event loop touches these).
   std::size_t magic_got = 0;
   bool got_hello = false;
-  std::string tenant;  ///< sanitized canonical id
+  std::string tenant;  ///< raw id, charset-validated at HELLO
   std::size_t shard = 0;
   double advance_time = -HUGE_VAL;
   std::uint64_t max_offer_id = 0;
@@ -263,6 +290,17 @@ void NetListener::event_loop(Loop& loop) {
       const std::shared_ptr<Connection> conn = it->second;
       if (e.writable) flush_conn(loop, conn);
       if (conn->closed.load(std::memory_order_relaxed)) continue;
+      if (e.broken && conn->reading_paused) {
+        // A paused connection has its read interest masked off, but
+        // EPOLLHUP/EPOLLERR are reported regardless of the interest mask
+        // (level-triggered): without closing here, a dead parked
+        // connection re-fires on every wait and spins the loop at 100%
+        // CPU until its shard drains. Nothing is lost by closing — the
+        // peer is gone, so pending output is undeliverable and parked
+        // offers were never admitted.
+        close_conn(loop, conn);
+        continue;
+      }
       if ((e.readable || e.broken) && !conn->reading_paused)
         on_readable(loop, conn);
     }
@@ -392,18 +430,24 @@ void NetListener::handle_request(Loop& loop,
         conn->close_after_flush = true;
         return;
       }
-      // Hostile-bytes gate: refuse the empty and the oversized outright;
-      // everything surviving is squeezed through the metric-label
-      // sanitizer, so raw network bytes can never reach a metric name, a
-      // WAL tenant field, or a log line unlaundered.
-      if (req.tenant.empty() || req.tenant.size() > config_.max_tenant_bytes) {
+      // Hostile-bytes gate: refuse the empty, the oversized, and anything
+      // outside the tenant charset with a typed error. Rejection (not
+      // sanitize-and-serve) is what preserves tenant isolation: a lossy
+      // rewrite would merge distinct raw ids into one quota bucket, shard,
+      // and WAL identity. The surviving raw id is safe everywhere by
+      // construction — it is its own sanitized metric label.
+      if (req.tenant.empty() || req.tenant.size() > config_.max_tenant_bytes ||
+          !valid_tenant_id(req.tenant)) {
         send_error(loop, *conn, 0, ErrCode::kBadTenant,
-                   req.tenant.empty() ? "empty tenant id"
-                                      : "tenant id too long");
+                   req.tenant.empty()
+                       ? "empty tenant id"
+                       : req.tenant.size() > config_.max_tenant_bytes
+                             ? "tenant id too long"
+                             : "tenant id has bytes outside [A-Za-z0-9_.-]");
         conn->close_after_flush = true;
         return;
       }
-      conn->tenant = obs::sanitize_metric_label(req.tenant);
+      conn->tenant = req.tenant;
       conn->shard = router_.shard_of(conn->tenant);
       conn->got_hello = true;
       Response resp;
@@ -541,16 +585,17 @@ bool NetListener::submit_offer(Loop& loop,
                                const Request& req) {
   // Register the inflight entry BEFORE submitting: the shard worker may
   // ack before try_submit_as even returns.
+  std::string key = inflight_key(conn->tenant, req.id);
   bool duplicate;
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
-    duplicate = !inflight_.emplace(req.id, conn).second;
+    duplicate = !inflight_.emplace(std::move(key), conn).second;
   }
   if (duplicate) {
     terminal_offers_.fetch_add(1, std::memory_order_relaxed);
     ctr_->offers_failed.fetch_add(1, std::memory_order_relaxed);
     send_error(loop, *conn, req.id, ErrCode::kDuplicate,
-               "offer id already in flight");
+               "offer id already in flight for this tenant");
     return true;
   }
   serve::ServeRequest sreq;
@@ -576,7 +621,7 @@ bool NetListener::submit_offer(Loop& loop,
     case serve::SubmitStatus::kQueueFull: {
       {
         std::lock_guard<std::mutex> lock(inflight_mu_);
-        inflight_.erase(req.id);
+        inflight_.erase(inflight_key(conn->tenant, req.id));
       }
       if (config_.admission == serve::AdmissionPolicy::kBlock)
         return false;  // caller parks
@@ -591,7 +636,7 @@ bool NetListener::submit_offer(Loop& loop,
     case serve::SubmitStatus::kShardDegraded: {
       {
         std::lock_guard<std::mutex> lock(inflight_mu_);
-        inflight_.erase(req.id);
+        inflight_.erase(inflight_key(conn->tenant, req.id));
       }
       terminal_offers_.fetch_add(1, std::memory_order_relaxed);
       ctr_->offers_failed.fetch_add(1, std::memory_order_relaxed);
@@ -738,7 +783,7 @@ void NetListener::handle_ack(const serve::ServeResult& result,
   std::shared_ptr<Connection> conn;
   {
     std::lock_guard<std::mutex> lock(inflight_mu_);
-    auto it = inflight_.find(result.stream_index);
+    auto it = inflight_.find(inflight_key(result.tenant, result.stream_index));
     if (it == inflight_.end()) return;
     conn = std::move(it->second);
     inflight_.erase(it);

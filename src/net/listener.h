@@ -51,8 +51,12 @@ struct ListenerConfig {
   std::uint16_t port = 0;  ///< 0 = ephemeral; see NetListener::port()
   std::size_t loops = 2;   ///< reader event loops (>= 1)
   int backlog = 1024;
-  /// Tenant ids above this are rejected with kBadTenant (and the metric
-  /// label path caps harder — obs::sanitize_metric_label truncates at 48).
+  /// Tenant ids above this are rejected with kBadTenant. Ids are also
+  /// restricted to [A-Za-z0-9_.-] at the protocol layer: the RAW id is the
+  /// canonical identity (routing, quotas, WAL, dedup), so distinct raw ids
+  /// must never alias. Sanitizing happens only at the metrics boundary
+  /// (serve_metrics keys its table by raw id; only the exported metric
+  /// NAME is squeezed through obs::sanitize_metric_label).
   std::size_t max_tenant_bytes = 64;
   double quota_rate = 0.0;   ///< offers/sec/tenant; 0 = unlimited
   double quota_burst = 0.0;  ///< bucket cap; 0 = same as rate
@@ -158,9 +162,14 @@ class NetListener {
   std::atomic<bool> stopped_{false};
   std::atomic<std::uint64_t> terminal_offers_{0};
 
-  /// stream_index -> connection awaiting its ack. Guarded by inflight_mu_;
-  /// written by loop threads (submit) and shard workers (ack).
-  std::unordered_map<std::uint64_t, std::shared_ptr<Connection>> inflight_;
+  /// (tenant, stream_index) -> connection awaiting its ack, keyed as
+  /// "tenant#id" ('#' is outside the validated tenant charset, so keys are
+  /// unambiguous). Keyed per tenant because offer ids are client-chosen
+  /// and connection-local: two tenants may legitimately use overlapping id
+  /// ranges, and a bare-id map would hand one of them a spurious
+  /// kDuplicate. Guarded by inflight_mu_; written by loop threads (submit)
+  /// and shard workers (ack).
+  std::unordered_map<std::string, std::shared_ptr<Connection>> inflight_;
   mutable std::mutex inflight_mu_;
 
   /// tenant -> bucket; shared across that tenant's connections.

@@ -13,12 +13,14 @@
 //
 // Every request except HELLO carries a u64 `id` directly after the type
 // byte; the matching response echoes it. For OFFER the id doubles as the
-// durable *stream index*: it keys resume deduplication in the WAL, so a
-// client that reconnects after a crash re-sends with the same ids and
-// already-applied offers come back as kAckSkipped instead of double-placing.
-// Ids are client-chosen, nonzero, and (per shard) strictly increasing in
-// arrival order — the same contract `cdbp serve --in` gets from stream
-// files.
+// durable *stream index*: (tenant, id) keys resume deduplication in the
+// WAL, so a client that reconnects after a crash re-sends with the same ids
+// and already-applied offers come back as kAckSkipped instead of
+// double-placing. Ids are client-chosen, nonzero, and strictly increasing
+// in arrival order WITHIN a tenant — a contract each client can satisfy on
+// its own. (Dedup deliberately does not span tenants: independent tenants
+// sharing a shard cannot see each other's ids, so any cross-tenant ordering
+// requirement would be unsatisfiable.)
 //
 // The protocol is deliberately tiny: no negotiation, no compression, no
 // partial frames larger than kMaxFrameBytes. A malformed frame (bad CRC,
@@ -70,7 +72,7 @@ enum class MsgType : std::uint8_t {
 /// kAck body discriminator.
 enum class AckStatus : std::uint8_t {
   kApplied = 0,  // offer placed; seq/bin/shard are meaningful
-  kSkipped = 1,  // resume dedup: id at or below the shard's high-water mark
+  kSkipped = 1,  // resume dedup: id at or below the tenant's high-water mark
   kAdvance = 2,  // advance accepted (seq/bin zero)
   kDepart = 3,   // departure noted (advisory in the clairvoyant model)
   kHello = 4,    // handshake done; `shard` tells the client its tenant shard
@@ -82,7 +84,7 @@ enum class ErrCode : std::uint16_t {
   kBadFrame = 1,      // CRC mismatch / truncated / malformed body (closes)
   kBadMagic = 2,      // first bytes were not CDBPNET1 (closes)
   kNoHello = 3,       // request before handshake (closes)
-  kBadTenant = 4,     // empty or oversized tenant id (closes)
+  kBadTenant = 4,     // empty, oversized, or outside [A-Za-z0-9_.-] (closes)
   kQuota = 5,         // token bucket empty — retry later
   kBackpressure = 6,  // shard queue full under kReject
   kDegraded = 7,      // tenant's shard is degraded
@@ -93,7 +95,7 @@ enum class ErrCode : std::uint16_t {
   kTooLarge = 11,     // frame payload above kMaxFrameBytes (closes)
   kShutdown = 12,     // server draining — offer not accepted
   kDropped = 13,      // accepted but lost to shard degradation mid-flight
-  kDuplicate = 14,    // id already in flight on this server
+  kDuplicate = 14,    // id already in flight for this tenant
 };
 
 /// True for codes the server hangs up after.

@@ -143,8 +143,7 @@ void DurableSession::replay(const std::vector<WalRecord>& records,
           " (log says bin " + std::to_string(rec.bin) + ", " + algo_name_ +
           " chose " + std::to_string(bin) + ") — wrong --algo?");
     ++seq_;
-    if (rec.stream_index > last_stream_index_)
-      last_stream_index_ = rec.stream_index;
+    note_stream_index(rec.stream_index, rec.tenant);
     ++recovery_.replayed;
     g_replayed.add();
   }
@@ -176,6 +175,15 @@ SegmentedWalScan DurableSession::recover() {
     const std::string name = r.str();
     const std::uint64_t ckpt_seq = r.u64();
     const std::uint64_t ckpt_stream = r.u64();
+    // Per-tenant resume marks: the checkpoint must carry them because
+    // compaction deletes the WAL records they were derived from.
+    const std::uint64_t tenant_count = r.u64();
+    std::map<std::string, std::uint64_t, std::less<>> marks;
+    for (std::uint64_t t = 0; t < tenant_count; ++t) {
+      std::string tenant = r.str();
+      const std::uint64_t mark = r.u64();
+      marks.emplace(std::move(tenant), mark);
+    }
     const bool has_algo_state = r.u8() != 0;
     // Use the checkpoint only when it describes this algorithm, reaches at
     // least the compacted-away prefix, and does not claim offers the
@@ -190,6 +198,7 @@ SegmentedWalScan DurableSession::recover() {
                                  config_.checkpoint_path + "'");
       seq_ = ckpt_seq;
       last_stream_index_ = ckpt_stream;
+      tenant_marks_ = std::move(marks);
       from_seq = ckpt_seq;
       recovery_.used_checkpoint = true;
       recovery_.checkpoint_seq = ckpt_seq;
@@ -209,7 +218,8 @@ SegmentedWalScan DurableSession::recover() {
 }
 
 WalRecord DurableSession::make_record(Time arrival, Time departure, Load size,
-                                      std::uint64_t stream_index, BinId bin) {
+                                      std::uint64_t stream_index, BinId bin,
+                                      std::string_view tenant) {
   WalRecord rec;
   rec.seq = seq_;
   rec.stream_index = stream_index;
@@ -217,7 +227,19 @@ WalRecord DurableSession::make_record(Time arrival, Time departure, Load size,
   rec.departure = departure;
   rec.size = size;
   rec.bin = bin;
+  rec.tenant = std::string(tenant);
   return rec;
+}
+
+void DurableSession::note_stream_index(std::uint64_t stream_index,
+                                       std::string_view tenant) {
+  if (stream_index == 0) return;  // 0 = unknown position, never a dedup key
+  if (stream_index > last_stream_index_) last_stream_index_ = stream_index;
+  const auto it = tenant_marks_.find(tenant);
+  if (it == tenant_marks_.end())
+    tenant_marks_.emplace(std::string(tenant), stream_index);
+  else if (stream_index > it->second)
+    it->second = stream_index;
 }
 
 void DurableSession::check_usable() const {
@@ -229,11 +251,13 @@ void DurableSession::check_usable() const {
 }
 
 BinId DurableSession::offer(Time arrival, Time departure, Load size,
-                            std::uint64_t stream_index) {
+                            std::uint64_t stream_index,
+                            std::string_view tenant) {
   check_usable();
   const BinId bin = session_.offer(arrival, departure, size);
   try {
-    wal_->append(make_record(arrival, departure, size, stream_index, bin));
+    wal_->append(
+        make_record(arrival, departure, size, stream_index, bin, tenant));
   } catch (...) {
     // The session already applied the offer the log will never hold:
     // poison rather than let state and log diverge silently.
@@ -242,7 +266,7 @@ BinId DurableSession::offer(Time arrival, Time departure, Load size,
     throw;
   }
   ++seq_;
-  if (stream_index > last_stream_index_) last_stream_index_ = stream_index;
+  note_stream_index(stream_index, tenant);
   g_offers.add();
   if (config_.checkpoint_every > 0 && checkpointable_ &&
       seq_ % config_.checkpoint_every == 0)
@@ -251,19 +275,20 @@ BinId DurableSession::offer(Time arrival, Time departure, Load size,
 }
 
 BinId DurableSession::offer_deferred(Time arrival, Time departure, Load size,
-                                     std::uint64_t stream_index) {
+                                     std::uint64_t stream_index,
+                                     std::string_view tenant) {
   check_usable();
   const BinId bin = session_.offer(arrival, departure, size);
   try {
     wal_->append_nosync(
-        make_record(arrival, departure, size, stream_index, bin));
+        make_record(arrival, departure, size, stream_index, bin, tenant));
   } catch (...) {
     failed_ = true;
     note_poisoned();
     throw;
   }
   ++seq_;
-  if (stream_index > last_stream_index_) last_stream_index_ = stream_index;
+  note_stream_index(stream_index, tenant);
   g_offers.add();
   if (config_.checkpoint_every > 0 && checkpointable_ &&
       seq_ % config_.checkpoint_every == 0)
@@ -304,6 +329,14 @@ bool DurableSession::checkpoint_now() {
   w.str(algo_name_);
   w.u64(seq_);
   w.u64(last_stream_index_);
+  // Per-tenant resume marks, sorted (std::map order) so checkpoint bytes
+  // are deterministic. Compaction below deletes the records these came
+  // from, so recovery can only learn them from here.
+  w.u64(tenant_marks_.size());
+  for (const auto& [tenant, mark] : tenant_marks_) {
+    w.str(tenant);
+    w.u64(mark);
+  }
   w.u8(1);
   session_.save_state(w);
   checkpointable_->save_state(w);

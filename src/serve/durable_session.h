@@ -39,8 +39,10 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 
 #include "core/algorithm.h"
 #include "core/session.h"
@@ -105,19 +107,22 @@ class DurableSession {
                  DurableSessionConfig config);
 
   /// Applies one offer, logs it durably, maybe checkpoints. Returns the
-  /// chosen bin. `stream_index` is the caller's global input position
-  /// (1-based; 0 = unknown), recorded for resume de-duplication.
+  /// chosen bin. `stream_index` is the caller's position in `tenant`'s
+  /// input stream (1-based; 0 = unknown) and `tenant` names the id space
+  /// it belongs to ("" = the shard-global space); together they key resume
+  /// de-duplication — see last_stream_index(tenant).
   /// Propagates std::invalid_argument from InteractiveSession::offer
   /// without logging anything. A WAL failure poisons the session (see
   /// failed()) and rethrows.
   BinId offer(Time arrival, Time departure, Load size,
-              std::uint64_t stream_index);
+              std::uint64_t stream_index, std::string_view tenant = {});
 
   /// Like offer() but defers the per-record durability step: the record is
   /// appended (and applied) but NOT yet guaranteed on disk. The caller
   /// MUST call commit() before acknowledging any deferred offer.
   BinId offer_deferred(Time arrival, Time departure, Load size,
-                       std::uint64_t stream_index);
+                       std::uint64_t stream_index,
+                       std::string_view tenant = {});
 
   /// Makes every deferred offer durable per the fsync policy (one group
   /// commit under kEvery). A failure poisons the session and rethrows.
@@ -140,9 +145,21 @@ class DurableSession {
   }
   /// Offers applied over the session's lifetime, including recovered ones.
   [[nodiscard]] std::uint64_t seq() const noexcept { return seq_; }
-  /// Highest stream_index applied (0 when none carried one).
+  /// Highest stream_index applied across ALL tenants (0 when none carried
+  /// one). A summary statistic, not a dedup key: independent tenants have
+  /// uncoordinated id spaces, so resume must compare against the per-tenant
+  /// mark below.
   [[nodiscard]] std::uint64_t last_stream_index() const noexcept {
     return last_stream_index_;
+  }
+  /// Highest stream_index applied for `tenant`'s id space (0 when unseen).
+  /// Rebuilt on recovery from the WAL's tenant records and the checkpoint,
+  /// so `stream_index <= last_stream_index(tenant)` is the resume
+  /// de-duplication test.
+  [[nodiscard]] std::uint64_t last_stream_index(
+      std::string_view tenant) const noexcept {
+    const auto it = tenant_marks_.find(tenant);
+    return it == tenant_marks_.end() ? 0 : it->second;
   }
   /// True after a WAL append/sync failure: in-memory state and durable log
   /// may disagree, so the session refuses all further offers.
@@ -169,7 +186,9 @@ class DurableSession {
   SegmentedWalScan recover();
   void replay(const std::vector<WalRecord>& records, std::uint64_t from_seq);
   [[nodiscard]] WalRecord make_record(Time arrival, Time departure, Load size,
-                                      std::uint64_t stream_index, BinId bin);
+                                      std::uint64_t stream_index, BinId bin,
+                                      std::string_view tenant);
+  void note_stream_index(std::uint64_t stream_index, std::string_view tenant);
   void check_usable() const;
 
   AlgorithmPtr algo_;
@@ -181,6 +200,10 @@ class DurableSession {
   RecoveryReport recovery_;
   std::uint64_t seq_ = 0;
   std::uint64_t last_stream_index_ = 0;
+  /// Per-tenant resume high-water marks ("" = the tenant-less space).
+  /// Ordered map: checkpoint serialization iterates it, and sorted order
+  /// keeps checkpoint bytes deterministic across runs.
+  std::map<std::string, std::uint64_t, std::less<>> tenant_marks_;
   std::uint64_t compacted_segments_ = 0;
   bool failed_ = false;
 };

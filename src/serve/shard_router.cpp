@@ -378,9 +378,13 @@ void ShardRouter::worker_loop(Shard& shard) {
         if (req.stream_index != 0)
           tracer.flow_step("serve.offer", "serve", req.stream_index,
                            {{"shard", static_cast<std::uint64_t>(idx)}});
-        // Resume de-duplication: the WAL already holds this stream position.
+        // Resume de-duplication: the WAL already holds this position of
+        // THIS tenant's stream. The mark is per tenant, not per shard —
+        // independent tenants hash onto the same shard with uncoordinated
+        // id spaces, so a shard-global high-water mark would silently ack
+        // kSkipped offers that were never placed.
         if (config_.resume && req.stream_index != 0 &&
-            req.stream_index <= shard.session->last_stream_index()) {
+            req.stream_index <= shard.session->last_stream_index(req.tenant)) {
           ++shard.stats.skipped;
           g_skipped.add();
           notify(req.stream_index, req.tenant, AckKind::kSkipped);
@@ -389,7 +393,8 @@ void ShardRouter::worker_loop(Shard& shard) {
         try {
           const std::uint64_t seq = shard.session->seq();
           const BinId bin = shard.session->offer_deferred(
-              req.arrival, req.departure, req.size, req.stream_index);
+              req.arrival, req.departure, req.size, req.stream_index,
+              req.tenant);
           pending.push_back(ServeResult{req.stream_index,
                                         std::move(req.tenant),
                                         shard.stats.shard, seq, bin});

@@ -14,11 +14,14 @@
 //             (freshest-wins, for load-shedding front ends).
 //
 // Resume: with RouterConfig::resume, every shard recovers its WAL first,
-// and submit() drops requests whose stream_index the shard has already
-// applied. Feeding the same input stream again therefore continues exactly
-// where the crash happened — the skip test is a simple high-water mark,
-// which is sound because each shard applies its requests in submission
-// order (single queue, single worker).
+// and the worker drops requests whose (tenant, stream_index) the shard has
+// already applied. Feeding the same input streams again therefore continues
+// exactly where the crash happened — the skip test is a per-tenant
+// high-water mark, which is sound because each shard applies a tenant's
+// requests in submission order (single queue, single worker). The mark must
+// be per tenant, not per shard: independent tenants hash onto the same
+// shard with uncoordinated id spaces, and a shard-global mark would
+// silently skip one tenant's ids once another pushed a larger one.
 //
 // Durability batching: a worker drains its queue in batches (up to
 // kWorkerBatch requests), appends each offer with deferred durability,
@@ -98,7 +101,10 @@ struct RouterConfig {
   io::Env* env = nullptr;
 };
 
-/// One request as routed (stream_index is the 1-based global input line).
+/// One request as routed. stream_index is the request's 1-based position
+/// in ITS TENANT's id space — the global input line for file feeds (which
+/// happens to be per-tenant monotone too), the client-chosen offer id for
+/// the net front end. (tenant, stream_index) keys resume de-duplication.
 struct ServeRequest {
   std::string tenant;
   std::uint64_t stream_index = 0;

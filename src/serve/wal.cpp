@@ -17,7 +17,9 @@ constexpr char kWalMagicV2[8] = {'C', 'D', 'B', 'P', 'W', 'A', 'L', '2'};
 // v2 segment header: magic + u64 base_seq + u32 crc32(base_seq bytes).
 constexpr std::size_t kSegmentHeaderBytes = 8 + 8 + 4;
 constexpr std::uint8_t kRecordOffer = 1;
+constexpr std::uint8_t kRecordOfferTenant = 2;
 // Fixed offer-record payload: type + seq + stream_index + 3 doubles + bin.
+// A tenant offer (type 2) appends `u64 tenant_len | tenant bytes` to it.
 constexpr std::size_t kOfferPayload = 1 + 8 + 8 + 8 + 8 + 8 + 8;
 // Envelope sanity bound: no legitimate record is this large, so a length
 // beyond it is torn-tail garbage, not a future record type.
@@ -130,13 +132,14 @@ WalWriter::~WalWriter() {
 void WalWriter::write_frame(const WalRecord& rec) {
   if (!file_) throw std::logic_error("wal: append after close");
   StateWriter payload;
-  payload.u8(kRecordOffer);
+  payload.u8(rec.tenant.empty() ? kRecordOffer : kRecordOfferTenant);
   payload.u64(rec.seq);
   payload.u64(rec.stream_index);
   payload.f64(rec.arrival);
   payload.f64(rec.departure);
   payload.f64(rec.size);
   payload.i64(rec.bin);
+  if (!rec.tenant.empty()) payload.str(rec.tenant);
 
   StateWriter frame;
   frame.u32(static_cast<std::uint32_t>(payload.size()));
@@ -241,8 +244,11 @@ WalReadResult read_wal(const std::string& path, io::Env* env) {
       break;
     }
     const auto type = static_cast<std::uint8_t>(payload[0]);
-    if (type == kRecordOffer) {
-      if (len != kOfferPayload) {
+    if (type == kRecordOffer || type == kRecordOfferTenant) {
+      // Type 1 is exactly the fixed body; type 2 appends a length-prefixed
+      // tenant that must consume the remainder of the payload exactly.
+      const bool tenanted = type == kRecordOfferTenant;
+      if (tenanted ? len < kOfferPayload + 8 : len != kOfferPayload) {
         out.torn = true;
         out.tail_error = "bad offer frame length";
         break;
@@ -255,7 +261,16 @@ WalReadResult read_wal(const std::string& path, io::Env* env) {
       rec.departure = r.f64();
       rec.size = r.f64();
       rec.bin = r.i64();
-      out.records.push_back(rec);
+      if (tenanted) {
+        const std::uint64_t tenant_len = r.u64();
+        if (tenant_len == 0 || tenant_len != r.remaining()) {
+          out.torn = true;
+          out.tail_error = "bad offer frame length";
+          break;
+        }
+        rec.tenant.assign(payload + kOfferPayload + 8, tenant_len);
+      }
+      out.records.push_back(std::move(rec));
     } else {
       // Envelope-valid frame of a type this reader does not know: a newer
       // writer's record kind. Skip it — the CRC already proved it is not

@@ -12,6 +12,14 @@
 //   type 1 (offer), all little-endian, doubles as bit patterns:
 //     u64 seq | u64 stream_index | f64 arrival | f64 departure
 //     | f64 size | i64 bin
+//   type 2 (tenant offer): the type-1 body followed by
+//     u64 tenant_len | tenant bytes
+//   Writers emit type 2 whenever the record carries a tenant and type 1
+//   otherwise, so tenant-less logs stay byte-identical to the v1 format.
+//   The tenant keys resume de-duplication per (tenant, stream_index) —
+//   independent tenants sharing a shard have uncoordinated id spaces, so a
+//   shard-global high-water mark would silently skip one tenant's offers
+//   once another tenant pushed a larger id.
 //
 // Frame-format v2 envelope rule: readers validate the (length, CRC)
 // envelope first and only then dispatch on the record type. A frame whose
@@ -66,11 +74,15 @@ enum class WalFormat {
 /// One logged placement decision.
 struct WalRecord {
   std::uint64_t seq = 0;           ///< per-shard offer sequence number
-  std::uint64_t stream_index = 0;  ///< global input-stream line index
+  std::uint64_t stream_index = 0;  ///< tenant's input-stream position
   Time arrival = 0.0;
   Time departure = 0.0;
   Load size = 0.0;
   BinId bin = kNoBin;
+  /// Owner of stream_index's id space ("" = the shard-global space, e.g.
+  /// tenant-less tools driving a DurableSession directly). Serialized as a
+  /// type-2 frame when non-empty, type 1 otherwise.
+  std::string tenant;
 
   friend bool operator==(const WalRecord&, const WalRecord&) = default;
 };

@@ -382,9 +382,9 @@ TEST(Cli, ServeRecoverWalDumpPipeline) {
             0u);
   EXPECT_NE(dump.out.find("# records="), std::string::npos);
   EXPECT_EQ(dump.out.find("# torn tail"), std::string::npos);
-  // Frame-type census: 150 requests on 2 shards -> this shard holds offer
-  // (type1) frames, and a clean WAL skips nothing.
-  EXPECT_NE(dump.out.find("# frames type1="), std::string::npos);
+  // Frame-type census: the stream is multi-tenant, so this shard holds
+  // tenant-offer (type2) frames, and a clean WAL skips nothing.
+  EXPECT_NE(dump.out.find("# frames type2="), std::string::npos);
   EXPECT_NE(dump.out.find("skipped_unknown=0"), std::string::npos);
 
   EXPECT_EQ(cli({"wal-dump", "--wal", "/no/such.wal"}).code, 1);

@@ -252,10 +252,22 @@ TEST_F(NetListenerTest, HostileTenantIdsAreGatedAtTheProtocolLayer) {
     EXPECT_EQ(resp->code, ErrCode::kBadTenant);
     EXPECT_TRUE(conn.wait_eof());
   }
-  {  // hostile bytes inside the cap: sanitized, and the connection serves
+  {  // hostile bytes inside the cap: rejected outright, never sanitized
+    // into an aliasing identity ("a/b" and "a_b" must not share a quota
+    // bucket, shard, or dedup space)
     RawConn conn(listener_->port());
     conn.send_magic();
     conn.hello("t\x01!/x\xFF{}");
+    const std::optional<Response> resp = conn.recv_response();
+    ASSERT_TRUE(resp.has_value());
+    EXPECT_EQ(resp->type, MsgType::kError);
+    EXPECT_EQ(resp->code, ErrCode::kBadTenant);
+    EXPECT_TRUE(conn.wait_eof());
+  }
+  {  // the full allowed charset serves fine
+    RawConn conn(listener_->port());
+    conn.send_magic();
+    conn.hello("Tenant_0.9-ok");
     const std::optional<Response> hello = conn.recv_response();
     ASSERT_TRUE(hello.has_value());
     ASSERT_EQ(hello->type, MsgType::kAck);
@@ -267,13 +279,48 @@ TEST_F(NetListenerTest, HostileTenantIdsAreGatedAtTheProtocolLayer) {
     EXPECT_EQ(ack->ack, AckStatus::kApplied);
   }
   finish();
-  // The raw bytes never reach the router: every served tenant label is
-  // already squeezed through obs::sanitize_metric_label.
-  for (const serve::ServeResult& r : router_->results())
-    for (const char c : r.tenant)
-      EXPECT_TRUE((c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-                  (c >= '0' && c <= '9') || c == '_' || c == '.' || c == '-')
-          << "unsanitized byte " << static_cast<int>(c) << " in tenant";
+  // Only the validated raw id reaches the router.
+  ASSERT_EQ(router_->results().size(), 1u);
+  EXPECT_EQ(router_->results().front().tenant, "Tenant_0.9-ok");
+}
+
+TEST_F(NetListenerTest, TenantsSharingAShardMayReuseOfferIds) {
+  // One shard, so both tenants land on it. Their id spaces are
+  // uncoordinated and overlap exactly; dedup and inflight tracking key by
+  // (tenant, id), so every offer must be applied — no spurious kDuplicate
+  // (inflight collision) and no silent kSkipped (shard-global high-water
+  // mark swallowing tenant B's ids after tenant A pushed larger ones).
+  start(1);
+  RawConn a(listener_->port());
+  a.send_magic();
+  a.hello("tenant-a");
+  ASSERT_TRUE(a.recv_response().has_value());
+  RawConn b(listener_->port());
+  b.send_magic();
+  b.hello("tenant-b");
+  ASSERT_TRUE(b.recv_response().has_value());
+
+  // A runs its ids up to 3 first; B then starts from 1.
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    a.offer(id, 0.0, 1.0, 0.1);
+    const std::optional<Response> ack = a.recv_response();
+    ASSERT_TRUE(ack.has_value());
+    ASSERT_EQ(ack->type, MsgType::kAck) << "tenant-a id " << id;
+    EXPECT_EQ(ack->ack, AckStatus::kApplied);
+  }
+  for (std::uint64_t id = 1; id <= 3; ++id) {
+    b.offer(id, 0.0, 1.0, 0.1);
+    const std::optional<Response> ack = b.recv_response();
+    ASSERT_TRUE(ack.has_value());
+    ASSERT_EQ(ack->type, MsgType::kAck) << "tenant-b id " << id;
+    EXPECT_EQ(ack->ack, AckStatus::kApplied)
+        << "tenant-b id " << id << " must not collide with tenant-a's ids";
+  }
+  finish();
+  EXPECT_EQ(counters_.offers_applied, 6u);
+  EXPECT_EQ(counters_.offers_skipped, 0u);
+  EXPECT_EQ(counters_.protocol_errors, 0u);
+  EXPECT_EQ(router_->results().size(), 6u);
 }
 
 TEST_F(NetListenerTest, CorruptFrameClosesWithBadFrame) {

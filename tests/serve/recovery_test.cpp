@@ -405,6 +405,45 @@ TEST_F(RecoveryTest, MidCompactionOrphanSegmentIsRemovedOnRecovery) {
   EXPECT_EQ(rec.finish(), ref_cost);
 }
 
+// Per-tenant resume marks survive recovery — including checkpoint-anchored
+// compaction, which deletes the very WAL records the marks were derived
+// from. Two tenants with overlapping id spaces feed one session; after a
+// crash each tenant's high-water mark must come back separately, not as a
+// shared maximum.
+TEST_F(RecoveryTest, TenantStreamMarksSurviveRecoveryAndCompaction) {
+  auto cfg = config("marks", false, 5);
+  cfg.wal_segment_bytes = 256;
+  {
+    DurableSession s(cli::make_algorithm("ff"), "ff", cfg);
+    // "a" reaches index 24, "b" only 8 — interleaved 3:1, arrival strictly
+    // increasing so every offer is valid.
+    std::uint64_t a = 0, b = 0;
+    for (int i = 0; i < 32; ++i) {
+      const bool is_a = (i % 4) != 3;
+      const std::uint64_t idx = is_a ? ++a : ++b;
+      s.offer(0.25 * i, 0.25 * i + 8.0, 0.05, idx, is_a ? "a" : "b");
+    }
+    ASSERT_EQ(a, 24u);
+    ASSERT_EQ(b, 8u);
+    ASSERT_GT(s.compacted_segments(), 0u)
+        << "test premise: compaction must have removed covered segments";
+    // Crash: no close(), the fds just go away.
+  }
+  auto resume_cfg = config("marks", true, 5);
+  resume_cfg.wal_segment_bytes = 256;
+  DurableSession rec(cli::make_algorithm("ff"), "ff", resume_cfg);
+  EXPECT_TRUE(rec.recovery().used_checkpoint);
+  // Some of the replayed history is gone from the log: the early marks can
+  // only have come through the checkpoint's tenant table.
+  EXPECT_LT(rec.recovery().records, 32u);
+  EXPECT_EQ(rec.seq(), 32u);
+  EXPECT_EQ(rec.last_stream_index("a"), 24u);
+  EXPECT_EQ(rec.last_stream_index("b"), 8u);
+  EXPECT_EQ(rec.last_stream_index("never-seen"), 0u);
+  EXPECT_EQ(rec.last_stream_index(), 24u);  // global summary = max mark
+  rec.close();
+}
+
 TEST_F(RecoveryTest, WalWriteFailurePoisonsSession) {
   const Instance instance = general_instance(12);
   auto cfg = config("poison", false, 0);

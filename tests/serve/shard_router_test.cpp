@@ -1,8 +1,11 @@
 #include "serve/shard_router.h"
 
 #include <filesystem>
+#include <map>
+#include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -191,6 +194,57 @@ TEST_F(ShardRouterTest, InvalidRequestsAreCountedNotFatal) {
   router.stop();
   EXPECT_EQ(router.stats(0).applied, 1u);
   EXPECT_EQ(router.stats(0).invalid, 2u);
+}
+
+// Resume dedup must key on (tenant, stream_index), not a shard-global
+// high-water mark: tenant "a" pushes its ids to 6 before the restart;
+// tenant "b" (same shard — there is only one) first appears AFTER the
+// restart with ids 1..3, all below a's mark. Every one of b's offers must
+// be applied — a shard-global mark would falsely ack them kSkipped without
+// ever placing them.
+TEST_F(ShardRouterTest, ResumeDedupIsPerTenantNotPerShard) {
+  const RouterConfig rc = config(1);
+  const auto offer = [](ShardRouter& router, const std::string& tenant,
+                        std::uint64_t idx, double arrival) {
+    ServeRequest req;
+    req.tenant = tenant;
+    req.stream_index = idx;
+    req.arrival = arrival;
+    req.departure = arrival + 3.0;
+    req.size = 0.1;
+    ASSERT_TRUE(router.submit(req));
+  };
+  {
+    ShardRouter router(rc, ff_factory(), "ff");
+    for (std::uint64_t i = 1; i <= 6; ++i)
+      offer(router, "a", i, static_cast<double>(i));
+    router.stop();
+    EXPECT_EQ(router.stats(0).applied, 6u);
+  }
+
+  RouterConfig resumed = rc;
+  resumed.resume = true;
+  ShardRouter router(resumed, ff_factory(), "ff");
+  std::mutex mu;
+  std::map<std::pair<std::string, std::uint64_t>, AckKind> acks;
+  router.set_on_ack([&](const ServeResult& r, AckKind kind) {
+    const std::lock_guard<std::mutex> lock(mu);
+    acks[{r.tenant, r.stream_index}] = kind;
+  });
+  for (std::uint64_t i = 1; i <= 6; ++i)  // a's replayed prefix
+    offer(router, "a", i, static_cast<double>(i));
+  for (std::uint64_t i = 1; i <= 3; ++i)  // b's ids overlap a's, below 6
+    offer(router, "b", i, 6.0 + static_cast<double>(i));
+  offer(router, "a", 7, 10.0);  // a's genuinely new suffix
+  router.stop();
+
+  for (std::uint64_t i = 1; i <= 6; ++i)
+    EXPECT_EQ((acks[{"a", i}]), AckKind::kSkipped) << "a id " << i;
+  for (std::uint64_t i = 1; i <= 3; ++i)
+    EXPECT_EQ((acks[{"b", i}]), AckKind::kApplied) << "b id " << i;
+  EXPECT_EQ((acks[{"a", 7}]), AckKind::kApplied);
+  EXPECT_EQ(router.stats(0).skipped, 6u);
+  EXPECT_EQ(router.stats(0).applied, 4u);
 }
 
 TEST_F(ShardRouterTest, LifecycleGuards) {

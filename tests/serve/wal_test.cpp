@@ -235,6 +235,75 @@ TEST_F(WalTest, UnknownRecordTypeIsSkippedNotFatal) {
   EXPECT_EQ(r.valid_bytes, fs::file_size(file));
 }
 
+// Type-2 tenant-offer frames: records carrying a tenant round-trip with
+// the tenant intact, and tenant-less records keep emitting the fixed-size
+// type-1 frame — a log written without tenants stays byte-identical to
+// the v1 format.
+TEST_F(WalTest, TenantRecordsRoundTripAndTenantlessStayType1) {
+  const std::string file = path("tenant.wal");
+  std::vector<WalRecord> records = sample_records(6, 11);
+  records[1].tenant = "alice";
+  records[3].tenant = "bob-2.example";
+  records[4].tenant = "alice";
+  write_records(file, records, FsyncPolicy::kBatch);
+
+  const WalReadResult r = read_wal(file);
+  EXPECT_FALSE(r.torn) << r.tail_error;
+  ASSERT_EQ(r.records.size(), records.size());
+  for (std::size_t i = 0; i < records.size(); ++i)
+    EXPECT_EQ(r.records[i], records[i]) << "record " << i;
+
+  // A fully tenant-less log is pure type-1: 8-byte file header plus
+  // fixed 57-byte frames (8 header + 49 payload), exactly the v1 layout.
+  const std::string v1 = path("tenantless.wal");
+  write_records(v1, sample_records(4, 12));
+  EXPECT_EQ(fs::file_size(v1), 8u + 4u * (8u + 49u));
+}
+
+// A CRC-valid type-2 frame whose tenant_len disagrees with the payload's
+// remaining bytes is corruption, not a short tenant: the reader must stop
+// at the intact prefix and flag the tail.
+TEST_F(WalTest, TenantFrameWithBadLengthIsTorn) {
+  const std::string file = path("badlen.wal");
+  const std::vector<WalRecord> records = sample_records(2, 13);
+  write_records(file, records);
+
+  const auto append_type2 = [&](std::uint64_t tenant_len,
+                                const std::string& tenant_bytes) {
+    StateWriter payload;
+    payload.u8(2);
+    for (int i = 0; i < 6; ++i) payload.u64(0);  // fixed offer fields
+    payload.u64(tenant_len);
+    for (const char c : tenant_bytes)
+      payload.u8(static_cast<std::uint8_t>(c));
+    StateWriter frame;
+    frame.u32(static_cast<std::uint32_t>(payload.size()));
+    frame.u32(crc32(payload.buffer().data(), payload.size()));
+    std::ofstream f(file, std::ios::binary | std::ios::app);
+    f.write(frame.buffer().data(), static_cast<std::streamsize>(frame.size()));
+    f.write(payload.buffer().data(),
+            static_cast<std::streamsize>(payload.size()));
+  };
+
+  // tenant_len claims 99 bytes but only 4 follow.
+  append_type2(99, "oops");
+  {
+    const WalReadResult r = read_wal(file);
+    EXPECT_TRUE(r.torn);
+    EXPECT_EQ(r.records.size(), 2u);
+    EXPECT_NE(r.tail_error.find("length"), std::string::npos) << r.tail_error;
+  }
+
+  // Heal, then append a zero-length tenant — type 2 requires a tenant.
+  truncate_wal(file, read_wal(file).valid_bytes);
+  append_type2(0, "");
+  {
+    const WalReadResult r = read_wal(file);
+    EXPECT_TRUE(r.torn);
+    EXPECT_EQ(r.records.size(), 2u);
+  }
+}
+
 TEST_F(WalTest, SegmentHeaderRoundTripsBaseSeq) {
   const std::string file = path("seg.wal");
   std::vector<WalRecord> records = sample_records(4, 33);
